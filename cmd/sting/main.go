@@ -1,0 +1,146 @@
+// Command sting is the STING Scheme system: a REPL and file runner for the
+// dialect, with the whole coordination substrate (threads, VPs, tuple
+// spaces, mutexes, streams, speculation) available as first-class values.
+//
+// Usage:
+//
+//	sting                  start a REPL
+//	sting file.scm ...     run programs
+//	sting -e '(+ 1 2)'     evaluate an expression
+//	sting -vps 8 file.scm  size the virtual machine
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	sting "repro"
+	"repro/internal/scheme"
+)
+
+func main() {
+	var (
+		vps   = flag.Int("vps", 0, "virtual processors (default: one per physical processor)")
+		procs = flag.Int("procs", 0, "physical processors (default GOMAXPROCS)")
+		expr  = flag.String("e", "", "evaluate this expression and exit")
+		stats = flag.Bool("stats", false, "print VM statistics on exit")
+	)
+	flag.Parse()
+
+	m := sting.NewMachine(sting.MachineConfig{Processors: *procs})
+	defer m.Shutdown()
+	vm, err := m.NewVM(sting.VMConfig{Name: "sting-repl", VPs: *vps})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sting:", err)
+		os.Exit(1)
+	}
+	in := scheme.New(vm, scheme.WithOutput(os.Stdout))
+
+	exit := func(code int) {
+		if *stats {
+			s := vm.Stats()
+			fmt.Fprintf(os.Stderr,
+				"; threads=%d determined=%d steals=%d switches=%d blocks=%d\n",
+				s.ThreadsCreated, s.ThreadsDetermined, s.Steals,
+				s.VPs.Switches, s.VPs.Blocks)
+		}
+		m.Shutdown()
+		os.Exit(code)
+	}
+
+	if *expr != "" {
+		v, err := in.EvalString(*expr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sting:", err)
+			exit(1)
+		}
+		fmt.Println(scheme.WriteString(v))
+		exit(0)
+	}
+
+	if flag.NArg() > 0 {
+		for _, path := range flag.Args() {
+			src, err := os.ReadFile(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "sting:", err)
+				exit(1)
+			}
+			if _, err := in.EvalString(string(src)); err != nil {
+				fmt.Fprintf(os.Stderr, "sting: %s: %v\n", path, err)
+				exit(1)
+			}
+		}
+		exit(0)
+	}
+
+	repl(in)
+	exit(0)
+}
+
+// repl reads balanced forms from stdin and prints their values.
+func repl(in *scheme.Interp) {
+	fmt.Println("STING Scheme (PLDI '92 reproduction) — ctrl-D to exit")
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var pending strings.Builder
+	prompt := "sting> "
+	for {
+		fmt.Print(prompt)
+		if !sc.Scan() {
+			fmt.Println()
+			return
+		}
+		pending.WriteString(sc.Text())
+		pending.WriteByte('\n')
+		src := pending.String()
+		if !balanced(src) {
+			prompt = "  ...> "
+			continue
+		}
+		pending.Reset()
+		prompt = "sting> "
+		if strings.TrimSpace(src) == "" {
+			continue
+		}
+		v, err := in.EvalString(src)
+		if err != nil {
+			fmt.Println("; error:", err)
+			continue
+		}
+		if v != scheme.Unspecified {
+			fmt.Println(scheme.WriteString(v))
+		}
+	}
+}
+
+// balanced reports whether every paren in src is closed (strings and
+// comments respected well enough for a REPL).
+func balanced(src string) bool {
+	depth := 0
+	inStr := false
+	for i := 0; i < len(src); i++ {
+		c := src[i]
+		switch {
+		case inStr:
+			if c == '\\' {
+				i++
+			} else if c == '"' {
+				inStr = false
+			}
+		case c == '"':
+			inStr = true
+		case c == ';':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case c == '(' || c == '[':
+			depth++
+		case c == ')' || c == ']':
+			depth--
+		}
+	}
+	return depth <= 0 && !inStr
+}

@@ -1,0 +1,26 @@
+package main
+
+import "testing"
+
+func TestBalanced(t *testing.T) {
+	cases := map[string]bool{
+		"":                       true,
+		"(+ 1 2)":                true,
+		"(let ((x 1)) x)":        true,
+		"(":                      false,
+		"(define (f x)":          false,
+		"\"open string":          false,
+		"(display \"a)b\")":      true, // paren inside string
+		"(f 1) ; comment (open":  true, // paren inside comment
+		"[vector style]":         true,
+		"(mix [brackets) ]":      true, // depth only; reader catches mismatch
+		"(a\n  (b\n    (c)))":    true,
+		"(a (b)":                 false,
+		"\"escaped \\\" quote\"": true,
+	}
+	for src, want := range cases {
+		if got := balanced(src); got != want {
+			t.Errorf("balanced(%q) = %v, want %v", src, got, want)
+		}
+	}
+}

@@ -1,0 +1,220 @@
+// Command stingbench regenerates every table and figure of the paper's
+// evaluation on this substrate:
+//
+//	-table fig6              the Figure 6 baseline-timings table
+//	-table fig4              the Figure 4 stealing-dynamics experiment
+//	-table pm-ablation       §3.3 queue locality/serialization regimes
+//	-table preempt-ablation  §4.2.2 preemption vs barrier master/slave
+//	-table steal-ablation    §4.1.1 stealing on/off
+//	-table tspace-ablation   §4.2 per-bin vs global tuple-space locking
+//	-table recycle-ablation  storage-model TCB recycling on/off
+//	-table all               everything (default)
+//
+// Absolute numbers will differ from the paper's 1992 MIPS R3000 (and this
+// substrate simulates VPs over goroutines); the claims under test are the
+// orderings and ratios — see EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	table := flag.String("table", "all", "which table/figure to regenerate")
+	n := flag.Int("n", 20000, "iterations per microbenchmark row")
+	flag.Parse()
+
+	run := func(name string, f func() error) {
+		if *table != "all" && *table != name {
+			return
+		}
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "stingbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+
+	run("fig6", func() error { return fig6(*n) })
+	run("fig4", fig4)
+	run("pm-ablation", pmAblation)
+	run("preempt-ablation", preemptAblation)
+	run("steal-ablation", stealAblation)
+	run("tspace-ablation", tspaceAblation)
+	run("recycle-ablation", recycleAblation)
+}
+
+func newTab() *tabwriter.Writer {
+	return tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+}
+
+func fig6(n int) error {
+	fmt.Printf("Figure 6 — baseline timings (%d iterations/row)\n", n)
+	rows, err := bench.MeasureFig6(n)
+	if err != nil {
+		return err
+	}
+	w := newTab()
+	fmt.Fprintln(w, "Case\tPaper (µs, R3000)\tMeasured (µs)\tRatio to switch\tNote")
+	var switchUS float64
+	for _, r := range rows {
+		if r.Name == "Synchronous Context Switch" {
+			switchUS = r.NsPerOp / 1e3
+		}
+	}
+	for _, r := range rows {
+		us := r.NsPerOp / 1e3
+		ratio := 0.0
+		if switchUS > 0 {
+			ratio = us / switchUS
+		}
+		fmt.Fprintf(w, "%s\t%.2f\t%.2f\t%.1fx\t%s\n", r.Name, r.PaperUS, us, ratio, r.Note)
+	}
+	return w.Flush()
+}
+
+func fig4() error {
+	fmt.Println("Figure 4 — dynamics of thread stealing (futures primes, 1 VP)")
+	w := newTab()
+	fmt.Fprintln(w, "Regime\tLimit\tPrimes\tThreads\tSteals\tTCB allocs\tBlocks\tElapsed")
+	for _, limit := range []int{200, 1000, 4000} {
+		for _, regime := range []string{"lifo", "fifo", "delayed"} {
+			r, err := bench.RunFig4(regime, limit)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%d\t%d\t%d\t%v\n",
+				r.Policy, r.Limit, r.NPrimes, r.Threads, r.Steals,
+				r.TCBAllocs, r.Blocks, r.Elapsed.Round(time.Microsecond))
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Println("claim: LIFO dispatch makes stealing dominant; FIFO suppresses it.")
+	return nil
+}
+
+func pmAblation() error {
+	fmt.Println("§3.3 — policy-manager regimes by workload (4 VPs)")
+	w := newTab()
+	fmt.Fprintln(w, "Policy\tWorkload\tElapsed\tBlocks\tMigrated")
+	for _, workload := range []string{"worker-farm", "tree"} {
+		for _, pol := range []string{"global-fifo", "local-lifo", "local-lifo-nomigrate"} {
+			var best bench.PMAblationResult
+			for rep := 0; rep < 3; rep++ { // best of three (see tspace note)
+				r, err := bench.RunPMAblation(pol, workload, 4, 4)
+				if err != nil {
+					return err
+				}
+				if rep == 0 || r.Elapsed < best.Elapsed {
+					best = r
+				}
+			}
+			fmt.Fprintf(w, "%s\t%s\t%v\t%d\t%d\n",
+				best.Policy, best.Workload, best.Elapsed.Round(time.Microsecond), best.Blocks, best.Migrated)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Println("claim: global queues suit worker farms; local LIFO suits fork trees.")
+	return nil
+}
+
+func preemptAblation() error {
+	fmt.Println("§4.2.2 — preemption vs barrier-round master/slave (Tucker & Gupta)")
+	w := newTab()
+	fmt.Fprintln(w, "Quantum\tRounds\tElapsed\tPreemptions")
+	for _, q := range []time.Duration{0, 5 * time.Millisecond, 500 * time.Microsecond, 50 * time.Microsecond} {
+		r, err := bench.RunPreemptAblation(q, 40, 2)
+		if err != nil {
+			return err
+		}
+		qs := "off"
+		if q > 0 {
+			qs = q.String()
+		}
+		fmt.Fprintf(w, "%s\t%d\t%v\t%d\n", qs, r.Rounds,
+			r.Elapsed.Round(time.Microsecond), r.Preemptions)
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Println("claim: short quanta only disturb barrier-synchronized rounds.")
+	return nil
+}
+
+func stealAblation() error {
+	fmt.Println("§4.1.1 — stealing on/off (delayed futures primes, 1 VP)")
+	w := newTab()
+	fmt.Fprintln(w, "Stealing\tLimit\tElapsed\tSteals\tTCB allocs\tBlocks")
+	for _, limit := range []int{500, 2000} {
+		for _, stealing := range []bool{true, false} {
+			r, err := bench.RunStealAblation(stealing, limit)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "%v\t%d\t%v\t%d\t%d\t%d\n",
+				r.Stealing, r.Limit, r.Elapsed.Round(time.Microsecond),
+				r.Steals, r.TCBAllocs, r.Blocks)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Println("claim: stealing throttles TCB allocation and avoids context switches.")
+	return nil
+}
+
+func tspaceAblation() error {
+	fmt.Println("§4.2 — tuple-space locking granularity (4 producer/consumer pairs)")
+	w := newTab()
+	fmt.Fprintln(w, "Bins\tOps\tElapsed\tns/op")
+	for _, bins := range []int{1, 4, 64} {
+		// Best of three: single-CPU scheduling jitter dwarfs the effect in
+		// an individual run.
+		var best bench.TSLockResult
+		for rep := 0; rep < 3; rep++ {
+			r, err := bench.RunTSLockAblation(bins, 4, 500)
+			if err != nil {
+				return err
+			}
+			if rep == 0 || r.Elapsed < best.Elapsed {
+				best = r
+			}
+		}
+		fmt.Fprintf(w, "%d\t%d\t%v\t%.0f\n", best.Bins, best.Ops,
+			best.Elapsed.Round(time.Microsecond), best.PerOpNs)
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Println("claim: a mutex per hash bin admits concurrent producers/consumers.")
+	return nil
+}
+
+func recycleAblation() error {
+	fmt.Println("storage model — TCB recycling on VPs")
+	w := newTab()
+	fmt.Fprintln(w, "Recycling\tThreads\tElapsed\tTCB hits\tTCB misses")
+	for _, rec := range []bool{true, false} {
+		r, err := bench.RunRecycleAblation(rec, 3000)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%v\t%d\t%v\t%d\t%d\n", r.Recycling, r.Threads,
+			r.Elapsed.Round(time.Microsecond), r.TCBHits, r.TCBMisses)
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Println("claim: recycling serves nearly every dispatch from the VP cache.")
+	return nil
+}

@@ -1,0 +1,174 @@
+package sting_test
+
+// Runnable godoc examples for the public API; `go test` verifies their
+// output, so the documentation cannot rot.
+
+import (
+	"fmt"
+	"sort"
+
+	sting "repro"
+)
+
+// The basic lifecycle: boot a machine, run a thread, read its value.
+func Example() {
+	m := sting.NewMachine(sting.MachineConfig{Processors: 2})
+	defer m.Shutdown()
+	vm, _ := m.NewVM(sting.VMConfig{VPs: 2})
+
+	vals, _ := vm.Run(func(ctx *sting.Context) ([]sting.Value, error) {
+		child := ctx.Fork(func(*sting.Context) ([]sting.Value, error) {
+			return []sting.Value{6 * 7}, nil
+		}, nil)
+		return ctx.Value(child)
+	})
+	fmt.Println(vals[0])
+	// Output: 42
+}
+
+// Delayed threads are stolen when demanded: the thunk runs inline on the
+// demanding thread's TCB, with no context switch.
+func ExampleContext_CreateThread() {
+	m := sting.NewMachine(sting.MachineConfig{Processors: 1})
+	defer m.Shutdown()
+	vm, _ := m.NewVM(sting.VMConfig{VPs: 1})
+
+	vals, _ := vm.Run(func(ctx *sting.Context) ([]sting.Value, error) {
+		lazy := ctx.CreateThread(func(*sting.Context) ([]sting.Value, error) {
+			return []sting.Value{"ran on demand"}, nil
+		})
+		fmt.Println("before touch:", lazy.State())
+		v, err := ctx.Value1(lazy)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Println("after touch:", lazy.State(), "-", v)
+		return nil, nil
+	})
+	_ = vals
+	// Output:
+	// before touch: delayed
+	// after touch: determined - ran on demand
+}
+
+// Tuple spaces coordinate producers and consumers by content.
+func ExampleTupleSpace() {
+	m := sting.NewMachine(sting.MachineConfig{Processors: 2})
+	defer m.Shutdown()
+	vm, _ := m.NewVM(sting.VMConfig{VPs: 2})
+
+	vm.Run(func(ctx *sting.Context) ([]sting.Value, error) {
+		ts := sting.NewTupleSpace(sting.KindHash, sting.TupleSpaceConfig{})
+		ctx.Fork(func(c *sting.Context) ([]sting.Value, error) {
+			return nil, ts.Put(c, sting.Tuple{"point", 3, 4})
+		}, nil)
+		_, bind, err := ts.Get(ctx, sting.Template{"point", sting.Formal("x"), sting.Formal("y")})
+		if err != nil {
+			return nil, err
+		}
+		fmt.Printf("x=%v y=%v\n", bind["x"], bind["y"])
+		return nil, nil
+	})
+	// Output: x=3 y=4
+}
+
+// Futures give MultiLisp-style result parallelism.
+func ExampleSpawnFuture() {
+	m := sting.NewMachine(sting.MachineConfig{Processors: 2})
+	defer m.Shutdown()
+	vm, _ := m.NewVM(sting.VMConfig{VPs: 2})
+
+	vm.Run(func(ctx *sting.Context) ([]sting.Value, error) {
+		fs := make([]*sting.Future, 5)
+		for i := range fs {
+			i := i
+			fs[i] = sting.SpawnFuture(ctx, func(*sting.Context) (sting.Value, error) {
+				return i * 10, nil
+			})
+		}
+		vals, err := sting.TouchAll(ctx, fs)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Println(vals)
+		return nil, nil
+	})
+	// Output: [0 10 20 30 40]
+}
+
+// WaitForOne races alternatives and terminates the losers (OR-parallelism).
+func ExampleWaitForOne() {
+	m := sting.NewMachine(sting.MachineConfig{Processors: 2})
+	defer m.Shutdown()
+	vm, _ := m.NewVM(sting.VMConfig{VPs: 2})
+
+	vm.Run(func(ctx *sting.Context) ([]sting.Value, error) {
+		slow := ctx.Fork(func(c *sting.Context) ([]sting.Value, error) {
+			for {
+				c.Yield()
+			}
+		}, vm.VP(1), sting.WithStealable(false))
+		fast := ctx.Fork(func(*sting.Context) ([]sting.Value, error) {
+			return []sting.Value{"first!"}, nil
+		}, nil, sting.WithStealable(false))
+		winner, err := sting.WaitForOne(ctx, []*sting.Thread{slow, fast})
+		if err != nil {
+			return nil, err
+		}
+		vals, _ := winner.TryValue()
+		fmt.Println(vals[0])
+		return nil, nil
+	})
+	// Output: first!
+}
+
+// Streams give blocking, position-immutable sequences (the sieve substrate).
+func ExampleStream() {
+	m := sting.NewMachine(sting.MachineConfig{Processors: 2})
+	defer m.Shutdown()
+	vm, _ := m.NewVM(sting.VMConfig{VPs: 2})
+
+	vm.Run(func(ctx *sting.Context) ([]sting.Value, error) {
+		s := sting.IntegerStream(ctx, 6)
+		collected, err := s.Collect(ctx)
+		if err != nil {
+			return nil, err
+		}
+		var out []int
+		for _, v := range collected {
+			out = append(out, v.(int))
+		}
+		sort.Ints(out)
+		fmt.Println(out)
+		return nil, nil
+	})
+	// Output: [2 3 4 5 6]
+}
+
+// Custom policy managers change scheduling without touching the thread
+// controller: threads run highest-priority-first under the Priority regime.
+func ExampleVMConfig_policyFactory() {
+	m := sting.NewMachine(sting.MachineConfig{Processors: 1})
+	defer m.Shutdown()
+	vm, _ := m.NewVM(sting.VMConfig{
+		VPs:           1,
+		PolicyFactory: sting.PriorityPM(),
+	})
+
+	vm.Run(func(ctx *sting.Context) ([]sting.Value, error) {
+		var order []string
+		low := ctx.Fork(func(*sting.Context) ([]sting.Value, error) {
+			order = append(order, "low")
+			return nil, nil
+		}, nil, sting.WithPriority(1), sting.WithStealable(false))
+		high := ctx.Fork(func(*sting.Context) ([]sting.Value, error) {
+			order = append(order, "high")
+			return nil, nil
+		}, nil, sting.WithPriority(9), sting.WithStealable(false))
+		ctx.Wait(low)
+		ctx.Wait(high)
+		fmt.Println(order)
+		return nil, nil
+	})
+	// Output: [high low]
+}

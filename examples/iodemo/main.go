@@ -1,0 +1,96 @@
+// Iodemo exercises the program model's non-blocking I/O (§2): threads issue
+// requests against a simulated device and enter the kernel-block state; the
+// VP keeps running other threads; completion call-backs restore the blocked
+// threads to ready queues. A compute thread shares one VP with the I/O
+// threads and visibly makes progress while they are device-bound.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync/atomic"
+	"time"
+
+	sting "repro"
+	"repro/internal/sio"
+)
+
+func main() {
+	m := sting.NewMachine(sting.MachineConfig{Processors: 1})
+	defer m.Shutdown()
+	vm, err := m.NewVM(sting.VMConfig{Name: "iodemo", VPs: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	store := sio.NewFileStore()
+	disk := sio.NewDevice("disk", 2*time.Millisecond, sio.WithProcess(store.Process))
+
+	var computeTicks atomic.Int64
+	start := time.Now()
+
+	_, err = vm.Run(func(ctx *sting.Context) ([]sting.Value, error) {
+		// A compute-bound thread sharing the single VP.
+		compute := ctx.Fork(func(c *sting.Context) ([]sting.Value, error) {
+			for {
+				computeTicks.Add(1)
+				c.Yield()
+			}
+		}, nil, sting.WithStealable(false))
+
+		// Writers: each write kernel-blocks its thread for ~2 ms.
+		writers := make([]*sting.Thread, 4)
+		for i := range writers {
+			i := i
+			writers[i] = ctx.Fork(func(c *sting.Context) ([]sting.Value, error) {
+				key := fmt.Sprintf("record-%d", i)
+				if _, err := disk.Do(c, sio.Request{
+					Op:      "write",
+					Payload: [2]sting.Value{key, i * 100},
+				}); err != nil {
+					return nil, err
+				}
+				return []sting.Value{key}, nil
+			}, nil, sting.WithStealable(false))
+		}
+		sting.WaitForAll(ctx, writers)
+		wrote := time.Since(start)
+
+		// Readers run concurrently; the device serves them all in ~one
+		// latency window because nothing blocks the VP.
+		readers := make([]*sting.Thread, 4)
+		for i := range readers {
+			i := i
+			readers[i] = ctx.Fork(func(c *sting.Context) ([]sting.Value, error) {
+				comp, err := disk.Do(c, sio.Request{Op: "read",
+					Payload: fmt.Sprintf("record-%d", i)})
+				if err != nil {
+					return nil, err
+				}
+				return []sting.Value{comp.Payload}, nil
+			}, nil, sting.WithStealable(false))
+		}
+		total := 0
+		for _, r := range readers {
+			v, err := ctx.Value1(r)
+			if err != nil {
+				return nil, err
+			}
+			total += v.(int)
+		}
+		sting.ThreadTerminate(compute)
+
+		fmt.Printf("4 writes completed in %v (device latency 2ms each — overlapped)\n",
+			wrote.Round(time.Millisecond))
+		fmt.Printf("sum of reads: %d, device served %d requests\n", total, disk.Served())
+		fmt.Printf("compute thread ticked %d times while I/O was in flight\n",
+			computeTicks.Load())
+		if computeTicks.Load() == 0 {
+			return nil, fmt.Errorf("VP starved during I/O: non-blocking property violated")
+		}
+		return nil, nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+}

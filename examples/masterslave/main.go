@@ -1,0 +1,136 @@
+// Masterslave is the §4.2 worker-farm pattern: a master deposits task
+// tuples into a first-class tuple space, a bounded pool of long-lived
+// workers removes tasks and publishes result tuples, and the master
+// collates them. Two scheduling regimes run, reproducing the §3.3 guidance:
+// a global FIFO queue (the paper's recommendation for master/slave — the
+// workers rarely block and spawn nothing, so per-VP queues buy nothing) and
+// the default local LIFO regime for contrast. A final round uses a
+// semaphore-specialized tuple space as the §4.2 representation-selection
+// demonstration.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	sting "repro"
+)
+
+// task: factor a number by trial division (deliberately compute-shaped).
+func factor(n int) []int {
+	var fs []int
+	for p := 2; p*p <= n; p++ {
+		for n%p == 0 {
+			fs = append(fs, p)
+			n /= p
+		}
+	}
+	if n > 1 {
+		fs = append(fs, n)
+	}
+	return fs
+}
+
+func farm(name string, pf func(vp *sting.VP) sting.PolicyManager, tasks, workers int) {
+	m := sting.NewMachine(sting.MachineConfig{Processors: 4})
+	defer m.Shutdown()
+	vm, err := m.NewVM(sting.VMConfig{Name: name, VPs: 4, PolicyFactory: pf})
+	if err != nil {
+		log.Fatal(err)
+	}
+	start := time.Now()
+	vals, err := vm.Run(func(ctx *sting.Context) ([]sting.Value, error) {
+		ts := sting.NewTupleSpace(sting.KindHash, sting.TupleSpaceConfig{Bins: 64})
+
+		// The worker pool: bounded a priori, long-lived, rarely blocking.
+		pool := make([]*sting.Thread, workers)
+		for w := range pool {
+			pool[w] = ctx.Fork(func(c *sting.Context) ([]sting.Value, error) {
+				done := 0
+				for {
+					tup, bind, err := ts.Get(c, sting.Template{"task", sting.Formal("n")})
+					if err != nil {
+						return nil, err
+					}
+					_ = tup
+					n := bind["n"].(int)
+					if n < 0 { // poison pill
+						return []sting.Value{done}, nil
+					}
+					fs := factor(n)
+					if err := ts.Put(c, sting.Tuple{"result", n, len(fs)}); err != nil {
+						return nil, err
+					}
+					done++
+				}
+			}, vm.VP(w), sting.WithName(fmt.Sprintf("worker-%d", w)))
+		}
+
+		// The master: deposit tasks, collate results, poison the pool.
+		for i := 0; i < tasks; i++ {
+			if err := ts.Put(ctx, sting.Tuple{"task", 1_000_003 + i}); err != nil {
+				return nil, err
+			}
+		}
+		totalFactors := 0
+		for i := 0; i < tasks; i++ {
+			_, bind, err := ts.Get(ctx, sting.Template{"result", sting.Formal("n"), sting.Formal("k")})
+			if err != nil {
+				return nil, err
+			}
+			totalFactors += bind["k"].(int)
+		}
+		for range pool {
+			_ = ts.Put(ctx, sting.Tuple{"task", -1})
+		}
+		perWorker := make([]int, workers)
+		for w, t := range pool {
+			v, err := ctx.Value1(t)
+			if err != nil {
+				return nil, err
+			}
+			perWorker[w] = v.(int)
+		}
+		return []sting.Value{totalFactors, perWorker}, nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := vm.Stats()
+	fmt.Printf("%-12s tasks=%d workers=%d factors=%v per-worker=%v  %8v  blocks=%d\n",
+		name, tasks, workers, vals[0], vals[1],
+		time.Since(start).Round(time.Microsecond), s.VPs.Blocks)
+}
+
+func main() {
+	const tasks, workers = 400, 4
+	fmt.Println("§4.2 master/slave over a first-class tuple space:")
+	farm("global-fifo", sting.GlobalFIFO(), tasks, workers)
+	farm("local-lifo", sting.LocalLIFO(sting.LocalLIFOConfig{Migrate: true}), tasks, workers)
+
+	// Representation specialization: a token-only space becomes a
+	// semaphore — same operations, counter-only representation.
+	m := sting.NewMachine(sting.MachineConfig{Processors: 2})
+	defer m.Shutdown()
+	vm, err := m.NewVM(sting.VMConfig{VPs: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	_, err = vm.Run(func(ctx *sting.Context) ([]sting.Value, error) {
+		tokens := sting.InferTupleSpace(sting.Usage{TokensOnly: true}, nil)
+		fmt.Printf("inferred representation for token space: %v\n", tokens.Kind())
+		for i := 0; i < 3; i++ {
+			_ = tokens.Put(ctx, sting.Tuple{})
+		}
+		for i := 0; i < 3; i++ {
+			if _, _, err := tokens.Get(ctx, sting.Template{}); err != nil {
+				return nil, err
+			}
+		}
+		return nil, nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+}

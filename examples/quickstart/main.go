@@ -1,0 +1,90 @@
+// Quickstart: boot a machine and a virtual machine, fork first-class
+// threads, demand values (with stealing), use a tuple space and a mutex —
+// the whole public surface in one small program.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	sting "repro"
+)
+
+func main() {
+	// A physical machine: one scheduler per (simulated) physical
+	// processor. Virtual processors multiplex on it.
+	m := sting.NewMachine(sting.MachineConfig{Processors: 4})
+	defer m.Shutdown()
+
+	vm, err := m.NewVM(sting.VMConfig{Name: "quickstart", VPs: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	vals, err := vm.Run(func(ctx *sting.Context) ([]sting.Value, error) {
+		// 1. fork-thread: eager threads, placed round-robin over VPs.
+		kids := make([]*sting.Thread, 8)
+		for i := range kids {
+			i := i
+			kids[i] = ctx.Fork(func(*sting.Context) ([]sting.Value, error) {
+				return []sting.Value{i * i}, nil
+			}, vm.VP(i))
+		}
+		sum := 0
+		for _, k := range kids {
+			v, err := ctx.Value1(k)
+			if err != nil {
+				return nil, err
+			}
+			sum += v.(int)
+		}
+		fmt.Println("sum of squares:", sum)
+
+		// 2. create-thread: a delayed thread is stolen when demanded —
+		// it runs inline on this thread's TCB, no context switch.
+		lazy := ctx.CreateThread(func(*sting.Context) ([]sting.Value, error) {
+			return []sting.Value{"stolen inline"}, nil
+		})
+		v, err := ctx.Value1(lazy)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Printf("delayed thread: %v (state=%v)\n", v, lazy.State())
+
+		// 3. A tuple space coordinating a producer and this thread.
+		ts := sting.NewTupleSpace(sting.KindHash, sting.TupleSpaceConfig{})
+		ctx.Fork(func(c *sting.Context) ([]sting.Value, error) {
+			return nil, ts.Put(c, sting.Tuple{"answer", 42})
+		}, nil)
+		_, bind, err := ts.Get(ctx, sting.Template{"answer", sting.Formal("x")})
+		if err != nil {
+			return nil, err
+		}
+		fmt.Println("tuple space said:", bind["x"])
+
+		// 4. A mutex with active/passive spinning.
+		mu := sting.NewMutex(16, 4)
+		counter := 0
+		workers := make([]*sting.Thread, 4)
+		for i := range workers {
+			workers[i] = ctx.Fork(func(c *sting.Context) ([]sting.Value, error) {
+				for j := 0; j < 1000; j++ {
+					sting.WithMutex(c, mu, func() { counter++ })
+				}
+				return nil, nil
+			}, vm.VP(i))
+		}
+		sting.WaitForAll(ctx, workers)
+		fmt.Println("mutex-guarded counter:", counter)
+
+		return []sting.Value{sum}, nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	stats := vm.Stats()
+	fmt.Printf("threads created: %d, determined: %d, steals: %d\n",
+		stats.ThreadsCreated, stats.ThreadsDetermined, stats.Steals)
+	_ = vals
+}

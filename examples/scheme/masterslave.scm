@@ -1,0 +1,28 @@
+;; §4.2: a master/slave worker farm over a first-class tuple space.
+;; Run: go run ./cmd/sting examples/scheme/masterslave.scm
+
+(define ts (make-tuple-space))
+(define n-workers (vm-vp-count))
+
+(define (worker)
+  (get ts (task ?n)
+    (if (< n 0)
+        'done
+        (begin
+          (put ts (list 'result n (* n n)))
+          (worker)))))
+
+(define workers
+  (map (lambda (i) (fork-thread (worker) i)) (iota n-workers)))
+
+;; Deposit tasks, collate results, poison the pool.
+(for-each (lambda (i) (put ts (list 'task i))) (iota 20))
+(define total
+  (let loop ((i 0) (acc 0))
+    (if (= i 20)
+        acc
+        (get ts (result ?n ?sq) (loop (+ i 1) (+ acc sq))))))
+(for-each (lambda (i) (put ts '(task -1))) (iota n-workers))
+(for-each thread-wait workers)
+
+(display "sum of squares 0..19 = ") (display total) (newline)

@@ -1,0 +1,19 @@
+;; Fig. 3 of the paper: result-parallel primes with future/touch.
+;; Run: go run ./cmd/sting examples/scheme/primes-futures.scm
+
+(define (primes limit)
+  (let loop ((i 3) (ps (future (list 2))))
+    (cond ((> i limit) (touch ps))
+          (else (loop (+ i 2) (future (filter-prime i ps)))))))
+
+(define (filter-prime n ps)
+  (let ((lst (touch ps)))   ; the dataflow dependency of Fig. 4
+    (let loop ((j lst))
+      (cond ((null? j) (append lst (list n)))
+            ((> (* (car j) (car j)) n) (append lst (list n)))
+            ((zero? (modulo n (car j))) lst)
+            (else (loop (cdr j)))))))
+
+(display "primes to 200: ")
+(display (primes 200))
+(newline)

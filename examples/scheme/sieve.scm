@@ -1,0 +1,42 @@
+;; Fig. 2 of the paper: a prime-number sieve abstracted over its concurrency
+;; paradigm. `op` decides how each filter stage becomes a thread.
+;; Run: go run ./cmd/sting examples/scheme/sieve.scm
+
+(define primes-out (make-stream))
+
+(define (filter-stage op n input)
+  ;; Remove multiples of n from input; the first survivor becomes the next
+  ;; prime and spawns (via op) the next filter in the chain.
+  (let ((output (make-stream)))
+    (let loop ((s input) (spawned #f))
+      (if (stream-eos? s)
+          (begin
+            (stream-close output)
+            (unless spawned (stream-close primes-out)))
+          (let ((x (stream-hd s)))
+            (cond ((zero? (modulo x n))
+                   (loop (stream-rest s) spawned))
+                  (spawned
+                   (stream-attach output x)
+                   (loop (stream-rest s) #t))
+                  (else
+                   (stream-attach primes-out x)
+                   (op (lambda () (filter-stage op x output)))
+                   (stream-attach output x)
+                   (loop (stream-rest s) #t))))))))
+
+(define (sieve op limit)
+  (stream-attach primes-out 2)
+  (let ((input (make-integer-stream limit)))
+    (op (lambda () (filter-stage op 2 input)))))
+
+(define (collect s acc)
+  (if (stream-eos? s)
+      (reverse acc)
+      (collect (stream-rest s) (cons (stream-hd s) acc))))
+
+;; Eager paradigm: each filter is a live thread (fork-thread (thunk)).
+(sieve (lambda (thunk) (fork-thread (thunk))) 100)
+(display "primes to 100: ")
+(display (sort (collect primes-out '()) <))
+(newline)

@@ -1,0 +1,15 @@
+;; §4.3: speculative OR-parallelism with wait-for-one.
+;; Run: go run ./cmd/sting examples/scheme/speculative.scm
+
+(define (search-from k target step)
+  (if (= k target)
+      (list 'found k 'by step)
+      (begin
+        (when (zero? (modulo k 1000)) (yield-processor))
+        (search-from (+ k step) target (+ step 0)))))
+
+(define fast (fork-thread (search-from 99000 100000 1)))
+(define slow (fork-thread (search-from 0 100000 1) 1))
+(display "winner: ")
+(display (wait-for-one fast slow))
+(newline)

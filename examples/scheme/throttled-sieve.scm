@@ -1,0 +1,62 @@
+;; Fig. 2, second variant: the throttled (lazy) sieve. The paper's code
+;; creates each filter as a *delayed* thread whose body first unblocks all
+;; other filters in the chain; at creation time every existing filter is
+;; blocked. Demanding the newest filter therefore re-awakens exactly the
+;; part of the sieve the demand needs — "this implementation throttles the
+;; extension of the sieve and the consumption of input based on demand."
+;; Run: go run ./cmd/sting examples/scheme/throttled-sieve.scm
+
+(define filter-list '())
+(define primes-out (make-stream))
+
+(define (filter-stage n input)
+  ;; Remove multiples of n; the first survivor founds the next stage.
+  (let ((output (make-stream)))
+    (let loop ((s input) (spawned #f))
+      (if (stream-eos? s)
+          (begin (stream-close output)
+                 (unless spawned (stream-close primes-out)))
+          (let ((x (stream-hd s)))
+            (cond ((zero? (modulo x n))
+                   (loop (stream-rest s) spawned))
+                  (spawned
+                   (stream-attach output x)
+                   (loop (stream-rest s) #t))
+                  (else
+                   (stream-attach primes-out x)
+                   ;; The paper's throttle: the new filter is a delayed
+                   ;; thread that unblocks the chain when demanded; all
+                   ;; current filters block until then.
+                   (let ((l (create-thread
+                              (block
+                                (for-each thread-unblock filter-list)
+                                (filter-stage x output)))))
+                     (set! filter-list (cons l filter-list)))
+                   (stream-attach output x)
+                   (loop (stream-rest s) #t))))))))
+
+(define (sieve limit)
+  (stream-attach primes-out 2)
+  (let ((input (make-integer-stream limit)))
+    (set! filter-list
+          (list (create-thread (filter-stage 2 input))))))
+
+(sieve 60)
+
+;; Demand-driven driver: keep the newest filter scheduled; each demand
+;; extends the sieve one stage.
+(define (drive)
+  (for-each thread-run filter-list)
+  (if (stream-closed? primes-out)
+      'done
+      (begin (yield-processor) (drive))))
+(drive)
+
+(define (collect s acc)
+  (if (stream-eos? s)
+      (reverse acc)
+      (collect (stream-rest s) (cons (stream-hd s) acc))))
+(display "throttled sieve primes to 60: ")
+(display (sort (collect primes-out '()) <))
+(newline)
+(display "filters created: ") (display (length filter-list)) (newline)

@@ -1,0 +1,110 @@
+// Speculative demonstrates §4.3: OR-parallel search with programmable
+// priorities, wait-for-one, and termination of useless tasks. Several
+// solvers race to find a key in differently ordered search spaces; the
+// priority policy manager runs the promising ones first, wait-for-one
+// returns the first hit, and the task set aborts the rest — including any
+// threads they spawned, via the thread group. A second phase shows
+// wait-for-all as a barrier.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	sting "repro"
+)
+
+// search scans [lo,hi) for target in steps; yields periodically so a
+// terminate request can land (the TC-entry requirement of §3.1).
+func search(lo, hi, target int) sting.Thunk {
+	return func(ctx *sting.Context) ([]sting.Value, error) {
+		steps := 0
+		for i := lo; i < hi; i++ {
+			if i == target {
+				return []sting.Value{i, steps}, nil
+			}
+			steps++
+			if steps%512 == 0 {
+				ctx.Poll()
+			}
+		}
+		// Not found: block forever (a useless speculative branch).
+		ctx.BlockSelf("exhausted")
+		return nil, nil
+	}
+}
+
+func main() {
+	m := sting.NewMachine(sting.MachineConfig{Processors: 4})
+	defer m.Shutdown()
+	vm, err := m.NewVM(sting.VMConfig{
+		Name:          "speculative",
+		VPs:           4,
+		PolicyFactory: sting.PriorityPM(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const target = 7_654_321
+	start := time.Now()
+	vals, err := vm.Run(func(ctx *sting.Context) ([]sting.Value, error) {
+		set := sting.NewTaskSet(ctx, "or-search")
+		// Promising branch: the slice that actually contains the target,
+		// given high priority so the Priority manager runs it first.
+		set.Speculate(10, search(7_000_000, 8_000_000, target))
+		// Unpromising branches: wrong slices at low priority.
+		set.Speculate(1, search(0, 1_000_000, target))
+		set.Speculate(1, search(1_000_000, 2_000_000, target))
+		set.Speculate(1, search(2_000_000, 3_000_000, target))
+		vals, err := set.First()
+		if err != nil {
+			return nil, err
+		}
+		// The losers must all have been terminated.
+		terminated := 0
+		for _, t := range set.Threads() {
+			ctx.Wait(t)
+			if t.Terminated() {
+				terminated++
+			}
+		}
+		return append(vals, terminated), nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wait-for-one: found %v after %v steps; %v losers terminated (%v)\n",
+		vals[0], vals[1], vals[2], time.Since(start).Round(time.Microsecond))
+
+	// AND-parallelism: wait-for-all as a barrier across heterogeneous work.
+	vals, err = vm.Run(func(ctx *sting.Context) ([]sting.Value, error) {
+		parts := make([]*sting.Thread, 6)
+		for i := range parts {
+			i := i
+			parts[i] = ctx.Fork(func(c *sting.Context) ([]sting.Value, error) {
+				sum := 0
+				for j := 0; j < (i+1)*100_000; j++ {
+					sum += j
+					if j%4096 == 0 {
+						c.Poll()
+					}
+				}
+				return []sting.Value{sum}, nil
+			}, vm.VP(i), sting.WithStealable(false))
+		}
+		sting.WaitForAll(ctx, parts)
+		done := 0
+		for _, p := range parts {
+			if p.Determined() {
+				done++
+			}
+		}
+		return []sting.Value{done}, nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wait-for-all: %v/%d parts determined at the barrier\n", vals[0], 6)
+}

@@ -1,0 +1,190 @@
+package sting
+
+// Capstone integration test: one program that composes every coordination
+// paradigm the paper unifies — futures (result parallelism), a tuple-space
+// worker farm (master/slave), synchronizing streams (pipelines),
+// speculative wait-for-one, barrier wait-for-all, mutex-guarded shared
+// state, thread groups, and fluid bindings — all on one virtual machine
+// with mixed policy managers. The paper's thesis is exactly that these
+// coexist "within the same runtime environment".
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestEverythingEverywhereAllAtOnce(t *testing.T) {
+	m := NewMachine(MachineConfig{Processors: 4})
+	t.Cleanup(m.Shutdown)
+	vm, err := m.NewVM(VMConfig{
+		Name: "composite",
+		VPs:  6,
+		// Mixed regimes in one VM (§3.3): half the VPs run local LIFO with
+		// migration, half run a shared FIFO.
+		PolicyFactory: func() func(vp *VP) PolicyManager {
+			lifo := LocalLIFO(LocalLIFOConfig{Migrate: true})
+			fifo := GlobalFIFO()
+			return func(vp *VP) PolicyManager {
+				if vp.Index()%2 == 0 {
+					return lifo(vp)
+				}
+				return fifo(vp)
+			}
+		}(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type fluidKey struct{}
+	vals, err := vm.Run(func(ctx *Context) ([]Value, error) {
+		result := map[string]Value{}
+
+		// 1. Result parallelism: a future tree summing squares.
+		futuresPart := make([]*Future, 8)
+		for i := range futuresPart {
+			i := i
+			futuresPart[i] = SpawnFuture(ctx, func(*Context) (Value, error) {
+				return i * i, nil
+			})
+		}
+		squares := 0
+		for _, f := range futuresPart {
+			v, err := f.Touch(ctx)
+			if err != nil {
+				return nil, err
+			}
+			squares += v.(int)
+		}
+		result["squares"] = squares
+
+		// 2. Master/slave over a tuple space, workers in their own group.
+		farm := NewGroup("farm", nil)
+		ts := NewTupleSpace(KindHash, TupleSpaceConfig{Bins: 16})
+		workers := make([]*Thread, 3)
+		for w := range workers {
+			workers[w] = ctx.Fork(func(c *Context) ([]Value, error) {
+				for {
+					_, bind, err := ts.Get(c, Template{"job", Formal("n")})
+					if err != nil {
+						return nil, err
+					}
+					n := bind["n"].(int)
+					if n < 0 {
+						return nil, nil
+					}
+					if err := ts.Put(c, Tuple{"done", n * n}); err != nil {
+						return nil, err
+					}
+				}
+			}, vm.VP(w*2), WithGroup(farm))
+		}
+		for i := 1; i <= 12; i++ {
+			if err := ts.Put(ctx, Tuple{"job", i}); err != nil {
+				return nil, err
+			}
+		}
+		farmSum := 0
+		for i := 0; i < 12; i++ {
+			_, bind, err := ts.Get(ctx, Template{"done", Formal("sq")})
+			if err != nil {
+				return nil, err
+			}
+			farmSum += bind["sq"].(int)
+		}
+		for range workers {
+			_ = ts.Put(ctx, Tuple{"job", -1})
+		}
+		WaitForAll(ctx, workers) // barrier over the farm
+		result["farm"] = farmSum
+
+		// 3. A stream pipeline (integers → squares) feeding a consumer.
+		ints := IntegerStream(ctx, 10)
+		squaresStream := NewStream()
+		ctx.Fork(func(c *Context) ([]Value, error) {
+			cur := ints
+			for {
+				v, err := cur.Hd(c)
+				if errors.Is(err, ErrStreamClosed) {
+					squaresStream.Close()
+					return nil, nil
+				}
+				if err != nil {
+					return nil, err
+				}
+				squaresStream.Attach(v.(int) * v.(int))
+				cur = cur.Rest()
+			}
+		}, nil)
+		streamed, err := squaresStream.Collect(ctx)
+		if err != nil {
+			return nil, err
+		}
+		streamSum := 0
+		for _, v := range streamed {
+			streamSum += v.(int)
+		}
+		result["stream"] = streamSum
+
+		// 4. Speculation with fluid-bound context: the winner reports the
+		// dynamic binding it inherited.
+		var winnerSaw Value
+		ctx.FluidLet(fluidKey{}, "inherited", func() {
+			set := NewTaskSet(ctx, "spec")
+			set.Speculate(1, func(c *Context) ([]Value, error) {
+				for {
+					c.Yield()
+				}
+			})
+			set.Speculate(5, func(c *Context) ([]Value, error) {
+				v, _ := c.Fluid(fluidKey{})
+				return []Value{v}, nil
+			})
+			vals, err := set.First()
+			if err == nil && len(vals) == 1 {
+				winnerSaw = vals[0]
+			}
+		})
+		result["fluid"] = winnerSaw
+
+		// 5. Mutex-guarded shared counter across policy regimes.
+		mu := NewMutex(16, 4)
+		counter := 0
+		bumpers := make([]*Thread, 6)
+		for i := range bumpers {
+			bumpers[i] = ctx.Fork(func(c *Context) ([]Value, error) {
+				for j := 0; j < 100; j++ {
+					WithMutex(c, mu, func() { counter++ })
+				}
+				return nil, nil
+			}, vm.VP(i))
+		}
+		WaitForAll(ctx, bumpers)
+		result["counter"] = counter
+
+		return []Value{result}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := vals[0].(map[string]Value)
+	if got["squares"] != 140 {
+		t.Errorf("squares = %v", got["squares"])
+	}
+	if got["farm"] != 650 { // 1²+…+12²
+		t.Errorf("farm = %v", got["farm"])
+	}
+	if got["stream"] != 384 { // 2²+…+10²
+		t.Errorf("stream = %v", got["stream"])
+	}
+	if got["fluid"] != "inherited" {
+		t.Errorf("fluid = %v", got["fluid"])
+	}
+	if got["counter"] != 600 {
+		t.Errorf("counter = %v", got["counter"])
+	}
+	s := vm.Stats()
+	if s.ThreadsCreated == 0 || s.ThreadsDetermined == 0 {
+		t.Errorf("stats empty: %+v", s)
+	}
+}

@@ -1,0 +1,193 @@
+package bench
+
+import (
+	"errors"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/spec"
+	"repro/internal/streams"
+	"repro/internal/tspace"
+)
+
+// Application workloads (§5 notes detailed application benchmarks appear in
+// the companion LFP'92 paper; these are this reproduction's equivalents,
+// built from the paper's own example programs).
+
+// AppSieve runs the Fig. 2 stream sieve eagerly and returns the prime count.
+func AppSieve(procs, vps, limit int) (int, time.Duration, error) {
+	m := core.NewMachine(core.MachineConfig{Processors: procs})
+	defer m.Shutdown()
+	vm, err := m.NewVM(core.VMConfig{VPs: vps})
+	if err != nil {
+		return 0, 0, err
+	}
+	start := time.Now()
+	var count int
+	_, err = vm.Run(func(ctx *core.Context) ([]core.Value, error) {
+		primes := streams.New()
+		input := streams.Integers(ctx, limit)
+		var filter func(c *core.Context, n int, in *streams.Stream) ([]core.Value, error)
+		filter = func(c *core.Context, n int, in *streams.Stream) ([]core.Value, error) {
+			primes.Attach(n)
+			out := streams.New()
+			spawned := false
+			cur := in
+			for {
+				v, err := cur.Hd(c)
+				if errors.Is(err, streams.ErrClosed) {
+					out.Close()
+					if !spawned {
+						primes.Close()
+					}
+					return nil, nil
+				}
+				if err != nil {
+					return nil, err
+				}
+				x := v.(int)
+				if x%n != 0 {
+					if !spawned {
+						spawned = true
+						next, src := x, out
+						c.Fork(func(cc *core.Context) ([]core.Value, error) {
+							return filter(cc, next, src)
+						}, nil)
+					}
+					out.Attach(x)
+				}
+				cur = cur.Rest()
+			}
+		}
+		ctx.Fork(func(c *core.Context) ([]core.Value, error) {
+			return filter(c, 2, input)
+		}, nil)
+		collected, err := primes.Collect(ctx)
+		if err != nil {
+			return nil, err
+		}
+		count = len(collected)
+		return nil, nil
+	})
+	return count, time.Since(start), err
+}
+
+// AppFarm runs a tuple-space worker farm and returns its task throughput.
+func AppFarm(procs, vps, tasks int) (time.Duration, error) {
+	m := core.NewMachine(core.MachineConfig{Processors: procs})
+	defer m.Shutdown()
+	vm, err := m.NewVM(core.VMConfig{VPs: vps})
+	if err != nil {
+		return 0, err
+	}
+	start := time.Now()
+	_, err = vm.Run(func(ctx *core.Context) ([]core.Value, error) {
+		return nil, workerFarm(ctx, vm, tasks, vps)
+	})
+	return time.Since(start), err
+}
+
+// AppSpeculative races alternatives with one clear winner and returns the
+// time to the first answer (OR-parallel latency).
+func AppSpeculative(procs, vps, branches int) (time.Duration, error) {
+	m := core.NewMachine(core.MachineConfig{Processors: procs})
+	defer m.Shutdown()
+	vm, err := m.NewVM(core.VMConfig{VPs: vps})
+	if err != nil {
+		return 0, err
+	}
+	start := time.Now()
+	_, err = vm.Run(func(ctx *core.Context) ([]core.Value, error) {
+		set := make([]*core.Thread, branches)
+		for i := range set {
+			i := i
+			set[i] = ctx.Fork(func(c *core.Context) ([]core.Value, error) {
+				if i == branches-1 { // the only branch that answers
+					return []core.Value{i}, nil
+				}
+				for {
+					c.Yield()
+				}
+			}, vm.VP(i), core.WithStealable(false))
+		}
+		winner, err := spec.WaitForOne(ctx, set)
+		if err != nil {
+			return nil, err
+		}
+		for _, t := range set {
+			ctx.Wait(t)
+		}
+		_, verr := winner.TryValue()
+		return nil, verr
+	})
+	return time.Since(start), err
+}
+
+// AppTreeSum runs the result-parallel fork tree and returns its duration.
+func AppTreeSum(procs, vps, depth int) (time.Duration, error) {
+	m := core.NewMachine(core.MachineConfig{Processors: procs})
+	defer m.Shutdown()
+	vm, err := m.NewVM(core.VMConfig{VPs: vps})
+	if err != nil {
+		return 0, err
+	}
+	start := time.Now()
+	_, err = vm.Run(func(ctx *core.Context) ([]core.Value, error) {
+		return nil, treeSpawn(ctx, depth)
+	})
+	return time.Since(start), err
+}
+
+// AppTupleSort: a pipeline where N stages each transform tuples — stresses
+// the blocked-table wake path.
+func AppTuplePipeline(procs, stages, items int) (time.Duration, error) {
+	m := core.NewMachine(core.MachineConfig{Processors: procs})
+	defer m.Shutdown()
+	vm, err := m.NewVM(core.VMConfig{VPs: stages + 1})
+	if err != nil {
+		return 0, err
+	}
+	ts := tspace.New(tspace.KindHash, tspace.Config{Bins: 32})
+	start := time.Now()
+	_, err = vm.Run(func(ctx *core.Context) ([]core.Value, error) {
+		workers := make([]*core.Thread, stages)
+		for s := 0; s < stages; s++ {
+			stage := int64(s)
+			workers[s] = ctx.Fork(func(c *core.Context) ([]core.Value, error) {
+				for {
+					_, b, err := ts.Get(c, tspace.Template{stage, tspace.F("v")})
+					if err != nil {
+						return nil, err
+					}
+					v := b["v"].(int64)
+					if v < 0 {
+						if stage+1 < int64(stages) {
+							_ = ts.Put(c, tspace.Tuple{stage + 1, v})
+						}
+						return nil, nil
+					}
+					if err := ts.Put(c, tspace.Tuple{stage + 1, v + 1}); err != nil {
+						return nil, err
+					}
+				}
+			}, vm.VP(s), core.WithStealable(false))
+		}
+		for i := 0; i < items; i++ {
+			if err := ts.Put(ctx, tspace.Tuple{int64(0), int64(i)}); err != nil {
+				return nil, err
+			}
+		}
+		// Collect from the final stage.
+		for i := 0; i < items; i++ {
+			if _, _, err := ts.Get(ctx, tspace.Template{int64(stages), tspace.F("v")}); err != nil {
+				return nil, err
+			}
+		}
+		_ = ts.Put(ctx, tspace.Tuple{int64(0), int64(-1)})
+		for _, w := range workers {
+			ctx.Wait(w)
+		}
+		return nil, nil
+	})
+	return time.Since(start), err
+}

@@ -1,0 +1,249 @@
+// Package bench holds the workloads behind every table and figure of the
+// paper's evaluation, shared by the root benchmark suite (bench_test.go)
+// and the stingbench command. Each workload is written against the public
+// substrate operations so the measured path is what a user program pays.
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/policy"
+	"repro/internal/spec"
+	"repro/internal/synch"
+	"repro/internal/tspace"
+)
+
+// Env is a booted machine/VM pair the microbenchmarks run on.
+type Env struct {
+	M  *core.Machine
+	VM *core.VM
+}
+
+// NewEnv boots a machine with the paper's measurement configuration: one
+// VP per physical processor and a single unified LIFO ready queue
+// ("timings were derived using a single LIFO queue").
+func NewEnv(procs, vps int) (*Env, error) {
+	m := core.NewMachine(core.MachineConfig{Processors: procs})
+	vm, err := m.NewVM(core.VMConfig{
+		Name:          "bench",
+		VPs:           vps,
+		PolicyFactory: asFactory(policy.Unified(true)),
+	})
+	if err != nil {
+		m.Shutdown()
+		return nil, err
+	}
+	return &Env{M: m, VM: vm}, nil
+}
+
+func asFactory(f policy.Factory) func(vp *core.VP) core.PolicyManager {
+	return func(vp *core.VP) core.PolicyManager { return f(vp) }
+}
+
+// Close shuts the environment down.
+func (e *Env) Close() { e.M.Shutdown() }
+
+// Run executes body on a root STING thread and waits for it.
+func (e *Env) Run(body func(ctx *core.Context) error) error {
+	_, err := e.VM.Run(func(ctx *core.Context) ([]core.Value, error) {
+		return nil, body(ctx)
+	})
+	return err
+}
+
+// nullThunk is the null procedure of the baseline table.
+func nullThunk(*core.Context) ([]core.Value, error) { return nil, nil }
+
+// ---------------------------------------------------------------------------
+// Figure 6 rows. Each op runs n iterations inside one STING thread and is
+// timed by the caller (testing.B or the harness loop).
+
+// ThreadCreation measures creating a thread that is never scheduled and has
+// no dynamic state (Fig. 6 row 1).
+func ThreadCreation(ctx *core.Context, n int) {
+	for i := 0; i < n; i++ {
+		_ = ctx.CreateThread(nullThunk)
+	}
+}
+
+// ThreadForkValue measures fork of a null thread plus demanding its value
+// (Fig. 6 row 2). Stealing is disabled so the full schedule/dispatch/
+// determine path is paid, as in the paper's measurement.
+func ThreadForkValue(ctx *core.Context, n int) {
+	for i := 0; i < n; i++ {
+		t := ctx.Fork(nullThunk, nil, core.WithStealable(false))
+		ctx.Wait(t)
+	}
+}
+
+// SchedulingThread measures inserting a delayed thread into the current
+// VP's ready queue (Fig. 6 row 3).
+func SchedulingThread(ctx *core.Context, n int) {
+	vp := ctx.VP()
+	for i := 0; i < n; i++ {
+		t := ctx.CreateThread(nullThunk)
+		_ = core.ThreadRun(t, vp)
+	}
+}
+
+// ContextSwitch measures yield-processor with the caller resumed
+// immediately (Fig. 6 row 4).
+func ContextSwitch(ctx *core.Context, n int) {
+	for i := 0; i < n; i++ {
+		ctx.Yield()
+	}
+}
+
+// Stealing measures absorbing a delayed thread's thunk into the caller's
+// TCB (Fig. 6 row 5; the thread creation is not part of the steal cost but
+// is unavoidable per iteration, so the harness subtracts creation time).
+func Stealing(ctx *core.Context, n int) {
+	for i := 0; i < n; i++ {
+		t := ctx.CreateThread(nullThunk)
+		ctx.TrySteal(t)
+	}
+}
+
+// BlockResume measures a block/wake pair of a null thread (Fig. 6 row 6):
+// the target blocks itself, the driver wakes it, both on one VP.
+func BlockResume(ctx *core.Context, n int) error {
+	vp := ctx.VP()
+	t := ctx.Fork(func(c *core.Context) ([]core.Value, error) {
+		for i := 0; i < n; i++ {
+			c.BlockSelf("bench")
+		}
+		return nil, nil
+	}, vp, core.WithStealable(false))
+	for i := 0; i < n; i++ {
+		// Busy-ish handshake: yield until the target parks, then wake it.
+		for t.Exec() != core.ExecBlocked && !t.Determined() {
+			ctx.Yield()
+		}
+		if t.Determined() {
+			break
+		}
+		if err := core.ThreadRun(t, vp); err != nil {
+			return err
+		}
+	}
+	ctx.Wait(t)
+	return nil
+}
+
+// TupleSpaceOp measures creating a tuple space, inserting a singleton
+// tuple, and removing it (Fig. 6 row 7).
+func TupleSpaceOp(ctx *core.Context, n int) error {
+	for i := 0; i < n; i++ {
+		ts := tspace.New(tspace.KindHash, tspace.Config{Bins: 16})
+		if err := ts.Put(ctx, tspace.Tuple{int64(i)}); err != nil {
+			return err
+		}
+		if _, _, err := ts.Get(ctx, tspace.Template{tspace.F("x")}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SpeculativeFork measures computing two null threads speculatively
+// (Fig. 6 row 8): fork both, wait-for-one, terminate the loser.
+func SpeculativeFork(ctx *core.Context, n int) error {
+	for i := 0; i < n; i++ {
+		a := ctx.Fork(nullThunk, nil, core.WithStealable(false))
+		b := ctx.Fork(nullThunk, nil, core.WithStealable(false))
+		if _, err := spec.WaitForOne(ctx, []*core.Thread{a, b}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// BarrierSync measures a barrier synchronization point over two null
+// threads (Fig. 6 row 9).
+func BarrierSync(ctx *core.Context, n int) {
+	for i := 0; i < n; i++ {
+		a := ctx.Fork(nullThunk, nil, core.WithStealable(false))
+		b := ctx.Fork(nullThunk, nil, core.WithStealable(false))
+		spec.WaitForAll(ctx, []*core.Thread{a, b})
+	}
+}
+
+// MutexUncontended measures an acquire/release pair (supplementary row).
+func MutexUncontended(ctx *core.Context, n int) {
+	m := synch.NewMutex(16, 4)
+	for i := 0; i < n; i++ {
+		m.Acquire(ctx)
+		m.Release()
+	}
+}
+
+// Fig6Row is one measured row of the baseline table.
+type Fig6Row struct {
+	Name    string
+	PaperUS float64 // the paper's µs on the 1992 R3000
+	NsPerOp float64
+	Note    string
+}
+
+// MeasureFig6 runs every row with n iterations each and returns the table.
+func MeasureFig6(n int) ([]Fig6Row, error) {
+	rows := []Fig6Row{}
+	measure := func(name string, paper float64, note string, body func(ctx *core.Context) error) error {
+		env, err := NewEnv(1, 1)
+		if err != nil {
+			return err
+		}
+		defer env.Close()
+		start := time.Now()
+		if err := env.Run(body); err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		rows = append(rows, Fig6Row{
+			Name:    name,
+			PaperUS: paper,
+			NsPerOp: float64(time.Since(start).Nanoseconds()) / float64(n),
+			Note:    note,
+		})
+		return nil
+	}
+
+	if err := measure("Thread Creation", 8.9, "delayed thread, no genealogy use",
+		func(ctx *core.Context) error { ThreadCreation(ctx, n); return nil }); err != nil {
+		return nil, err
+	}
+	if err := measure("Thread Fork and Value", 44.9, "null procedure, full dispatch",
+		func(ctx *core.Context) error { ThreadForkValue(ctx, n); return nil }); err != nil {
+		return nil, err
+	}
+	if err := measure("Scheduling a Thread", 18.9, "ready-queue insert on current VP",
+		func(ctx *core.Context) error { SchedulingThread(ctx, n); return nil }); err != nil {
+		return nil, err
+	}
+	if err := measure("Synchronous Context Switch", 3.77, "yield-processor, resumed at once",
+		func(ctx *core.Context) error { ContextSwitch(ctx, n); return nil }); err != nil {
+		return nil, err
+	}
+	if err := measure("Stealing", 7.7, "inline run of a delayed thunk",
+		func(ctx *core.Context) error { Stealing(ctx, n); return nil }); err != nil {
+		return nil, err
+	}
+	if err := measure("Thread Block and Resume", 27.9, "park + ready-queue wake",
+		func(ctx *core.Context) error { return BlockResume(ctx, n) }); err != nil {
+		return nil, err
+	}
+	if err := measure("Tuple Space", 170, "create + insert + remove singleton",
+		func(ctx *core.Context) error { return TupleSpaceOp(ctx, n) }); err != nil {
+		return nil, err
+	}
+	if err := measure("Speculative Fork (2 threads)", 68.9, "wait-for-one over two nulls",
+		func(ctx *core.Context) error { return SpeculativeFork(ctx, n) }); err != nil {
+		return nil, err
+	}
+	if err := measure("Barrier Synchronization (2 threads)", 144.8, "wait-for-all over two nulls",
+		func(ctx *core.Context) error { BarrierSync(ctx, n); return nil }); err != nil {
+		return nil, err
+	}
+	return rows, nil
+}

@@ -1,0 +1,116 @@
+package core
+
+import "sync/atomic"
+
+// TB is a thread barrier (Fig. 5 of the paper): the record linking a thread
+// Tg being waited on to the TCB of a waiter Tw. TBs are chained from the
+// target's waiter list; when the target is determined, wakeup-waiters walks
+// the chain, decrements each waiter's wait-count, and reschedules waiters
+// whose count reaches zero.
+type TB struct {
+	tcb    *TCB
+	gen    uint64 // wait generation of tcb this barrier belongs to
+	target *Thread
+	next   *TB
+	fired  atomic.Bool
+}
+
+// Target returns the thread this barrier waits on (kept, as in the paper,
+// mainly for debugging).
+func (tb *TB) Target() *Thread { return tb.target }
+
+// wakeupWaiters fires every barrier in the chain. It is invoked by the
+// thread controller whenever a thread completes — normally or abnormally —
+// so that all threads waiting on its completion are rescheduled.
+func wakeupWaiters(chain *TB) {
+	for tb := chain; tb != nil; tb = tb.next {
+		tb.fire()
+	}
+}
+
+// fire decrements the waiter's wait-count if this barrier still belongs to
+// the waiter's current wait generation; a count reaching zero reschedules
+// the waiter. Generation packing (gen in the high 32 bits, signed count in
+// the low 32) makes the stale-barrier check and the decrement one atomic
+// operation, which is what lets a TCB perform its own state transitions
+// without acquiring locks.
+func (tb *TB) fire() {
+	if tb.fired.Swap(true) {
+		return
+	}
+	tcb := tb.tcb
+	for {
+		old := tcb.wait.Load()
+		if uint32(old>>32) != uint32(tb.gen) {
+			return // stale: the waiter moved on to a new wait
+		}
+		count := int32(uint32(old))
+		next := old&^uint64(0xffffffff) | uint64(uint32(count-1))
+		if tcb.wait.CompareAndSwap(old, next) {
+			if count-1 <= 0 {
+				wakeTCB(tcb, EnqUserBlock)
+			}
+			return
+		}
+	}
+}
+
+// beginWait opens a new wait generation on the TCB with the given count and
+// returns the generation number barriers must carry.
+func (tcb *TCB) beginWait(count int32) uint64 {
+	for {
+		old := tcb.wait.Load()
+		gen := uint32(old>>32) + 1
+		next := uint64(gen)<<32 | uint64(uint32(count))
+		if tcb.wait.CompareAndSwap(old, next) {
+			return uint64(gen)
+		}
+	}
+}
+
+// waitSatisfied reports whether the wait generation gen has counted down.
+func (tcb *TCB) waitSatisfied(gen uint64) bool {
+	w := tcb.wait.Load()
+	return uint32(w>>32) != uint32(gen) || int32(uint32(w)) <= 0
+}
+
+// adjustWait adds delta to the current wait count (used while registering
+// barriers against already-determined threads).
+func (tcb *TCB) adjustWait(gen uint64, delta int32) {
+	for {
+		old := tcb.wait.Load()
+		if uint32(old>>32) != uint32(gen) {
+			return
+		}
+		count := int32(uint32(old))
+		next := old&^uint64(0xffffffff) | uint64(uint32(count+delta))
+		if tcb.wait.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// BlockOnGroup blocks the current thread until count of the given threads
+// have completed (m ≤ n gives wait-for-m). It is the common TC procedure
+// beneath wait-for-one (speculative, count 1) and wait-for-all (barrier,
+// count len(threads)); see Fig. 5. Threads already determined at
+// registration time count immediately and no barrier is constructed for
+// them.
+func (ctx *Context) BlockOnGroup(count int, threads []*Thread) {
+	if count <= 0 {
+		return
+	}
+	tcb := ctx.tcb
+	gen := tcb.beginWait(int32(count))
+	for _, t := range threads {
+		if t == nil {
+			tcb.adjustWait(gen, -1) // treat a missing thread as complete
+			continue
+		}
+		tb := &TB{tcb: tcb, gen: gen}
+		if !t.addWaiter(tb) {
+			tcb.adjustWait(gen, -1) // already determined
+		}
+	}
+	ctx.blockUntil(func() bool { return tcb.waitSatisfied(gen) }, ExecBlocked, EnqUserBlock)
+}

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"sync"
+	"time"
+)
+
+// defaultPM is the substrate's built-in policy manager: a per-VP deque
+// dispatched LIFO, with idle-time migration from siblings. New and woken
+// runnables are pushed on the dispatch end, so tree-structured fork
+// patterns unfold depth-first (the regime the paper recommends for
+// result-parallel programs and for effective stealing); yielding and
+// preempted threads are pushed on the far end, so yield-processor actually
+// lets other ready work run — and still resumes the caller immediately when
+// the VP is otherwise idle, which is the Fig. 6 synchronous-context-switch
+// case.
+//
+// Richer managers (global FIFO, round-robin preemptive, priority, realtime)
+// live in the policy package; this one exists so a Machine works with zero
+// configuration.
+type defaultPM struct {
+	mu sync.Mutex
+	q  []Runnable
+}
+
+func newDefaultPM() *defaultPM { return &defaultPM{} }
+
+// GetNextThread implements PolicyManager (LIFO from the back).
+func (pm *defaultPM) GetNextThread(vp *VP) Runnable {
+	pm.mu.Lock()
+	defer pm.mu.Unlock()
+	if n := len(pm.q); n > 0 {
+		r := pm.q[n-1]
+		pm.q[n-1] = nil
+		pm.q = pm.q[:n-1]
+		return r
+	}
+	return nil
+}
+
+// EnqueueThread implements PolicyManager.
+func (pm *defaultPM) EnqueueThread(vp *VP, obj Runnable, st EnqueueState) {
+	pm.mu.Lock()
+	defer pm.mu.Unlock()
+	if st == EnqYield || st == EnqPreempted {
+		pm.q = append([]Runnable{obj}, pm.q...)
+		return
+	}
+	pm.q = append(pm.q, obj)
+}
+
+// SetPriority implements PolicyManager (ignored: LIFO has no priorities).
+func (pm *defaultPM) SetPriority(vp *VP, t *Thread, priority int) {}
+
+// SetQuantum implements PolicyManager (the thread carries its quantum).
+func (pm *defaultPM) SetQuantum(vp *VP, t *Thread, quantum time.Duration) {}
+
+// AllocateVP implements PolicyManager.
+func (pm *defaultPM) AllocateVP(vm *VM) *VP {
+	vp, err := vm.AddVP()
+	if err != nil {
+		return nil
+	}
+	return vp
+}
+
+// VPIdle implements PolicyManager: migrate the oldest runnable thread from
+// the most loaded sibling VP running the same manager type. Only threads
+// not yet evaluating are taken — TCBs stay on their VP for locality, the
+// lock-elision granularity regime of §3.3.
+func (pm *defaultPM) VPIdle(vp *VP) {
+	var victim *defaultPM
+	var most int
+	for _, sib := range vp.vm.VPs() {
+		if sib == vp {
+			continue
+		}
+		spm, ok := sib.pm.(*defaultPM)
+		if !ok {
+			continue
+		}
+		spm.mu.Lock()
+		n := 0
+		for _, r := range spm.q {
+			if th, isThread := r.(*Thread); isThread && !th.Pinned() {
+				n++
+			}
+		}
+		spm.mu.Unlock()
+		if n > most {
+			most, victim = n, spm
+		}
+	}
+	if victim == nil {
+		return
+	}
+	victim.mu.Lock()
+	var stolen Runnable
+	for i, r := range victim.q {
+		if th, isThread := r.(*Thread); isThread && !th.Pinned() {
+			stolen = r
+			victim.q = append(victim.q[:i], victim.q[i+1:]...)
+			break // take the oldest unpinned thread: least locality value
+		}
+	}
+	victim.mu.Unlock()
+	if stolen != nil {
+		vp.stats.Migrations.Add(1)
+		pm.mu.Lock()
+		pm.q = append(pm.q, stolen)
+		pm.mu.Unlock()
+	}
+}
+
+// Len reports the queue length (diagnostics and tests).
+func (pm *defaultPM) Len() int {
+	pm.mu.Lock()
+	defer pm.mu.Unlock()
+	return len(pm.q)
+}

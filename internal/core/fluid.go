@@ -1,0 +1,37 @@
+package core
+
+// FluidEnv is an immutable dynamic environment implementing STING's fluid
+// bindings. Threads capture their creator's environment at creation time;
+// FluidLet extends it for a dynamic extent. Because environments are
+// persistent linked frames, many threads can share a dynamic context
+// whenever data dependencies warrant, without copying.
+type FluidEnv struct {
+	key    any
+	value  Value
+	parent *FluidEnv
+}
+
+// Bind returns a new environment extending e with key bound to value. The
+// receiver may be nil (the empty environment).
+func (e *FluidEnv) Bind(key any, value Value) *FluidEnv {
+	return &FluidEnv{key: key, value: value, parent: e}
+}
+
+// Lookup finds the innermost binding of key.
+func (e *FluidEnv) Lookup(key any) (Value, bool) {
+	for f := e; f != nil; f = f.parent {
+		if f.key == key {
+			return f.value, true
+		}
+	}
+	return nil, false
+}
+
+// Depth returns the number of frames in the environment (diagnostic).
+func (e *FluidEnv) Depth() int {
+	n := 0
+	for f := e; f != nil; f = f.parent {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,188 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+var groupIDs atomic.Uint64
+
+// Group is a thread group: a means of gaining control over a related
+// collection of threads. Every thread carries a group identifier
+// associating it with a group; groups provide operations analogous to
+// ordinary thread operations applied en masse (termination, suspension) as
+// well as debugging and monitoring operations (listing members, profiling
+// genealogy information).
+type Group struct {
+	id     uint64
+	name   string
+	parent *Group
+
+	mu       sync.Mutex
+	members  map[*Thread]struct{}
+	children []*Group
+
+	created    atomic.Uint64
+	determined atomic.Uint64
+}
+
+// NewGroup creates a group; parent may be nil for root groups.
+func NewGroup(name string, parent *Group) *Group {
+	g := &Group{
+		id:      groupIDs.Add(1),
+		name:    name,
+		parent:  parent,
+		members: make(map[*Thread]struct{}),
+	}
+	if parent != nil {
+		parent.mu.Lock()
+		parent.children = append(parent.children, g)
+		parent.mu.Unlock()
+	}
+	return g
+}
+
+// ID returns the group identifier.
+func (g *Group) ID() uint64 { return g.id }
+
+// Name returns the group's debugging name.
+func (g *Group) Name() string { return g.name }
+
+// Parent returns the enclosing group, or nil.
+func (g *Group) Parent() *Group { return g.parent }
+
+func (g *Group) add(t *Thread) {
+	g.mu.Lock()
+	g.members[t] = struct{}{}
+	g.mu.Unlock()
+	g.created.Add(1)
+}
+
+func (g *Group) noteDetermined(*Thread) { g.determined.Add(1) }
+
+// Threads lists all threads currently belonging to the group.
+func (g *Group) Threads() []*Thread {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]*Thread, 0, len(g.members))
+	for t := range g.members {
+		out = append(out, t)
+	}
+	return out
+}
+
+// Subgroups lists the group's child groups.
+func (g *Group) Subgroups() []*Group {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]*Group, len(g.children))
+	copy(out, g.children)
+	return out
+}
+
+// AllThreads lists the group's members and, recursively, every member of
+// its subgroups (a thread subtree, under the child-group genealogy).
+func (g *Group) AllThreads() []*Thread {
+	out := g.Threads()
+	for _, sub := range g.Subgroups() {
+		out = append(out, sub.AllThreads()...)
+	}
+	return out
+}
+
+// Live returns the members that are not yet determined.
+func (g *Group) Live() []*Thread {
+	var out []*Thread
+	for _, t := range g.Threads() {
+		if !t.Determined() {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Terminate terminates every member thread and, recursively, every
+// subgroup (the paper's kill-group).
+func (g *Group) Terminate() {
+	for _, t := range g.Threads() {
+		ThreadTerminate(t)
+	}
+	for _, sub := range g.Subgroups() {
+		sub.Terminate()
+	}
+}
+
+// Suspend requests suspension of every live member.
+func (g *Group) Suspend(ctx *Context) {
+	for _, t := range g.Live() {
+		if t != ctx.Thread() {
+			ctx.ThreadSuspend(t, 0)
+		}
+	}
+}
+
+// Resume reschedules every suspended member.
+func (g *Group) Resume() {
+	for _, t := range g.Live() {
+		if t.Exec() == ExecSuspended {
+			_ = ThreadRun(t, pickVP(t))
+		}
+	}
+}
+
+// Reset drops determined members from the group's bookkeeping (the
+// "resetting" debugging operation of §3.1); live threads are untouched.
+// It returns how many entries were dropped.
+func (g *Group) Reset() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	dropped := 0
+	for t := range g.members {
+		if t.Determined() {
+			delete(g.members, t)
+			dropped++
+		}
+	}
+	return dropped
+}
+
+// GroupProfile summarizes the dynamic unfolding of a group's process tree,
+// the genealogy-based monitoring facility described in §3.1.
+type GroupProfile struct {
+	Group      string
+	Created    uint64
+	Determined uint64
+	Live       int
+	ByState    map[ThreadState]int
+	MaxDepth   int // deepest parent chain among members
+	Subgroups  int
+	At         time.Time
+}
+
+// Profile computes a snapshot profile of the group.
+func (g *Group) Profile() GroupProfile {
+	p := GroupProfile{
+		Group:      g.name,
+		Created:    g.created.Load(),
+		Determined: g.determined.Load(),
+		ByState:    make(map[ThreadState]int),
+		At:         time.Now(),
+	}
+	for _, t := range g.Threads() {
+		st := t.State()
+		p.ByState[st]++
+		if st != Determined {
+			p.Live++
+		}
+		depth := 0
+		for a := t.parent; a != nil; a = a.parent {
+			depth++
+		}
+		if depth > p.MaxDepth {
+			p.MaxDepth = depth
+		}
+	}
+	p.Subgroups = len(g.Subgroups())
+	return p
+}

@@ -1,0 +1,61 @@
+package core
+
+import "time"
+
+// Runnable is what policy managers schedule: either a *Thread that has not
+// yet started evaluating (a new TCB will be allocated for it) or a *TCB
+// whose thread is already evaluating and was preempted, yielded, or woken.
+// This mirrors pm-get-next-thread's "returns the next ready TCB or thread".
+type Runnable any
+
+// PolicyManager is the customization point of the substrate (§3.3): each VP
+// is closed over its own policy manager, so different VPs in one virtual
+// machine may implement different scheduling, placement, and migration
+// regimes without any change to the thread controller. Implementations
+// choose their own locality (global vs local queues), granularity (one
+// queue vs state-segregated queues), structure (FIFO/LIFO/priority/
+// realtime), and serialization (locking) — the classification dimensions
+// the paper lays out.
+//
+// The thread controller is the only intended caller; applications interact
+// with scheduling through thread operations, not through this interface.
+type PolicyManager interface {
+	// GetNextThread returns the next ready runnable for vp, or nil if the
+	// manager has nothing for this VP.
+	GetNextThread(vp *VP) Runnable
+
+	// EnqueueThread inserts a runnable into the ready structures. st tells
+	// the manager in which state the enqueue is made (delayed,
+	// kernel-block, user-block, suspended, yield, preempted, new).
+	EnqueueThread(vp *VP, obj Runnable, st EnqueueState)
+
+	// SetPriority establishes a new priority for t (a hint).
+	SetPriority(vp *VP, t *Thread, priority int)
+
+	// SetQuantum establishes a new preemption quantum for t (a hint).
+	SetQuantum(vp *VP, t *Thread, quantum time.Duration)
+
+	// AllocateVP returns a new virtual processor on vm, giving managers
+	// control over VP provisioning (pm-allocate-vp).
+	AllocateVP(vm *VM) *VP
+
+	// VPIdle is called by the thread controller when vp has no evaluating
+	// threads. The manager may migrate threads from other VPs, perform
+	// bookkeeping, or direct the physical processor to another VP.
+	VPIdle(vp *VP)
+}
+
+// QuantumFor resolves the effective preemption quantum for t on a VP whose
+// default quantum is def: the thread's own quantum wins when set; negative
+// disables preemption.
+func QuantumFor(t *Thread, def time.Duration) time.Duration {
+	q := t.Quantum()
+	switch {
+	case q < 0:
+		return 0
+	case q > 0:
+		return q
+	default:
+		return def
+	}
+}

@@ -1,0 +1,209 @@
+package core
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// testMachine boots a small machine and registers cleanup.
+func testMachine(t testing.TB, procs int) *Machine {
+	t.Helper()
+	m := NewMachine(MachineConfig{Processors: procs})
+	t.Cleanup(m.Shutdown)
+	return m
+}
+
+func testVM(t testing.TB, procs, vps int) *VM {
+	t.Helper()
+	m := testMachine(t, procs)
+	vm, err := m.NewVM(VMConfig{VPs: vps})
+	if err != nil {
+		t.Fatalf("NewVM: %v", err)
+	}
+	return vm
+}
+
+func one(v Value) []Value { return []Value{v} }
+
+func TestRunReturnsValue(t *testing.T) {
+	vm := testVM(t, 2, 2)
+	vals, err := vm.Run(func(ctx *Context) ([]Value, error) {
+		return one(42), nil
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(vals) != 1 || vals[0] != 42 {
+		t.Fatalf("got %v, want [42]", vals)
+	}
+}
+
+func TestForkAndValue(t *testing.T) {
+	vm := testVM(t, 2, 2)
+	vals, err := vm.Run(func(ctx *Context) ([]Value, error) {
+		child := ctx.Fork(func(*Context) ([]Value, error) {
+			return one("hi"), nil
+		}, nil)
+		v, err := ctx.Value1(child)
+		if err != nil {
+			return nil, err
+		}
+		return one(v), nil
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if vals[0] != "hi" {
+		t.Fatalf("got %v", vals)
+	}
+}
+
+func TestManyThreads(t *testing.T) {
+	vm := testVM(t, 4, 4)
+	const n = 500
+	var sum atomic.Int64
+	vals, err := vm.Run(func(ctx *Context) ([]Value, error) {
+		kids := make([]*Thread, n)
+		for i := 0; i < n; i++ {
+			i := i
+			kids[i] = ctx.Fork(func(*Context) ([]Value, error) {
+				sum.Add(int64(i))
+				return one(i), nil
+			}, ctx.VM().VP(i))
+		}
+		total := 0
+		for _, k := range kids {
+			v, err := ctx.Value1(k)
+			if err != nil {
+				return nil, err
+			}
+			total += v.(int)
+		}
+		return one(total), nil
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := n * (n - 1) / 2
+	if vals[0] != want {
+		t.Fatalf("got %v, want %d", vals[0], want)
+	}
+	if got := sum.Load(); got != int64(want) {
+		t.Fatalf("effect sum %d, want %d", got, want)
+	}
+}
+
+func TestYield(t *testing.T) {
+	vm := testVM(t, 1, 1)
+	_, err := vm.Run(func(ctx *Context) ([]Value, error) {
+		for i := 0; i < 100; i++ {
+			ctx.Yield()
+		}
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestDelayedStealOnWait(t *testing.T) {
+	vm := testVM(t, 1, 1)
+	vals, err := vm.Run(func(ctx *Context) ([]Value, error) {
+		lazy := ctx.CreateThread(func(*Context) ([]Value, error) {
+			return one(7), nil
+		})
+		if lazy.State() != Delayed {
+			t.Errorf("state %v, want delayed", lazy.State())
+		}
+		v, err := ctx.Value1(lazy)
+		if err != nil {
+			return nil, err
+		}
+		if lazy.State() != Determined {
+			t.Errorf("state %v, want determined", lazy.State())
+		}
+		return one(v), nil
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if vals[0] != 7 {
+		t.Fatalf("got %v", vals)
+	}
+	// The wait must have stolen rather than scheduled: one steal recorded.
+	if s := vm.Stats(); s.Steals != 1 {
+		t.Fatalf("steals = %d, want 1", s.Steals)
+	}
+}
+
+func TestBlockAndThreadRun(t *testing.T) {
+	vm := testVM(t, 2, 2)
+	ready := make(chan *Thread, 1)
+	blocked := vm.Spawn(func(ctx *Context) ([]Value, error) {
+		ready <- ctx.Thread()
+		ctx.BlockSelf("test-blocker")
+		return one("woken"), nil
+	})
+	target := <-ready
+	// Give it a moment to actually park, then wake it.
+	time.Sleep(2 * time.Millisecond)
+	if err := ThreadRun(target, vm.VP(0)); err != nil {
+		t.Fatalf("ThreadRun: %v", err)
+	}
+	vals, err := JoinThread(blocked)
+	if err != nil {
+		t.Fatalf("join: %v", err)
+	}
+	if vals[0] != "woken" {
+		t.Fatalf("got %v", vals)
+	}
+}
+
+func TestTerminateScheduled(t *testing.T) {
+	vm := testVM(t, 1, 1)
+	_, err := vm.Run(func(ctx *Context) ([]Value, error) {
+		victim := ctx.CreateThread(func(*Context) ([]Value, error) {
+			t.Error("victim ran")
+			return nil, nil
+		})
+		ThreadTerminate(victim, "gone")
+		if !victim.Terminated() {
+			t.Error("victim not terminated")
+		}
+		vals, verr := victim.TryValue()
+		if verr == nil {
+			t.Error("expected termination error")
+		}
+		if len(vals) != 1 || vals[0] != "gone" {
+			t.Errorf("termination values %v", vals)
+		}
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestWaitForEvaluating(t *testing.T) {
+	vm := testVM(t, 2, 2)
+	vals, err := vm.Run(func(ctx *Context) ([]Value, error) {
+		slow := ctx.Fork(func(c *Context) ([]Value, error) {
+			for i := 0; i < 50; i++ {
+				c.Yield()
+			}
+			return one("done"), nil
+		}, ctx.VM().VP(1), WithStealable(false))
+		v, err := ctx.Value1(slow)
+		if err != nil {
+			return nil, err
+		}
+		return one(v), nil
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if vals[0] != "done" {
+		t.Fatalf("got %v", vals)
+	}
+}

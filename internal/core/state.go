@@ -1,0 +1,135 @@
+package core
+
+import "fmt"
+
+// ThreadState is the static state of a thread object. The five states and
+// their legal transitions follow §3.1 of the paper:
+//
+//	Delayed   → Scheduled | Stolen (demanded in place) | Determined (terminated)
+//	Scheduled → Evaluating | Stolen | Determined (terminated)
+//	Evaluating→ Determined
+//	Stolen    → Determined
+//
+// Determined is terminal. Fine-grained execution status (running, blocked,
+// suspended) lives in the TCB of an evaluating thread, not here.
+type ThreadState int32
+
+// Thread states.
+const (
+	// Delayed threads will never run unless their value is demanded.
+	Delayed ThreadState = iota
+	// Scheduled threads are known to a policy manager but not yet running.
+	Scheduled
+	// Evaluating threads have started executing on some VP.
+	Evaluating
+	// Stolen threads had their thunk absorbed by a demanding thread, which
+	// runs it inline on its own TCB.
+	Stolen
+	// Determined threads have a value (or a terminating error).
+	Determined
+)
+
+func (s ThreadState) String() string {
+	switch s {
+	case Delayed:
+		return "delayed"
+	case Scheduled:
+		return "scheduled"
+	case Evaluating:
+		return "evaluating"
+	case Stolen:
+		return "stolen"
+	case Determined:
+		return "determined"
+	default:
+		return fmt.Sprintf("ThreadState(%d)", int32(s))
+	}
+}
+
+// ExecState is the dynamic status of an evaluating thread, recorded in its
+// TCB for the benefit of debuggers, policy managers, and monitors.
+type ExecState int32
+
+// Execution states of a TCB.
+const (
+	// ExecReady: enqueued in some policy manager, waiting for a VP.
+	ExecReady ExecState = iota
+	// ExecRunning: currently holds a VP's grant token.
+	ExecRunning
+	// ExecBlocked: parked on a blocker (thread completion, mutex, tuple, …).
+	ExecBlocked
+	// ExecSuspended: parked by thread-suspend, woken by timer or thread-run.
+	ExecSuspended
+	// ExecDone: the thunk has returned; the TCB is being recycled.
+	ExecDone
+)
+
+func (s ExecState) String() string {
+	switch s {
+	case ExecReady:
+		return "ready"
+	case ExecRunning:
+		return "running"
+	case ExecBlocked:
+		return "blocked"
+	case ExecSuspended:
+		return "suspended"
+	case ExecDone:
+		return "done"
+	default:
+		return fmt.Sprintf("ExecState(%d)", int32(s))
+	}
+}
+
+// EnqueueState tells a policy manager in which state a runnable is being
+// handed to it, mirroring the paper's pm-enqueue-thread argument
+// (delayed, kernel-block, user-block, or suspended) plus the controller
+// transitions (yield, preemption, fresh fork).
+type EnqueueState int
+
+// Enqueue states.
+const (
+	// EnqDelayed: a delayed thread has been scheduled via thread-run.
+	EnqDelayed EnqueueState = iota
+	// EnqNew: a freshly forked thread.
+	EnqNew
+	// EnqKernelBlock: woken from a (simulated) kernel block, e.g. I/O.
+	EnqKernelBlock
+	// EnqUserBlock: woken from a user-level blocker (mutex, thread wait…).
+	EnqUserBlock
+	// EnqSuspended: woken from suspension.
+	EnqSuspended
+	// EnqYield: the thread voluntarily yielded its VP.
+	EnqYield
+	// EnqPreempted: the thread's quantum expired.
+	EnqPreempted
+)
+
+func (s EnqueueState) String() string {
+	switch s {
+	case EnqDelayed:
+		return "delayed"
+	case EnqNew:
+		return "new"
+	case EnqKernelBlock:
+		return "kernel-block"
+	case EnqUserBlock:
+		return "user-block"
+	case EnqSuspended:
+		return "suspended"
+	case EnqYield:
+		return "yield"
+	case EnqPreempted:
+		return "preempted"
+	default:
+		return fmt.Sprintf("EnqueueState(%d)", int(s))
+	}
+}
+
+// transition request bits recorded in Thread.req; they are applied by the
+// target thread itself at its next thread-controller entry.
+const (
+	reqTerminate uint32 = 1 << iota
+	reqBlock
+	reqSuspend
+)

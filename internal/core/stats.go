@@ -1,0 +1,70 @@
+package core
+
+import "sync/atomic"
+
+// VPStats counts scheduler events on one virtual processor. All counters
+// are cumulative and safe to read concurrently.
+type VPStats struct {
+	Dispatches  atomic.Uint64 // runnables granted the VP
+	Switches    atomic.Uint64 // voluntary yields
+	Preemptions atomic.Uint64 // quantum expiries honoured
+	Blocks      atomic.Uint64 // parks taken by hosted threads
+	Steals      atomic.Uint64 // thunks absorbed by hosted threads
+	Scheduled   atomic.Uint64 // threads handed to this VP's manager
+	Idles       atomic.Uint64 // pm-vp-idle invocations
+	TCBHits     atomic.Uint64 // TCBs served from the recycle cache
+	TCBMisses   atomic.Uint64 // TCBs freshly allocated
+	Migrations  atomic.Uint64 // runnables taken from other VPs
+}
+
+// VPStatsSnapshot is a plain-value copy of VPStats.
+type VPStatsSnapshot struct {
+	Dispatches, Switches, Preemptions, Blocks, Steals uint64
+	Scheduled, Idles, TCBHits, TCBMisses, Migrations  uint64
+}
+
+// Snapshot copies the counters.
+func (s *VPStats) Snapshot() VPStatsSnapshot {
+	return VPStatsSnapshot{
+		Dispatches:  s.Dispatches.Load(),
+		Switches:    s.Switches.Load(),
+		Preemptions: s.Preemptions.Load(),
+		Blocks:      s.Blocks.Load(),
+		Steals:      s.Steals.Load(),
+		Scheduled:   s.Scheduled.Load(),
+		Idles:       s.Idles.Load(),
+		TCBHits:     s.TCBHits.Load(),
+		TCBMisses:   s.TCBMisses.Load(),
+		Migrations:  s.Migrations.Load(),
+	}
+}
+
+// Add accumulates o into s.
+func (s *VPStatsSnapshot) Add(o VPStatsSnapshot) {
+	s.Dispatches += o.Dispatches
+	s.Switches += o.Switches
+	s.Preemptions += o.Preemptions
+	s.Blocks += o.Blocks
+	s.Steals += o.Steals
+	s.Scheduled += o.Scheduled
+	s.Idles += o.Idles
+	s.TCBHits += o.TCBHits
+	s.TCBMisses += o.TCBMisses
+	s.Migrations += o.Migrations
+}
+
+// VMStats aggregates machine-visible events for one virtual machine.
+type VMStats struct {
+	ThreadsCreated    atomic.Uint64
+	ThreadsDetermined atomic.Uint64
+	Steals            atomic.Uint64
+}
+
+// VMStatsSnapshot is a plain-value copy of VMStats plus the summed VP
+// counters.
+type VMStatsSnapshot struct {
+	ThreadsCreated    uint64
+	ThreadsDetermined uint64
+	Steals            uint64
+	VPs               VPStatsSnapshot
+}

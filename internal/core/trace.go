@@ -1,0 +1,150 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TraceKind classifies substrate events for the monitoring facilities the
+// paper's programming-environment story calls for (debugging, profiling,
+// observing the dynamic unfolding of computations).
+type TraceKind int
+
+// Trace event kinds.
+const (
+	TraceCreate TraceKind = iota
+	TraceSchedule
+	TraceDispatch
+	TraceSteal
+	TraceBlock
+	TraceWake
+	TracePreempt
+	TraceYield
+	TraceDetermine
+	TraceTerminateReq
+)
+
+func (k TraceKind) String() string {
+	switch k {
+	case TraceCreate:
+		return "create"
+	case TraceSchedule:
+		return "schedule"
+	case TraceDispatch:
+		return "dispatch"
+	case TraceSteal:
+		return "steal"
+	case TraceBlock:
+		return "block"
+	case TraceWake:
+		return "wake"
+	case TracePreempt:
+		return "preempt"
+	case TraceYield:
+		return "yield"
+	case TraceDetermine:
+		return "determine"
+	case TraceTerminateReq:
+		return "terminate-request"
+	default:
+		return fmt.Sprintf("TraceKind(%d)", int(k))
+	}
+}
+
+// TraceEvent is one substrate occurrence.
+type TraceEvent struct {
+	At     time.Time
+	Kind   TraceKind
+	Thread uint64 // thread id, 0 when not applicable
+	VP     int    // vp index, -1 when not applicable
+}
+
+func (e TraceEvent) String() string {
+	return fmt.Sprintf("%s thread=%d vp=%d", e.Kind, e.Thread, e.VP)
+}
+
+// Tracer receives events; it runs on the emitting goroutine and must be
+// brief and thread-safe.
+type Tracer func(TraceEvent)
+
+// traceHook is the machine-wide tracer; nil (the default) costs one atomic
+// pointer load per event site.
+var traceHook atomic.Pointer[Tracer]
+
+// SetTracer installs the machine-wide tracer; nil disables tracing.
+func SetTracer(t Tracer) {
+	if t == nil {
+		traceHook.Store(nil)
+		return
+	}
+	traceHook.Store(&t)
+}
+
+// emit reports an event to the installed tracer.
+func emit(kind TraceKind, thread uint64, vp int) {
+	if h := traceHook.Load(); h != nil {
+		(*h)(TraceEvent{At: time.Now(), Kind: kind, Thread: thread, VP: vp})
+	}
+}
+
+func vpIndexOf(vp *VP) int {
+	if vp == nil {
+		return -1
+	}
+	return vp.index
+}
+
+// TraceBuffer is a ready-made Tracer: a bounded, concurrent ring of recent
+// events for post-mortem inspection.
+type TraceBuffer struct {
+	mu     sync.Mutex
+	events []TraceEvent
+	next   int
+	filled bool
+}
+
+// NewTraceBuffer creates a ring holding the most recent n events.
+func NewTraceBuffer(n int) *TraceBuffer {
+	if n <= 0 {
+		n = 1024
+	}
+	return &TraceBuffer{events: make([]TraceEvent, n)}
+}
+
+// Record is the Tracer function.
+func (b *TraceBuffer) Record(e TraceEvent) {
+	b.mu.Lock()
+	b.events[b.next] = e
+	b.next++
+	if b.next == len(b.events) {
+		b.next = 0
+		b.filled = true
+	}
+	b.mu.Unlock()
+}
+
+// Events returns the buffered events, oldest first.
+func (b *TraceBuffer) Events() []TraceEvent {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.filled {
+		out := make([]TraceEvent, b.next)
+		copy(out, b.events[:b.next])
+		return out
+	}
+	out := make([]TraceEvent, 0, len(b.events))
+	out = append(out, b.events[b.next:]...)
+	out = append(out, b.events[:b.next]...)
+	return out
+}
+
+// Count tallies events by kind.
+func (b *TraceBuffer) Count() map[TraceKind]int {
+	out := make(map[TraceKind]int)
+	for _, e := range b.Events() {
+		out[e.Kind]++
+	}
+	return out
+}

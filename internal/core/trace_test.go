@@ -1,0 +1,73 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestTracerCapturesLifecycle(t *testing.T) {
+	buf := NewTraceBuffer(4096)
+	SetTracer(buf.Record)
+	defer SetTracer(nil)
+
+	vm := testVM(t, 2, 2)
+	_, err := vm.Run(func(ctx *Context) ([]Value, error) {
+		lazy := ctx.CreateThread(func(*Context) ([]Value, error) { return one(1), nil })
+		ctx.Wait(lazy) // steal
+		forked := ctx.Fork(func(c *Context) ([]Value, error) {
+			c.Yield()
+			return one(2), nil
+		}, nil, WithStealable(false))
+		ctx.Wait(forked) // block + wake
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := buf.Count()
+	for _, kind := range []TraceKind{
+		TraceCreate, TraceSchedule, TraceDispatch, TraceSteal,
+		TraceYield, TraceDetermine,
+	} {
+		if counts[kind] == 0 {
+			t.Errorf("no %v events captured (counts %v)", kind, counts)
+		}
+	}
+}
+
+func TestTraceBufferRing(t *testing.T) {
+	buf := NewTraceBuffer(4)
+	for i := 0; i < 10; i++ {
+		buf.Record(TraceEvent{Kind: TraceYield, Thread: uint64(i)})
+	}
+	ev := buf.Events()
+	if len(ev) != 4 {
+		t.Fatalf("len = %d", len(ev))
+	}
+	// Oldest-first: threads 6,7,8,9.
+	for i, e := range ev {
+		if e.Thread != uint64(6+i) {
+			t.Fatalf("events %v", ev)
+		}
+	}
+}
+
+func TestTracerDisabledIsDefault(t *testing.T) {
+	// With no tracer the emit sites must be inert (this is implicitly a
+	// benchmark-safety check: nil hook, no events, no panic).
+	SetTracer(nil)
+	vm := testVM(t, 1, 1)
+	if _, err := vm.Run(func(ctx *Context) ([]Value, error) {
+		ctx.Yield()
+		return nil, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTraceKindStrings(t *testing.T) {
+	for k := TraceCreate; k <= TraceTerminateReq; k++ {
+		if s := k.String(); s == "" || s[0] == 'T' {
+			t.Errorf("kind %d stringer = %q", int(k), s)
+		}
+	}
+}

@@ -1,0 +1,220 @@
+package futures
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/testkit"
+)
+
+func TestSpawnTouch(t *testing.T) {
+	vm := testkit.VM(t, 2, 2)
+	testkit.RunIn(t, vm, func(ctx *core.Context) error {
+		f := Spawn(ctx, func(*core.Context) (core.Value, error) { return 21 * 2, nil })
+		v, err := f.Touch(ctx)
+		if err != nil {
+			return err
+		}
+		if v != 42 {
+			t.Errorf("touch = %v", v)
+		}
+		return nil
+	})
+}
+
+func TestDelayIsLazy(t *testing.T) {
+	vm := testkit.VM(t, 1, 1)
+	ran := false
+	testkit.RunIn(t, vm, func(ctx *core.Context) error {
+		f := Delay(ctx, func(*core.Context) (core.Value, error) { ran = true; return 1, nil })
+		for i := 0; i < 10; i++ {
+			ctx.Yield()
+		}
+		if ran {
+			t.Error("delayed future ran without a touch")
+		}
+		if _, err := f.Touch(ctx); err != nil {
+			return err
+		}
+		if !ran {
+			t.Error("touch did not run the future")
+		}
+		return nil
+	})
+}
+
+func TestTouchPropagatesError(t *testing.T) {
+	vm := testkit.VM(t, 2, 2)
+	boom := errors.New("boom")
+	testkit.RunIn(t, vm, func(ctx *core.Context) error {
+		f := Spawn(ctx, func(*core.Context) (core.Value, error) { return nil, boom })
+		_, err := f.Touch(ctx)
+		if !errors.Is(err, boom) {
+			t.Errorf("touch err = %v, want wrapped boom", err)
+		}
+		var re *core.RemoteError
+		if !errors.As(err, &re) {
+			t.Errorf("error %v not a RemoteError", err)
+		}
+		return nil
+	})
+}
+
+// The paper's Fig. 3 primes program, expressed with futures. The touch
+// chain forces each filter in turn; under LIFO scheduling with stealing the
+// call graph unfolds inline.
+func primesFutures(ctx *core.Context, limit int, delay bool) ([]int, error) {
+	mk := func(f Thunk) *Future {
+		if delay {
+			return Delay(ctx, f)
+		}
+		return Spawn(ctx, f)
+	}
+	primes := mk(func(*core.Context) (core.Value, error) { return []int{2}, nil })
+	for i := 3; i <= limit; i += 2 {
+		i := i
+		prev := primes
+		primes = mk(func(c *core.Context) (core.Value, error) {
+			return filterPrime(c, i, prev)
+		})
+	}
+	v, err := primes.Touch(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return v.([]int), nil
+}
+
+func filterPrime(c *core.Context, n int, primes *Future) (core.Value, error) {
+	v, err := primes.Touch(c)
+	if err != nil {
+		return nil, err
+	}
+	ps := v.([]int)
+	for _, p := range ps {
+		if p*p > n {
+			break
+		}
+		if n%p == 0 {
+			return ps, nil
+		}
+	}
+	return append(append([]int(nil), ps...), n), nil
+}
+
+func sieveReference(limit int) []int {
+	sieve := make([]bool, limit+1)
+	var out []int
+	for i := 2; i <= limit; i++ {
+		if !sieve[i] {
+			out = append(out, i)
+			for j := i * i; j <= limit; j += i {
+				sieve[j] = true
+			}
+		}
+	}
+	return out
+}
+
+func TestPrimesFuturesEager(t *testing.T) {
+	vm := testkit.VM(t, 4, 4)
+	testkit.RunIn(t, vm, func(ctx *core.Context) error {
+		got, err := primesFutures(ctx, 200, false)
+		if err != nil {
+			return err
+		}
+		want := sieveReference(200)
+		if len(got) != len(want) {
+			t.Fatalf("got %d primes, want %d", len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("prime %d = %d, want %d", i, got[i], want[i])
+			}
+		}
+		return nil
+	})
+}
+
+func TestPrimesFuturesDelayedStealsEverything(t *testing.T) {
+	vm := testkit.VM(t, 1, 1)
+	testkit.RunIn(t, vm, func(ctx *core.Context) error {
+		got, err := primesFutures(ctx, 100, true)
+		if err != nil {
+			return err
+		}
+		want := sieveReference(100)
+		if len(got) != len(want) {
+			t.Fatalf("got %d primes, want %d", len(got), len(want))
+		}
+		return nil
+	})
+	// Every delayed future must have been stolen: the touch chain runs the
+	// whole computation inline on one TCB.
+	s := vm.Stats()
+	if s.Steals == 0 {
+		t.Fatal("no steals recorded for delayed futures")
+	}
+	if s.VPs.TCBMisses > 2 {
+		t.Errorf("TCB misses = %d; stealing should not allocate TCBs", s.VPs.TCBMisses)
+	}
+}
+
+func TestStealingDisabledForcesScheduling(t *testing.T) {
+	vm := testkit.VM(t, 2, 2)
+	testkit.RunIn(t, vm, func(ctx *core.Context) error {
+		f := Delay(ctx, func(*core.Context) (core.Value, error) { return 5, nil })
+		f.SetStealable(false)
+		v, err := f.Touch(ctx)
+		if err != nil {
+			return err
+		}
+		if v != 5 {
+			t.Errorf("v = %v", v)
+		}
+		return nil
+	})
+	if s := vm.Stats(); s.Steals != 0 {
+		t.Fatalf("steals = %d on an unstealable future", s.Steals)
+	}
+}
+
+func TestTouchAllOrder(t *testing.T) {
+	vm := testkit.VM(t, 4, 4)
+	testkit.RunIn(t, vm, func(ctx *core.Context) error {
+		fs := make([]*Future, 10)
+		for i := range fs {
+			i := i
+			fs[i] = Spawn(ctx, func(*core.Context) (core.Value, error) { return i * i, nil })
+		}
+		vals, err := TouchAll(ctx, fs)
+		if err != nil {
+			return err
+		}
+		for i, v := range vals {
+			if v != i*i {
+				t.Errorf("vals[%d] = %v", i, v)
+			}
+		}
+		return nil
+	})
+}
+
+func TestScheduleWithoutTouch(t *testing.T) {
+	vm := testkit.VM(t, 2, 2)
+	testkit.RunIn(t, vm, func(ctx *core.Context) error {
+		f := Delay(ctx, func(*core.Context) (core.Value, error) { return "ran", nil })
+		if err := f.Schedule(vm.VP(1)); err != nil {
+			return err
+		}
+		testDone := func() bool { return f.Determined() }
+		for i := 0; i < 1000 && !testDone(); i++ {
+			ctx.Yield()
+		}
+		if !f.Determined() {
+			t.Error("scheduled future never ran")
+		}
+		return nil
+	})
+}

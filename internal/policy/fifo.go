@@ -1,0 +1,64 @@
+package policy
+
+import (
+	"sync"
+
+	"repro/internal/core"
+)
+
+// GlobalFIFO returns a factory whose managers share a single locked FIFO
+// queue of runnables. Global queues imply contention among policy managers
+// whenever they need a new thread, but — as the paper notes — they suit
+// master/slave (worker-farm) programs: the master creates a bounded pool of
+// long-lived workers that rarely block and spawn nothing, so a VP has no
+// need to pay for maintaining a local queue, and FIFO order gives the farm
+// fairness.
+func GlobalFIFO() Factory {
+	shared := &globalQueue{}
+	return func(vp *core.VP) core.PolicyManager {
+		return &globalFIFO{q: shared}
+	}
+}
+
+type globalQueue struct {
+	mu sync.Mutex
+	dq deque
+}
+
+type globalFIFO struct {
+	noopHints
+	allocVP
+	q *globalQueue
+}
+
+// GetNextThread implements core.PolicyManager.
+func (pm *globalFIFO) GetNextThread(vp *core.VP) core.Runnable {
+	pm.q.mu.Lock()
+	defer pm.q.mu.Unlock()
+	return pm.q.dq.popFront()
+}
+
+// EnqueueThread implements core.PolicyManager.
+func (pm *globalFIFO) EnqueueThread(vp *core.VP, obj core.Runnable, st core.EnqueueState) {
+	pm.q.mu.Lock()
+	pm.q.dq.pushBack(obj)
+	pm.q.mu.Unlock()
+	// A global queue can be served by any VP; kick them all so idle PPs
+	// notice (the controller already kicks vp itself).
+	for _, sib := range vp.VM().VPs() {
+		if sib != vp {
+			sib.NotifyWork()
+		}
+	}
+}
+
+// VPIdle implements core.PolicyManager: with one shared queue there is
+// nowhere to migrate from.
+func (pm *globalFIFO) VPIdle(vp *core.VP) {}
+
+// Len reports the shared queue length (diagnostics and tests).
+func (pm *globalFIFO) Len() int {
+	pm.q.mu.Lock()
+	defer pm.q.mu.Unlock()
+	return pm.q.dq.len()
+}

@@ -1,0 +1,154 @@
+package policy
+
+import (
+	"sync"
+
+	"repro/internal/core"
+)
+
+// LocalLIFOConfig tunes the LocalLIFO factory.
+type LocalLIFOConfig struct {
+	// Migrate allows idle VPs to take scheduled threads from siblings.
+	// Evaluating threads (TCBs) are never migrated under this manager —
+	// the granularity constraint that lets the evaluating queue go
+	// effectively unlocked.
+	Migrate bool
+	// FIFO dispatches scheduled threads oldest-first instead of LIFO
+	// (used by the Fig. 4 steal-dynamics experiment, where FIFO order
+	// suppresses stealing in the primes program).
+	FIFO bool
+}
+
+// LocalLIFO returns the canonical result-parallel factory: per-VP queues,
+// LIFO dispatch (so tree-structured programs unfold depth-first and
+// stealing is effective), optional idle-time migration of scheduled
+// threads. This is the regime the paper recommends when many short threads
+// exhibit strong data dependencies.
+func LocalLIFO(cfg LocalLIFOConfig) Factory {
+	var group localGroup
+	return func(vp *core.VP) core.PolicyManager {
+		pm := &localLIFO{cfg: cfg, group: &group}
+		group.add(pm)
+		return pm
+	}
+}
+
+// localGroup links the managers of one factory so VPIdle can find victims.
+type localGroup struct {
+	mu  sync.Mutex
+	pms []*localLIFO
+}
+
+func (g *localGroup) add(pm *localLIFO) {
+	g.mu.Lock()
+	g.pms = append(g.pms, pm)
+	g.mu.Unlock()
+}
+
+func (g *localGroup) snapshot() []*localLIFO {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]*localLIFO, len(g.pms))
+	copy(out, g.pms)
+	return out
+}
+
+type localLIFO struct {
+	noopHints
+	allocVP
+	cfg   LocalLIFOConfig
+	group *localGroup
+
+	// evaluating holds TCBs: only this VP dispatches them and only wakers
+	// enqueue, so the lock is uncontended in steady state.
+	evalMu     sync.Mutex
+	evaluating deque
+
+	// scheduled holds threads; siblings migrate from here, so it is the
+	// locked, shared-granularity queue.
+	schedMu   sync.Mutex
+	scheduled deque
+}
+
+// GetNextThread implements core.PolicyManager: evaluating threads first.
+func (pm *localLIFO) GetNextThread(vp *core.VP) core.Runnable {
+	pm.evalMu.Lock()
+	if r := pm.evaluating.popBack(); r != nil {
+		pm.evalMu.Unlock()
+		return r
+	}
+	pm.evalMu.Unlock()
+	pm.schedMu.Lock()
+	defer pm.schedMu.Unlock()
+	if pm.cfg.FIFO {
+		return pm.scheduled.popFront()
+	}
+	return pm.scheduled.popBack()
+}
+
+// EnqueueThread implements core.PolicyManager.
+func (pm *localLIFO) EnqueueThread(vp *core.VP, obj core.Runnable, st core.EnqueueState) {
+	switch obj.(type) {
+	case *core.TCB:
+		pm.evalMu.Lock()
+		pm.evaluating.pushBack(obj)
+		pm.evalMu.Unlock()
+	default:
+		pm.schedMu.Lock()
+		pm.scheduled.pushBack(obj)
+		pm.schedMu.Unlock()
+	}
+}
+
+// VPIdle implements core.PolicyManager: when configured, migrate the oldest
+// scheduled thread from the most loaded sibling (oldest = least locality
+// value to the victim, the usual work-stealing choice).
+func (pm *localLIFO) VPIdle(vp *core.VP) {
+	if !pm.cfg.Migrate {
+		return
+	}
+	var victim *localLIFO
+	most := 0
+	for _, sib := range pm.group.snapshot() {
+		if sib == pm {
+			continue
+		}
+		sib.schedMu.Lock()
+		n := sib.scheduled.len()
+		sib.schedMu.Unlock()
+		if n > most {
+			most, victim = n, sib
+		}
+	}
+	if victim == nil {
+		return
+	}
+	victim.schedMu.Lock()
+	var stolen core.Runnable
+	for i, r := range victim.scheduled.items {
+		if th, ok := r.(*core.Thread); ok && th.Pinned() {
+			continue // explicitly placed threads stay put
+		}
+		stolen = r
+		victim.scheduled.items = append(victim.scheduled.items[:i], victim.scheduled.items[i+1:]...)
+		break
+	}
+	victim.schedMu.Unlock()
+	if stolen != nil {
+		vp.Stats().Migrations.Add(1)
+		pm.schedMu.Lock()
+		pm.scheduled.pushBack(stolen)
+		pm.schedMu.Unlock()
+	}
+}
+
+// Lens reports queue lengths (tests/diagnostics).
+func (pm *localLIFO) Lens() (evaluating, scheduled int) {
+	pm.evalMu.Lock()
+	evaluating = pm.evaluating.len()
+	pm.evalMu.Unlock()
+	pm.schedMu.Lock()
+	scheduled = pm.scheduled.len()
+	pm.schedMu.Unlock()
+	return
+}

@@ -1,0 +1,87 @@
+// Package policy provides the policy managers shipped with the substrate.
+// A policy manager (PM) is what a virtual processor is closed over to
+// obtain its scheduling, thread-placement, and migration regime (§3.3 of
+// the paper); the thread controller never changes when the policy does.
+//
+// The managers here cover the paper's classification space:
+//
+//	Locality:      GlobalFIFO shares one queue per factory; the rest keep
+//	               per-VP queues.
+//	Granularity:   LocalLIFO and WorkStealing segregate evaluating threads
+//	               (TCBs) from scheduled threads; GlobalFIFO and RoundRobin
+//	               treat all runnables alike.
+//	Structure:     FIFO, LIFO, priority heap, and earliest-deadline-first.
+//	Serialization: LocalLIFO dispatches evaluating threads from a queue
+//	               only its own VP locks briefly, while its scheduled queue
+//	               is shared with migrating siblings; GlobalFIFO contends
+//	               on one lock by design.
+//
+// The guidance encoded follows the paper: LIFO local queues suit
+// tree-structured result-parallel programs; round-robin preemptive global
+// queues suit master/slave worker farms; priorities suit speculation;
+// deadlines suit soft-realtime threads.
+package policy
+
+import (
+	"time"
+
+	"repro/internal/core"
+)
+
+// Factory builds one policy manager per VP. Implementations that share
+// state across VPs (global queues) return managers closed over the shared
+// structure.
+type Factory func(vp *core.VP) core.PolicyManager
+
+// noopHints provides the hint methods managers that ignore priorities and
+// quanta embed.
+type noopHints struct{}
+
+// SetPriority implements core.PolicyManager (priority ignored).
+func (noopHints) SetPriority(*core.VP, *core.Thread, int) {}
+
+// SetQuantum implements core.PolicyManager (the thread object carries it).
+func (noopHints) SetQuantum(*core.VP, *core.Thread, time.Duration) {}
+
+// allocVP implements pm-allocate-vp by growing the VM.
+type allocVP struct{}
+
+// AllocateVP implements core.PolicyManager.
+func (allocVP) AllocateVP(vm *core.VM) *core.VP {
+	vp, err := vm.AddVP()
+	if err != nil {
+		return nil
+	}
+	return vp
+}
+
+// deque is a tiny runnable deque used by the local managers.
+type deque struct {
+	items []core.Runnable
+}
+
+func (d *deque) pushBack(r core.Runnable)  { d.items = append(d.items, r) }
+func (d *deque) pushFront(r core.Runnable) { d.items = append([]core.Runnable{r}, d.items...) }
+
+func (d *deque) popBack() core.Runnable {
+	n := len(d.items)
+	if n == 0 {
+		return nil
+	}
+	r := d.items[n-1]
+	d.items[n-1] = nil
+	d.items = d.items[:n-1]
+	return r
+}
+
+func (d *deque) popFront() core.Runnable {
+	if len(d.items) == 0 {
+		return nil
+	}
+	r := d.items[0]
+	d.items[0] = nil
+	d.items = d.items[1:]
+	return r
+}
+
+func (d *deque) len() int { return len(d.items) }

@@ -1,0 +1,250 @@
+package policy
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/testkit"
+)
+
+// vmWithPolicy boots a 1-proc/1-VP VM under the given factory, where
+// scheduling order is deterministic.
+func vmWithPolicy(t *testing.T, procs, vps int, f Factory) *core.VM {
+	t.Helper()
+	return testkit.VMWith(t, procs, core.VMConfig{
+		VPs:           vps,
+		PolicyFactory: func(vp *core.VP) core.PolicyManager { return f(vp) },
+	})
+}
+
+// spawnOrderProbe forks n no-op threads that record their execution order.
+func spawnOrderProbe(ctx *core.Context, vm *core.VM, n int) (*[]int, []*core.Thread) {
+	order := &[]int{}
+	var mu sync.Mutex
+	threads := make([]*core.Thread, n)
+	for i := 0; i < n; i++ {
+		i := i
+		threads[i] = ctx.Fork(func(*core.Context) ([]core.Value, error) {
+			mu.Lock()
+			*order = append(*order, i)
+			mu.Unlock()
+			return nil, nil
+		}, vm.VP(0), core.WithStealable(false))
+	}
+	return order, threads
+}
+
+func TestGlobalFIFOOrder(t *testing.T) {
+	vm := vmWithPolicy(t, 1, 1, GlobalFIFO())
+	testkit.RunIn(t, vm, func(ctx *core.Context) error {
+		order, threads := spawnOrderProbe(ctx, vm, 8)
+		for _, th := range threads {
+			ctx.Wait(th)
+		}
+		for i, got := range *order {
+			if got != i {
+				t.Fatalf("order %v not FIFO", *order)
+			}
+		}
+		return nil
+	})
+}
+
+func TestLocalLIFOOrder(t *testing.T) {
+	vm := vmWithPolicy(t, 1, 1, LocalLIFO(LocalLIFOConfig{}))
+	testkit.RunIn(t, vm, func(ctx *core.Context) error {
+		order, threads := spawnOrderProbe(ctx, vm, 8)
+		for _, th := range threads {
+			ctx.Wait(th)
+		}
+		n := len(*order)
+		for i, got := range *order {
+			if got != n-1-i {
+				t.Fatalf("order %v not LIFO", *order)
+			}
+		}
+		return nil
+	})
+}
+
+func TestLocalFIFOVariant(t *testing.T) {
+	vm := vmWithPolicy(t, 1, 1, LocalLIFO(LocalLIFOConfig{FIFO: true}))
+	testkit.RunIn(t, vm, func(ctx *core.Context) error {
+		order, threads := spawnOrderProbe(ctx, vm, 8)
+		for _, th := range threads {
+			ctx.Wait(th)
+		}
+		for i, got := range *order {
+			if got != i {
+				t.Fatalf("order %v not FIFO", *order)
+			}
+		}
+		return nil
+	})
+}
+
+func TestPriorityOrder(t *testing.T) {
+	vm := vmWithPolicy(t, 1, 1, Priority())
+	testkit.RunIn(t, vm, func(ctx *core.Context) error {
+		var mu sync.Mutex
+		var order []int
+		prios := []int{1, 5, 3, 9, 7}
+		threads := make([]*core.Thread, len(prios))
+		for i, p := range prios {
+			p := p
+			threads[i] = ctx.Fork(func(*core.Context) ([]core.Value, error) {
+				mu.Lock()
+				order = append(order, p)
+				mu.Unlock()
+				return nil, nil
+			}, vm.VP(0), core.WithPriority(p), core.WithStealable(false))
+		}
+		for _, th := range threads {
+			ctx.Wait(th)
+		}
+		want := []int{9, 7, 5, 3, 1}
+		for i := range want {
+			if order[i] != want[i] {
+				t.Fatalf("order %v, want %v", order, want)
+			}
+		}
+		return nil
+	})
+}
+
+func TestRealtimeEDF(t *testing.T) {
+	vm := vmWithPolicy(t, 1, 1, Realtime())
+	testkit.RunIn(t, vm, func(ctx *core.Context) error {
+		var mu sync.Mutex
+		var order []int
+		now := time.Now()
+		deadlines := []time.Duration{50 * time.Millisecond, 10 * time.Millisecond, 30 * time.Millisecond}
+		threads := make([]*core.Thread, len(deadlines))
+		for i, d := range deadlines {
+			i := i
+			env := WithDeadline(ctx.FluidEnvSnapshot(), now.Add(d))
+			threads[i] = ctx.Fork(func(*core.Context) ([]core.Value, error) {
+				mu.Lock()
+				order = append(order, i)
+				mu.Unlock()
+				return nil, nil
+			}, vm.VP(0), core.WithFluid(env), core.WithStealable(false))
+		}
+		for _, th := range threads {
+			ctx.Wait(th)
+		}
+		want := []int{1, 2, 0} // earliest deadline first
+		for i := range want {
+			if order[i] != want[i] {
+				t.Fatalf("order %v, want %v", order, want)
+			}
+		}
+		return nil
+	})
+}
+
+func TestMigrationBalancesLoad(t *testing.T) {
+	vm := vmWithPolicy(t, 4, 4, LocalLIFO(LocalLIFOConfig{Migrate: true}))
+	const n = 64
+	testkit.RunIn(t, vm, func(ctx *core.Context) error {
+		// Pile everything on VP 0; idle VPs must migrate threads over.
+		threads := make([]*core.Thread, n)
+		for i := range threads {
+			threads[i] = ctx.Fork(func(c *core.Context) ([]core.Value, error) {
+				for j := 0; j < 50; j++ {
+					c.Poll()
+				}
+				return nil, nil
+			}, vm.VP(0), core.WithStealable(false))
+		}
+		for _, th := range threads {
+			ctx.Wait(th)
+		}
+		return nil
+	})
+	var migrations uint64
+	for _, vp := range vm.VPs() {
+		migrations += vp.Stats().Migrations.Load()
+	}
+	if migrations == 0 {
+		t.Fatal("no migrations despite one-sided load")
+	}
+}
+
+func TestRoundRobinPreemptsLongRunners(t *testing.T) {
+	vm := vmWithPolicy(t, 1, 1, RoundRobin(200*time.Microsecond))
+	testkit.RunIn(t, vm, func(ctx *core.Context) error {
+		// Two compute-bound workers on one VP: without preemption the
+		// first would finish before the second starts; with round-robin
+		// quanta they interleave.
+		var mu sync.Mutex
+		var trace []int
+		mark := func(id int) {
+			mu.Lock()
+			if n := len(trace); n == 0 || trace[n-1] != id {
+				trace = append(trace, id)
+			}
+			mu.Unlock()
+		}
+		busy := func(id int) core.Thunk {
+			return func(c *core.Context) ([]core.Value, error) {
+				deadline := time.Now().Add(5 * time.Millisecond)
+				for time.Now().Before(deadline) {
+					mark(id)
+					c.Poll() // the preemption point
+				}
+				return nil, nil
+			}
+		}
+		t1 := ctx.Fork(busy(1), vm.VP(0), core.WithStealable(false))
+		t2 := ctx.Fork(busy(2), vm.VP(0), core.WithStealable(false))
+		ctx.Wait(t1)
+		ctx.Wait(t2)
+		mu.Lock()
+		defer mu.Unlock()
+		if len(trace) < 3 {
+			t.Fatalf("no interleaving: trace %v", trace)
+		}
+		return nil
+	})
+	var preempts uint64
+	for _, vp := range vm.VPs() {
+		preempts += vp.Stats().Preemptions.Load()
+	}
+	if preempts == 0 {
+		t.Fatal("no preemptions recorded")
+	}
+}
+
+func TestDifferentPMsPerVP(t *testing.T) {
+	// §3.3: different VPs in one VM can run different policy managers.
+	lifo := LocalLIFO(LocalLIFOConfig{})
+	fifo := GlobalFIFO()
+	vm := testkit.VMWith(t, 2, core.VMConfig{
+		VPs: 2,
+		PolicyFactory: func(vp *core.VP) core.PolicyManager {
+			if vp.Index() == 0 {
+				return lifo(vp)
+			}
+			return fifo(vp)
+		},
+	})
+	testkit.RunIn(t, vm, func(ctx *core.Context) error {
+		a := ctx.Fork(func(*core.Context) ([]core.Value, error) { return testkit.One(1), nil }, vm.VP(0))
+		b := ctx.Fork(func(*core.Context) ([]core.Value, error) { return testkit.One(2), nil }, vm.VP(1))
+		va, err := ctx.Value1(a)
+		if err != nil {
+			return err
+		}
+		vb, err := ctx.Value1(b)
+		if err != nil {
+			return err
+		}
+		if va != 1 || vb != 2 {
+			t.Errorf("values %v %v", va, vb)
+		}
+		return nil
+	})
+}

@@ -1,0 +1,127 @@
+package policy
+
+import (
+	"container/heap"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Priority returns a factory whose managers share a max-priority heap.
+// Programmable priorities are one of the two features the paper names as
+// essential for speculative computation: promising tasks execute before
+// unlikely ones. Ties dispatch in FIFO order so equal-priority threads are
+// not starved.
+func Priority() Factory {
+	shared := &prioShared{}
+	return func(vp *core.VP) core.PolicyManager {
+		return &priorityPM{s: shared}
+	}
+}
+
+type prioItem struct {
+	r    core.Runnable
+	prio int
+	seq  uint64
+}
+
+type prioHeap []prioItem
+
+func (h prioHeap) Len() int { return len(h) }
+func (h prioHeap) Less(i, j int) bool {
+	if h[i].prio != h[j].prio {
+		return h[i].prio > h[j].prio
+	}
+	return h[i].seq < h[j].seq
+}
+func (h prioHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *prioHeap) Push(x any)   { *h = append(*h, x.(prioItem)) }
+func (h *prioHeap) Pop() any     { old := *h; n := len(old); it := old[n-1]; *h = old[:n-1]; return it }
+
+type prioShared struct {
+	mu   sync.Mutex
+	h    prioHeap
+	seq  uint64
+	prio map[*core.Thread]int // live priority overrides from pm-priority
+}
+
+type priorityPM struct {
+	allocVP
+	s *prioShared
+}
+
+func runnablePriority(s *prioShared, r core.Runnable) int {
+	var t *core.Thread
+	switch x := r.(type) {
+	case *core.Thread:
+		t = x
+	case *core.TCB:
+		t = x.Thread()
+	}
+	if t == nil {
+		return 0
+	}
+	if s.prio != nil {
+		if p, ok := s.prio[t]; ok {
+			return p
+		}
+	}
+	return t.Priority()
+}
+
+// GetNextThread implements core.PolicyManager.
+func (pm *priorityPM) GetNextThread(vp *core.VP) core.Runnable {
+	pm.s.mu.Lock()
+	defer pm.s.mu.Unlock()
+	if pm.s.h.Len() == 0 {
+		return nil
+	}
+	return heap.Pop(&pm.s.h).(prioItem).r
+}
+
+// EnqueueThread implements core.PolicyManager.
+func (pm *priorityPM) EnqueueThread(vp *core.VP, obj core.Runnable, st core.EnqueueState) {
+	pm.s.mu.Lock()
+	pm.s.seq++
+	heap.Push(&pm.s.h, prioItem{r: obj, prio: runnablePriority(pm.s, obj), seq: pm.s.seq})
+	pm.s.mu.Unlock()
+	for _, sib := range vp.VM().VPs() {
+		if sib != vp {
+			sib.NotifyWork()
+		}
+	}
+}
+
+// SetPriority implements core.PolicyManager: remember the hint and re-rank
+// the thread at its next enqueue.
+func (pm *priorityPM) SetPriority(vp *core.VP, t *core.Thread, priority int) {
+	pm.s.mu.Lock()
+	if pm.s.prio == nil {
+		pm.s.prio = make(map[*core.Thread]int)
+	}
+	pm.s.prio[t] = priority
+	// Re-rank queued entries for this thread in place.
+	for i := range pm.s.h {
+		var qt *core.Thread
+		switch x := pm.s.h[i].r.(type) {
+		case *core.Thread:
+			qt = x
+		case *core.TCB:
+			qt = x.Thread()
+		}
+		if qt == t {
+			pm.s.h[i].prio = priority
+		}
+	}
+	heap.Init(&pm.s.h)
+	pm.s.mu.Unlock()
+}
+
+// SetQuantum implements core.PolicyManager.
+func (pm *priorityPM) SetQuantum(vp *core.VP, t *core.Thread, q time.Duration) {
+	t.SetQuantumHint(q)
+}
+
+// VPIdle implements core.PolicyManager.
+func (pm *priorityPM) VPIdle(vp *core.VP) {}

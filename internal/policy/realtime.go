@@ -1,0 +1,128 @@
+package policy
+
+import (
+	"container/heap"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Deadline is the fluid-binding key under which realtime threads carry
+// their deadline (a time.Time). The Realtime manager reads the thread's
+// creation-time fluid environment; threads without a deadline sort last.
+// This mirrors the paper's observation that applications with real-time
+// constraints should run under a different scheduling protocol than FIFO
+// ones, using only substrate facilities (fluid bindings + a custom PM).
+type deadlineKey struct{}
+
+// DeadlineKey is the key applications bind deadlines under.
+var DeadlineKey = deadlineKey{}
+
+// WithDeadline is a convenience thread option attaching a deadline by
+// extending the thread's fluid environment.
+func WithDeadline(env *core.FluidEnv, d time.Time) *core.FluidEnv {
+	return env.Bind(DeadlineKey, d)
+}
+
+// Realtime returns an earliest-deadline-first factory over one shared
+// queue.
+func Realtime() Factory {
+	shared := &edfShared{}
+	return func(vp *core.VP) core.PolicyManager {
+		return &realtimePM{s: shared}
+	}
+}
+
+type edfItem struct {
+	r        core.Runnable
+	deadline time.Time
+	hasDL    bool
+	seq      uint64
+}
+
+type edfHeap []edfItem
+
+func (h edfHeap) Len() int { return len(h) }
+func (h edfHeap) Less(i, j int) bool {
+	a, b := h[i], h[j]
+	switch {
+	case a.hasDL && !b.hasDL:
+		return true
+	case !a.hasDL && b.hasDL:
+		return false
+	case a.hasDL && b.hasDL && !a.deadline.Equal(b.deadline):
+		return a.deadline.Before(b.deadline)
+	default:
+		return a.seq < b.seq
+	}
+}
+func (h edfHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *edfHeap) Push(x any)   { *h = append(*h, x.(edfItem)) }
+func (h *edfHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+type edfShared struct {
+	mu  sync.Mutex
+	h   edfHeap
+	seq uint64
+}
+
+type realtimePM struct {
+	noopHints
+	allocVP
+	s *edfShared
+}
+
+func runnableDeadline(r core.Runnable) (time.Time, bool) {
+	var t *core.Thread
+	switch x := r.(type) {
+	case *core.Thread:
+		t = x
+	case *core.TCB:
+		t = x.Thread()
+	}
+	if t == nil {
+		return time.Time{}, false
+	}
+	if env := t.Fluid(); env != nil {
+		if v, ok := env.Lookup(DeadlineKey); ok {
+			if d, ok := v.(time.Time); ok {
+				return d, true
+			}
+		}
+	}
+	return time.Time{}, false
+}
+
+// GetNextThread implements core.PolicyManager.
+func (pm *realtimePM) GetNextThread(vp *core.VP) core.Runnable {
+	pm.s.mu.Lock()
+	defer pm.s.mu.Unlock()
+	if pm.s.h.Len() == 0 {
+		return nil
+	}
+	return heap.Pop(&pm.s.h).(edfItem).r
+}
+
+// EnqueueThread implements core.PolicyManager.
+func (pm *realtimePM) EnqueueThread(vp *core.VP, obj core.Runnable, st core.EnqueueState) {
+	d, ok := runnableDeadline(obj)
+	pm.s.mu.Lock()
+	pm.s.seq++
+	heap.Push(&pm.s.h, edfItem{r: obj, deadline: d, hasDL: ok, seq: pm.s.seq})
+	pm.s.mu.Unlock()
+	for _, sib := range vp.VM().VPs() {
+		if sib != vp {
+			sib.NotifyWork()
+		}
+	}
+}
+
+// VPIdle implements core.PolicyManager.
+func (pm *realtimePM) VPIdle(vp *core.VP) {}

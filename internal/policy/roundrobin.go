@@ -1,0 +1,81 @@
+package policy
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/core"
+)
+
+// RoundRobin returns a preemptive round-robin factory: one shared FIFO
+// queue, every dispatched thread bounded by the given quantum. The paper
+// recommends this regime for master/slave applications — workers rarely
+// block, so without preemption long-running workers would occupy all VPs at
+// the expense of other ready threads.
+//
+// The quantum here acts as the manager's default; threads that set their
+// own quantum keep it (pm-quantum is a hint).
+func RoundRobin(quantum time.Duration) Factory {
+	shared := &globalQueue{}
+	return func(vp *core.VP) core.PolicyManager {
+		return &roundRobin{q: shared, quantum: quantum}
+	}
+}
+
+type roundRobin struct {
+	allocVP
+	q       *globalQueue
+	quantum time.Duration
+
+	hintMu sync.Mutex
+	quanta map[*core.Thread]time.Duration
+}
+
+// GetNextThread implements core.PolicyManager.
+func (pm *roundRobin) GetNextThread(vp *core.VP) core.Runnable {
+	pm.q.mu.Lock()
+	defer pm.q.mu.Unlock()
+	return pm.q.dq.popFront()
+}
+
+// EnqueueThread implements core.PolicyManager: preempted and yielding
+// threads go to the back — the essence of round-robin fairness.
+func (pm *roundRobin) EnqueueThread(vp *core.VP, obj core.Runnable, st core.EnqueueState) {
+	if t, ok := obj.(*core.Thread); ok && t.Quantum() == 0 {
+		// Stamp the manager's quantum on threads without their own, so the
+		// controller arms the preemption timer.
+		pm.hintMu.Lock()
+		q := pm.quantum
+		if hq, ok := pm.quanta[t]; ok {
+			q = hq
+		}
+		pm.hintMu.Unlock()
+		t.SetQuantumHint(q)
+	}
+	pm.q.mu.Lock()
+	pm.q.dq.pushBack(obj)
+	pm.q.mu.Unlock()
+	for _, sib := range vp.VM().VPs() {
+		if sib != vp {
+			sib.NotifyWork()
+		}
+	}
+}
+
+// SetPriority implements core.PolicyManager (FIFO order; ignored).
+func (pm *roundRobin) SetPriority(*core.VP, *core.Thread, int) {}
+
+// SetQuantum implements core.PolicyManager: remember the hint for future
+// enqueues of this thread.
+func (pm *roundRobin) SetQuantum(vp *core.VP, t *core.Thread, q time.Duration) {
+	pm.hintMu.Lock()
+	if pm.quanta == nil {
+		pm.quanta = make(map[*core.Thread]time.Duration)
+	}
+	pm.quanta[t] = q
+	pm.hintMu.Unlock()
+	t.SetQuantumHint(q)
+}
+
+// VPIdle implements core.PolicyManager.
+func (pm *roundRobin) VPIdle(vp *core.VP) {}

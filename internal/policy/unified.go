@@ -1,0 +1,126 @@
+package policy
+
+import (
+	"sync"
+
+	"repro/internal/core"
+)
+
+// Unified returns a factory whose managers keep a single per-VP deque of
+// runnables — the paper's "single queue regardless of state" granularity
+// choice, and the configuration its baseline timings were measured under
+// ("timings were derived using a single LIFO queue"). With lifo set,
+// dispatch takes the newest runnable and yielding/preempted threads go to
+// the far end (so yield-processor still lets other work run); without it,
+// dispatch is oldest-first round-robin.
+func Unified(lifo bool) Factory {
+	var group unifiedGroup
+	return func(vp *core.VP) core.PolicyManager {
+		pm := &unifiedPM{lifo: lifo, group: &group}
+		group.add(pm)
+		return pm
+	}
+}
+
+type unifiedGroup struct {
+	mu  sync.Mutex
+	pms []*unifiedPM
+}
+
+func (g *unifiedGroup) add(pm *unifiedPM) {
+	g.mu.Lock()
+	g.pms = append(g.pms, pm)
+	g.mu.Unlock()
+}
+
+func (g *unifiedGroup) snapshot() []*unifiedPM {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]*unifiedPM, len(g.pms))
+	copy(out, g.pms)
+	return out
+}
+
+type unifiedPM struct {
+	noopHints
+	allocVP
+	lifo  bool
+	group *unifiedGroup
+
+	mu sync.Mutex
+	dq deque
+}
+
+// GetNextThread implements core.PolicyManager.
+func (pm *unifiedPM) GetNextThread(vp *core.VP) core.Runnable {
+	pm.mu.Lock()
+	defer pm.mu.Unlock()
+	if pm.lifo {
+		return pm.dq.popBack()
+	}
+	return pm.dq.popFront()
+}
+
+// EnqueueThread implements core.PolicyManager.
+func (pm *unifiedPM) EnqueueThread(vp *core.VP, obj core.Runnable, st core.EnqueueState) {
+	pm.mu.Lock()
+	defer pm.mu.Unlock()
+	if st == core.EnqYield || st == core.EnqPreempted {
+		if pm.lifo {
+			pm.dq.pushFront(obj) // behind everything the LIFO will pop
+		} else {
+			pm.dq.pushBack(obj) // to the end of the round-robin line
+		}
+		return
+	}
+	pm.dq.pushBack(obj)
+}
+
+// VPIdle implements core.PolicyManager: migrate one not-yet-evaluating
+// thread from the most loaded sibling.
+func (pm *unifiedPM) VPIdle(vp *core.VP) {
+	var victim *unifiedPM
+	most := 0
+	for _, sib := range pm.group.snapshot() {
+		if sib == pm {
+			continue
+		}
+		sib.mu.Lock()
+		n := 0
+		for _, r := range sib.dq.items {
+			if th, ok := r.(*core.Thread); ok && !th.Pinned() {
+				n++
+			}
+		}
+		sib.mu.Unlock()
+		if n > most {
+			most, victim = n, sib
+		}
+	}
+	if victim == nil {
+		return
+	}
+	victim.mu.Lock()
+	var stolen core.Runnable
+	for i, r := range victim.dq.items {
+		if th, ok := r.(*core.Thread); ok && !th.Pinned() {
+			stolen = r
+			victim.dq.items = append(victim.dq.items[:i], victim.dq.items[i+1:]...)
+			break
+		}
+	}
+	victim.mu.Unlock()
+	if stolen != nil {
+		vp.Stats().Migrations.Add(1)
+		pm.mu.Lock()
+		pm.dq.pushBack(stolen)
+		pm.mu.Unlock()
+	}
+}
+
+// Len reports the queue length.
+func (pm *unifiedPM) Len() int {
+	pm.mu.Lock()
+	defer pm.mu.Unlock()
+	return pm.dq.len()
+}

@@ -1,0 +1,143 @@
+package policy
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/testkit"
+)
+
+func TestUnifiedLIFOOrder(t *testing.T) {
+	vm := vmWithPolicy(t, 1, 1, Unified(true))
+	testkit.RunIn(t, vm, func(ctx *core.Context) error {
+		order, threads := spawnOrderProbe(ctx, vm, 6)
+		for _, th := range threads {
+			ctx.Wait(th)
+		}
+		n := len(*order)
+		for i, got := range *order {
+			if got != n-1-i {
+				t.Fatalf("order %v not LIFO", *order)
+			}
+		}
+		return nil
+	})
+}
+
+func TestUnifiedFIFOOrder(t *testing.T) {
+	vm := vmWithPolicy(t, 1, 1, Unified(false))
+	testkit.RunIn(t, vm, func(ctx *core.Context) error {
+		order, threads := spawnOrderProbe(ctx, vm, 6)
+		for _, th := range threads {
+			ctx.Wait(th)
+		}
+		for i, got := range *order {
+			if got != i {
+				t.Fatalf("order %v not FIFO", *order)
+			}
+		}
+		return nil
+	})
+}
+
+func TestUnifiedYieldLetsOthersRun(t *testing.T) {
+	// The single-queue regime must still avoid yield starvation: a thread
+	// that yields goes behind ready work in both dispatch orders.
+	for _, lifo := range []bool{true, false} {
+		vm := vmWithPolicy(t, 1, 1, Unified(lifo))
+		testkit.RunIn(t, vm, func(ctx *core.Context) error {
+			var mu sync.Mutex
+			ran := false
+			other := ctx.Fork(func(*core.Context) ([]core.Value, error) {
+				mu.Lock()
+				ran = true
+				mu.Unlock()
+				return nil, nil
+			}, nil, core.WithStealable(false))
+			for i := 0; i < 100; i++ {
+				ctx.Yield()
+				mu.Lock()
+				ok := ran
+				mu.Unlock()
+				if ok {
+					break
+				}
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			if !ran {
+				t.Errorf("lifo=%v: yield loop starved the ready thread", lifo)
+			}
+			ctx.Wait(other)
+			return nil
+		})
+	}
+}
+
+func TestUnifiedMigrationSkipsPinned(t *testing.T) {
+	vm := vmWithPolicy(t, 2, 2, Unified(true))
+	testkit.RunIn(t, vm, func(ctx *core.Context) error {
+		// A pinned thread queued on VP 0 must be dispatched by VP 0 even
+		// while VP 1 idles and migrates everything else.
+		var mu sync.Mutex
+		ranOn := -1
+		pinned := ctx.Fork(func(c *core.Context) ([]core.Value, error) {
+			mu.Lock()
+			ranOn = c.VP().Index()
+			mu.Unlock()
+			return nil, nil
+		}, vm.VP(0), core.WithStealable(false), core.WithPinned())
+		// Fill VP 0 with migratable decoys so the idle sibling has a
+		// victim with work.
+		decoys := make([]*core.Thread, 8)
+		for i := range decoys {
+			decoys[i] = ctx.Fork(func(c *core.Context) ([]core.Value, error) {
+				for j := 0; j < 10; j++ {
+					c.Poll()
+				}
+				return nil, nil
+			}, vm.VP(0), core.WithStealable(false))
+		}
+		ctx.Wait(pinned)
+		for _, d := range decoys {
+			ctx.Wait(d)
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		if ranOn != 0 {
+			t.Errorf("pinned thread ran on vp %d", ranOn)
+		}
+		return nil
+	})
+}
+
+func TestGlobalFIFOSharedAcrossVPs(t *testing.T) {
+	// One shared queue: work forked onto any VP is served by whichever VP
+	// asks first — verify both VPs dispatch from it.
+	vm := vmWithPolicy(t, 2, 2, GlobalFIFO())
+	testkit.RunIn(t, vm, func(ctx *core.Context) error {
+		kids := make([]*core.Thread, 32)
+		for i := range kids {
+			kids[i] = ctx.Fork(func(c *core.Context) ([]core.Value, error) {
+				for j := 0; j < 20; j++ {
+					c.Poll()
+				}
+				return []core.Value{c.VP().Index()}, nil
+			}, vm.VP(0), core.WithStealable(false))
+		}
+		for _, k := range kids {
+			if _, err := ctx.Value1(k); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	var dispatches uint64
+	for _, vp := range vm.VPs() {
+		dispatches += vp.Stats().Dispatches.Load()
+	}
+	if dispatches == 0 {
+		t.Fatal("no dispatches recorded")
+	}
+}

@@ -1,0 +1,79 @@
+package scheme
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Env is a lexical environment frame. The global frame is shared by every
+// thread in a VM (the paper's single address space), so it is locked;
+// closure frames are created by one thread and — as in the paper — may be
+// shared across threads whenever data dependencies warrant, so they take
+// the same small lock on mutation.
+type Env struct {
+	mu     sync.Mutex
+	vars   map[Symbol]Value
+	parent *Env
+}
+
+// NewEnv creates a frame under parent (nil for the global frame).
+func NewEnv(parent *Env) *Env {
+	return &Env{vars: make(map[Symbol]Value), parent: parent}
+}
+
+// Define binds sym in this frame.
+func (e *Env) Define(sym Symbol, v Value) {
+	e.mu.Lock()
+	e.vars[sym] = v
+	e.mu.Unlock()
+}
+
+// Lookup resolves sym through the frame chain.
+func (e *Env) Lookup(sym Symbol) (Value, bool) {
+	for f := e; f != nil; f = f.parent {
+		f.mu.Lock()
+		v, ok := f.vars[sym]
+		f.mu.Unlock()
+		if ok {
+			return v, true
+		}
+	}
+	return nil, false
+}
+
+// Set assigns to the nearest binding of sym (set!); it reports failure when
+// sym is unbound.
+func (e *Env) Set(sym Symbol, v Value) bool {
+	for f := e; f != nil; f = f.parent {
+		f.mu.Lock()
+		if _, ok := f.vars[sym]; ok {
+			f.vars[sym] = v
+			f.mu.Unlock()
+			return true
+		}
+		f.mu.Unlock()
+	}
+	return false
+}
+
+// Error is a Scheme-level error with irritants.
+type Error struct {
+	Message   string
+	Irritants []Value
+}
+
+func (e *Error) Error() string {
+	if len(e.Irritants) == 0 {
+		return e.Message
+	}
+	s := e.Message
+	for _, irr := range e.Irritants {
+		s += " " + WriteString(irr)
+	}
+	return s
+}
+
+// Errorf builds a Scheme error.
+func Errorf(format string, args ...any) *Error {
+	return &Error{Message: fmt.Sprintf(format, args...)}
+}

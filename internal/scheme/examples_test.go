@@ -1,0 +1,40 @@
+package scheme
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestExampleProgramsRun executes every .scm program shipped under
+// examples/scheme, guarding the user-facing programs against interpreter
+// regressions. Each runs in a fresh interpreter on a small machine.
+func TestExampleProgramsRun(t *testing.T) {
+	dir := filepath.Join("..", "..", "examples", "scheme")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Skipf("examples dir unavailable: %v", err)
+	}
+	ran := 0
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".scm") {
+			continue
+		}
+		name := e.Name()
+		t.Run(name, func(t *testing.T) {
+			src, err := os.ReadFile(filepath.Join(dir, name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			in := newInterp(t, 2, 4)
+			if _, err := in.EvalString(string(src)); err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+		})
+		ran++
+	}
+	if ran < 4 {
+		t.Fatalf("only %d example programs found; packaging broken?", ran)
+	}
+}

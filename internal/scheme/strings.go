@@ -1,0 +1,202 @@
+package scheme
+
+import (
+	"strings"
+	"unicode"
+
+	"repro/internal/core"
+)
+
+// installStrings adds the character and extended string operations of the
+// computation language.
+func installStrings(in *Interp) {
+	charPred := func(name string, f func(rune) bool) {
+		in.prim(name, 1, 1, func(_ *Interp, _ *core.Context, a []Value) (Value, error) {
+			c, ok := a[0].(Char)
+			if !ok {
+				return nil, Errorf("%s: not a char", name)
+			}
+			return f(rune(c)), nil
+		})
+	}
+	charPred("char-alphabetic?", unicode.IsLetter)
+	charPred("char-numeric?", unicode.IsDigit)
+	charPred("char-whitespace?", unicode.IsSpace)
+	charPred("char-upper-case?", unicode.IsUpper)
+	charPred("char-lower-case?", unicode.IsLower)
+
+	charMap := func(name string, f func(rune) rune) {
+		in.prim(name, 1, 1, func(_ *Interp, _ *core.Context, a []Value) (Value, error) {
+			c, ok := a[0].(Char)
+			if !ok {
+				return nil, Errorf("%s: not a char", name)
+			}
+			return Char(f(rune(c))), nil
+		})
+	}
+	charMap("char-upcase", unicode.ToUpper)
+	charMap("char-downcase", unicode.ToLower)
+
+	charCmp := func(name string, cmp func(a, b rune) bool) {
+		in.prim(name, 2, -1, func(_ *Interp, _ *core.Context, a []Value) (Value, error) {
+			for i := 0; i+1 < len(a); i++ {
+				x, ok := a[i].(Char)
+				if !ok {
+					return nil, Errorf("%s: not a char", name)
+				}
+				y, ok := a[i+1].(Char)
+				if !ok {
+					return nil, Errorf("%s: not a char", name)
+				}
+				if !cmp(rune(x), rune(y)) {
+					return false, nil
+				}
+			}
+			return true, nil
+		})
+	}
+	charCmp("char=?", func(a, b rune) bool { return a == b })
+	charCmp("char<?", func(a, b rune) bool { return a < b })
+	charCmp("char>?", func(a, b rune) bool { return a > b })
+	charCmp("char<=?", func(a, b rune) bool { return a <= b })
+	charCmp("char>=?", func(a, b rune) bool { return a >= b })
+
+	strMap := func(name string, f func(string) string) {
+		in.prim(name, 1, 1, func(_ *Interp, _ *core.Context, a []Value) (Value, error) {
+			s, err := stringArg(name, a[0])
+			if err != nil {
+				return nil, err
+			}
+			return NewSString(f(s.String())), nil
+		})
+	}
+	strMap("string-upcase", strings.ToUpper)
+	strMap("string-downcase", strings.ToLower)
+	strMap("string-trim", strings.TrimSpace)
+
+	in.prim("make-string", 1, 2, func(_ *Interp, _ *core.Context, a []Value) (Value, error) {
+		n, err := intOf(a[0])
+		if err != nil {
+			return nil, err
+		}
+		fill := ' '
+		if len(a) == 2 {
+			c, ok := a[1].(Char)
+			if !ok {
+				return nil, Errorf("make-string: fill not a char")
+			}
+			fill = rune(c)
+		}
+		runes := make([]rune, n)
+		for i := range runes {
+			runes[i] = fill
+		}
+		return &SString{Runes: runes}, nil
+	})
+	in.prim("string", 0, -1, func(_ *Interp, _ *core.Context, a []Value) (Value, error) {
+		runes := make([]rune, len(a))
+		for i, v := range a {
+			c, ok := v.(Char)
+			if !ok {
+				return nil, Errorf("string: not a char: %s", WriteString(v))
+			}
+			runes[i] = rune(c)
+		}
+		return &SString{Runes: runes}, nil
+	})
+	in.prim("string-set!", 3, 3, func(_ *Interp, _ *core.Context, a []Value) (Value, error) {
+		s, err := stringArg("string-set!", a[0])
+		if err != nil {
+			return nil, err
+		}
+		i, err := intOf(a[1])
+		if err != nil {
+			return nil, err
+		}
+		c, ok := a[2].(Char)
+		if !ok {
+			return nil, Errorf("string-set!: not a char")
+		}
+		if i < 0 || i >= int64(len(s.Runes)) {
+			return nil, Errorf("string-set!: index out of range")
+		}
+		s.Runes[i] = rune(c)
+		return Unspecified, nil
+	})
+	in.prim("string-copy", 1, 1, func(_ *Interp, _ *core.Context, a []Value) (Value, error) {
+		s, err := stringArg("string-copy", a[0])
+		if err != nil {
+			return nil, err
+		}
+		return &SString{Runes: append([]rune{}, s.Runes...)}, nil
+	})
+	in.prim("string-index", 2, 2, func(_ *Interp, _ *core.Context, a []Value) (Value, error) {
+		s, err := stringArg("string-index", a[0])
+		if err != nil {
+			return nil, err
+		}
+		c, ok := a[1].(Char)
+		if !ok {
+			return nil, Errorf("string-index: not a char")
+		}
+		for i, r := range s.Runes {
+			if r == rune(c) {
+				return int64(i), nil
+			}
+		}
+		return false, nil
+	})
+	in.prim("string-split", 2, 2, func(_ *Interp, _ *core.Context, a []Value) (Value, error) {
+		s, err := stringArg("string-split", a[0])
+		if err != nil {
+			return nil, err
+		}
+		sep, err := stringArg("string-split", a[1])
+		if err != nil {
+			return nil, err
+		}
+		parts := strings.Split(s.String(), sep.String())
+		out := make([]Value, len(parts))
+		for i, p := range parts {
+			out[i] = NewSString(p)
+		}
+		return List(out...), nil
+	})
+	in.prim("string-contains?", 2, 2, func(_ *Interp, _ *core.Context, a []Value) (Value, error) {
+		s, err := stringArg("string-contains?", a[0])
+		if err != nil {
+			return nil, err
+		}
+		sub, err := stringArg("string-contains?", a[1])
+		if err != nil {
+			return nil, err
+		}
+		return strings.Contains(s.String(), sub.String()), nil
+	})
+	in.prim("list->string", 1, 1, func(_ *Interp, _ *core.Context, a []Value) (Value, error) {
+		items, err := ListToSlice(a[0])
+		if err != nil {
+			return nil, err
+		}
+		runes := make([]rune, len(items))
+		for i, v := range items {
+			c, ok := v.(Char)
+			if !ok {
+				return nil, Errorf("list->string: not a char: %s", WriteString(v))
+			}
+			runes[i] = rune(c)
+		}
+		return &SString{Runes: runes}, nil
+	})
+	in.prim("symbol-append", 0, -1, func(_ *Interp, _ *core.Context, a []Value) (Value, error) {
+		var b strings.Builder
+		for _, v := range a {
+			s, ok := v.(Symbol)
+			if !ok {
+				return nil, Errorf("symbol-append: not a symbol: %s", WriteString(v))
+			}
+			b.WriteString(string(s))
+		}
+		return Symbol(b.String()), nil
+	})
+}

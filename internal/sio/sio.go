@@ -1,0 +1,194 @@
+// Package sio simulates STING's non-blocking I/O with call-backs. In the
+// paper, a thread issuing I/O enters the kernel-block state — its VP keeps
+// running other threads — and a completion call-back restores it to a ready
+// queue. The operating-system device is replaced here by a Device that
+// completes requests asynchronously after a programmable latency, which
+// exercises exactly the same thread-level machinery: issue, kernel-block,
+// call-back, wake.
+package sio
+
+import (
+	"errors"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+)
+
+// ErrDeviceClosed is returned for requests issued after Close.
+var ErrDeviceClosed = errors.New("sio: device closed")
+
+// Request is one simulated I/O operation.
+type Request struct {
+	// Op names the operation (read/write/…); the device echoes it back.
+	Op string
+	// Payload travels to the device and back.
+	Payload core.Value
+	// Latency overrides the device default when positive.
+	Latency time.Duration
+}
+
+// Completion is the result delivered by the device.
+type Completion struct {
+	Op      string
+	Payload core.Value
+	Err     error
+	// Issued→Done measure the simulated device time.
+	Issued, Done time.Time
+}
+
+// Callback receives completions for asynchronous submissions. It runs on
+// the device goroutine and must be brief (wake a thread, set a flag).
+type Callback func(Completion)
+
+// Device is a simulated I/O device: submissions complete on a background
+// goroutine after the configured latency. It supports the two access
+// styles the substrate offers: SubmitAsync with a call-back, and the
+// blocking Do, which parks the calling thread in kernel-block state.
+type Device struct {
+	name    string
+	latency time.Duration
+
+	mu     sync.Mutex
+	closed bool
+
+	served   atomic.Uint64
+	inFlight atomic.Int64
+
+	// process transforms requests into results; nil echoes the payload.
+	process func(Request) (core.Value, error)
+}
+
+// DeviceOption configures a Device.
+type DeviceOption func(*Device)
+
+// WithProcess installs a request handler (e.g. a simulated file store).
+func WithProcess(f func(Request) (core.Value, error)) DeviceOption {
+	return func(d *Device) { d.process = f }
+}
+
+// NewDevice creates a device whose requests complete after latency.
+func NewDevice(name string, latency time.Duration, opts ...DeviceOption) *Device {
+	d := &Device{name: name, latency: latency}
+	for _, o := range opts {
+		o(d)
+	}
+	return d
+}
+
+// Name returns the device name.
+func (d *Device) Name() string { return d.name }
+
+// Served returns how many requests have completed.
+func (d *Device) Served() uint64 { return d.served.Load() }
+
+// InFlight returns the number of outstanding requests.
+func (d *Device) InFlight() int64 { return d.inFlight.Load() }
+
+// Close fails subsequent submissions.
+func (d *Device) Close() {
+	d.mu.Lock()
+	d.closed = true
+	d.mu.Unlock()
+}
+
+// SubmitAsync issues a request; cb runs when the device completes it.
+func (d *Device) SubmitAsync(req Request, cb Callback) error {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return ErrDeviceClosed
+	}
+	d.mu.Unlock()
+	lat := req.Latency
+	if lat <= 0 {
+		lat = d.latency
+	}
+	issued := time.Now()
+	d.inFlight.Add(1)
+	time.AfterFunc(lat, func() {
+		var val core.Value
+		var err error
+		if d.process != nil {
+			val, err = d.process(req)
+		} else {
+			val = req.Payload
+		}
+		d.served.Add(1)
+		d.inFlight.Add(-1)
+		cb(Completion{Op: req.Op, Payload: val, Err: err, Issued: issued, Done: time.Now()})
+	})
+	return nil
+}
+
+// Do issues a request and parks the calling thread in kernel-block state
+// until the completion call-back wakes it; its VP runs other threads in the
+// meantime — the non-blocking-I/O guarantee of the program model.
+func (d *Device) Do(ctx *core.Context, req Request) (Completion, error) {
+	var (
+		done atomic.Bool
+		comp Completion
+	)
+	tcb := ctx.TCB()
+	err := d.SubmitAsync(req, func(c Completion) {
+		comp = c
+		done.Store(true)
+		core.WakeTCB(tcb)
+	})
+	if err != nil {
+		return Completion{}, err
+	}
+	ctx.BlockUntil(done.Load)
+	return comp, comp.Err
+}
+
+// FileStore is a tiny in-memory keyed store exposed as a Device processor,
+// giving examples and tests a realistic read/write device.
+type FileStore struct {
+	mu   sync.Mutex
+	data map[string]core.Value
+}
+
+// NewFileStore creates an empty store.
+func NewFileStore() *FileStore { return &FileStore{data: make(map[string]core.Value)} }
+
+// Process implements the device handler: "write" stores [key value],
+// "read" fetches by key, "list" returns the sorted keys.
+func (fs *FileStore) Process(req Request) (core.Value, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	switch req.Op {
+	case "write":
+		kv, ok := req.Payload.([2]core.Value)
+		if !ok {
+			return nil, errors.New("sio: write payload must be [2]Value{key, value}")
+		}
+		key, ok := kv[0].(string)
+		if !ok {
+			return nil, errors.New("sio: write key must be a string")
+		}
+		fs.data[key] = kv[1]
+		return kv[1], nil
+	case "read":
+		key, ok := req.Payload.(string)
+		if !ok {
+			return nil, errors.New("sio: read payload must be a string key")
+		}
+		v, ok := fs.data[key]
+		if !ok {
+			return nil, errors.New("sio: no such key " + key)
+		}
+		return v, nil
+	case "list":
+		keys := make([]string, 0, len(fs.data))
+		for k := range fs.data {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		return keys, nil
+	default:
+		return nil, errors.New("sio: unknown op " + req.Op)
+	}
+}

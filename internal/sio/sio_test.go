@@ -1,0 +1,162 @@
+package sio
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/testkit"
+)
+
+func TestDoEchoes(t *testing.T) {
+	vm := testkit.VM(t, 2, 2)
+	dev := NewDevice("echo", 100*time.Microsecond)
+	testkit.RunIn(t, vm, func(ctx *core.Context) error {
+		comp, err := dev.Do(ctx, Request{Op: "read", Payload: "hello"})
+		if err != nil {
+			return err
+		}
+		if comp.Payload != "hello" {
+			t.Errorf("payload %v", comp.Payload)
+		}
+		if comp.Done.Before(comp.Issued) {
+			t.Error("time travel")
+		}
+		return nil
+	})
+	if dev.Served() != 1 {
+		t.Fatalf("served = %d", dev.Served())
+	}
+}
+
+func TestVPKeepsRunningDuringIO(t *testing.T) {
+	// The point of non-blocking I/O: while one thread is kernel-blocked,
+	// its VP runs other threads.
+	vm := testkit.VM(t, 1, 1)
+	dev := NewDevice("slow", 3*time.Millisecond)
+	var progressed atomic.Int64
+	testkit.RunIn(t, vm, func(ctx *core.Context) error {
+		bg := ctx.Fork(func(c *core.Context) ([]core.Value, error) {
+			for i := 0; i < 1000; i++ {
+				progressed.Add(1)
+				c.Yield()
+			}
+			return nil, nil
+		}, nil)
+		before := progressed.Load()
+		if _, err := dev.Do(ctx, Request{Op: "read", Payload: 1}); err != nil {
+			return err
+		}
+		after := progressed.Load()
+		if after == before {
+			t.Error("no other thread ran during the kernel block")
+		}
+		core.ThreadTerminate(bg)
+		return nil
+	})
+}
+
+func TestSubmitAsyncCallback(t *testing.T) {
+	vm := testkit.VM(t, 2, 2)
+	dev := NewDevice("async", 200*time.Microsecond)
+	testkit.RunIn(t, vm, func(ctx *core.Context) error {
+		var done atomic.Bool
+		var got atomic.Value
+		tcb := ctx.TCB()
+		err := dev.SubmitAsync(Request{Op: "read", Payload: 7}, func(c Completion) {
+			got.Store(c.Payload)
+			done.Store(true)
+			core.WakeTCB(tcb)
+		})
+		if err != nil {
+			return err
+		}
+		ctx.BlockUntil(done.Load)
+		if got.Load() != 7 {
+			t.Errorf("callback payload %v", got.Load())
+		}
+		return nil
+	})
+}
+
+func TestDeviceClosed(t *testing.T) {
+	vm := testkit.VM(t, 1, 1)
+	dev := NewDevice("dead", time.Millisecond)
+	dev.Close()
+	testkit.RunIn(t, vm, func(ctx *core.Context) error {
+		if _, err := dev.Do(ctx, Request{Op: "read"}); err != ErrDeviceClosed {
+			t.Errorf("err = %v, want ErrDeviceClosed", err)
+		}
+		return nil
+	})
+}
+
+func TestFileStore(t *testing.T) {
+	vm := testkit.VM(t, 2, 2)
+	fs := NewFileStore()
+	dev := NewDevice("disk", 100*time.Microsecond, WithProcess(fs.Process))
+	testkit.RunIn(t, vm, func(ctx *core.Context) error {
+		if _, err := dev.Do(ctx, Request{Op: "write", Payload: [2]core.Value{"a", 1}}); err != nil {
+			return err
+		}
+		if _, err := dev.Do(ctx, Request{Op: "write", Payload: [2]core.Value{"b", 2}}); err != nil {
+			return err
+		}
+		comp, err := dev.Do(ctx, Request{Op: "read", Payload: "a"})
+		if err != nil {
+			return err
+		}
+		if comp.Payload != 1 {
+			t.Errorf("read a = %v", comp.Payload)
+		}
+		list, err := dev.Do(ctx, Request{Op: "list"})
+		if err != nil {
+			return err
+		}
+		keys := list.Payload.([]string)
+		if len(keys) != 2 || keys[0] != "a" || keys[1] != "b" {
+			t.Errorf("keys %v", keys)
+		}
+		// Error paths surface as request errors, not panics.
+		if _, err := dev.Do(ctx, Request{Op: "read", Payload: "missing"}); err == nil {
+			t.Error("read of missing key succeeded")
+		}
+		if _, err := dev.Do(ctx, Request{Op: "frobnicate"}); err == nil {
+			t.Error("unknown op succeeded")
+		}
+		return nil
+	})
+}
+
+func TestManyConcurrentIO(t *testing.T) {
+	vm := testkit.VM(t, 4, 4)
+	dev := NewDevice("par", 500*time.Microsecond)
+	const n = 32
+	testkit.RunIn(t, vm, func(ctx *core.Context) error {
+		kids := make([]*core.Thread, n)
+		for i := range kids {
+			i := i
+			kids[i] = ctx.Fork(func(c *core.Context) ([]core.Value, error) {
+				comp, err := dev.Do(c, Request{Op: "read", Payload: i})
+				if err != nil {
+					return nil, err
+				}
+				return testkit.One(comp.Payload), nil
+			}, vm.VP(i))
+		}
+		for i, k := range kids {
+			v, err := ctx.Value1(k)
+			if err != nil {
+				return err
+			}
+			if v != i {
+				t.Errorf("req %d got %v", i, v)
+			}
+		}
+		return nil
+	})
+	if dev.InFlight() != 0 {
+		t.Fatalf("in flight = %d after completion", dev.InFlight())
+	}
+}

@@ -1,0 +1,147 @@
+// Package spec implements STING's speculative-parallelism and barrier
+// constructs (§4.3 of the paper): wait-for-one (OR-parallelism),
+// wait-for-all (AND-parallelism / barrier synchronization), and task sets
+// with programmable priorities and abort. All of it reduces to the thread
+// controller's block-on-group / wakeup-waiters machinery plus
+// thread-terminate — the paper's three ingredients for speculation:
+// programmable priorities, waiting on completions, and terminating losers.
+package spec
+
+import (
+	"errors"
+
+	"repro/internal/core"
+)
+
+// ErrNoWinner is returned by WaitForOne when every speculative thread was
+// already determined by termination (no result to report).
+var ErrNoWinner = errors.New("spec: no speculative thread produced a value")
+
+// WaitForOne evaluates as a speculative OR: it blocks until at least one of
+// the threads completes, returns that thread, and terminates the rest (the
+// expression (wait-for-one a1 ... an)). Callers that want losers to keep
+// running use WaitForOneKeep.
+func WaitForOne(ctx *core.Context, threads []*core.Thread) (*core.Thread, error) {
+	winner, err := WaitForOneKeep(ctx, threads)
+	for _, t := range threads {
+		if t != winner {
+			core.ThreadTerminate(t)
+		}
+	}
+	return winner, err
+}
+
+// WaitForOneKeep blocks until one thread completes and returns it without
+// terminating the others.
+func WaitForOneKeep(ctx *core.Context, threads []*core.Thread) (*core.Thread, error) {
+	if len(threads) == 0 {
+		return nil, ErrNoWinner
+	}
+	ctx.BlockOnGroup(1, threads)
+	// Find a determined thread, preferring one that was not terminated.
+	var any *core.Thread
+	for _, t := range threads {
+		if t.Determined() {
+			if any == nil {
+				any = t
+			}
+			if !t.Terminated() {
+				return t, nil
+			}
+		}
+	}
+	if any == nil {
+		return nil, ErrNoWinner
+	}
+	return any, nil
+}
+
+// WaitForAll acts as a barrier synchronization point: the caller blocks
+// until every thread completes (the expression (wait-for-all a1 ... an)).
+// Unlike wait-for-one no termination pass is needed, since all threads are
+// guaranteed complete on resumption.
+func WaitForAll(ctx *core.Context, threads []*core.Thread) {
+	ctx.BlockOnGroup(len(threads), threads)
+}
+
+// WaitForN blocks until n of the threads have completed (the generalized
+// block-on-group entry the paper defines both operators from).
+func WaitForN(ctx *core.Context, n int, threads []*core.Thread) {
+	if n > len(threads) {
+		n = len(threads)
+	}
+	ctx.BlockOnGroup(n, threads)
+}
+
+// TaskSet organizes speculative tasks: spawn alternatives with priorities,
+// wait for the first useful answer, abort the rest. Speculative tasks are
+// created unstealable by default — the paper's §4.1.1 caveat: stealing a
+// speculative sibling can import its divergence into the demander.
+type TaskSet struct {
+	ctx     *core.Context
+	group   *core.Group
+	threads []*core.Thread
+}
+
+// NewTaskSet creates a task set backed by a fresh thread group.
+func NewTaskSet(ctx *core.Context, name string) *TaskSet {
+	parent := ctx.Thread().Group()
+	return &TaskSet{ctx: ctx, group: core.NewGroup(name, parent)}
+}
+
+// Speculate spawns a speculative task with the given priority. Higher
+// priority tasks run first under the Priority policy manager — "promising
+// tasks can execute before unlikely ones because priorities are
+// programmable".
+func (s *TaskSet) Speculate(priority int, thunk core.Thunk) *core.Thread {
+	t := s.ctx.Fork(thunk, nil,
+		core.WithGroup(s.group),
+		core.WithPriority(priority),
+		core.WithStealable(false))
+	s.threads = append(s.threads, t)
+	return t
+}
+
+// Threads returns the tasks spawned so far.
+func (s *TaskSet) Threads() []*core.Thread { return s.threads }
+
+// Group returns the backing thread group.
+func (s *TaskSet) Group() *core.Group { return s.group }
+
+// First blocks until one task completes, terminates the rest (and any
+// threads they created, via the group), and returns the winner's value.
+func (s *TaskSet) First() ([]core.Value, error) {
+	winner, err := WaitForOneKeep(s.ctx, s.threads)
+	if err != nil {
+		return nil, err
+	}
+	vals, verr := winner.TryValue()
+	s.Abort(winner)
+	return vals, verr
+}
+
+// All blocks until every task completes and returns their values in spawn
+// order.
+func (s *TaskSet) All() ([][]core.Value, error) {
+	WaitForAll(s.ctx, s.threads)
+	out := make([][]core.Value, len(s.threads))
+	var firstErr error
+	for i, t := range s.threads {
+		vals, err := t.TryValue()
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		out[i] = vals
+	}
+	return out, firstErr
+}
+
+// Abort terminates every task in the set except keep (which may be nil to
+// abort everything), including the whole subtree each task spawned.
+func (s *TaskSet) Abort(keep *core.Thread) {
+	for _, t := range s.group.AllThreads() {
+		if t != keep {
+			core.ThreadTerminate(t)
+		}
+	}
+}

@@ -1,0 +1,217 @@
+package spec
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/testkit"
+)
+
+func yieldN(ctx *core.Context, n int) ([]core.Value, error) {
+	for i := 0; i < n; i++ {
+		ctx.Yield()
+	}
+	return testkit.One(n), nil
+}
+
+func TestWaitForOneReturnsFirstAndKillsRest(t *testing.T) {
+	vm := testkit.VM(t, 2, 2)
+	testkit.RunIn(t, vm, func(ctx *core.Context) error {
+		fast := ctx.Fork(func(c *core.Context) ([]core.Value, error) {
+			return testkit.One("fast"), nil
+		}, nil, core.WithStealable(false))
+		slow := ctx.Fork(func(c *core.Context) ([]core.Value, error) {
+			for i := 0; i < 100000; i++ {
+				c.Yield()
+			}
+			return testkit.One("slow"), nil
+		}, vm.VP(1), core.WithStealable(false))
+		winner, err := WaitForOne(ctx, []*core.Thread{fast, slow})
+		if err != nil {
+			return err
+		}
+		vals, err := winner.TryValue()
+		if err != nil {
+			return err
+		}
+		if vals[0] != "fast" {
+			t.Errorf("winner = %v", vals[0])
+		}
+		// The loser must end up terminated (it can never finish 100000
+		// yields before the terminate request lands).
+		ctx.Wait(slow)
+		if !slow.Terminated() {
+			t.Error("loser not terminated")
+		}
+		return nil
+	})
+}
+
+func TestWaitForOneDivergentLoser(t *testing.T) {
+	// OR-parallelism over a divergent computation: wait-for-one must still
+	// return the converging branch (this is why speculative tasks are
+	// created unstealable).
+	vm := testkit.VM(t, 2, 2)
+	testkit.RunIn(t, vm, func(ctx *core.Context) error {
+		diverge := ctx.Fork(func(c *core.Context) ([]core.Value, error) {
+			for {
+				c.Yield() // diverges, but politely (TC entries)
+			}
+		}, vm.VP(1), core.WithStealable(false))
+		converge := ctx.Fork(func(c *core.Context) ([]core.Value, error) {
+			return testkit.One(1), nil
+		}, nil, core.WithStealable(false))
+		winner, err := WaitForOne(ctx, []*core.Thread{diverge, converge})
+		if err != nil {
+			return err
+		}
+		if winner != converge {
+			t.Error("divergent thread won?")
+		}
+		ctx.Wait(diverge) // must terminate, not hang
+		return nil
+	})
+}
+
+func TestWaitForAllBarrier(t *testing.T) {
+	vm := testkit.VM(t, 4, 4)
+	testkit.RunIn(t, vm, func(ctx *core.Context) error {
+		threads := make([]*core.Thread, 8)
+		for i := range threads {
+			n := (i + 1) * 3
+			threads[i] = ctx.Fork(func(c *core.Context) ([]core.Value, error) {
+				return yieldN(c, n)
+			}, vm.VP(i), core.WithStealable(false))
+		}
+		WaitForAll(ctx, threads)
+		for i, th := range threads {
+			if !th.Determined() {
+				t.Errorf("thread %d not determined after wait-for-all", i)
+			}
+		}
+		return nil
+	})
+}
+
+func TestWaitForN(t *testing.T) {
+	vm := testkit.VM(t, 2, 2)
+	testkit.RunIn(t, vm, func(ctx *core.Context) error {
+		quick := make([]*core.Thread, 3)
+		for i := range quick {
+			quick[i] = ctx.Fork(func(c *core.Context) ([]core.Value, error) {
+				return testkit.One(1), nil
+			}, nil, core.WithStealable(false))
+		}
+		slow := ctx.Fork(func(c *core.Context) ([]core.Value, error) {
+			for i := 0; i < 1_000_000; i++ {
+				c.Yield()
+			}
+			return nil, nil
+		}, vm.VP(1), core.WithStealable(false))
+		all := append(append([]*core.Thread{}, quick...), slow)
+		WaitForN(ctx, 3, all)
+		done := 0
+		for _, th := range all {
+			if th.Determined() {
+				done++
+			}
+		}
+		if done < 3 {
+			t.Errorf("only %d determined after wait-for-3", done)
+		}
+		core.ThreadTerminate(slow)
+		return nil
+	})
+}
+
+func TestTaskSetFirst(t *testing.T) {
+	vm := testkit.VM(t, 2, 2)
+	testkit.RunIn(t, vm, func(ctx *core.Context) error {
+		set := NewTaskSet(ctx, "search")
+		set.Speculate(1, func(c *core.Context) ([]core.Value, error) {
+			for i := 0; i < 100000; i++ {
+				c.Yield()
+			}
+			return testkit.One("deep"), nil
+		})
+		set.Speculate(5, func(c *core.Context) ([]core.Value, error) {
+			return testkit.One("shallow"), nil
+		})
+		vals, err := set.First()
+		if err != nil {
+			return err
+		}
+		if vals[0] != "shallow" {
+			t.Errorf("first = %v", vals[0])
+		}
+		// Losers are aborted via the group.
+		for _, th := range set.Threads() {
+			ctx.Wait(th)
+		}
+		return nil
+	})
+}
+
+func TestTaskSetAll(t *testing.T) {
+	vm := testkit.VM(t, 4, 4)
+	testkit.RunIn(t, vm, func(ctx *core.Context) error {
+		set := NewTaskSet(ctx, "gather")
+		for i := 0; i < 5; i++ {
+			i := i
+			set.Speculate(i, func(c *core.Context) ([]core.Value, error) {
+				return testkit.One(i * 10), nil
+			})
+		}
+		vals, err := set.All()
+		if err != nil {
+			return err
+		}
+		for i, v := range vals {
+			if v[0] != i*10 {
+				t.Errorf("task %d value %v", i, v)
+			}
+		}
+		return nil
+	})
+}
+
+func TestTaskSetAbortKillsGroupChildren(t *testing.T) {
+	vm := testkit.VM(t, 2, 2)
+	testkit.RunIn(t, vm, func(ctx *core.Context) error {
+		set := NewTaskSet(ctx, "nested")
+		var grandchild atomic.Pointer[core.Thread]
+		parent := set.Speculate(1, func(c *core.Context) ([]core.Value, error) {
+			grandchild.Store(c.Fork(func(cc *core.Context) ([]core.Value, error) {
+				for {
+					cc.Yield()
+				}
+			}, nil, core.WithStealable(false)))
+			for {
+				c.Yield()
+			}
+		})
+		// Let the parent start and spawn its child.
+		for grandchild.Load() == nil {
+			ctx.Yield()
+		}
+		set.Abort(nil)
+		ctx.Wait(parent)
+		gc := grandchild.Load()
+		ctx.Wait(gc)
+		if !parent.Terminated() || !gc.Terminated() {
+			t.Error("group abort did not reach all members")
+		}
+		return nil
+	})
+}
+
+func TestWaitForOneEmpty(t *testing.T) {
+	vm := testkit.VM(t, 1, 1)
+	testkit.RunIn(t, vm, func(ctx *core.Context) error {
+		if _, err := WaitForOne(ctx, nil); err != ErrNoWinner {
+			t.Errorf("err = %v, want ErrNoWinner", err)
+		}
+		return nil
+	})
+}

@@ -1,0 +1,386 @@
+// Package storage implements STING's storage model: per-thread stacks and
+// heaps organized into areas, generational scavenging that runs without
+// global synchronization, inter-area remembered sets, and recycling pools
+// that let virtual processors cache the dynamic context of exited threads.
+//
+// The paper's substrate manages raw memory for a compiled Scheme system. In
+// this reproduction the Go runtime owns real memory, so an Area is a
+// simulation substrate: it performs genuine bump allocation over byte slabs,
+// tracks live objects through an object table, and copies survivors between
+// generations during a scavenge. The code paths exercised — allocation,
+// per-thread collection, remembered-set maintenance, area recycling — are the
+// ones the paper's storage-model arguments rest on.
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Kind distinguishes the two area roles a thread control block owns.
+type Kind uint8
+
+// Area kinds.
+const (
+	StackArea Kind = iota
+	HeapArea
+)
+
+func (k Kind) String() string {
+	switch k {
+	case StackArea:
+		return "stack"
+	case HeapArea:
+		return "heap"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// ErrExhausted is returned when an allocation cannot be satisfied even after
+// a scavenge; callers treat it as the area analogue of stack overflow.
+var ErrExhausted = errors.New("storage: area exhausted")
+
+// Ref names an object allocated in some area. The zero Ref is the null
+// reference.
+type Ref struct {
+	area uint32 // area id
+	slot uint32 // 1-based index into the area's object table
+}
+
+// IsNil reports whether r is the null reference.
+func (r Ref) IsNil() bool { return r.slot == 0 }
+
+// AreaID returns the identifier of the area the reference points into.
+func (r Ref) AreaID() uint32 { return r.area }
+
+func (r Ref) String() string {
+	if r.IsNil() {
+		return "ref<nil>"
+	}
+	return fmt.Sprintf("ref<%d:%d>", r.area, r.slot)
+}
+
+// object is an entry in an area's object table.
+type object struct {
+	gen   uint8 // generation the object currently lives in
+	live  bool  // reachable from the root set (set by callers via Retain)
+	size  uint32
+	age   uint32 // scavenges survived
+	refs  []Ref  // outgoing references (for remembered-set maintenance)
+	freed bool
+}
+
+// generation models one semispace of an area.
+type generation struct {
+	capacity uint64
+	used     uint64
+}
+
+// Stats counts the events the paper's storage arguments are framed in terms
+// of. All fields are cumulative.
+type Stats struct {
+	Allocs        uint64 // objects allocated
+	AllocBytes    uint64
+	Scavenges     uint64 // collections run by the owning thread
+	Promoted      uint64 // objects promoted to an older generation
+	Reclaimed     uint64 // objects reclaimed
+	InterAreaRefs uint64 // remembered-set entries created
+	Recycles      uint64 // times this area was recycled for a new thread
+}
+
+var areaIDs atomic.Uint32
+
+// Area is a thread-private allocation region with a young and an old
+// generation. A thread garbage collects its areas independently of every
+// other thread: Scavenge takes only the area's own lock, never a global one.
+// Data may be referenced across areas; such references are recorded in the
+// target area's remembered set so a scavenge can treat them as roots.
+type Area struct {
+	id   uint32
+	kind Kind
+
+	mu      sync.Mutex
+	gens    [2]generation
+	objects []object // object table; slot i stored at objects[i-1]
+	free    []uint32 // free slots available for reuse
+
+	// remembered records, per foreign area id, the slots in this area that
+	// are referenced from that area. Entries act as scavenge roots.
+	remembered map[uint32]map[uint32]struct{}
+
+	stats Stats
+}
+
+// NewArea creates an area with the given young-generation capacity in bytes.
+// The old generation is sized at four times the young generation, following
+// the usual generational-scavenging configuration.
+func NewArea(kind Kind, youngBytes uint64) *Area {
+	if youngBytes == 0 {
+		youngBytes = 4096
+	}
+	return &Area{
+		id:   areaIDs.Add(1),
+		kind: kind,
+		gens: [2]generation{
+			{capacity: youngBytes},
+			{capacity: youngBytes * 4},
+		},
+		remembered: make(map[uint32]map[uint32]struct{}),
+	}
+}
+
+// ID returns the area's unique identifier.
+func (a *Area) ID() uint32 { return a.id }
+
+// Kind returns whether the area plays the stack or heap role.
+func (a *Area) Kind() Kind { return a.kind }
+
+// Alloc bump-allocates size bytes in the young generation, scavenging first
+// if the generation is full. It returns a reference to the new object.
+func (a *Area) Alloc(size uint32) (Ref, error) {
+	if size == 0 {
+		size = 1
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.gens[0].used+uint64(size) > a.gens[0].capacity {
+		a.scavengeLocked()
+		if a.gens[0].used+uint64(size) > a.gens[0].capacity {
+			return Ref{}, fmt.Errorf("%w: %s area %d cannot fit %d bytes", ErrExhausted, a.kind, a.id, size)
+		}
+	}
+	a.gens[0].used += uint64(size)
+	a.stats.Allocs++
+	a.stats.AllocBytes += uint64(size)
+
+	var slot uint32
+	if n := len(a.free); n > 0 {
+		slot = a.free[n-1]
+		a.free = a.free[:n-1]
+		a.objects[slot-1] = object{size: size}
+	} else {
+		a.objects = append(a.objects, object{size: size})
+		slot = uint32(len(a.objects))
+	}
+	return Ref{area: a.id, slot: slot}, nil
+}
+
+// Retain marks the object as reachable from the owning thread's root set.
+// Unretained objects are reclaimed at the next scavenge.
+func (a *Area) Retain(r Ref) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if o := a.lookup(r); o != nil {
+		o.live = true
+	}
+}
+
+// Release clears the root mark, making the object collectable.
+func (a *Area) Release(r Ref) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if o := a.lookup(r); o != nil {
+		o.live = false
+	}
+}
+
+// SetRefs records the outgoing references of object r. References into other
+// areas are registered in those areas' remembered sets, which is how the
+// substrate garbage collects objects across thread boundaries without global
+// synchronization.
+func (a *Area) SetRefs(r Ref, refs []Ref, resolve func(uint32) *Area) {
+	a.mu.Lock()
+	o := a.lookup(r)
+	if o == nil {
+		a.mu.Unlock()
+		return
+	}
+	o.refs = append(o.refs[:0], refs...)
+	a.mu.Unlock()
+
+	for _, out := range refs {
+		if out.IsNil() || out.area == a.id || resolve == nil {
+			continue
+		}
+		if target := resolve(out.area); target != nil {
+			target.RememberFrom(a.id, out)
+		}
+	}
+}
+
+// RememberFrom records that area `from` holds a reference to slot r in this
+// area. The entry acts as a scavenge root until Forget is called.
+func (a *Area) RememberFrom(from uint32, r Ref) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	set := a.remembered[from]
+	if set == nil {
+		set = make(map[uint32]struct{})
+		a.remembered[from] = set
+	}
+	if _, ok := set[r.slot]; !ok {
+		set[r.slot] = struct{}{}
+		a.stats.InterAreaRefs++
+	}
+}
+
+// Forget drops a remembered-set entry previously created by RememberFrom.
+func (a *Area) Forget(from uint32, r Ref) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if set := a.remembered[from]; set != nil {
+		delete(set, r.slot)
+		if len(set) == 0 {
+			delete(a.remembered, from)
+		}
+	}
+}
+
+// Live reports whether the object is still present (not reclaimed).
+func (a *Area) Live(r Ref) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	o := a.lookup(r)
+	return o != nil && !o.freed
+}
+
+// Generation returns the generation the object currently lives in, or -1 if
+// it has been reclaimed.
+func (a *Area) Generation(r Ref) int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	o := a.lookup(r)
+	if o == nil || o.freed {
+		return -1
+	}
+	return int(o.gen)
+}
+
+// Scavenge runs a generational collection of this area alone. No other
+// area, thread, or global structure is locked: this is the paper's
+// "threads garbage collect their state independently of one another".
+func (a *Area) Scavenge() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.scavengeLocked()
+}
+
+// promoteAge is the number of scavenges an object must survive before being
+// promoted to the old generation.
+const promoteAge = 2
+
+func (a *Area) scavengeLocked() {
+	a.stats.Scavenges++
+	roots := make(map[uint32]struct{})
+	for _, set := range a.remembered {
+		for slot := range set {
+			roots[slot] = struct{}{}
+		}
+	}
+	// Trace: live objects and everything transitively referenced from them
+	// or from remembered-set roots survives.
+	mark := make([]bool, len(a.objects))
+	var stack []uint32
+	for i := range a.objects {
+		slot := uint32(i + 1)
+		o := &a.objects[i]
+		if o.freed {
+			continue
+		}
+		_, remembered := roots[slot]
+		if o.live || remembered {
+			mark[i] = true
+			stack = append(stack, slot)
+		}
+	}
+	for len(stack) > 0 {
+		slot := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		o := &a.objects[slot-1]
+		for _, out := range o.refs {
+			if out.area != a.id || out.IsNil() {
+				continue // cross-area refs are the other area's roots
+			}
+			idx := int(out.slot) - 1
+			if idx >= 0 && idx < len(mark) && !mark[idx] && !a.objects[idx].freed {
+				mark[idx] = true
+				stack = append(stack, out.slot)
+			}
+		}
+	}
+	// Sweep/copy: survivors age and may be promoted; the rest is reclaimed.
+	a.gens[0].used = 0
+	a.gens[1].used = 0
+	for i := range a.objects {
+		o := &a.objects[i]
+		if o.freed {
+			continue
+		}
+		if !mark[i] {
+			o.freed = true
+			a.free = append(a.free, uint32(i+1))
+			a.stats.Reclaimed++
+			continue
+		}
+		o.age++
+		if o.gen == 0 && o.age >= promoteAge {
+			o.gen = 1
+			a.stats.Promoted++
+		}
+		a.gens[o.gen].used += uint64(o.size)
+	}
+}
+
+// Reset clears the area for reuse by a fresh thread. The object table and
+// slab capacity are retained — this is what makes VP-side recycling cheap.
+func (a *Area) Reset() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.objects = a.objects[:0]
+	a.free = a.free[:0]
+	a.gens[0].used = 0
+	a.gens[1].used = 0
+	for k := range a.remembered {
+		delete(a.remembered, k)
+	}
+	a.stats.Recycles++
+}
+
+// Used returns the bytes currently allocated in the given generation.
+func (a *Area) Used(gen int) uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if gen < 0 || gen >= len(a.gens) {
+		return 0
+	}
+	return a.gens[gen].used
+}
+
+// Capacity returns the byte capacity of the given generation.
+func (a *Area) Capacity(gen int) uint64 {
+	if gen < 0 || gen >= len(a.gens) {
+		return 0
+	}
+	return a.gens[gen].capacity
+}
+
+// Stats returns a snapshot of the area's counters.
+func (a *Area) Stats() Stats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.stats
+}
+
+func (a *Area) lookup(r Ref) *object {
+	if r.IsNil() || r.area != a.id || int(r.slot) > len(a.objects) {
+		return nil
+	}
+	o := &a.objects[r.slot-1]
+	if o.freed {
+		return nil
+	}
+	return o
+}

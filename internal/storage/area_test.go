@@ -1,0 +1,271 @@
+package storage
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestAllocAndLive(t *testing.T) {
+	a := NewArea(HeapArea, 1024)
+	r, err := a.Alloc(64)
+	if err != nil {
+		t.Fatalf("Alloc: %v", err)
+	}
+	if r.IsNil() {
+		t.Fatal("nil ref")
+	}
+	if !a.Live(r) {
+		t.Fatal("fresh object not live")
+	}
+	if g := a.Generation(r); g != 0 {
+		t.Fatalf("generation = %d, want 0", g)
+	}
+}
+
+func TestScavengeReclaimsUnretained(t *testing.T) {
+	a := NewArea(HeapArea, 1024)
+	dead, _ := a.Alloc(64)
+	kept, _ := a.Alloc(64)
+	a.Retain(kept)
+	a.Scavenge()
+	if a.Live(dead) {
+		t.Error("unretained object survived scavenge")
+	}
+	if !a.Live(kept) {
+		t.Error("retained object reclaimed")
+	}
+	st := a.Stats()
+	if st.Reclaimed != 1 {
+		t.Errorf("Reclaimed = %d, want 1", st.Reclaimed)
+	}
+}
+
+func TestScavengeTracesInternalRefs(t *testing.T) {
+	a := NewArea(HeapArea, 4096)
+	root, _ := a.Alloc(16)
+	mid, _ := a.Alloc(16)
+	leaf, _ := a.Alloc(16)
+	a.Retain(root)
+	a.SetRefs(root, []Ref{mid}, nil)
+	a.SetRefs(mid, []Ref{leaf}, nil)
+	a.Scavenge()
+	for _, r := range []Ref{root, mid, leaf} {
+		if !a.Live(r) {
+			t.Errorf("%v reclaimed despite being reachable", r)
+		}
+	}
+}
+
+func TestPromotionAfterSurvivals(t *testing.T) {
+	a := NewArea(HeapArea, 1024)
+	r, _ := a.Alloc(32)
+	a.Retain(r)
+	for i := 0; i < promoteAge; i++ {
+		if g := a.Generation(r); g != 0 {
+			t.Fatalf("promoted too early at scavenge %d", i)
+		}
+		a.Scavenge()
+	}
+	if g := a.Generation(r); g != 1 {
+		t.Fatalf("generation = %d after %d scavenges, want 1", g, promoteAge)
+	}
+	if st := a.Stats(); st.Promoted != 1 {
+		t.Fatalf("Promoted = %d, want 1", st.Promoted)
+	}
+}
+
+func TestAllocTriggersScavenge(t *testing.T) {
+	a := NewArea(HeapArea, 256)
+	// Fill the young generation with garbage; the next alloc must succeed
+	// by scavenging it away.
+	for i := 0; i < 4; i++ {
+		if _, err := a.Alloc(64); err != nil {
+			t.Fatalf("fill alloc %d: %v", i, err)
+		}
+	}
+	if _, err := a.Alloc(64); err != nil {
+		t.Fatalf("alloc after full young gen: %v", err)
+	}
+	if st := a.Stats(); st.Scavenges == 0 {
+		t.Fatal("no scavenge ran")
+	}
+}
+
+func TestExhaustion(t *testing.T) {
+	a := NewArea(HeapArea, 128)
+	refs := make([]Ref, 0, 8)
+	var sawErr bool
+	for i := 0; i < 64; i++ {
+		r, err := a.Alloc(64)
+		if err != nil {
+			if !errors.Is(err, ErrExhausted) {
+				t.Fatalf("wrong error: %v", err)
+			}
+			sawErr = true
+			break
+		}
+		a.Retain(r) // keep everything live: promotion then exhaustion
+		refs = append(refs, r)
+	}
+	if !sawErr {
+		t.Fatalf("area never exhausted; allocated %d refs", len(refs))
+	}
+}
+
+func TestRememberedSetActsAsRoot(t *testing.T) {
+	a := NewArea(HeapArea, 1024)
+	b := NewArea(HeapArea, 1024)
+	resolve := func(id uint32) *Area {
+		switch id {
+		case a.ID():
+			return a
+		case b.ID():
+			return b
+		}
+		return nil
+	}
+	holder, _ := a.Alloc(16)
+	target, _ := b.Alloc(16)
+	a.Retain(holder)
+	// holder (area a) references target (area b): the cross-area ref must
+	// keep target alive through b's independent scavenge.
+	a.SetRefs(holder, []Ref{target}, resolve)
+	b.Scavenge()
+	if !b.Live(target) {
+		t.Fatal("cross-area referenced object reclaimed")
+	}
+	if st := b.Stats(); st.InterAreaRefs != 1 {
+		t.Fatalf("InterAreaRefs = %d, want 1", st.InterAreaRefs)
+	}
+	// Dropping the remembered entry makes it collectable again.
+	b.Forget(a.ID(), target)
+	b.Scavenge()
+	if b.Live(target) {
+		t.Fatal("object survived after remembered entry dropped")
+	}
+}
+
+func TestIndependentScavenges(t *testing.T) {
+	a := NewArea(HeapArea, 1024)
+	b := NewArea(HeapArea, 1024)
+	ra, _ := a.Alloc(16)
+	rb, _ := b.Alloc(16)
+	a.Retain(ra)
+	b.Retain(rb)
+	a.Scavenge() // must not touch b
+	if sb := b.Stats(); sb.Scavenges != 0 {
+		t.Fatal("scavenging a touched b")
+	}
+	if !b.Live(rb) {
+		t.Fatal("b's object disturbed")
+	}
+}
+
+func TestResetRecycles(t *testing.T) {
+	a := NewArea(StackArea, 1024)
+	r, _ := a.Alloc(100)
+	a.Retain(r)
+	a.Reset()
+	if a.Live(r) {
+		t.Fatal("object survived reset")
+	}
+	if u := a.Used(0); u != 0 {
+		t.Fatalf("used = %d after reset", u)
+	}
+	if st := a.Stats(); st.Recycles != 1 {
+		t.Fatalf("Recycles = %d, want 1", st.Recycles)
+	}
+	if _, err := a.Alloc(64); err != nil {
+		t.Fatalf("alloc after reset: %v", err)
+	}
+}
+
+func TestPoolRecyclesPairs(t *testing.T) {
+	p := NewPool(512, 512, 2)
+	p1 := p.Get()
+	p2 := p.Get()
+	if p1 == p2 {
+		t.Fatal("same pair served twice")
+	}
+	p.Put(p1)
+	p3 := p.Get()
+	if p3 != p1 {
+		t.Fatal("pool did not recycle the returned pair")
+	}
+	hits, misses := p.HitsMisses()
+	if hits != 1 || misses != 2 {
+		t.Fatalf("hits/misses = %d/%d, want 1/2", hits, misses)
+	}
+	_ = p2
+}
+
+func TestPoolLimit(t *testing.T) {
+	p := NewPool(256, 256, 1)
+	a1, a2 := p.Get(), p.Get()
+	p.Put(a1)
+	p.Put(a2) // beyond limit: dropped
+	if c := p.Cached(); c != 1 {
+		t.Fatalf("cached = %d, want 1", c)
+	}
+}
+
+// Property: for any mix of retained and garbage objects, a scavenge keeps
+// exactly the retained ones (no internal refs involved).
+func TestScavengePreservesExactlyRetained(t *testing.T) {
+	f := func(keepMask []bool) bool {
+		if len(keepMask) > 40 {
+			keepMask = keepMask[:40]
+		}
+		a := NewArea(HeapArea, 1<<20)
+		refs := make([]Ref, len(keepMask))
+		for i := range keepMask {
+			r, err := a.Alloc(8)
+			if err != nil {
+				return false
+			}
+			refs[i] = r
+			if keepMask[i] {
+				a.Retain(r)
+			}
+		}
+		a.Scavenge()
+		for i, r := range refs {
+			if a.Live(r) != keepMask[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: allocation accounting never loses bytes — used(young)+used(old)
+// equals the sum of live object sizes after any scavenge.
+func TestUsageAccounting(t *testing.T) {
+	f := func(sizes []uint8, keep []bool) bool {
+		a := NewArea(HeapArea, 1<<20)
+		var live uint64
+		for i, s := range sizes {
+			if i >= len(keep) {
+				break
+			}
+			sz := uint32(s%63) + 1
+			r, err := a.Alloc(sz)
+			if err != nil {
+				return false
+			}
+			if keep[i] {
+				a.Retain(r)
+				live += uint64(sz)
+			}
+		}
+		a.Scavenge()
+		return a.Used(0)+a.Used(1) == live
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,94 @@
+package storage
+
+import "sync"
+
+// AreaPair bundles the stack and heap areas that make up one thread's
+// dynamic storage. The pair is the unit of recycling: when a thread
+// terminates, its pair is returned to the owning VP's pool and handed whole
+// to the next thread that starts there, keeping the storage in that
+// processor's working set ("storage for running threads are cached on VPs
+// and recycled for immediate reuse when a thread terminates").
+type AreaPair struct {
+	Stack *Area
+	Heap  *Area
+}
+
+// NewAreaPair allocates a fresh stack/heap pair.
+func NewAreaPair(stackBytes, heapBytes uint64) *AreaPair {
+	return &AreaPair{
+		Stack: NewArea(StackArea, stackBytes),
+		Heap:  NewArea(HeapArea, heapBytes),
+	}
+}
+
+// Reset prepares the pair for reuse by a new thread.
+func (p *AreaPair) Reset() {
+	p.Stack.Reset()
+	p.Heap.Reset()
+}
+
+// Pool is a per-VP cache of area pairs. It is only ever touched by its
+// owning VP's scheduler loop, but a mutex is kept so diagnostic code and
+// migration paths may inspect it safely.
+type Pool struct {
+	mu         sync.Mutex
+	stackBytes uint64
+	heapBytes  uint64
+	limit      int
+	pairs      []*AreaPair
+
+	hits, misses uint64
+}
+
+// NewPool creates a pool that caches up to limit pairs sized as given.
+func NewPool(stackBytes, heapBytes uint64, limit int) *Pool {
+	if limit <= 0 {
+		limit = 16
+	}
+	return &Pool{stackBytes: stackBytes, heapBytes: heapBytes, limit: limit}
+}
+
+// Get returns a recycled pair when one is cached, or a fresh pair.
+func (p *Pool) Get() *AreaPair {
+	p.mu.Lock()
+	if n := len(p.pairs); n > 0 {
+		pair := p.pairs[n-1]
+		p.pairs = p.pairs[:n-1]
+		p.hits++
+		p.mu.Unlock()
+		return pair
+	}
+	p.misses++
+	p.mu.Unlock()
+	return NewAreaPair(p.stackBytes, p.heapBytes)
+}
+
+// Put resets the pair and caches it for immediate reuse; pairs beyond the
+// pool limit are dropped for the collector.
+func (p *Pool) Put(pair *AreaPair) {
+	if pair == nil {
+		return
+	}
+	pair.Reset()
+	p.mu.Lock()
+	if len(p.pairs) < p.limit {
+		p.pairs = append(p.pairs, pair)
+	}
+	p.mu.Unlock()
+}
+
+// Cached returns the number of pairs currently cached.
+func (p *Pool) Cached() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.pairs)
+}
+
+// HitsMisses reports how many Get calls were served from the cache versus by
+// fresh allocation; the ratio is the recycling-effectiveness figure used in
+// the storage ablation.
+func (p *Pool) HitsMisses() (hits, misses uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.hits, p.misses
+}

@@ -1,0 +1,178 @@
+// Package streams implements the user-defined synchronizing stream
+// abstraction the paper's sieve example is written against (Fig. 2): a
+// blocking head operation (hd), an atomic append (attach), rest, and
+// end-of-stream. Streams demonstrate that STING imposes no a-priori
+// synchronization protocol on threads — coordination abstractions like this
+// one are ordinary library code over mutexes and thread parks.
+package streams
+
+import (
+	"errors"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// ErrClosed is returned when reading past the end of a closed stream.
+var ErrClosed = errors.New("streams: end of stream")
+
+// Stream is an immutable-prefix, append-only sequence. A Stream value
+// denotes a position; Rest returns the next position. Readers block in hd
+// until a writer attaches an element at their position.
+type Stream struct {
+	s   *shared
+	pos int
+}
+
+type shared struct {
+	mu      sync.Mutex
+	items   []core.Value
+	closed  bool
+	waiters []*cell
+}
+
+type cell struct {
+	tcb  *core.TCB
+	pos  int
+	woke bool
+}
+
+// New creates an empty stream (make-stream).
+func New() *Stream { return &Stream{s: &shared{}} }
+
+// Attach atomically appends v to the end of the stream and wakes readers
+// blocked at that position.
+func (st *Stream) Attach(v core.Value) {
+	s := st.s
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		panic("streams: attach to closed stream")
+	}
+	s.items = append(s.items, v)
+	n := len(s.items)
+	var wake []*cell
+	rest := s.waiters[:0]
+	for _, c := range s.waiters {
+		if c.pos < n {
+			c.woke = true
+			wake = append(wake, c)
+		} else {
+			rest = append(rest, c)
+		}
+	}
+	s.waiters = rest
+	s.mu.Unlock()
+	for _, c := range wake {
+		core.WakeTCB(c.tcb)
+	}
+}
+
+// Close marks the end of the stream; blocked readers observe ErrClosed.
+func (st *Stream) Close() {
+	s := st.s
+	s.mu.Lock()
+	s.closed = true
+	wake := s.waiters
+	s.waiters = nil
+	for _, c := range wake {
+		c.woke = true
+	}
+	s.mu.Unlock()
+	for _, c := range wake {
+		core.WakeTCB(c.tcb)
+	}
+}
+
+// Hd returns the element at this position, blocking until a writer
+// attaches one (hd). Reading past a closed stream returns ErrClosed.
+func (st *Stream) Hd(ctx *core.Context) (core.Value, error) {
+	s := st.s
+	for {
+		s.mu.Lock()
+		if st.pos < len(s.items) {
+			v := s.items[st.pos]
+			s.mu.Unlock()
+			return v, nil
+		}
+		if s.closed {
+			s.mu.Unlock()
+			return nil, ErrClosed
+		}
+		c := &cell{tcb: ctx.TCB(), pos: st.pos}
+		s.waiters = append(s.waiters, c)
+		s.mu.Unlock()
+		ctx.BlockUntil(func() bool {
+			s.mu.Lock()
+			ok := c.woke || st.pos < len(s.items) || s.closed
+			s.mu.Unlock()
+			return ok
+		})
+	}
+}
+
+// TryHd returns the element at this position without blocking.
+func (st *Stream) TryHd() (core.Value, bool, error) {
+	s := st.s
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if st.pos < len(s.items) {
+		return s.items[st.pos], true, nil
+	}
+	if s.closed {
+		return nil, false, ErrClosed
+	}
+	return nil, false, nil
+}
+
+// Rest returns the stream position after this one (rest). It does not
+// block; the element need not exist yet.
+func (st *Stream) Rest() *Stream { return &Stream{s: st.s, pos: st.pos + 1} }
+
+// Len returns how many elements have been attached so far.
+func (st *Stream) Len() int {
+	st.s.mu.Lock()
+	defer st.s.mu.Unlock()
+	return len(st.s.items)
+}
+
+// Closed reports whether the stream has been closed.
+func (st *Stream) Closed() bool {
+	st.s.mu.Lock()
+	defer st.s.mu.Unlock()
+	return st.s.closed
+}
+
+// Collect reads every remaining element until the stream closes.
+func (st *Stream) Collect(ctx *core.Context) ([]core.Value, error) {
+	var out []core.Value
+	cur := st
+	for {
+		v, err := cur.Hd(ctx)
+		if errors.Is(err, ErrClosed) {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, v)
+		cur = cur.Rest()
+	}
+}
+
+// Integers produces the stream 2, 3, 4, … limit on a dedicated thread (the
+// paper's make-integer-stream feeding the sieve).
+func Integers(ctx *core.Context, limit int) *Stream {
+	st := New()
+	ctx.Fork(func(c *core.Context) ([]core.Value, error) {
+		for i := 2; i <= limit; i++ {
+			st.Attach(i)
+			if i%64 == 0 {
+				c.Poll()
+			}
+		}
+		st.Close()
+		return nil, nil
+	}, nil, core.WithName("integer-stream"))
+	return st
+}

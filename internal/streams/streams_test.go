@@ -1,0 +1,278 @@
+package streams
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/testkit"
+)
+
+func TestAttachHd(t *testing.T) {
+	vm := testkit.VM(t, 1, 1)
+	testkit.RunIn(t, vm, func(ctx *core.Context) error {
+		st := New()
+		st.Attach(1)
+		st.Attach(2)
+		v, err := st.Hd(ctx)
+		if err != nil {
+			return err
+		}
+		if v != 1 {
+			t.Errorf("hd = %v", v)
+		}
+		v2, err := st.Rest().Hd(ctx)
+		if err != nil {
+			return err
+		}
+		if v2 != 2 {
+			t.Errorf("second = %v", v2)
+		}
+		// Positions are immutable: re-reading gives the same element.
+		v3, _ := st.Hd(ctx)
+		if v3 != 1 {
+			t.Errorf("re-read hd = %v", v3)
+		}
+		return nil
+	})
+}
+
+func TestHdBlocksUntilAttach(t *testing.T) {
+	vm := testkit.VM(t, 2, 2)
+	testkit.RunIn(t, vm, func(ctx *core.Context) error {
+		st := New()
+		reader := ctx.Fork(func(c *core.Context) ([]core.Value, error) {
+			v, err := st.Hd(c)
+			if err != nil {
+				return nil, err
+			}
+			return testkit.One(v), nil
+		}, vm.VP(1))
+		for i := 0; i < 10; i++ {
+			ctx.Yield()
+		}
+		if reader.Determined() {
+			t.Error("hd returned before attach")
+		}
+		st.Attach("x")
+		v, err := ctx.Value1(reader)
+		if err != nil {
+			return err
+		}
+		if v != "x" {
+			t.Errorf("reader got %v", v)
+		}
+		return nil
+	})
+}
+
+func TestCloseUnblocksReaders(t *testing.T) {
+	vm := testkit.VM(t, 2, 2)
+	testkit.RunIn(t, vm, func(ctx *core.Context) error {
+		st := New()
+		reader := ctx.Fork(func(c *core.Context) ([]core.Value, error) {
+			_, err := st.Hd(c)
+			if errors.Is(err, ErrClosed) {
+				return testkit.One("closed"), nil
+			}
+			return testkit.One("value"), err
+		}, vm.VP(1))
+		for i := 0; i < 10; i++ {
+			ctx.Yield()
+		}
+		st.Close()
+		v, err := ctx.Value1(reader)
+		if err != nil {
+			return err
+		}
+		if v != "closed" {
+			t.Errorf("reader saw %v", v)
+		}
+		return nil
+	})
+}
+
+func TestProducerConsumerPipeline(t *testing.T) {
+	vm := testkit.VM(t, 4, 4)
+	testkit.RunIn(t, vm, func(ctx *core.Context) error {
+		in := Integers(ctx, 100)
+		out := New()
+		// A doubling stage.
+		ctx.Fork(func(c *core.Context) ([]core.Value, error) {
+			cur := in
+			for {
+				v, err := cur.Hd(c)
+				if errors.Is(err, ErrClosed) {
+					out.Close()
+					return nil, nil
+				}
+				if err != nil {
+					return nil, err
+				}
+				out.Attach(v.(int) * 2)
+				cur = cur.Rest()
+			}
+		}, vm.VP(1))
+		vals, err := out.Collect(ctx)
+		if err != nil {
+			return err
+		}
+		if len(vals) != 99 {
+			t.Fatalf("collected %d values, want 99", len(vals))
+		}
+		for i, v := range vals {
+			if v != (i+2)*2 {
+				t.Fatalf("vals[%d] = %v", i, v)
+			}
+		}
+		return nil
+	})
+}
+
+// The paper's Fig. 2 sieve, in the three concurrency flavours the paper
+// derives from one abstraction: lazy (delayed threads demanded on
+// extension), eager (fork-thread per filter), and stolen (delayed but
+// demanded through Wait, so filters run inline).
+type sieveOp func(ctx *core.Context, thunk core.Thunk)
+
+func sieve(ctx *core.Context, op sieveOp, limit int) (*Stream, *Stream) {
+	input := Integers(ctx, limit)
+	primes := New()
+	op(ctx, func(c *core.Context) ([]core.Value, error) {
+		return filterStage(c, op, 2, input, primes)
+	})
+	return input, primes
+}
+
+// filterStage removes multiples of n from its input; the first element that
+// survives becomes the next prime and spawns (via op) the next filter.
+func filterStage(ctx *core.Context, op sieveOp, n int, input *Stream, primes *Stream) ([]core.Value, error) {
+	primes.Attach(n)
+	output := New()
+	spawned := false
+	cur := input
+	for {
+		v, err := cur.Hd(ctx)
+		if errors.Is(err, ErrClosed) {
+			output.Close()
+			if !spawned {
+				primes.Close()
+			}
+			return nil, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		x := v.(int)
+		if x%n != 0 {
+			if !spawned {
+				spawned = true
+				m := x
+				out := output
+				op(ctx, func(c *core.Context) ([]core.Value, error) {
+					return filterStage(c, op, m, out, primes)
+				})
+			}
+			output.Attach(x)
+		}
+		cur = cur.Rest()
+	}
+}
+
+func eagerOp(ctx *core.Context, thunk core.Thunk) {
+	ctx.Fork(thunk, nil)
+}
+
+func collectPrimes(t *testing.T, procs, vps, limit int, op sieveOp) []int {
+	t.Helper()
+	vm := testkit.VM(t, procs, vps)
+	var got []int
+	testkit.RunIn(t, vm, func(ctx *core.Context) error {
+		_, primes := sieve(ctx, op, limit)
+		vals, err := primes.Collect(ctx)
+		if err != nil {
+			return err
+		}
+		for _, v := range vals {
+			got = append(got, v.(int))
+		}
+		return nil
+	})
+	return got
+}
+
+func wantPrimes(limit int) []int {
+	sieve := make([]bool, limit+1)
+	var out []int
+	for i := 2; i <= limit; i++ {
+		if !sieve[i] {
+			out = append(out, i)
+			for j := i * i; j <= limit; j += i {
+				sieve[j] = true
+			}
+		}
+	}
+	return out
+}
+
+func TestSieveEager(t *testing.T) {
+	got := collectPrimes(t, 4, 4, 200, eagerOp)
+	want := wantPrimes(200)
+	if len(got) != len(want) {
+		t.Fatalf("got %d primes %v, want %d", len(got), got, len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("prime[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSieveSingleVP(t *testing.T) {
+	got := collectPrimes(t, 1, 1, 100, eagerOp)
+	want := wantPrimes(100)
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestStreamInspection(t *testing.T) {
+	vm := testkit.VM(t, 1, 1)
+	testkit.RunIn(t, vm, func(ctx *core.Context) error {
+		st := New()
+		if st.Len() != 0 || st.Closed() {
+			t.Error("fresh stream not empty/open")
+		}
+		if _, ok, err := st.TryHd(); ok || err != nil {
+			t.Errorf("TryHd on empty: ok=%v err=%v", ok, err)
+		}
+		st.Attach("x")
+		if v, ok, err := st.TryHd(); !ok || err != nil || v != "x" {
+			t.Errorf("TryHd: %v %v %v", v, ok, err)
+		}
+		if st.Len() != 1 {
+			t.Errorf("len = %d", st.Len())
+		}
+		st.Close()
+		if !st.Closed() {
+			t.Error("not closed")
+		}
+		// TryHd past the end of a closed stream reports ErrClosed.
+		rest := st.Rest()
+		if _, ok, err := rest.TryHd(); ok || !errors.Is(err, ErrClosed) {
+			t.Errorf("TryHd past close: ok=%v err=%v", ok, err)
+		}
+		return nil
+	})
+}
+
+func TestAttachAfterClosePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("attach to closed stream did not panic")
+		}
+	}()
+	st := New()
+	st.Close()
+	st.Attach(1)
+}

@@ -1,0 +1,229 @@
+package tspace
+
+import (
+	"sync"
+
+	"repro/internal/core"
+)
+
+// hashTS is the general, fully associative representation: the presence
+// table HP is an array of bins, each guarded by its own mutex (the paper's
+// per-bin locking), and the blocked table HB is the shared waitTable.
+// Tuples are binned by arity and first keyable field; templates whose first
+// position is a formal (or a thread) probe the whole arity class via the
+// wildcard bin.
+type hashTS struct {
+	bins   []*hashBin
+	wild   map[int]*hashBin // arity → wildcard bin for unkeyable first fields
+	wildMu sync.Mutex
+	wt     *waitTable
+	parent TupleSpace
+}
+
+type hashBin struct {
+	mu      sync.Mutex
+	entries []*entry
+}
+
+func newHashTS(cfg Config) *hashTS {
+	n := cfg.Bins
+	if n <= 0 {
+		n = 64
+	}
+	ts := &hashTS{
+		bins:   make([]*hashBin, n),
+		wild:   make(map[int]*hashBin),
+		wt:     newWaitTable(),
+		parent: cfg.Parent,
+	}
+	for i := range ts.bins {
+		ts.bins[i] = &hashBin{}
+	}
+	return ts
+}
+
+// Kind implements TupleSpace.
+func (ts *hashTS) Kind() Kind { return KindHash }
+
+// binFor classifies a tuple: keyable first fields map to a hashed bin;
+// everything else (empty tuples, thread or aggregate first fields) goes to
+// the arity's wildcard bin.
+func (ts *hashTS) binFor(tup Tuple) *hashBin {
+	if len(tup) > 0 {
+		if h, ok := hashValue(tup[0]); ok {
+			return ts.bins[(h^uint64(len(tup))*0x9e3779b97f4a7c15)%uint64(len(ts.bins))]
+		}
+	}
+	return ts.wildBin(len(tup))
+}
+
+func (ts *hashTS) wildBin(arity int) *hashBin {
+	ts.wildMu.Lock()
+	defer ts.wildMu.Unlock()
+	b := ts.wild[arity]
+	if b == nil {
+		b = &hashBin{}
+		ts.wild[arity] = b
+	}
+	return b
+}
+
+// probeBins returns the bins a template must search: its specific bin (when
+// the first position is a concrete immediate) plus the wildcard bin; an
+// unkeyable first position degrades to the whole arity class.
+func (ts *hashTS) probeBins(tpl Template) []*hashBin {
+	if len(tpl) == 0 {
+		return []*hashBin{ts.wildBin(0)}
+	}
+	if !isFormal(tpl[0]) {
+		if h, ok := hashValue(tpl[0]); ok {
+			specific := ts.bins[(h^uint64(len(tpl))*0x9e3779b97f4a7c15)%uint64(len(ts.bins))]
+			return []*hashBin{specific, ts.wildBin(len(tpl))}
+		}
+	}
+	// Formal or unkeyable first position: the whole arity class.
+	out := make([]*hashBin, 0, len(ts.bins)+1)
+	out = append(out, ts.bins...)
+	out = append(out, ts.wildBin(len(tpl)))
+	return out
+}
+
+// Put implements TupleSpace.
+func (ts *hashTS) Put(ctx *core.Context, tup Tuple) error {
+	e := &entry{tup: tup}
+	b := ts.binFor(tup)
+	b.mu.Lock()
+	b.entries = append(b.entries, e)
+	b.mu.Unlock()
+	ts.wt.wake(len(tup))
+	return nil
+}
+
+// scan looks for a match in one bin, removing when remove is set. Matching
+// may demand thread values, so candidate entries are copied out before the
+// (possibly blocking) match runs — the bin lock is never held across a
+// demand.
+func (ts *hashTS) scan(ctx *core.Context, b *hashBin, tpl Template, remove bool) (Tuple, Bindings, error) {
+	b.mu.Lock()
+	candidates := make([]*entry, 0, len(b.entries))
+	live := b.entries[:0]
+	for _, e := range b.entries {
+		if e.taken.Load() {
+			continue // compact lazily deleted entries
+		}
+		live = append(live, e)
+		if len(e.tup) == len(tpl) {
+			candidates = append(candidates, e)
+		}
+	}
+	b.entries = live
+	b.mu.Unlock()
+
+	for _, e := range candidates {
+		bind, resolved, ok, err := matchTuple(ctx, tpl, e.tup)
+		if err != nil {
+			return nil, nil, err
+		}
+		if !ok {
+			continue
+		}
+		if remove {
+			if !e.taken.CompareAndSwap(false, true) {
+				continue // another remover won; keep scanning
+			}
+		} else if e.taken.Load() {
+			continue
+		}
+		return resolved, bind, nil
+	}
+	return nil, nil, ErrNoMatch
+}
+
+func (ts *hashTS) probe(ctx *core.Context, tpl Template, remove bool) (Tuple, Bindings, error) {
+	for _, b := range ts.probeBins(tpl) {
+		tup, bind, err := ts.scan(ctx, b, tpl, remove)
+		if err == nil {
+			return tup, bind, nil
+		}
+		if err != ErrNoMatch {
+			return nil, nil, err
+		}
+	}
+	return nil, nil, ErrNoMatch
+}
+
+// TryGet implements TupleSpace.
+func (ts *hashTS) TryGet(ctx *core.Context, tpl Template) (Tuple, Bindings, error) {
+	return ts.probe(ctx, tpl, true)
+}
+
+// TryRd implements TupleSpace.
+func (ts *hashTS) TryRd(ctx *core.Context, tpl Template) (Tuple, Bindings, error) {
+	tup, bind, err := ts.probe(ctx, tpl, false)
+	if err == ErrNoMatch && ts.parent != nil {
+		return ts.parent.TryRd(ctx, tpl)
+	}
+	return tup, bind, err
+}
+
+// Get implements TupleSpace.
+func (ts *hashTS) Get(ctx *core.Context, tpl Template) (Tuple, Bindings, error) {
+	return blockingLoop(ctx, ts.wt, len(tpl), func() (Tuple, Bindings, error) {
+		return ts.probe(ctx, tpl, true)
+	})
+}
+
+// Rd implements TupleSpace.
+func (ts *hashTS) Rd(ctx *core.Context, tpl Template) (Tuple, Bindings, error) {
+	return blockingLoop(ctx, ts.wt, len(tpl), func() (Tuple, Bindings, error) {
+		tup, bind, err := ts.probe(ctx, tpl, false)
+		if err == ErrNoMatch && ts.parent != nil {
+			ptup, pbind, perr := ts.parent.TryRd(ctx, tpl)
+			if perr == nil {
+				return ptup, pbind, nil
+			}
+		}
+		return tup, bind, err
+	})
+}
+
+// Spawn implements TupleSpace: each thunk becomes a scheduled thread; the
+// deposited tuple holds the threads themselves, so matching can steal
+// still-scheduled elements (§4.2's fine-grained synchronization story).
+func (ts *hashTS) Spawn(ctx *core.Context, thunks ...core.Thunk) ([]*core.Thread, error) {
+	tup := make(Tuple, len(thunks))
+	threads := make([]*core.Thread, len(thunks))
+	for i, th := range thunks {
+		t := ctx.Fork(th, nil)
+		threads[i] = t
+		tup[i] = t
+	}
+	return threads, ts.Put(ctx, tup)
+}
+
+// Len implements TupleSpace.
+func (ts *hashTS) Len() int {
+	n := 0
+	count := func(b *hashBin) {
+		b.mu.Lock()
+		for _, e := range b.entries {
+			if !e.taken.Load() {
+				n++
+			}
+		}
+		b.mu.Unlock()
+	}
+	for _, b := range ts.bins {
+		count(b)
+	}
+	ts.wildMu.Lock()
+	wilds := make([]*hashBin, 0, len(ts.wild))
+	for _, b := range ts.wild {
+		wilds = append(wilds, b)
+	}
+	ts.wildMu.Unlock()
+	for _, b := range wilds {
+		count(b)
+	}
+	return n
+}

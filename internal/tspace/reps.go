@@ -1,0 +1,368 @@
+package tspace
+
+import (
+	"sync"
+
+	"repro/internal/core"
+)
+
+// ---------------------------------------------------------------------------
+// Bag and set
+
+// bagTS is the unindexed representation: a flat multiset under one mutex.
+// The specializer picks it for small or low-contention spaces; with dedup
+// set it is the set representation (duplicate puts collapse).
+type bagTS struct {
+	mu      sync.Mutex
+	entries []*entry
+	dedup   bool
+	wt      *waitTable
+	parent  TupleSpace
+}
+
+func newBagTS(cfg Config, dedup bool) *bagTS {
+	return &bagTS{dedup: dedup, wt: newWaitTable(), parent: cfg.Parent}
+}
+
+// Kind implements TupleSpace.
+func (ts *bagTS) Kind() Kind {
+	if ts.dedup {
+		return KindSet
+	}
+	return KindBag
+}
+
+func sameTuple(a, b Tuple) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !immediateEqual(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Put implements TupleSpace.
+func (ts *bagTS) Put(ctx *core.Context, tup Tuple) error {
+	ts.mu.Lock()
+	if ts.dedup {
+		for _, e := range ts.entries {
+			if !e.taken.Load() && sameTuple(e.tup, tup) {
+				ts.mu.Unlock()
+				ts.wt.wake(len(tup))
+				return nil
+			}
+		}
+	}
+	ts.entries = append(ts.entries, &entry{tup: tup})
+	ts.mu.Unlock()
+	ts.wt.wake(len(tup))
+	return nil
+}
+
+func (ts *bagTS) probe(ctx *core.Context, tpl Template, remove bool) (Tuple, Bindings, error) {
+	ts.mu.Lock()
+	candidates := make([]*entry, 0, len(ts.entries))
+	live := ts.entries[:0]
+	for _, e := range ts.entries {
+		if e.taken.Load() {
+			continue
+		}
+		live = append(live, e)
+		if len(e.tup) == len(tpl) {
+			candidates = append(candidates, e)
+		}
+	}
+	ts.entries = live
+	ts.mu.Unlock()
+	for _, e := range candidates {
+		bind, resolved, ok, err := matchTuple(ctx, tpl, e.tup)
+		if err != nil {
+			return nil, nil, err
+		}
+		if !ok {
+			continue
+		}
+		if remove && !e.taken.CompareAndSwap(false, true) {
+			continue
+		}
+		if !remove && e.taken.Load() {
+			continue
+		}
+		return resolved, bind, nil
+	}
+	return nil, nil, ErrNoMatch
+}
+
+// TryGet implements TupleSpace.
+func (ts *bagTS) TryGet(ctx *core.Context, tpl Template) (Tuple, Bindings, error) {
+	return ts.probe(ctx, tpl, true)
+}
+
+// TryRd implements TupleSpace.
+func (ts *bagTS) TryRd(ctx *core.Context, tpl Template) (Tuple, Bindings, error) {
+	tup, b, err := ts.probe(ctx, tpl, false)
+	if err == ErrNoMatch && ts.parent != nil {
+		return ts.parent.TryRd(ctx, tpl)
+	}
+	return tup, b, err
+}
+
+// Get implements TupleSpace.
+func (ts *bagTS) Get(ctx *core.Context, tpl Template) (Tuple, Bindings, error) {
+	return blockingLoop(ctx, ts.wt, len(tpl), func() (Tuple, Bindings, error) {
+		return ts.probe(ctx, tpl, true)
+	})
+}
+
+// Rd implements TupleSpace.
+func (ts *bagTS) Rd(ctx *core.Context, tpl Template) (Tuple, Bindings, error) {
+	return blockingLoop(ctx, ts.wt, len(tpl), func() (Tuple, Bindings, error) {
+		tup, b, err := ts.probe(ctx, tpl, false)
+		if err == ErrNoMatch && ts.parent != nil {
+			if ptup, pb, perr := ts.parent.TryRd(ctx, tpl); perr == nil {
+				return ptup, pb, nil
+			}
+		}
+		return tup, b, err
+	})
+}
+
+// Spawn implements TupleSpace.
+func (ts *bagTS) Spawn(ctx *core.Context, thunks ...core.Thunk) ([]*core.Thread, error) {
+	return spawnInto(ctx, ts, thunks)
+}
+
+// Len implements TupleSpace.
+func (ts *bagTS) Len() int {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	n := 0
+	for _, e := range ts.entries {
+		if !e.taken.Load() {
+			n++
+		}
+	}
+	return n
+}
+
+// spawnInto is the representation-independent spawn.
+func spawnInto(ctx *core.Context, ts TupleSpace, thunks []core.Thunk) ([]*core.Thread, error) {
+	tup := make(Tuple, len(thunks))
+	threads := make([]*core.Thread, len(thunks))
+	for i, th := range thunks {
+		t := ctx.Fork(th, nil)
+		threads[i] = t
+		tup[i] = t
+	}
+	return threads, ts.Put(ctx, tup)
+}
+
+// ---------------------------------------------------------------------------
+// Queue
+
+// queueTS specializes producer/consumer spaces: Put appends, Get removes
+// the oldest matching tuple. The FIFO discipline is the only difference
+// from the bag; the operations are unchanged.
+type queueTS struct {
+	bagTS
+}
+
+func newQueueTS(cfg Config) *queueTS {
+	q := &queueTS{}
+	q.wt = newWaitTable()
+	q.parent = cfg.Parent
+	return q
+}
+
+// Kind implements TupleSpace.
+func (ts *queueTS) Kind() Kind { return KindQueue }
+
+// (bagTS.probe already scans oldest-first, giving FIFO removal.)
+
+// ---------------------------------------------------------------------------
+// Shared variable
+
+// sharedVarTS holds exactly one tuple: Put overwrites, Rd reads (blocking
+// until the first Put), Get removes and leaves the variable unset.
+type sharedVarTS struct {
+	mu     sync.Mutex
+	tup    Tuple
+	set    bool
+	wt     *waitTable
+	parent TupleSpace
+}
+
+func newSharedVarTS(cfg Config) *sharedVarTS {
+	return &sharedVarTS{wt: newWaitTable(), parent: cfg.Parent}
+}
+
+// Kind implements TupleSpace.
+func (ts *sharedVarTS) Kind() Kind { return KindSharedVar }
+
+// Put implements TupleSpace: the new tuple replaces the old value.
+func (ts *sharedVarTS) Put(ctx *core.Context, tup Tuple) error {
+	ts.mu.Lock()
+	ts.tup = tup
+	ts.set = true
+	ts.mu.Unlock()
+	ts.wt.wake(len(tup))
+	return nil
+}
+
+func (ts *sharedVarTS) probe(ctx *core.Context, tpl Template, remove bool) (Tuple, Bindings, error) {
+	ts.mu.Lock()
+	if !ts.set || len(ts.tup) != len(tpl) {
+		ts.mu.Unlock()
+		return nil, nil, ErrNoMatch
+	}
+	tup := ts.tup
+	ts.mu.Unlock()
+	bind, resolved, ok, err := matchTuple(ctx, tpl, tup)
+	if err != nil {
+		return nil, nil, err
+	}
+	if !ok {
+		return nil, nil, ErrNoMatch
+	}
+	if remove {
+		ts.mu.Lock()
+		stillSame := ts.set && sameTuple(ts.tup, tup)
+		if stillSame {
+			ts.set = false
+			ts.tup = nil
+		}
+		ts.mu.Unlock()
+		if !stillSame {
+			return nil, nil, ErrNoMatch
+		}
+	}
+	return resolved, bind, nil
+}
+
+// TryGet implements TupleSpace.
+func (ts *sharedVarTS) TryGet(ctx *core.Context, tpl Template) (Tuple, Bindings, error) {
+	return ts.probe(ctx, tpl, true)
+}
+
+// TryRd implements TupleSpace.
+func (ts *sharedVarTS) TryRd(ctx *core.Context, tpl Template) (Tuple, Bindings, error) {
+	tup, b, err := ts.probe(ctx, tpl, false)
+	if err == ErrNoMatch && ts.parent != nil {
+		return ts.parent.TryRd(ctx, tpl)
+	}
+	return tup, b, err
+}
+
+// Get implements TupleSpace.
+func (ts *sharedVarTS) Get(ctx *core.Context, tpl Template) (Tuple, Bindings, error) {
+	return blockingLoop(ctx, ts.wt, len(tpl), func() (Tuple, Bindings, error) {
+		return ts.probe(ctx, tpl, true)
+	})
+}
+
+// Rd implements TupleSpace.
+func (ts *sharedVarTS) Rd(ctx *core.Context, tpl Template) (Tuple, Bindings, error) {
+	return blockingLoop(ctx, ts.wt, len(tpl), func() (Tuple, Bindings, error) {
+		tup, b, err := ts.probe(ctx, tpl, false)
+		if err == ErrNoMatch && ts.parent != nil {
+			if ptup, pb, perr := ts.parent.TryRd(ctx, tpl); perr == nil {
+				return ptup, pb, nil
+			}
+		}
+		return tup, b, err
+	})
+}
+
+// Spawn implements TupleSpace.
+func (ts *sharedVarTS) Spawn(ctx *core.Context, thunks ...core.Thunk) ([]*core.Thread, error) {
+	return spawnInto(ctx, ts, thunks)
+}
+
+// Len implements TupleSpace.
+func (ts *sharedVarTS) Len() int {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	if ts.set {
+		return 1
+	}
+	return 0
+}
+
+// ---------------------------------------------------------------------------
+// Semaphore
+
+// semTS specializes token spaces: tuples carry no information beyond their
+// presence, so only a counter is kept. Put is V; Get is P; Rd blocks until
+// the count is positive without consuming.
+type semTS struct {
+	mu     sync.Mutex
+	count  int
+	wt     *waitTable
+	parent TupleSpace
+}
+
+func newSemTS(cfg Config) *semTS { return &semTS{wt: newWaitTable(), parent: cfg.Parent} }
+
+// Kind implements TupleSpace.
+func (ts *semTS) Kind() Kind { return KindSemaphore }
+
+// Put implements TupleSpace.
+func (ts *semTS) Put(ctx *core.Context, tup Tuple) error {
+	ts.mu.Lock()
+	ts.count++
+	ts.mu.Unlock()
+	ts.wt.wake(len(tup))
+	ts.wt.wake(0) // token templates are conventionally empty
+	return nil
+}
+
+func (ts *semTS) probe(remove bool) (Tuple, Bindings, error) {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	if ts.count <= 0 {
+		return nil, nil, ErrNoMatch
+	}
+	if remove {
+		ts.count--
+	}
+	return Tuple{}, Bindings{}, nil
+}
+
+// TryGet implements TupleSpace.
+func (ts *semTS) TryGet(ctx *core.Context, tpl Template) (Tuple, Bindings, error) {
+	return ts.probe(true)
+}
+
+// TryRd implements TupleSpace.
+func (ts *semTS) TryRd(ctx *core.Context, tpl Template) (Tuple, Bindings, error) {
+	return ts.probe(false)
+}
+
+// Get implements TupleSpace.
+func (ts *semTS) Get(ctx *core.Context, tpl Template) (Tuple, Bindings, error) {
+	return blockingLoop(ctx, ts.wt, len(tpl), func() (Tuple, Bindings, error) {
+		return ts.probe(true)
+	})
+}
+
+// Rd implements TupleSpace.
+func (ts *semTS) Rd(ctx *core.Context, tpl Template) (Tuple, Bindings, error) {
+	return blockingLoop(ctx, ts.wt, len(tpl), func() (Tuple, Bindings, error) {
+		return ts.probe(false)
+	})
+}
+
+// Spawn implements TupleSpace.
+func (ts *semTS) Spawn(ctx *core.Context, thunks ...core.Thunk) ([]*core.Thread, error) {
+	return spawnInto(ctx, ts, thunks)
+}
+
+// Len implements TupleSpace.
+func (ts *semTS) Len() int {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	return ts.count
+}

@@ -1,0 +1,254 @@
+package tspace
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/testkit"
+)
+
+func TestQueueFIFOOrder(t *testing.T) {
+	vm := testkit.VM(t, 1, 1)
+	ts := New(KindQueue, Config{})
+	testkit.RunIn(t, vm, func(ctx *core.Context) error {
+		for i := 0; i < 10; i++ {
+			_ = ts.Put(ctx, Tuple{"job", i})
+		}
+		for i := 0; i < 10; i++ {
+			_, b, err := ts.Get(ctx, Template{"job", F("i")})
+			if err != nil {
+				return err
+			}
+			if b["i"] != i {
+				t.Fatalf("got job %v, want %d (FIFO)", b["i"], i)
+			}
+		}
+		return nil
+	})
+}
+
+func TestSetDeduplicates(t *testing.T) {
+	vm := testkit.VM(t, 1, 1)
+	ts := New(KindSet, Config{})
+	testkit.RunIn(t, vm, func(ctx *core.Context) error {
+		for i := 0; i < 5; i++ {
+			_ = ts.Put(ctx, Tuple{"x", 1})
+		}
+		if ts.Len() != 1 {
+			t.Fatalf("len = %d, want 1", ts.Len())
+		}
+		_ = ts.Put(ctx, Tuple{"x", 2})
+		if ts.Len() != 2 {
+			t.Fatalf("len = %d, want 2", ts.Len())
+		}
+		return nil
+	})
+}
+
+func TestSharedVarOverwrites(t *testing.T) {
+	vm := testkit.VM(t, 1, 1)
+	ts := New(KindSharedVar, Config{})
+	testkit.RunIn(t, vm, func(ctx *core.Context) error {
+		_ = ts.Put(ctx, Tuple{"v", 1})
+		_ = ts.Put(ctx, Tuple{"v", 2})
+		if ts.Len() != 1 {
+			t.Fatalf("len = %d, want 1", ts.Len())
+		}
+		_, b, err := ts.Rd(ctx, Template{"v", F("x")})
+		if err != nil {
+			return err
+		}
+		if b["x"] != 2 {
+			t.Fatalf("x = %v, want 2 (last write wins)", b["x"])
+		}
+		// Get empties the variable.
+		if _, _, err := ts.Get(ctx, Template{"v", F("x")}); err != nil {
+			return err
+		}
+		if _, _, err := ts.TryRd(ctx, Template{"v", F("x")}); err != ErrNoMatch {
+			t.Fatalf("TryRd after Get = %v, want ErrNoMatch", err)
+		}
+		return nil
+	})
+}
+
+func TestSemaphoreRepresentation(t *testing.T) {
+	vm := testkit.VM(t, 2, 2)
+	ts := New(KindSemaphore, Config{})
+	testkit.RunIn(t, vm, func(ctx *core.Context) error {
+		_ = ts.Put(ctx, Tuple{})
+		_ = ts.Put(ctx, Tuple{})
+		if ts.Len() != 2 {
+			t.Fatalf("count = %d", ts.Len())
+		}
+		if _, _, err := ts.Get(ctx, Template{}); err != nil {
+			return err
+		}
+		if _, _, err := ts.TryGet(ctx, Template{}); err != nil {
+			return err
+		}
+		if _, _, err := ts.TryGet(ctx, Template{}); err != ErrNoMatch {
+			t.Fatalf("empty semaphore TryGet = %v", err)
+		}
+		// Rd blocks until a token arrives but does not consume it.
+		reader := ctx.Fork(func(cc *core.Context) ([]core.Value, error) {
+			_, _, err := ts.Rd(cc, Template{})
+			return nil, err
+		}, vm.VP(1))
+		for i := 0; i < 5; i++ {
+			ctx.Yield()
+		}
+		_ = ts.Put(ctx, Tuple{})
+		ctx.Wait(reader)
+		if ts.Len() != 1 {
+			t.Fatalf("rd consumed the token: count = %d", ts.Len())
+		}
+		return nil
+	})
+}
+
+func TestVectorSlots(t *testing.T) {
+	vm := testkit.VM(t, 2, 2)
+	ts := New(KindVector, Config{VectorSize: 8})
+	testkit.RunIn(t, vm, func(ctx *core.Context) error {
+		_ = ts.Put(ctx, Tuple{3, "hello"})
+		_, b, err := ts.Rd(ctx, Template{3, F("v")})
+		if err != nil {
+			return err
+		}
+		if b["v"] != "hello" {
+			t.Fatalf("v = %v", b["v"])
+		}
+		// I-structure flavour: reading an empty slot blocks until written.
+		reader := ctx.Fork(func(cc *core.Context) ([]core.Value, error) {
+			_, b, err := ts.Rd(cc, Template{5, F("v")})
+			if err != nil {
+				return nil, err
+			}
+			return testkit.One(b["v"]), nil
+		}, vm.VP(1))
+		for i := 0; i < 5; i++ {
+			ctx.Yield()
+		}
+		if reader.Determined() {
+			t.Error("rd of empty slot did not block")
+		}
+		_ = ts.Put(ctx, Tuple{5, "filled"})
+		v, err := ctx.Value1(reader)
+		if err != nil {
+			return err
+		}
+		if v != "filled" {
+			t.Fatalf("reader got %v", v)
+		}
+		// Formal-index scan finds any full slot.
+		_, b2, err := ts.Get(ctx, Template{F("i"), "hello"})
+		if err != nil {
+			return err
+		}
+		if b2["i"] != 3 {
+			t.Fatalf("scan found index %v, want 3", b2["i"])
+		}
+		return nil
+	})
+}
+
+func TestVectorBadTemplates(t *testing.T) {
+	vm := testkit.VM(t, 1, 1)
+	ts := New(KindVector, Config{VectorSize: 4})
+	testkit.RunIn(t, vm, func(ctx *core.Context) error {
+		if err := ts.Put(ctx, Tuple{1, 2, 3}); err != ErrBadTemplate {
+			t.Errorf("put arity-3 err = %v", err)
+		}
+		if err := ts.Put(ctx, Tuple{99, "x"}); err != ErrBadTemplate {
+			t.Errorf("put out-of-range err = %v", err)
+		}
+		if _, _, err := ts.TryGet(ctx, Template{"notint", F("v")}); err != ErrBadTemplate {
+			t.Errorf("bad index template err = %v", err)
+		}
+		return nil
+	})
+}
+
+func TestInferPriorities(t *testing.T) {
+	cases := []struct {
+		u    Usage
+		want Kind
+	}{
+		{Usage{TokensOnly: true}, KindSemaphore},
+		{Usage{SingleCell: true}, KindSharedVar},
+		{Usage{IndexKeyed: true, IndexBound: 100}, KindVector},
+		{Usage{FIFO: true}, KindQueue},
+		{Usage{Dedup: true}, KindSet},
+		{Usage{SmallSpace: true}, KindBag},
+		{Usage{}, KindHash},
+		// Priority: more constrained representation wins.
+		{Usage{TokensOnly: true, FIFO: true}, KindSemaphore},
+		{Usage{SingleCell: true, Dedup: true}, KindSharedVar},
+	}
+	for _, c := range cases {
+		if got := Infer(c.u); got != c.want {
+			t.Errorf("Infer(%+v) = %v, want %v", c.u, got, c.want)
+		}
+	}
+}
+
+func TestNewInferredKindMatches(t *testing.T) {
+	for _, u := range []Usage{{TokensOnly: true}, {FIFO: true}, {}, {IndexKeyed: true, IndexBound: 4}} {
+		ts := NewInferred(u, nil)
+		if ts.Kind() != Infer(u) {
+			t.Errorf("NewInferred kind %v, want %v", ts.Kind(), Infer(u))
+		}
+	}
+}
+
+// Property: for puts and gets of immediate tuples, the bag and hash
+// representations consume the same multiset.
+func TestBagHashEquivalence(t *testing.T) {
+	vm := testkit.VM(t, 2, 2)
+	f := func(vals []uint8) bool {
+		if len(vals) > 24 {
+			vals = vals[:24]
+		}
+		bag := New(KindBag, Config{})
+		hash := New(KindHash, Config{Bins: 4})
+		ok := true
+		testkit.RunIn(t, vm, func(ctx *core.Context) error {
+			for _, v := range vals {
+				_ = bag.Put(ctx, Tuple{"v", int(v % 8)})
+				_ = hash.Put(ctx, Tuple{"v", int(v % 8)})
+			}
+			counts := map[int]int{}
+			for {
+				_, b, err := bag.TryGet(ctx, Template{"v", F("x")})
+				if err != nil {
+					break
+				}
+				counts[b["x"].(int)]++
+			}
+			for {
+				_, b, err := hash.TryGet(ctx, Template{"v", F("x")})
+				if err != nil {
+					break
+				}
+				counts[b["x"].(int)]--
+			}
+			for _, c := range counts {
+				if c != 0 {
+					ok = false
+				}
+			}
+			if bag.Len() != 0 || hash.Len() != 0 {
+				ok = false
+			}
+			return nil
+		})
+		return ok
+	}
+	cfg := &quick.Config{MaxCount: 20, Rand: rand.New(rand.NewSource(1))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,72 @@
+package tspace
+
+// The paper's companion analysis ([17], "Optimizing Analysis for
+// First-Class Tuple-Spaces") specializes tuple-space representations by
+// type inference over the program's put/get/rd sites. A from-source static
+// analysis needs the Scheme compiler the paper had; this reproduction keeps
+// the decision procedure but feeds it a Usage summary — the same facts the
+// inference would derive — so the specializer's logic and its effect on
+// performance (see the tuple-space benchmarks) are preserved.
+
+// Usage summarizes how a program uses a tuple-space.
+type Usage struct {
+	// Arities observed at deposit sites (empty means unknown).
+	Arities []int
+	// IndexKeyed: every template's first position is a small-integer key
+	// with a known bound (vector candidates).
+	IndexKeyed bool
+	IndexBound int
+	// TokensOnly: tuples carry no data that is ever bound or compared
+	// (semaphore candidates).
+	TokensOnly bool
+	// SingleCell: at most one tuple is live at a time and puts overwrite
+	// (shared-variable candidates).
+	SingleCell bool
+	// FIFO: removals should see deposits in order (queue candidates).
+	FIFO bool
+	// Dedup: duplicate deposits are meaningless (set candidates).
+	Dedup bool
+	// SmallSpace: the live-tuple population stays tiny, so indexing is
+	// overhead (bag candidates).
+	SmallSpace bool
+	// Readers and Writers estimate concurrent accessors (hash-bin sizing).
+	Readers, Writers int
+}
+
+// Infer chooses a representation for the usage, in the priority order the
+// specialization hierarchy defines: the most constrained representation
+// that the usage admits wins, and the fully associative hash table is the
+// general fallback.
+func Infer(u Usage) Kind {
+	switch {
+	case u.TokensOnly:
+		return KindSemaphore
+	case u.SingleCell:
+		return KindSharedVar
+	case u.IndexKeyed && u.IndexBound > 0:
+		return KindVector
+	case u.FIFO:
+		return KindQueue
+	case u.Dedup:
+		return KindSet
+	case u.SmallSpace:
+		return KindBag
+	default:
+		return KindHash
+	}
+}
+
+// NewInferred builds a tuple space with the representation Infer selects,
+// sizing the hash presence table to the expected concurrency.
+func NewInferred(u Usage, parent TupleSpace) TupleSpace {
+	kind := Infer(u)
+	cfg := Config{Parent: parent, VectorSize: u.IndexBound}
+	if kind == KindHash {
+		bins := (u.Readers + u.Writers) * 8
+		if bins < 16 {
+			bins = 16
+		}
+		cfg.Bins = bins
+	}
+	return New(kind, cfg)
+}

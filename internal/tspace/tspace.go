@@ -1,0 +1,196 @@
+package tspace
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+)
+
+// TupleSpace is the operation set every representation implements — the
+// paper's point that "the operations permitted on tuple-spaces remain
+// invariant over their representation". Tuple spaces are first-class,
+// denotable objects; operations are expressions returning bindings, not
+// statements.
+type TupleSpace interface {
+	// Put deposits a tuple (the paper's put/out). Depositing unblocks any
+	// matching readers.
+	Put(ctx *core.Context, tup Tuple) error
+	// Get atomically removes a matching tuple, blocking until one exists
+	// (the paper's get/remove; Linda's in).
+	Get(ctx *core.Context, tpl Template) (Tuple, Bindings, error)
+	// Rd returns a matching tuple without removing it, blocking until one
+	// exists.
+	Rd(ctx *core.Context, tpl Template) (Tuple, Bindings, error)
+	// TryGet and TryRd are the non-blocking probes; they return ErrNoMatch
+	// when nothing matches.
+	TryGet(ctx *core.Context, tpl Template) (Tuple, Bindings, error)
+	TryRd(ctx *core.Context, tpl Template) (Tuple, Bindings, error)
+	// Spawn deposits a tuple whose elements are threads evaluating the
+	// given thunks (the paper's spawn). Matching demands the threads,
+	// stealing scheduled ones.
+	Spawn(ctx *core.Context, thunks ...core.Thunk) ([]*core.Thread, error)
+	// Len reports how many tuples are present (passive and active).
+	Len() int
+	// Kind names the representation.
+	Kind() Kind
+}
+
+// Kind names a tuple-space representation.
+type Kind int
+
+// Representations the specializer can choose (§4.2: "tuple-spaces can be
+// specialized as synchronized vectors, queues, sets, shared variables,
+// semaphores, or bags").
+const (
+	KindHash Kind = iota
+	KindBag
+	KindSet
+	KindQueue
+	KindVector
+	KindSharedVar
+	KindSemaphore
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindHash:
+		return "hash"
+	case KindBag:
+		return "bag"
+	case KindSet:
+		return "set"
+	case KindQueue:
+		return "queue"
+	case KindVector:
+		return "vector"
+	case KindSharedVar:
+		return "shared-variable"
+	case KindSemaphore:
+		return "semaphore"
+	default:
+		return "unknown"
+	}
+}
+
+// Config parameterizes tuple-space construction.
+type Config struct {
+	// Bins is the number of presence-table bins for the hash
+	// representation; each bin has its own mutex so multiple producers and
+	// consumers access the table concurrently (default 64). One bin
+	// reproduces the paper's global-mutex baseline for the ablation.
+	Bins int
+	// Parent, when set, is consulted by Rd (non-destructively) when no
+	// local tuple matches — the inheritance hierarchy of §4.2.
+	Parent TupleSpace
+	// VectorSize sizes the vector representation.
+	VectorSize int
+}
+
+// New creates a tuple space with the given representation.
+func New(kind Kind, cfg Config) TupleSpace {
+	switch kind {
+	case KindHash:
+		return newHashTS(cfg)
+	case KindBag:
+		return newBagTS(cfg, false)
+	case KindSet:
+		return newBagTS(cfg, true)
+	case KindQueue:
+		return newQueueTS(cfg)
+	case KindVector:
+		return newVectorTS(cfg)
+	case KindSharedVar:
+		return newSharedVarTS(cfg)
+	case KindSemaphore:
+		return newSemTS(cfg)
+	default:
+		return newHashTS(cfg)
+	}
+}
+
+// entry is a deposited tuple with the lazy-deletion mark the paper
+// describes ("the retrieved tuple is marked as deleted").
+type entry struct {
+	tup   Tuple
+	taken atomic.Bool
+}
+
+// tsWaiter is a blocked reader in HB.
+type tsWaiter struct {
+	tcb   *core.TCB
+	arity int
+	woke  atomic.Bool
+}
+
+// waitTable is HB: blocked processes indexed by template arity.
+type waitTable struct {
+	mu      sync.Mutex
+	byArity map[int][]*tsWaiter
+}
+
+func newWaitTable() *waitTable {
+	return &waitTable{byArity: make(map[int][]*tsWaiter)}
+}
+
+func (w *waitTable) register(ctx *core.Context, arity int) *tsWaiter {
+	tw := &tsWaiter{tcb: ctx.TCB(), arity: arity}
+	w.mu.Lock()
+	w.byArity[arity] = append(w.byArity[arity], tw)
+	w.mu.Unlock()
+	return tw
+}
+
+func (w *waitTable) unregister(tw *tsWaiter) {
+	w.mu.Lock()
+	list := w.byArity[tw.arity]
+	for i, x := range list {
+		if x == tw {
+			w.byArity[tw.arity] = append(list[:i], list[i+1:]...)
+			break
+		}
+	}
+	w.mu.Unlock()
+}
+
+// wake unblocks every process waiting on templates of the given arity;
+// the woken processes re-probe and re-block if the tuple was not for them
+// (a conservative rendering of the paper's identity-based unblocking).
+func (w *waitTable) wake(arity int) {
+	w.mu.Lock()
+	list := w.byArity[arity]
+	delete(w.byArity, arity)
+	w.mu.Unlock()
+	for _, tw := range list {
+		tw.woke.Store(true)
+		core.WakeTCB(tw.tcb)
+	}
+}
+
+// blockingLoop implements the shared probe/register/block cycle used by
+// every representation's Get and Rd.
+func blockingLoop(ctx *core.Context, wt *waitTable, arity int,
+	probe func() (Tuple, Bindings, error)) (Tuple, Bindings, error) {
+	for {
+		tup, b, err := probe()
+		if err == nil {
+			return tup, b, nil
+		}
+		if err != ErrNoMatch {
+			return nil, nil, err
+		}
+		tw := wt.register(ctx, arity)
+		// Re-probe after registering: a deposit may have slipped between
+		// the failed probe and the registration.
+		tup, b, err = probe()
+		if err == nil {
+			wt.unregister(tw)
+			return tup, b, nil
+		}
+		if err != ErrNoMatch {
+			wt.unregister(tw)
+			return nil, nil, err
+		}
+		ctx.BlockUntil(func() bool { return tw.woke.Load() })
+	}
+}

@@ -1,0 +1,302 @@
+package tspace
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/testkit"
+)
+
+func TestPutGetRoundTrip(t *testing.T) {
+	vm := testkit.VM(t, 2, 2)
+	ts := New(KindHash, Config{})
+	testkit.RunIn(t, vm, func(ctx *core.Context) error {
+		if err := ts.Put(ctx, Tuple{"point", 3, 4}); err != nil {
+			return err
+		}
+		tup, b, err := ts.Get(ctx, Template{"point", F("x"), F("y")})
+		if err != nil {
+			return err
+		}
+		if tup[1] != 3 || b["x"] != 3 || b["y"] != 4 {
+			t.Errorf("tuple %v bindings %v", tup, b)
+		}
+		if ts.Len() != 0 {
+			t.Errorf("len = %d after get", ts.Len())
+		}
+		return nil
+	})
+}
+
+func TestRdDoesNotRemove(t *testing.T) {
+	vm := testkit.VM(t, 1, 1)
+	ts := New(KindHash, Config{})
+	testkit.RunIn(t, vm, func(ctx *core.Context) error {
+		_ = ts.Put(ctx, Tuple{"k", 1})
+		for i := 0; i < 3; i++ {
+			_, b, err := ts.Rd(ctx, Template{"k", F("v")})
+			if err != nil {
+				return err
+			}
+			if b["v"] != 1 {
+				t.Errorf("binding %v", b)
+			}
+		}
+		if ts.Len() != 1 {
+			t.Errorf("len = %d after rd", ts.Len())
+		}
+		return nil
+	})
+}
+
+func TestTryGetNoMatch(t *testing.T) {
+	vm := testkit.VM(t, 1, 1)
+	ts := New(KindHash, Config{})
+	testkit.RunIn(t, vm, func(ctx *core.Context) error {
+		_ = ts.Put(ctx, Tuple{"a", 1})
+		if _, _, err := ts.TryGet(ctx, Template{"b", F("")}); err != ErrNoMatch {
+			t.Errorf("err = %v, want ErrNoMatch", err)
+		}
+		if _, _, err := ts.TryGet(ctx, Template{"a", 2}); err != ErrNoMatch {
+			t.Errorf("value-mismatch err = %v, want ErrNoMatch", err)
+		}
+		if _, _, err := ts.TryGet(ctx, Template{"a"}); err != ErrNoMatch {
+			t.Errorf("arity-mismatch err = %v, want ErrNoMatch", err)
+		}
+		// The failed probes must not have consumed the tuple.
+		if _, _, err := ts.TryGet(ctx, Template{"a", 1}); err != nil {
+			t.Errorf("matching get failed: %v", err)
+		}
+		return nil
+	})
+}
+
+func TestGetBlocksUntilPut(t *testing.T) {
+	vm := testkit.VM(t, 2, 2)
+	ts := New(KindHash, Config{})
+	testkit.RunIn(t, vm, func(ctx *core.Context) error {
+		consumer := ctx.Fork(func(cc *core.Context) ([]core.Value, error) {
+			_, b, err := ts.Get(cc, Template{"job", F("n")})
+			if err != nil {
+				return nil, err
+			}
+			return testkit.One(b["n"]), nil
+		}, vm.VP(1))
+		for i := 0; i < 10; i++ {
+			ctx.Yield()
+		}
+		if consumer.Determined() {
+			t.Error("consumer completed before any put")
+		}
+		_ = ts.Put(ctx, Tuple{"job", 99})
+		v, err := ctx.Value1(consumer)
+		if err != nil {
+			return err
+		}
+		if v != 99 {
+			t.Errorf("consumer got %v", v)
+		}
+		return nil
+	})
+}
+
+// The paper's §4.2 increment example: (get TS [?x] (put TS [(+ x 1)])).
+func TestAtomicCounterIdiom(t *testing.T) {
+	vm := testkit.VM(t, 4, 4)
+	ts := New(KindHash, Config{})
+	const workers, rounds = 6, 50
+	testkit.RunIn(t, vm, func(ctx *core.Context) error {
+		_ = ts.Put(ctx, Tuple{0})
+		kids := make([]*core.Thread, workers)
+		for i := range kids {
+			kids[i] = ctx.Fork(func(cc *core.Context) ([]core.Value, error) {
+				for j := 0; j < rounds; j++ {
+					_, b, err := cc2get(cc, ts)
+					if err != nil {
+						return nil, err
+					}
+					if err := ts.Put(cc, Tuple{b["x"].(int) + 1}); err != nil {
+						return nil, err
+					}
+				}
+				return nil, nil
+			}, vm.VP(i))
+		}
+		for _, k := range kids {
+			ctx.Wait(k)
+		}
+		_, b, err := ts.Get(ctx, Template{F("x")})
+		if err != nil {
+			return err
+		}
+		if b["x"] != workers*rounds {
+			t.Errorf("counter = %v, want %d", b["x"], workers*rounds)
+		}
+		return nil
+	})
+}
+
+func cc2get(cc *core.Context, ts TupleSpace) (Tuple, Bindings, error) {
+	return ts.Get(cc, Template{F("x")})
+}
+
+func TestEachTupleConsumedOnce(t *testing.T) {
+	vm := testkit.VM(t, 4, 4)
+	ts := New(KindHash, Config{Bins: 8})
+	const n = 200
+	testkit.RunIn(t, vm, func(ctx *core.Context) error {
+		for i := 0; i < n; i++ {
+			_ = ts.Put(ctx, Tuple{"item", i})
+		}
+		kids := make([]*core.Thread, 4)
+		for i := range kids {
+			kids[i] = ctx.Fork(func(cc *core.Context) ([]core.Value, error) {
+				var got []int
+				for {
+					_, b, err := ts.TryGet(cc, Template{"item", F("i")})
+					if err == ErrNoMatch {
+						break
+					}
+					if err != nil {
+						return nil, err
+					}
+					got = append(got, b["i"].(int))
+				}
+				return testkit.One(got), nil
+			}, vm.VP(i))
+		}
+		var all []int
+		for _, k := range kids {
+			v, err := ctx.Value1(k)
+			if err != nil {
+				return err
+			}
+			all = append(all, v.([]int)...)
+		}
+		if len(all) != n {
+			t.Fatalf("consumed %d items, want %d", len(all), n)
+		}
+		sort.Ints(all)
+		for i, v := range all {
+			if v != i {
+				t.Fatalf("item %d missing or duplicated (saw %d)", i, v)
+			}
+		}
+		return nil
+	})
+}
+
+func TestSpawnThreadsMatchedByValue(t *testing.T) {
+	vm := testkit.VM(t, 2, 2)
+	ts := New(KindHash, Config{})
+	testkit.RunIn(t, vm, func(ctx *core.Context) error {
+		_, err := ts.Spawn(ctx,
+			func(*core.Context) ([]core.Value, error) { return testkit.One(10), nil },
+			func(*core.Context) ([]core.Value, error) { return testkit.One(20), nil },
+		)
+		if err != nil {
+			return err
+		}
+		// Matching demands thread values: [10 ?y] must match the active
+		// tuple once its first element determines (possibly by stealing).
+		_, b, err := ts.Get(ctx, Template{10, F("y")})
+		if err != nil {
+			return err
+		}
+		if b["y"] != 20 {
+			t.Errorf("y = %v, want 20", b["y"])
+		}
+		return nil
+	})
+	if vm.Stats().Steals == 0 {
+		t.Log("note: spawn tuple matched without stealing (threads ran first)")
+	}
+}
+
+func TestThreadElementStealing(t *testing.T) {
+	vm := testkit.VM(t, 1, 1)
+	ts := New(KindHash, Config{})
+	testkit.RunIn(t, vm, func(ctx *core.Context) error {
+		// Deposit a tuple containing a *delayed* thread: matching must
+		// steal it (single VP: it can never run otherwise while we hold
+		// the processor).
+		lazy := ctx.CreateThread(func(*core.Context) ([]core.Value, error) {
+			return testkit.One(5), nil
+		})
+		_ = ts.Put(ctx, Tuple{"cell", lazy})
+		_, b, err := ts.Get(ctx, Template{"cell", F("v")})
+		if err != nil {
+			return err
+		}
+		if b["v"] != 5 {
+			t.Errorf("v = %v", b["v"])
+		}
+		if lazy.State() != core.Determined {
+			t.Error("lazy thread not determined after match")
+		}
+		return nil
+	})
+	if vm.Stats().Steals != 1 {
+		t.Fatalf("steals = %d, want 1", vm.Stats().Steals)
+	}
+}
+
+func TestInheritanceRdFallsBack(t *testing.T) {
+	vm := testkit.VM(t, 1, 1)
+	parent := New(KindHash, Config{})
+	child := New(KindHash, Config{Parent: parent})
+	testkit.RunIn(t, vm, func(ctx *core.Context) error {
+		_ = parent.Put(ctx, Tuple{"config", "depth", 3})
+		_, b, err := child.Rd(ctx, Template{"config", "depth", F("v")})
+		if err != nil {
+			return err
+		}
+		if b["v"] != 3 {
+			t.Errorf("v = %v", b["v"])
+		}
+		// Get must NOT fall back: removal is local.
+		if _, _, err := child.TryGet(ctx, Template{"config", "depth", F("v")}); err != ErrNoMatch {
+			t.Errorf("TryGet err = %v, want ErrNoMatch", err)
+		}
+		return nil
+	})
+}
+
+func TestFormalsAcquireBindings(t *testing.T) {
+	vm := testkit.VM(t, 1, 1)
+	ts := New(KindBag, Config{})
+	testkit.RunIn(t, vm, func(ctx *core.Context) error {
+		_ = ts.Put(ctx, Tuple{1, "two", 3.0, true})
+		_, b, err := ts.Get(ctx, Template{F("a"), F("b"), F("c"), F("d")})
+		if err != nil {
+			return err
+		}
+		if b["a"] != 1 || b["b"] != "two" || b["c"] != 3.0 || b["d"] != true {
+			t.Errorf("bindings %v", b)
+		}
+		// Anonymous formals bind nothing but still match.
+		_ = ts.Put(ctx, Tuple{9})
+		_, b2, err := ts.Get(ctx, Template{F("")})
+		if err != nil {
+			return err
+		}
+		if len(b2) != 0 {
+			t.Errorf("anonymous formal produced bindings %v", b2)
+		}
+		return nil
+	})
+}
+
+func TestIntNormalization(t *testing.T) {
+	vm := testkit.VM(t, 1, 1)
+	ts := New(KindHash, Config{})
+	testkit.RunIn(t, vm, func(ctx *core.Context) error {
+		_ = ts.Put(ctx, Tuple{"n", int64(7)})
+		// An int template must match an int64 tuple element.
+		if _, _, err := ts.TryRd(ctx, Template{"n", 7}); err != nil {
+			t.Errorf("int/int64 match failed: %v", err)
+		}
+		return nil
+	})
+}

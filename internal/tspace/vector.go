@@ -1,0 +1,190 @@
+package tspace
+
+import (
+	"sync"
+
+	"repro/internal/core"
+)
+
+// vectorTS specializes index-keyed spaces: tuples of the form [index,
+// value] become slots of a synchronized vector with I-structure semantics —
+// Rd of an empty slot blocks until it is written, Get empties the slot.
+// Templates must be [concrete-index, x] or [?i, ?x] (scan for any full
+// slot); anything else is ErrBadTemplate.
+type vectorTS struct {
+	mu     sync.Mutex
+	slots  []vslot
+	wt     *waitTable
+	parent TupleSpace
+}
+
+type vslot struct {
+	val  core.Value
+	full bool
+}
+
+func newVectorTS(cfg Config) *vectorTS {
+	n := cfg.VectorSize
+	if n <= 0 {
+		n = 64
+	}
+	return &vectorTS{slots: make([]vslot, n), wt: newWaitTable(), parent: cfg.Parent}
+}
+
+// Kind implements TupleSpace.
+func (ts *vectorTS) Kind() Kind { return KindVector }
+
+// Size returns the vector length.
+func (ts *vectorTS) Size() int {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	return len(ts.slots)
+}
+
+func (ts *vectorTS) indexOf(v core.Value) (int, bool) {
+	i, ok := asInt64(v)
+	if !ok {
+		return 0, false
+	}
+	ts.mu.Lock()
+	n := len(ts.slots)
+	ts.mu.Unlock()
+	if i < 0 || int(i) >= n {
+		return 0, false
+	}
+	return int(i), true
+}
+
+// Put implements TupleSpace: [index, value] writes the slot.
+func (ts *vectorTS) Put(ctx *core.Context, tup Tuple) error {
+	if len(tup) != 2 {
+		return ErrBadTemplate
+	}
+	v, err := resolve(ctx, tup[1])
+	if err != nil {
+		return err
+	}
+	idx, ok := ts.indexOf(tup[0])
+	if !ok {
+		return ErrBadTemplate
+	}
+	ts.mu.Lock()
+	ts.slots[idx] = vslot{val: v, full: true}
+	ts.mu.Unlock()
+	ts.wt.wake(2)
+	return nil
+}
+
+func (ts *vectorTS) probe(ctx *core.Context, tpl Template, remove bool) (Tuple, Bindings, error) {
+	if len(tpl) != 2 {
+		return nil, nil, ErrBadTemplate
+	}
+	// Case 1: concrete index.
+	if !isFormal(tpl[0]) {
+		idx, ok := ts.indexOf(tpl[0])
+		if !ok {
+			return nil, nil, ErrBadTemplate
+		}
+		ts.mu.Lock()
+		s := ts.slots[idx]
+		if !s.full {
+			ts.mu.Unlock()
+			return nil, nil, ErrNoMatch
+		}
+		if remove {
+			ts.slots[idx] = vslot{}
+		}
+		ts.mu.Unlock()
+		tup := Tuple{idx, s.val}
+		b, resolved, ok2, err := matchTuple(ctx, tpl, tup)
+		if err != nil {
+			return nil, nil, err
+		}
+		if !ok2 {
+			if remove { // value mismatch: restore the slot
+				ts.mu.Lock()
+				ts.slots[idx] = s
+				ts.mu.Unlock()
+			}
+			return nil, nil, ErrNoMatch
+		}
+		return resolved, b, nil
+	}
+	// Case 2: formal index — scan for any full, matching slot.
+	ts.mu.Lock()
+	snapshot := make([]vslot, len(ts.slots))
+	copy(snapshot, ts.slots)
+	ts.mu.Unlock()
+	for i, s := range snapshot {
+		if !s.full {
+			continue
+		}
+		tup := Tuple{i, s.val}
+		b, resolved, ok, err := matchTuple(ctx, tpl, tup)
+		if err != nil {
+			return nil, nil, err
+		}
+		if !ok {
+			continue
+		}
+		if remove {
+			ts.mu.Lock()
+			still := ts.slots[i].full
+			if still {
+				ts.slots[i] = vslot{}
+			}
+			ts.mu.Unlock()
+			if !still {
+				continue
+			}
+		}
+		return resolved, b, nil
+	}
+	return nil, nil, ErrNoMatch
+}
+
+// TryGet implements TupleSpace.
+func (ts *vectorTS) TryGet(ctx *core.Context, tpl Template) (Tuple, Bindings, error) {
+	return ts.probe(ctx, tpl, true)
+}
+
+// TryRd implements TupleSpace.
+func (ts *vectorTS) TryRd(ctx *core.Context, tpl Template) (Tuple, Bindings, error) {
+	tup, b, err := ts.probe(ctx, tpl, false)
+	if err == ErrNoMatch && ts.parent != nil {
+		return ts.parent.TryRd(ctx, tpl)
+	}
+	return tup, b, err
+}
+
+// Get implements TupleSpace.
+func (ts *vectorTS) Get(ctx *core.Context, tpl Template) (Tuple, Bindings, error) {
+	return blockingLoop(ctx, ts.wt, 2, func() (Tuple, Bindings, error) {
+		return ts.probe(ctx, tpl, true)
+	})
+}
+
+// Rd implements TupleSpace.
+func (ts *vectorTS) Rd(ctx *core.Context, tpl Template) (Tuple, Bindings, error) {
+	return blockingLoop(ctx, ts.wt, 2, func() (Tuple, Bindings, error) {
+		return ts.probe(ctx, tpl, false)
+	})
+}
+
+// Spawn implements TupleSpace.
+func (ts *vectorTS) Spawn(ctx *core.Context, thunks ...core.Thunk) ([]*core.Thread, error) {
+	return spawnInto(ctx, ts, thunks)
+}
+
+// Len implements TupleSpace.
+func (ts *vectorTS) Len() int {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	n := 0
+	for _, s := range ts.slots {
+		if s.full {
+			n++
+		}
+	}
+	return n
+}

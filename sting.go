@@ -1,0 +1,271 @@
+// Package sting is the public facade of this STING reproduction — a
+// customizable substrate for concurrent languages (Jagannathan & Philbin,
+// PLDI 1992) implemented in Go.
+//
+// The substrate provides first-class lightweight threads multiplexed on
+// first-class virtual processors, each closed over a replaceable policy
+// manager; thread stealing; per-thread storage areas with independent
+// scavenging; mutexes with active/passive spin; first-class tuple spaces;
+// futures; speculative wait-for-one / barrier wait-for-all; synchronizing
+// streams; simulated non-blocking I/O; and a Scheme interpreter as the
+// computation language.
+//
+// # Quickstart
+//
+//	m := sting.NewMachine(sting.MachineConfig{})
+//	defer m.Shutdown()
+//	vm, _ := m.NewVM(sting.VMConfig{VPs: 4})
+//	vals, _ := vm.Run(func(ctx *sting.Context) ([]sting.Value, error) {
+//	    child := ctx.Fork(func(*sting.Context) ([]sting.Value, error) {
+//	        return []sting.Value{21 * 2}, nil
+//	    }, nil)
+//	    return ctx.Value(child)
+//	})
+//
+// The facade re-exports the substrate types; the implementation lives in
+// the internal packages (core, policy, storage, synch, tspace, futures,
+// spec, streams, sio, scheme), one per subsystem of the paper.
+package sting
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/futures"
+	"repro/internal/policy"
+	"repro/internal/spec"
+	"repro/internal/streams"
+	"repro/internal/synch"
+	"repro/internal/tspace"
+)
+
+// Core substrate types.
+type (
+	// Machine is the physical machine: scheduler goroutines multiplexing VPs.
+	Machine = core.Machine
+	// MachineConfig parameterizes machine construction.
+	MachineConfig = core.MachineConfig
+	// VM is a virtual machine: VPs closed over an address space.
+	VM = core.VM
+	// VMConfig parameterizes virtual-machine construction.
+	VMConfig = core.VMConfig
+	// VP is a first-class virtual processor.
+	VP = core.VP
+	// VPConfig parameterizes per-VP settings.
+	VPConfig = core.VPConfig
+	// Thread is STING's first-class lightweight thread.
+	Thread = core.Thread
+	// TCB is the dynamic context of an evaluating thread.
+	TCB = core.TCB
+	// Context is the handle thunks use for thread-controller calls.
+	Context = core.Context
+	// Value is the datum threads compute.
+	Value = core.Value
+	// Thunk is the nullary procedure a thread is closed over.
+	Thunk = core.Thunk
+	// PolicyManager is the scheduling/migration customization point.
+	PolicyManager = core.PolicyManager
+	// Group is a thread group for en-masse control.
+	Group = core.Group
+	// FluidEnv is a dynamic (fluid-binding) environment.
+	FluidEnv = core.FluidEnv
+	// Topology defines VP addressing (ring, mesh, torus, hypercube …).
+	Topology = core.Topology
+	// ThreadState is delayed/scheduled/evaluating/stolen/determined.
+	ThreadState = core.ThreadState
+	// ThreadOption customizes thread creation.
+	ThreadOption = core.ThreadOption
+	// Runnable is what policy managers schedule (*Thread or *TCB).
+	Runnable = core.Runnable
+	// EnqueueState tells a policy manager why a runnable is enqueued.
+	EnqueueState = core.EnqueueState
+	// Ring, Mesh, Torus, Hypercube and SystolicArray are the shipped VP
+	// topologies (the §3.2 addressing modes).
+	Ring          = core.Ring
+	Mesh          = core.Mesh
+	Torus         = core.Torus
+	Hypercube     = core.Hypercube
+	SystolicArray = core.SystolicArray
+)
+
+// Thread states.
+const (
+	Delayed    = core.Delayed
+	Scheduled  = core.Scheduled
+	Evaluating = core.Evaluating
+	Stolen     = core.Stolen
+	Determined = core.Determined
+)
+
+// Constructors and thread operations.
+var (
+	// NewMachine boots a physical machine.
+	NewMachine = core.NewMachine
+	// NewGroup creates a thread group.
+	NewGroup = core.NewGroup
+	// ThreadRun makes a thread runnable on a VP (thread-run).
+	ThreadRun = core.ThreadRun
+	// ThreadTerminate requests a thread's termination (thread-terminate).
+	ThreadTerminate = core.ThreadTerminate
+	// JoinThread lets ordinary Go code await a thread.
+	JoinThread = core.JoinThread
+	// WithName, WithPriority, WithQuantum, WithStealable, WithGroup and
+	// WithFluid customize thread creation.
+	WithName      = core.WithName
+	WithPriority  = core.WithPriority
+	WithQuantum   = core.WithQuantum
+	WithStealable = core.WithStealable
+	WithPinned    = core.WithPinned
+	WithGroup     = core.WithGroup
+	WithFluid     = core.WithFluid
+	// Topology addressing helpers (left-vp, right-vp, …).
+	LeftVP      = core.LeftVP
+	RightVP     = core.RightVP
+	UpVP        = core.UpVP
+	DownVP      = core.DownVP
+	NeighborVPs = core.NeighborVPs
+)
+
+// Policy managers (internal/policy): the shipped scheduling regimes.
+type LocalLIFOConfig = policy.LocalLIFOConfig
+
+var (
+	// GlobalFIFO shares one locked FIFO among the VPs (worker farms).
+	GlobalFIFO = policy.GlobalFIFO
+	// LocalLIFO keeps per-VP queues with optional migration
+	// (result-parallel trees; the substrate default regime).
+	LocalLIFO = policy.LocalLIFO
+	// RoundRobin is the preemptive master/slave regime.
+	RoundRobin = policy.RoundRobin
+	// PriorityPM schedules by programmable priority (speculation).
+	PriorityPM = policy.Priority
+	// RealtimePM schedules earliest-deadline-first.
+	RealtimePM = policy.Realtime
+	// UnifiedPM keeps one per-VP deque of all runnables (the paper's
+	// single-queue granularity; lifo selects dispatch order).
+	UnifiedPM = policy.Unified
+)
+
+// Synchronization structures (internal/synch).
+type (
+	// Mutex has the paper's active/passive spin acquisition.
+	Mutex = synch.Mutex
+	// Cond is a condition variable over a Mutex.
+	Cond = synch.Cond
+	// Semaphore is a counting semaphore.
+	Semaphore = synch.Semaphore
+	// Barrier is a reusable n-party barrier.
+	Barrier = synch.Barrier
+)
+
+var (
+	// NewMutex creates a mutex (make-mutex active passive).
+	NewMutex = synch.NewMutex
+	// NewCond creates a condition variable.
+	NewCond = synch.NewCond
+	// NewSemaphore creates a semaphore.
+	NewSemaphore = synch.NewSemaphore
+	// NewBarrier creates a barrier.
+	NewBarrier = synch.NewBarrier
+	// WithMutex runs a body holding a mutex, exception-safe.
+	WithMutex = synch.WithMutex
+)
+
+// Tuple spaces (internal/tspace).
+type (
+	// TupleSpace is first-class synchronizing content-addressable memory.
+	TupleSpace = tspace.TupleSpace
+	// Tuple is an ordered group of values (threads allowed).
+	Tuple = tspace.Tuple
+	// Template is a tuple pattern with ?formals.
+	Template = tspace.Template
+	// Bindings maps formal names to matched values.
+	Bindings = tspace.Bindings
+	// TupleSpaceConfig parameterizes construction.
+	TupleSpaceConfig = tspace.Config
+	// TupleSpaceKind names a representation (hash, bag, queue, …).
+	TupleSpaceKind = tspace.Kind
+	// Usage feeds the representation specializer.
+	Usage = tspace.Usage
+)
+
+// Tuple-space constructors and the formal marker.
+var (
+	NewTupleSpace   = tspace.New
+	InferTupleSpace = tspace.NewInferred
+	Formal          = tspace.F
+	ErrNoMatch      = tspace.ErrNoMatch
+)
+
+// Tuple-space representations.
+const (
+	KindHash      = tspace.KindHash
+	KindBag       = tspace.KindBag
+	KindSet       = tspace.KindSet
+	KindQueue     = tspace.KindQueue
+	KindVector    = tspace.KindVector
+	KindSharedVar = tspace.KindSharedVar
+	KindSemaphore = tspace.KindSemaphore
+)
+
+// Futures (internal/futures).
+type Future = futures.Future
+
+var (
+	// SpawnFuture creates an eager future (future E).
+	SpawnFuture = futures.Spawn
+	// DelayFuture creates a delayed future (stolen on touch).
+	DelayFuture = futures.Delay
+	// TouchAll touches a slice of futures in order.
+	TouchAll = futures.TouchAll
+)
+
+// Speculation and barriers (internal/spec).
+type TaskSet = spec.TaskSet
+
+var (
+	// WaitForOne blocks for the first completion and terminates the rest.
+	WaitForOne = spec.WaitForOne
+	// WaitForAll is the AND-parallel barrier.
+	WaitForAll = spec.WaitForAll
+	// WaitForN generalizes block-on-group.
+	WaitForN = spec.WaitForN
+	// NewTaskSet organizes prioritized speculative tasks.
+	NewTaskSet = spec.NewTaskSet
+)
+
+// Streams (internal/streams).
+type Stream = streams.Stream
+
+var (
+	// NewStream creates a synchronizing stream (make-stream).
+	NewStream = streams.New
+	// ErrStreamClosed is returned when reading past a closed stream.
+	ErrStreamClosed = streams.ErrClosed
+	// IntegerStream produces 2..limit on a dedicated thread.
+	IntegerStream = streams.Integers
+)
+
+// QuantumForever disables preemption for a thread.
+const QuantumForever = time.Duration(-1)
+
+// Tracing (the programming-environment observability hooks).
+type (
+	// TraceEvent is one substrate occurrence (dispatch, steal, block …).
+	TraceEvent = core.TraceEvent
+	// TraceKind classifies trace events.
+	TraceKind = core.TraceKind
+	// TraceBuffer is a bounded ring of recent events.
+	TraceBuffer = core.TraceBuffer
+)
+
+var (
+	// SetTracer installs a machine-wide tracer (nil disables).
+	SetTracer = core.SetTracer
+	// NewTraceBuffer creates a ring tracer.
+	NewTraceBuffer = core.NewTraceBuffer
+	// DumpTree renders a thread's genealogy.
+	DumpTree = core.DumpTree
+	// DefaultAuthority is the genealogy-subtree authority policy.
+	DefaultAuthority = core.DefaultAuthority
+)
