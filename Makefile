@@ -1,0 +1,28 @@
+# Tier-1 gate plus the race-sensitive packages. `make` = build+vet+test.
+
+GO ?= go
+
+.PHONY: all build vet test race check bench clean
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The fabric and tuple-space packages carry the concurrency-critical
+# paths (wire callbacks, cancel tokens, hash-bin locking); run them
+# under the race detector on every check.
+race:
+	$(GO) test -race ./internal/remote/... ./internal/tspace/...
+
+check: build vet test race
+
+bench:
+	$(GO) test -bench BenchmarkRemoteTuplePingPong -run xxx ./internal/remote/
+	$(GO) run ./cmd/stingbench -table remote

@@ -1,0 +1,158 @@
+// Command stingd is the tuple-space fabric daemon: it serves named tuple
+// spaces over TCP so separate processes coordinate through STING's
+// content-addressable synchronizing memory. Every request runs as a STING
+// thread on one VM — blocking Get/Rd park through the substrate's
+// block/wakeup machinery, not on OS threads.
+//
+// Usage:
+//
+//	stingd -addr :7734                      serve (Ctrl-C drains gracefully)
+//	stingd -spaces jobs=hash,done=queue     pre-create spaces by representation
+//	stingd -vps 8 -procs 4                  size the serving VM
+//	stingd -stats-every 10s                 print the counter table periodically
+//	stingd -addr host:7734 -dump-stats      client mode: fetch and print a
+//	                                        server's stats snapshot, then exit
+//
+// Spaces not pre-created are opened on first use with the hash
+// representation (Linda-style implicit creation).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/remote"
+	"repro/internal/tspace"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", "127.0.0.1:7734", "listen (or, with -dump-stats, dial) address")
+		vps        = flag.Int("vps", 0, "virtual processors (default: one per physical processor)")
+		procs      = flag.Int("procs", 0, "physical processors (default GOMAXPROCS)")
+		spaces     = flag.String("spaces", "", "pre-created spaces, name=kind comma-separated (kinds: hash,bag,set,queue,vector,shared-variable,semaphore)")
+		statsEvery = flag.Duration("stats-every", 0, "print server stats at this interval")
+		dumpStats  = flag.Bool("dump-stats", false, "dial -addr, print its stats snapshot, exit")
+	)
+	flag.Parse()
+
+	if *dumpStats {
+		os.Exit(runDumpStats(*addr))
+	}
+	os.Exit(runServer(*addr, *vps, *procs, *spaces, *statsEvery))
+}
+
+// runDumpStats is the client mode: one STATS round trip, rendered.
+func runDumpStats(addr string) int {
+	c, err := remote.Dial(nil, addr, remote.DialConfig{})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stingd:", err)
+		return 1
+	}
+	defer c.Close() //nolint:errcheck
+	snap, err := c.Stats(nil)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stingd:", err)
+		return 1
+	}
+	fmt.Print(snap.String())
+	return 0
+}
+
+func runServer(addr string, vps, procs int, spaces string, statsEvery time.Duration) int {
+	reg := tspace.NewRegistry(tspace.KindHash, tspace.Config{})
+	if err := preopenSpaces(reg, spaces); err != nil {
+		fmt.Fprintln(os.Stderr, "stingd:", err)
+		return 2
+	}
+
+	m := core.NewMachine(core.MachineConfig{Processors: procs})
+	defer m.Shutdown()
+	vm, err := m.NewVM(core.VMConfig{Name: "stingd", VPs: vps})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stingd:", err)
+		return 1
+	}
+	srv := remote.NewServer(vm, remote.ServerConfig{Registry: reg})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stingd:", err)
+		return 1
+	}
+	fmt.Printf("stingd: serving tuple spaces on %s (spaces: %s)\n",
+		ln.Addr(), strings.Join(append(reg.Names(), "* on demand"), ", "))
+
+	if statsEvery > 0 {
+		go func() {
+			for range time.Tick(statsEvery) {
+				fmt.Print(srv.Stats().String())
+			}
+		}()
+	}
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	select {
+	case sig := <-sigs:
+		fmt.Printf("stingd: %v — draining\n", sig)
+		srv.Shutdown()
+		fmt.Print(srv.Stats().String())
+	case err := <-done:
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "stingd:", err)
+			return 1
+		}
+	}
+	return 0
+}
+
+// preopenSpaces parses "name=kind,name=kind" and creates each space.
+func preopenSpaces(reg *tspace.Registry, spec string) error {
+	if spec == "" {
+		return nil
+	}
+	for _, entry := range strings.Split(spec, ",") {
+		name, kindName, ok := strings.Cut(strings.TrimSpace(entry), "=")
+		if !ok || name == "" {
+			return fmt.Errorf("bad -spaces entry %q (want name=kind)", entry)
+		}
+		kind, err := parseKind(kindName)
+		if err != nil {
+			return err
+		}
+		if _, err := reg.Open(name, kind, tspace.Config{}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func parseKind(s string) (tspace.Kind, error) {
+	switch s {
+	case "hash", "":
+		return tspace.KindHash, nil
+	case "bag":
+		return tspace.KindBag, nil
+	case "set":
+		return tspace.KindSet, nil
+	case "queue":
+		return tspace.KindQueue, nil
+	case "vector":
+		return tspace.KindVector, nil
+	case "shared-variable":
+		return tspace.KindSharedVar, nil
+	case "semaphore":
+		return tspace.KindSemaphore, nil
+	default:
+		return 0, fmt.Errorf("unknown space kind %q", s)
+	}
+}

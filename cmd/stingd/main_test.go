@@ -1,0 +1,56 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/tspace"
+)
+
+func TestParseKind(t *testing.T) {
+	cases := map[string]tspace.Kind{
+		"hash":            tspace.KindHash,
+		"bag":             tspace.KindBag,
+		"set":             tspace.KindSet,
+		"queue":           tspace.KindQueue,
+		"vector":          tspace.KindVector,
+		"shared-variable": tspace.KindSharedVar,
+		"semaphore":       tspace.KindSemaphore,
+	}
+	for name, want := range cases {
+		got, err := parseKind(name)
+		if err != nil || got != want {
+			t.Errorf("parseKind(%q) = %v, %v; want %v", name, got, err, want)
+		}
+	}
+	if _, err := parseKind("btree"); err == nil {
+		t.Error("parseKind accepted an unknown kind")
+	}
+}
+
+func TestPreopenSpaces(t *testing.T) {
+	reg := tspace.NewRegistry(tspace.KindHash, tspace.Config{})
+	if err := preopenSpaces(reg, "jobs=hash, done=queue ,gate=semaphore"); err != nil {
+		t.Fatalf("preopenSpaces: %v", err)
+	}
+	for name, kind := range map[string]tspace.Kind{
+		"jobs": tspace.KindHash, "done": tspace.KindQueue, "gate": tspace.KindSemaphore,
+	} {
+		ts, ok := reg.Lookup(name)
+		if !ok {
+			t.Errorf("space %q not created", name)
+			continue
+		}
+		if ts.Kind() != kind {
+			t.Errorf("space %q kind %v, want %v", name, ts.Kind(), kind)
+		}
+	}
+	if err := preopenSpaces(reg, "noequals"); err == nil {
+		t.Error("preopenSpaces accepted a malformed entry")
+	}
+	if err := preopenSpaces(reg, "x=btree"); err == nil {
+		t.Error("preopenSpaces accepted an unknown kind")
+	}
+	if err := preopenSpaces(reg, ""); err != nil {
+		t.Errorf("empty spec: %v", err)
+	}
+}

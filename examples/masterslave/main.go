@@ -10,12 +10,103 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"time"
 
 	sting "repro"
 )
+
+// remoteFarm runs the same worker-farm pattern across processes: task and
+// result tuples live in a stingd server's "tasks"/"results" spaces, the
+// master and the slaves are separate OS processes coordinating only
+// through the fabric. Slave workers are STING threads on a local VM whose
+// blocking remote Gets park through the substrate while the fabric client
+// waits on the wire.
+func remoteFarm(addr, role string, tasks, workers int) error {
+	m := sting.NewMachine(sting.MachineConfig{})
+	defer m.Shutdown()
+	vm, err := m.NewVM(sting.VMConfig{Name: "masterslave-" + role})
+	if err != nil {
+		return err
+	}
+	c, err := sting.DialRemote(nil, addr, sting.RemoteDialConfig{})
+	if err != nil {
+		return err
+	}
+	defer c.Close() //nolint:errcheck
+	taskSp, resultSp := c.Space("tasks"), c.Space("results")
+	start := time.Now()
+
+	switch role {
+	case "master":
+		_, err = vm.Run(func(ctx *sting.Context) ([]sting.Value, error) {
+			for i := 0; i < tasks; i++ {
+				if err := taskSp.Put(ctx, sting.Tuple{"task", 1_000_003 + i}); err != nil {
+					return nil, err
+				}
+			}
+			fmt.Printf("master: %d tasks deposited, collating\n", tasks)
+			totalFactors := 0
+			for i := 0; i < tasks; i++ {
+				_, bind, err := resultSp.Get(ctx,
+					sting.Template{"result", sting.Formal("n"), sting.Formal("k")})
+				if err != nil {
+					return nil, err
+				}
+				totalFactors += int(bind["k"].(int64))
+			}
+			for w := 0; w < workers; w++ { // poison the slave pool
+				if err := taskSp.Put(ctx, sting.Tuple{"task", -1}); err != nil {
+					return nil, err
+				}
+			}
+			fmt.Printf("master: %d results, %d factors total, %v\n",
+				tasks, totalFactors, time.Since(start).Round(time.Millisecond))
+			return nil, nil
+		})
+		return err
+	case "slave":
+		_, err = vm.Run(func(ctx *sting.Context) ([]sting.Value, error) {
+			pool := make([]*sting.Thread, workers)
+			for w := range pool {
+				pool[w] = ctx.Fork(func(cc *sting.Context) ([]sting.Value, error) {
+					done := 0
+					for {
+						_, bind, err := taskSp.Get(cc, sting.Template{"task", sting.Formal("n")})
+						if err != nil {
+							return nil, err
+						}
+						n := int(bind["n"].(int64))
+						if n < 0 {
+							return []sting.Value{done}, nil
+						}
+						fs := factor(n)
+						if err := resultSp.Put(cc, sting.Tuple{"result", n, len(fs)}); err != nil {
+							return nil, err
+						}
+						done++
+					}
+				}, nil, sting.WithName(fmt.Sprintf("slave-%d", w)))
+			}
+			total := 0
+			for _, t := range pool {
+				v, err := ctx.Value1(t)
+				if err != nil {
+					return nil, err
+				}
+				total += v.(int)
+			}
+			fmt.Printf("slave: %d workers retired after %d tasks, %v\n",
+				workers, total, time.Since(start).Round(time.Millisecond))
+			return nil, nil
+		})
+		return err
+	default:
+		return fmt.Errorf("unknown -role %q (want master or slave)", role)
+	}
+}
 
 // task: factor a number by trial division (deliberately compute-shaped).
 func factor(n int) []int {
@@ -104,6 +195,20 @@ func farm(name string, pf func(vp *sting.VP) sting.PolicyManager, tasks, workers
 }
 
 func main() {
+	var (
+		remoteAddr = flag.String("remote", "", "stingd address; run the farm over the networked fabric instead of in-process")
+		role       = flag.String("role", "master", "with -remote: master (deposit tasks, collate) or slave (work loop)")
+		nTasks     = flag.Int("tasks", 400, "with -remote -role master: tasks to deposit")
+		nWorkers   = flag.Int("workers", 4, "worker threads (slave role) / poison pills (master role)")
+	)
+	flag.Parse()
+	if *remoteAddr != "" {
+		if err := remoteFarm(*remoteAddr, *role, *nTasks, *nWorkers); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
 	const tasks, workers = 400, 4
 	fmt.Println("§4.2 master/slave over a first-class tuple space:")
 	farm("global-fifo", sting.GlobalFIFO(), tasks, workers)

@@ -1,0 +1,115 @@
+package bench
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/remote"
+	"repro/internal/tspace"
+)
+
+// RemoteResult is one networked ping-pong measurement: clients round-trip
+// tuples through a stingd fabric server over loopback TCP, echo threads on
+// the server VM answer through the same space locally.
+type RemoteResult struct {
+	Pairs    int
+	Rounds   int
+	Elapsed  time.Duration
+	PerRTTNs float64 // one round trip = remote Put + remote blocking Get
+	BytesIn  uint64
+	BytesOut uint64
+}
+
+// RunRemotePingPong measures the fabric's request round trip. Each pair is
+// a remote client (Put ping / blocking Get pong) and a server-side STING
+// echo thread (local Get ping / Put pong); the space, the parking, and the
+// wakeups all go through the substrate.
+func RunRemotePingPong(pairs, rounds int) (RemoteResult, error) {
+	m := core.NewMachine(core.MachineConfig{Processors: 2})
+	defer m.Shutdown()
+	vm, err := m.NewVM(core.VMConfig{VPs: 2})
+	if err != nil {
+		return RemoteResult{}, err
+	}
+	srv := remote.NewServer(vm, remote.ServerConfig{})
+	defer srv.Shutdown()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return RemoteResult{}, err
+	}
+	go srv.Serve(ln) //nolint:errcheck
+
+	ts := srv.Registry().OpenDefault("pingpong")
+	echoes := make([]*core.Thread, pairs)
+	for i := range echoes {
+		echoes[i] = vm.Spawn(func(ctx *core.Context) ([]core.Value, error) {
+			for {
+				_, b, err := ts.Get(ctx, tspace.Template{"ping", tspace.F("p"), tspace.F("n")})
+				if err != nil {
+					return nil, err
+				}
+				if b["n"].(int64) < 0 {
+					return nil, nil
+				}
+				if err := ts.Put(ctx, tspace.Tuple{"pong", b["p"], b["n"]}); err != nil {
+					return nil, err
+				}
+			}
+		}, core.WithName("echo"))
+	}
+
+	addr := ln.Addr().String()
+	start := time.Now()
+	var wg sync.WaitGroup
+	errs := make(chan error, pairs)
+	for p := 0; p < pairs; p++ {
+		wg.Add(1)
+		go func(p int64) {
+			defer wg.Done()
+			c, err := remote.Dial(nil, addr, remote.DialConfig{})
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close() //nolint:errcheck
+			sp := c.Space("pingpong")
+			for i := 0; i < rounds; i++ {
+				if err := sp.Put(nil, tspace.Tuple{"ping", p, int64(i)}); err != nil {
+					errs <- err
+					return
+				}
+				if _, _, err := sp.Get(nil, tspace.Template{"pong", p, int64(i)}); err != nil {
+					errs <- err
+					return
+				}
+			}
+			// Retire this pair's echo thread.
+			errs <- sp.Put(nil, tspace.Tuple{"ping", p, int64(-1)})
+		}(int64(p))
+	}
+	wg.Wait()
+	for i := 0; i < pairs; i++ {
+		if err := <-errs; err != nil {
+			return RemoteResult{}, err
+		}
+	}
+	for _, t := range echoes {
+		if _, err := core.JoinThread(t); err != nil {
+			return RemoteResult{}, fmt.Errorf("echo thread: %w", err)
+		}
+	}
+	elapsed := time.Since(start)
+	snap := srv.Stats()
+	total := pairs * rounds
+	return RemoteResult{
+		Pairs:    pairs,
+		Rounds:   rounds,
+		Elapsed:  elapsed,
+		PerRTTNs: float64(elapsed.Nanoseconds()) / float64(total),
+		BytesIn:  snap.BytesIn,
+		BytesOut: snap.BytesOut,
+	}, nil
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sync/atomic"
 	"time"
 )
 
@@ -150,6 +151,28 @@ func (ctx *Context) BlockUntil(cond func() bool) {
 // WakeTCB reschedules a thread parked in BlockUntil/BlockSelf. Wakers must
 // first make the waiter's condition true, then call WakeTCB.
 func WakeTCB(tcb *TCB) { wakeTCB(tcb, EnqUserBlock) }
+
+// BlockUntilDeadline parks the current thread until cond holds or the
+// deadline passes, reporting whether cond held. It is the bounded form of
+// BlockUntil that I/O bridges (the remote tuple-space client, device
+// waits with timeouts) use to honour per-operation deadlines while still
+// parking through the substrate rather than holding the VP.
+func (ctx *Context) BlockUntilDeadline(cond func() bool, deadline time.Time) bool {
+	if cond() {
+		ctx.applyRequests()
+		return true
+	}
+	tcb := ctx.tcb
+	var expired atomic.Bool
+	timer := time.AfterFunc(time.Until(deadline), func() {
+		expired.Store(true)
+		wakeTCB(tcb, EnqUserBlock)
+	})
+	defer timer.Stop()
+	ctx.blockUntil(func() bool { return cond() || expired.Load() },
+		ExecBlocked, EnqUserBlock)
+	return cond()
+}
 
 // BlockSelf blocks the current thread on the given blocker description
 // until another thread wakes it with WakeThread/ThreadRun. The blocker is

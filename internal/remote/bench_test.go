@@ -1,0 +1,51 @@
+package remote
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/tspace"
+)
+
+// BenchmarkRemoteTuplePingPong measures one fabric round trip: a remote
+// Put answered by a server-side STING echo thread, collected with a remote
+// blocking Get. Compare with the in-process tuple ops in internal/bench's
+// Fig. 6 table to see the wire's cost.
+func BenchmarkRemoteTuplePingPong(b *testing.B) {
+	srv, addr := startServer(b)
+	ts := srv.Registry().OpenDefault("pingpong")
+	echo := srv.vm.Spawn(func(ctx *core.Context) ([]core.Value, error) {
+		for {
+			_, bind, err := ts.Get(ctx, tspace.Template{"ping", tspace.F("n")})
+			if err != nil {
+				return nil, err
+			}
+			if bind["n"].(int64) < 0 {
+				return nil, nil
+			}
+			if err := ts.Put(ctx, tspace.Tuple{"pong", bind["n"]}); err != nil {
+				return nil, err
+			}
+		}
+	}, core.WithName("echo"))
+
+	c := dialTest(b, addr, DialConfig{})
+	sp := c.Space("pingpong")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := int64(i)
+		if err := sp.Put(nil, tspace.Tuple{"ping", n}); err != nil {
+			b.Fatalf("Put: %v", err)
+		}
+		if _, _, err := sp.Get(nil, tspace.Template{"pong", n}); err != nil {
+			b.Fatalf("Get: %v", err)
+		}
+	}
+	b.StopTimer()
+	if err := sp.Put(nil, tspace.Tuple{"ping", int64(-1)}); err != nil {
+		b.Fatalf("sentinel Put: %v", err)
+	}
+	if _, err := core.JoinThread(echo); err != nil {
+		b.Fatalf("echo: %v", err)
+	}
+}

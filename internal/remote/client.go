@@ -1,0 +1,569 @@
+package remote
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sio"
+	"repro/internal/tspace"
+)
+
+// DialConfig tunes the client's retry, deadline, and drain behaviour.
+// The zero value is usable; every field has a default.
+type DialConfig struct {
+	// DialRetries bounds how many times Dial (and a mid-session redial)
+	// re-attempts the connect+HELLO exchange after a transient failure
+	// (default 4, so 5 attempts total).
+	DialRetries int
+	// BaseBackoff is the first retry's sleep; each further attempt doubles
+	// it up to MaxBackoff (defaults 25ms, 1s).
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// OpRetries bounds how many times an operation is re-sent when its
+	// request frame was provably never written (default 2). An op whose
+	// frame may have reached the server is never retried — a second Put
+	// must not double-deposit.
+	OpRetries int
+	// Timeout bounds non-blocking round trips (TryGet, Len, Stats, Put)
+	// and the HELLO exchange (default 5s). Blocking Get/Rd are bounded by
+	// their per-op deadline, enforced server-side.
+	Timeout time.Duration
+	// WriteTimeout bounds one frame write (default 10s).
+	WriteTimeout time.Duration
+	// DrainTimeout bounds how long Close waits for in-flight operations
+	// to complete before hanging up (default 5s).
+	DrainTimeout time.Duration
+}
+
+func (cfg DialConfig) withDefaults() DialConfig {
+	if cfg.DialRetries == 0 {
+		cfg.DialRetries = 4
+	}
+	if cfg.BaseBackoff == 0 {
+		cfg.BaseBackoff = 25 * time.Millisecond
+	}
+	if cfg.MaxBackoff == 0 {
+		cfg.MaxBackoff = time.Second
+	}
+	if cfg.OpRetries == 0 {
+		cfg.OpRetries = 2
+	}
+	if cfg.Timeout == 0 {
+		cfg.Timeout = 5 * time.Second
+	}
+	if cfg.WriteTimeout == 0 {
+		cfg.WriteTimeout = 10 * time.Second
+	}
+	if cfg.DrainTimeout == 0 {
+		cfg.DrainTimeout = 5 * time.Second
+	}
+	return cfg
+}
+
+// backoff returns the sleep before retry attempt (0-based), exponential
+// and capped.
+func (cfg DialConfig) backoff(attempt int) time.Duration {
+	d := cfg.BaseBackoff
+	for i := 0; i < attempt && d < cfg.MaxBackoff; i++ {
+		d *= 2
+	}
+	return min(d, cfg.MaxBackoff)
+}
+
+// call is one in-flight request awaiting its response frame.
+type call struct {
+	mu   sync.Mutex
+	done bool
+	resp response
+	err  error
+	ch   chan struct{}
+	tcb  *core.TCB // parked STING waiter to wake, when set
+}
+
+func newCall() *call { return &call{ch: make(chan struct{})} }
+
+func (c *call) complete(resp response, err error) {
+	c.mu.Lock()
+	if c.done {
+		c.mu.Unlock()
+		return
+	}
+	c.done = true
+	c.resp, c.err = resp, err
+	tcb := c.tcb
+	c.mu.Unlock()
+	close(c.ch)
+	if tcb != nil {
+		core.WakeTCB(tcb)
+	}
+}
+
+func (c *call) completed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.done
+}
+
+// Client is one connection to a stingd fabric server. It is safe for
+// concurrent use from many STING threads (and from plain goroutines —
+// pass a nil context and waits fall back to channels). A thread waiting
+// for a response parks through the substrate's block/wakeup machinery;
+// the reader goroutine completes the call and wakes the TCB, mirroring
+// how sio device completions resume their initiators.
+type Client struct {
+	addr string
+	cfg  DialConfig
+
+	mu      sync.Mutex
+	fc      *sio.FrameConn
+	pending map[uint32]*call
+	nextID  uint32
+	closed  bool
+	wg      sync.WaitGroup // in-flight roundTrips, for Close's drain
+}
+
+// Dial connects to a fabric server, retrying transient connect/handshake
+// failures with exponential backoff, and verifies protocol agreement via
+// the HELLO exchange before returning. Pass a nil ctx when dialing from
+// plain Go; from a STING thread the retry sleeps and the handshake wait
+// park through the substrate.
+func Dial(ctx *core.Context, addr string, cfg DialConfig) (*Client, error) {
+	cfg = cfg.withDefaults()
+	c := &Client{
+		addr:    addr,
+		cfg:     cfg,
+		pending: make(map[uint32]*call),
+	}
+	c.mu.Lock()
+	err := c.redialLocked(ctx)
+	c.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// redialLocked (c.mu held) establishes a fresh connection with bounded
+// retry and the HELLO handshake.
+func (c *Client) redialLocked(ctx *core.Context) error {
+	var lastErr error
+	for attempt := 0; attempt <= c.cfg.DialRetries; attempt++ {
+		if attempt > 0 {
+			sleep(ctx, c.cfg.backoff(attempt-1))
+		}
+		if c.closed {
+			return net.ErrClosed
+		}
+		nc, err := net.DialTimeout("tcp", c.addr, c.cfg.Timeout)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		fc := sio.NewFrameConn(nc, maxFrame, c.cfg.WriteTimeout)
+		if err := c.handshake(ctx, fc); err != nil {
+			fc.Close()
+			lastErr = err
+			continue
+		}
+		c.fc = fc
+		fc.Start(func(frame []byte, err error) { c.onFrame(fc, frame, err) })
+		return nil
+	}
+	return fmt.Errorf("remote: dial %s: %w", c.addr, lastErr)
+}
+
+// handshake performs the HELLO exchange synchronously on a fresh
+// connection (its reader loop is not running yet).
+func (c *Client) handshake(ctx *core.Context, fc *sio.FrameConn) error {
+	frame, err := encodeRequest(request{op: opHello, id: 0})
+	if err != nil {
+		return err
+	}
+	if err := fc.WriteFrame(frame); err != nil {
+		return err
+	}
+	done := make(chan error, 1)
+	go func() {
+		var hdr [4]byte
+		buf := make([]byte, 64)
+		conn := fc.Conn()
+		conn.SetReadDeadline(time.Now().Add(c.cfg.Timeout)) //nolint:errcheck
+		defer conn.SetReadDeadline(time.Time{})             //nolint:errcheck
+		if _, err := readFull(conn, hdr[:]); err != nil {
+			done <- err
+			return
+		}
+		n := uint32(hdr[0])<<24 | uint32(hdr[1])<<16 | uint32(hdr[2])<<8 | uint32(hdr[3])
+		if n > uint32(len(buf)) {
+			done <- protoErrf("hello reply of %d bytes", n)
+			return
+		}
+		if _, err := readFull(conn, buf[:n]); err != nil {
+			done <- err
+			return
+		}
+		r, err := decodeResponse(buf[:n])
+		if err != nil {
+			done <- err
+			return
+		}
+		if r.op == respErr {
+			done <- wireError(r, "hello", "", 0)
+			return
+		}
+		if r.op != respOK {
+			done <- protoErrf("hello reply op %d", r.op)
+			return
+		}
+		done <- nil
+	}()
+	if ctx == nil {
+		return <-done
+	}
+	// From a STING thread: park through the substrate while the helper
+	// goroutine blocks on the socket.
+	var res error
+	got := false
+	var mu sync.Mutex
+	tcb := ctx.TCB()
+	go func() {
+		err := <-done
+		mu.Lock()
+		res, got = err, true
+		mu.Unlock()
+		core.WakeTCB(tcb)
+	}()
+	ctx.BlockUntil(func() bool { mu.Lock(); defer mu.Unlock(); return got })
+	return res
+}
+
+func readFull(conn net.Conn, buf []byte) (int, error) {
+	total := 0
+	for total < len(buf) {
+		n, err := conn.Read(buf[total:])
+		total += n
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// onFrame is the reader call-back: route responses to pending calls; on
+// the terminal error fail every in-flight call with ErrDisconnected.
+func (c *Client) onFrame(fc *sio.FrameConn, frame []byte, err error) {
+	if err != nil {
+		c.failConn(fc, ErrDisconnected)
+		return
+	}
+	r, derr := decodeResponse(frame)
+	if derr != nil {
+		c.failConn(fc, derr)
+		return
+	}
+	c.mu.Lock()
+	call := c.pending[r.id]
+	delete(c.pending, r.id)
+	c.mu.Unlock()
+	if call != nil {
+		call.complete(r, nil)
+	}
+}
+
+// failConn tears down fc (if still current) and fails its in-flight calls.
+func (c *Client) failConn(fc *sio.FrameConn, reason error) {
+	fc.Close()
+	c.mu.Lock()
+	if c.fc != fc {
+		c.mu.Unlock()
+		return
+	}
+	c.fc = nil
+	calls := c.pending
+	c.pending = make(map[uint32]*call)
+	c.mu.Unlock()
+	for _, cl := range calls {
+		cl.complete(response{}, reason)
+	}
+}
+
+// Close drains in-flight operations (up to DrainTimeout) and hangs up.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	fc := c.fc
+	c.mu.Unlock()
+	drained := make(chan struct{})
+	go func() { c.wg.Wait(); close(drained) }()
+	select {
+	case <-drained:
+	case <-time.After(c.cfg.DrainTimeout):
+	}
+	if fc != nil {
+		c.failConn(fc, net.ErrClosed)
+	}
+	return nil
+}
+
+// sleep pauses for d: through the substrate when on a STING thread, via
+// the runtime otherwise.
+func sleep(ctx *core.Context, d time.Duration) {
+	if ctx == nil {
+		time.Sleep(d)
+		return
+	}
+	ctx.BlockUntilDeadline(func() bool { return false }, time.Now().Add(d))
+}
+
+// roundTrip sends req and waits for its response. A request whose frame
+// was provably never written is retried (bounded, with backoff); once the
+// frame may have left, the op is never re-sent.
+func (c *Client) roundTrip(ctx *core.Context, req request, wait time.Duration) (response, error) {
+	c.wg.Add(1)
+	defer c.wg.Done()
+	var lastErr error
+	for attempt := 0; attempt <= c.cfg.OpRetries; attempt++ {
+		if attempt > 0 {
+			sleep(ctx, c.cfg.backoff(attempt-1))
+		}
+		cl, id, fc, err := c.register(ctx)
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return response{}, err
+			}
+			lastErr = err
+			continue // dial failed; transient
+		}
+		req.id = id
+		frame, err := encodeRequest(req)
+		if err != nil {
+			c.unregister(id)
+			return response{}, err
+		}
+		if err := fc.WriteFrame(frame); err != nil {
+			c.unregister(id)
+			if errors.Is(err, net.ErrClosed) {
+				// The frame never hit the socket; safe to retry on a
+				// fresh connection.
+				lastErr = err
+				continue
+			}
+			// A partial write still cannot execute server-side (the frame
+			// is length-prefixed and incomplete), but the connection is
+			// now poisoned mid-stream: fail it and retry.
+			c.failConn(fc, ErrDisconnected)
+			lastErr = err
+			continue
+		}
+		return c.wait(ctx, cl, id, req, wait)
+	}
+	return response{}, fmt.Errorf("remote: %s on %q: retries exhausted: %w",
+		opName(req.op), req.space, lastErr)
+}
+
+// register allocates a request id and pending call on a live connection,
+// redialing if the previous one died.
+func (c *Client) register(ctx *core.Context) (*call, uint32, *sio.FrameConn, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, 0, nil, net.ErrClosed
+	}
+	if c.fc == nil {
+		if err := c.redialLocked(ctx); err != nil {
+			return nil, 0, nil, err
+		}
+	}
+	c.nextID++
+	if c.nextID == 0 {
+		c.nextID = 1
+	}
+	id := c.nextID
+	cl := newCall()
+	c.pending[id] = cl
+	return cl, id, c.fc, nil
+}
+
+func (c *Client) unregister(id uint32) {
+	c.mu.Lock()
+	delete(c.pending, id)
+	c.mu.Unlock()
+}
+
+// deadlineGrace is how much longer than the server-side deadline the
+// client waits before giving up locally: the server is authoritative for
+// blocking-op timeouts, the local timer only covers a vanished reply.
+const deadlineGrace = 250 * time.Millisecond
+
+// wait parks until cl completes or the local deadline passes.
+func (c *Client) wait(ctx *core.Context, cl *call, id uint32, req request, wait time.Duration) (response, error) {
+	var deadline time.Time
+	if wait > 0 {
+		deadline = time.Now().Add(wait)
+	}
+	if ctx != nil {
+		cl.mu.Lock()
+		cl.tcb = ctx.TCB()
+		done := cl.done
+		cl.mu.Unlock()
+		if !done {
+			if deadline.IsZero() {
+				ctx.BlockUntil(cl.completed)
+			} else if !ctx.BlockUntilDeadline(cl.completed, deadline) {
+				c.unregister(id)
+				return response{}, &TimeoutError{Op: opName(req.op), Space: req.space, Deadline: req.deadline}
+			}
+		}
+	} else if deadline.IsZero() {
+		<-cl.ch
+	} else {
+		select {
+		case <-cl.ch:
+		case <-time.After(time.Until(deadline)):
+			c.unregister(id)
+			return response{}, &TimeoutError{Op: opName(req.op), Space: req.space, Deadline: req.deadline}
+		}
+	}
+	cl.mu.Lock()
+	resp, err := cl.resp, cl.err
+	cl.mu.Unlock()
+	if err != nil {
+		return response{}, err
+	}
+	if resp.op == respErr {
+		return response{}, wireError(resp, opName(req.op), req.space, req.deadline)
+	}
+	return resp, nil
+}
+
+// waitFor picks the local wait bound for req: blocking ops wait out the
+// server-side deadline plus grace (or forever when unbounded); everything
+// else uses the client's round-trip timeout.
+func (c *Client) waitFor(req request) time.Duration {
+	if blockingOp(req.op) {
+		if req.deadline > 0 {
+			return req.deadline + deadlineGrace
+		}
+		return 0
+	}
+	return c.cfg.Timeout
+}
+
+// Stats fetches the server's counter snapshot via the STATS wire op.
+func (c *Client) Stats(ctx *core.Context) (StatsSnapshot, error) {
+	req := request{op: opStats}
+	resp, err := c.roundTrip(ctx, req, c.cfg.Timeout)
+	if err != nil {
+		return StatsSnapshot{}, err
+	}
+	if resp.op != respStats {
+		return StatsSnapshot{}, protoErrf("stats reply op %d", resp.op)
+	}
+	return resp.stats, nil
+}
+
+// Space returns a handle on the named tuple space. The handle implements
+// tspace.TupleSpace, so remote spaces drop into every consumer of the
+// local interface (Spawn excepted: thunks do not cross address spaces).
+func (c *Client) Space(name string) *Space {
+	return &Space{c: c, name: name}
+}
+
+// Space is a client-side handle on one named remote tuple space.
+type Space struct {
+	c        *Client
+	name     string
+	deadline time.Duration
+}
+
+var _ tspace.TupleSpace = (*Space)(nil)
+
+// Deadline returns a derived handle whose blocking Get/Rd carry the given
+// per-op deadline; the server expires the wait and replies with a timeout
+// error that surfaces as a *TimeoutError.
+func (s *Space) Deadline(d time.Duration) *Space {
+	return &Space{c: s.c, name: s.name, deadline: d}
+}
+
+// Name returns the space's registry name.
+func (s *Space) Name() string { return s.name }
+
+// Put deposits a tuple in the remote space.
+func (s *Space) Put(ctx *core.Context, tup tspace.Tuple) error {
+	req := request{op: opPut, space: s.name, tuple: tup}
+	resp, err := s.c.roundTrip(ctx, req, s.c.waitFor(req))
+	if err != nil {
+		return err
+	}
+	if resp.op != respOK {
+		return protoErrf("put reply op %d", resp.op)
+	}
+	return nil
+}
+
+func (s *Space) match(ctx *core.Context, op byte, tpl tspace.Template) (tspace.Tuple, tspace.Bindings, error) {
+	req := request{op: op, space: s.name, template: tpl}
+	if blockingOp(op) {
+		req.deadline = s.deadline
+	}
+	resp, err := s.c.roundTrip(ctx, req, s.c.waitFor(req))
+	if err != nil {
+		return nil, nil, err
+	}
+	switch resp.op {
+	case respTuple:
+		return resp.tuple, resp.bind, nil
+	case respNoMatch:
+		return nil, nil, tspace.ErrNoMatch
+	default:
+		return nil, nil, protoErrf("%s reply op %d", opName(op), resp.op)
+	}
+}
+
+// Get removes a matching tuple, blocking (parked server-side as a STING
+// thread, parked client-side through BlockUntil) until one exists.
+func (s *Space) Get(ctx *core.Context, tpl tspace.Template) (tspace.Tuple, tspace.Bindings, error) {
+	return s.match(ctx, opGet, tpl)
+}
+
+// Rd reads a matching tuple without removing it, blocking until one exists.
+func (s *Space) Rd(ctx *core.Context, tpl tspace.Template) (tspace.Tuple, tspace.Bindings, error) {
+	return s.match(ctx, opRd, tpl)
+}
+
+// TryGet is the non-blocking Get probe.
+func (s *Space) TryGet(ctx *core.Context, tpl tspace.Template) (tspace.Tuple, tspace.Bindings, error) {
+	return s.match(ctx, opTryGet, tpl)
+}
+
+// TryRd is the non-blocking Rd probe.
+func (s *Space) TryRd(ctx *core.Context, tpl tspace.Template) (tspace.Tuple, tspace.Bindings, error) {
+	return s.match(ctx, opTryRd, tpl)
+}
+
+// Spawn is unsupported on remote spaces: thunks are process-local.
+func (s *Space) Spawn(ctx *core.Context, thunks ...core.Thunk) ([]*core.Thread, error) {
+	return nil, ErrUnsupported
+}
+
+// Len reports the remote space's depth (0 when the server is unreachable:
+// the TupleSpace interface leaves no room for an error).
+func (s *Space) Len() int {
+	req := request{op: opLen, space: s.name}
+	resp, err := s.c.roundTrip(nil, req, s.c.cfg.Timeout)
+	if err != nil || resp.op != respLen {
+		return 0
+	}
+	return int(resp.length)
+}
+
+// Kind reports KindRemote.
+func (s *Space) Kind() tspace.Kind { return tspace.KindRemote }

@@ -1,0 +1,211 @@
+package remote
+
+import (
+	"errors"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/tspace"
+)
+
+// droppingListener closes the first drop connections right after accept —
+// the fault the client's dial retry is built for (a server still coming
+// up, a flaky proxy). Later connections pass through untouched.
+type droppingListener struct {
+	net.Listener
+	drop     int32
+	accepted atomic.Int32
+	dropped  atomic.Int32
+}
+
+func (dl *droppingListener) Accept() (net.Conn, error) {
+	for {
+		c, err := dl.Listener.Accept()
+		if err != nil {
+			return nil, err
+		}
+		if n := dl.accepted.Add(1); n <= dl.drop {
+			dl.dropped.Add(1)
+			c.Close()
+			continue
+		}
+		return c, nil
+	}
+}
+
+// startDroppingServer serves the fabric behind a listener that kills the
+// first drop connections.
+func startDroppingServer(t *testing.T, drop int32) (*droppingListener, string) {
+	t.Helper()
+	srv, _ := startServer(t) // its own listener stays idle; we add a faulty one
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	dl := &droppingListener{Listener: ln, drop: drop}
+	go func() {
+		for {
+			c, err := dl.Accept()
+			if err != nil {
+				return
+			}
+			srv.addConn(c)
+		}
+	}()
+	t.Cleanup(func() { ln.Close() })
+	return dl, ln.Addr().String()
+}
+
+// TestDialRetriesTransientFailures: with the first 3 connections dropped,
+// Dial must back off and land on the 4th.
+func TestDialRetriesTransientFailures(t *testing.T) {
+	dl, addr := startDroppingServer(t, 3)
+	start := time.Now()
+	c, err := Dial(nil, addr, DialConfig{
+		DialRetries: 4,
+		BaseBackoff: 5 * time.Millisecond,
+		MaxBackoff:  40 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("Dial through 3 drops: %v", err)
+	}
+	defer c.Close() //nolint:errcheck
+	if got := dl.dropped.Load(); got != 3 {
+		t.Fatalf("dropped = %d, want 3", got)
+	}
+	// Three retries at 5/10/20ms backoff: the elapsed time shows the
+	// client actually backed off rather than hammering.
+	if elapsed := time.Since(start); elapsed < 35*time.Millisecond {
+		t.Fatalf("dial finished in %v; backoff not applied", elapsed)
+	}
+	if err := c.Space("x").Put(nil, tspace.Tuple{"ok"}); err != nil {
+		t.Fatalf("Put after retried dial: %v", err)
+	}
+}
+
+// TestDialRetriesExhausted: when the fault outlasts the budget, Dial
+// reports the underlying error instead of hanging.
+func TestDialRetriesExhausted(t *testing.T) {
+	_, addr := startDroppingServer(t, 100)
+	_, err := Dial(nil, addr, DialConfig{
+		DialRetries: 2,
+		BaseBackoff: time.Millisecond,
+		MaxBackoff:  4 * time.Millisecond,
+		Timeout:     200 * time.Millisecond,
+	})
+	if err == nil {
+		t.Fatal("Dial succeeded through a dead listener")
+	}
+}
+
+// TestDialConnectionRefused: nothing listening at all — the connect
+// itself fails, and the bounded retry still terminates.
+func TestDialConnectionRefused(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	addr := ln.Addr().String()
+	ln.Close() // free the port; connects now get refused
+	_, err = Dial(nil, addr, DialConfig{
+		DialRetries: 1,
+		BaseBackoff: time.Millisecond,
+	})
+	if err == nil {
+		t.Fatal("Dial succeeded with nothing listening")
+	}
+}
+
+// TestOpRedialsAfterConnLoss: when the connection dies between operations
+// the next op redials transparently — its frame was never written, so the
+// retry is safe.
+func TestOpRedialsAfterConnLoss(t *testing.T) {
+	_, addr := startServer(t)
+	c := dialTest(t, addr, DialConfig{
+		BaseBackoff: time.Millisecond,
+		MaxBackoff:  10 * time.Millisecond,
+	})
+	sp := c.Space("jobs")
+	if err := sp.Put(nil, tspace.Tuple{"a", 1}); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	// Kill the transport out from under the client.
+	c.mu.Lock()
+	fc := c.fc
+	c.mu.Unlock()
+	fc.Conn().Close()
+	// The very next op may race the reader noticing the death; the retry
+	// budget absorbs it either way.
+	if err := sp.Put(nil, tspace.Tuple{"b", 2}); err != nil {
+		t.Fatalf("Put after conn loss: %v", err)
+	}
+	if n := sp.Len(); n != 2 {
+		t.Fatalf("Len = %d, want 2", n)
+	}
+}
+
+// TestInFlightFailsOnConnLoss: an op whose frame already left must NOT be
+// retried (a second Put could double-deposit); it fails with a
+// disconnection error instead.
+func TestInFlightFailsOnConnLoss(t *testing.T) {
+	_, addr := startServer(t)
+	c := dialTest(t, addr, DialConfig{OpRetries: 5})
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := c.Space("jobs").Get(nil, tspace.Template{"never"})
+		done <- err
+	}()
+	// Wait for the Get frame to be on the wire (pending call registered).
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		c.mu.Lock()
+		n := len(c.pending)
+		fc := c.fc
+		c.mu.Unlock()
+		if n == 1 {
+			fc.Conn().Close()
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("Get never went in flight")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrDisconnected) {
+			t.Fatalf("in-flight Get err = %v, want ErrDisconnected", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("in-flight Get hung after connection loss")
+	}
+}
+
+// TestClosedClientRejectsOps: after Close, operations fail fast with
+// net.ErrClosed instead of redialing.
+func TestClosedClientRejectsOps(t *testing.T) {
+	_, addr := startServer(t)
+	c := dialTest(t, addr, DialConfig{})
+	if err := c.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := c.Space("x").Put(nil, tspace.Tuple{"a"}); !errors.Is(err, net.ErrClosed) {
+		t.Fatalf("Put on closed client = %v, want net.ErrClosed", err)
+	}
+}
+
+// TestBackoffSchedule pins the exponential-with-cap shape.
+func TestBackoffSchedule(t *testing.T) {
+	cfg := DialConfig{BaseBackoff: 10 * time.Millisecond, MaxBackoff: 65 * time.Millisecond}.withDefaults()
+	want := []time.Duration{
+		10 * time.Millisecond, 20 * time.Millisecond, 40 * time.Millisecond,
+		65 * time.Millisecond, 65 * time.Millisecond,
+	}
+	for i, w := range want {
+		if got := cfg.backoff(i); got != w {
+			t.Fatalf("backoff(%d) = %v, want %v", i, got, w)
+		}
+	}
+}

@@ -1,0 +1,324 @@
+package remote
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/testkit"
+	"repro/internal/tspace"
+)
+
+// startServer boots a machine/VM pair, a fabric server on it, and a
+// loopback listener, all torn down with the test.
+func startServer(t testing.TB) (*Server, string) {
+	t.Helper()
+	vm := testkit.VM(t, 2, 2)
+	srv := NewServer(vm, ServerConfig{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	go srv.Serve(ln) //nolint:errcheck
+	t.Cleanup(srv.Shutdown)
+	return srv, ln.Addr().String()
+}
+
+func dialTest(t testing.TB, addr string, cfg DialConfig) *Client {
+	t.Helper()
+	c, err := Dial(nil, addr, cfg)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	t.Cleanup(func() { c.Close() }) //nolint:errcheck
+	return c
+}
+
+func TestRemoteRoundTrip(t *testing.T) {
+	_, addr := startServer(t)
+	c := dialTest(t, addr, DialConfig{})
+	sp := c.Space("jobs")
+
+	if err := sp.Put(nil, tspace.Tuple{"point", 3, 4}); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if n := sp.Len(); n != 1 {
+		t.Fatalf("Len = %d, want 1", n)
+	}
+	tup, b, err := sp.Rd(nil, tspace.Template{"point", tspace.F("x"), tspace.F("y")})
+	if err != nil {
+		t.Fatalf("Rd: %v", err)
+	}
+	// Integers travel as int64; matching still works because templates
+	// normalize widths.
+	if tup[0] != "point" || b["x"] != int64(3) || b["y"] != int64(4) {
+		t.Fatalf("Rd tuple %v bindings %v", tup, b)
+	}
+	if n := sp.Len(); n != 1 {
+		t.Fatalf("Len after Rd = %d, want 1", n)
+	}
+	if _, _, err := sp.Get(nil, tspace.Template{"point", 3, tspace.F("y")}); err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if _, _, err := sp.TryGet(nil, tspace.Template{"point", tspace.F(""), tspace.F("")}); err != tspace.ErrNoMatch {
+		t.Fatalf("TryGet on empty = %v, want ErrNoMatch", err)
+	}
+	if _, _, err := sp.TryRd(nil, tspace.Template{"missing"}); err != tspace.ErrNoMatch {
+		t.Fatalf("TryRd = %v, want ErrNoMatch", err)
+	}
+	if sp.Kind() != tspace.KindRemote {
+		t.Fatalf("Kind = %v", sp.Kind())
+	}
+	if _, err := sp.Spawn(nil); !errors.Is(err, ErrUnsupported) {
+		t.Fatalf("Spawn err = %v, want ErrUnsupported", err)
+	}
+}
+
+// TestRemoteBlockingGetParks is acceptance (a): a blocking Get from one
+// client parks a STING thread on the server — visible in the Blocked
+// gauge and the space's waiter count — until a Put from another client
+// matches it.
+func TestRemoteBlockingGetParks(t *testing.T) {
+	srv, addr := startServer(t)
+	getter := dialTest(t, addr, DialConfig{})
+	putter := dialTest(t, addr, DialConfig{})
+
+	done := make(chan error, 1)
+	var got tspace.Bindings
+	go func() {
+		_, b, err := getter.Space("jobs").Get(nil, tspace.Template{"job", tspace.F("n")})
+		got = b
+		done <- err
+	}()
+
+	// The waiter must be parked server-side: a registered HB entry on the
+	// space and a non-zero Blocked gauge — not an OS thread spinning.
+	testkit.Eventually(t, 5*time.Second, func() bool {
+		return srv.Stats().Blocked == 1
+	}, "blocked gauge never rose")
+	ts, ok := srv.Registry().Lookup("jobs")
+	if !ok {
+		t.Fatal("space not created by blocking Get")
+	}
+	if w := ts.(tspace.WaiterCount).Waiters(); w != 1 {
+		t.Fatalf("space waiters = %d, want 1", w)
+	}
+	select {
+	case err := <-done:
+		t.Fatalf("Get returned early: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	if err := putter.Space("jobs").Put(nil, tspace.Tuple{"job", 42}); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Get: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Get never unblocked after matching Put")
+	}
+	if got["n"] != int64(42) {
+		t.Fatalf("bindings %v", got)
+	}
+	testkit.Eventually(t, 5*time.Second, func() bool {
+		return srv.Stats().Blocked == 0
+	}, "blocked gauge never drained")
+}
+
+// TestRemoteDisconnectReleasesWaiter is acceptance (b): a client that
+// hangs up mid-Get must not leak its registration in the space's blocked
+// table — the cancel token withdraws the parked thread.
+func TestRemoteDisconnectReleasesWaiter(t *testing.T) {
+	srv, addr := startServer(t)
+	c := dialTest(t, addr, DialConfig{})
+
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := c.Space("jobs").Get(nil, tspace.Template{"job", tspace.F("n")})
+		done <- err
+	}()
+	testkit.Eventually(t, 5*time.Second, func() bool {
+		return srv.Stats().Blocked == 1
+	}, "waiter never parked")
+
+	c.mu.Lock()
+	fc := c.fc
+	c.mu.Unlock()
+	fc.Conn().Close() // abrupt hangup, no protocol goodbye
+
+	testkit.Eventually(t, 5*time.Second, func() bool {
+		s := srv.Stats()
+		return s.Blocked == 0 && s.Canceled >= 1
+	}, "server never withdrew the disconnected waiter")
+	ts, _ := srv.Registry().Lookup("jobs")
+	testkit.Eventually(t, 5*time.Second, func() bool {
+		return ts.(tspace.WaiterCount).Waiters() == 0
+	}, "HB registration leaked after disconnect")
+
+	// A later Put must not be consumed by the ghost of the dead Get.
+	putter := dialTest(t, addr, DialConfig{})
+	if err := putter.Space("jobs").Put(nil, tspace.Tuple{"job", 7}); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	time.Sleep(50 * time.Millisecond)
+	if n := putter.Space("jobs").Len(); n != 1 {
+		t.Fatalf("depth after post-disconnect Put = %d, want 1", n)
+	}
+	<-done // the client-side call fails with a connection error; ignore which
+}
+
+// TestRemoteStatsCounters is acceptance (c): the Stats snapshot reflects
+// the operations served, and it travels intact over the STATS wire op.
+func TestRemoteStatsCounters(t *testing.T) {
+	srv, addr := startServer(t)
+	c := dialTest(t, addr, DialConfig{})
+	sp := c.Space("stats-space")
+
+	const puts, gets, trys = 5, 2, 3
+	for i := 0; i < puts; i++ {
+		if err := sp.Put(nil, tspace.Tuple{"n", i}); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+	}
+	for i := 0; i < gets; i++ {
+		if _, _, err := sp.Get(nil, tspace.Template{"n", i}); err != nil {
+			t.Fatalf("Get: %v", err)
+		}
+	}
+	for i := 0; i < trys; i++ {
+		_, _, err := sp.TryGet(nil, tspace.Template{"absent"})
+		if err != tspace.ErrNoMatch {
+			t.Fatalf("TryGet: %v", err)
+		}
+	}
+
+	snap, err := c.Stats(nil)
+	if err != nil {
+		t.Fatalf("Stats: %v", err)
+	}
+	if snap.Ops["put"] != puts || snap.Ops["get"] != gets || snap.Ops["tryget"] != trys {
+		t.Fatalf("ops %v, want put=%d get=%d tryget=%d", snap.Ops, puts, gets, trys)
+	}
+	if snap.Ops["hello"] == 0 {
+		t.Fatalf("hello not counted: %v", snap.Ops)
+	}
+	if snap.SpaceDepths["stats-space"] != puts-gets {
+		t.Fatalf("depth %v, want %d", snap.SpaceDepths, puts-gets)
+	}
+	if snap.ConnsActive < 1 || snap.Conns < 1 {
+		t.Fatalf("conns %d active %d", snap.Conns, snap.ConnsActive)
+	}
+	if snap.BytesIn == 0 || snap.BytesOut == 0 {
+		t.Fatalf("byte counters empty: in=%d out=%d", snap.BytesIn, snap.BytesOut)
+	}
+	// Wire snapshot matches the server's own view of the counters we
+	// exercised (gauges and byte counts move with the STATS call itself).
+	local := srv.Stats()
+	for _, op := range []string{"put", "get", "tryget"} {
+		if snap.Ops[op] != local.Ops[op] {
+			t.Fatalf("op %s: wire %d != local %d", op, snap.Ops[op], local.Ops[op])
+		}
+	}
+	if snap.String() == "" {
+		t.Fatal("empty stats rendering")
+	}
+}
+
+// TestRemoteDeadline: a blocking Get with a deadline returns the typed
+// timeout error and leaves no waiter behind.
+func TestRemoteDeadline(t *testing.T) {
+	srv, addr := startServer(t)
+	c := dialTest(t, addr, DialConfig{})
+
+	start := time.Now()
+	_, _, err := c.Space("jobs").Deadline(80 * time.Millisecond).
+		Get(nil, tspace.Template{"job", tspace.F("n")})
+	if err == nil {
+		t.Fatal("deadline Get succeeded on an empty space")
+	}
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout match", err)
+	}
+	var te *TimeoutError
+	if !errors.As(err, &te) {
+		t.Fatalf("err = %T, want *TimeoutError", err)
+	}
+	if !te.Timeout() || te.Space != "jobs" || te.Op != "get" {
+		t.Fatalf("timeout error fields: %+v", te)
+	}
+	if elapsed := time.Since(start); elapsed < 80*time.Millisecond {
+		t.Fatalf("returned after %v, before the deadline", elapsed)
+	}
+	testkit.Eventually(t, 5*time.Second, func() bool {
+		s := srv.Stats()
+		return s.Timeouts == 1 && s.Blocked == 0
+	}, "timeout not accounted / waiter leaked")
+	ts, _ := srv.Registry().Lookup("jobs")
+	if w := ts.(tspace.WaiterCount).Waiters(); w != 0 {
+		t.Fatalf("waiters = %d after timeout", w)
+	}
+}
+
+// TestRemoteShutdownDrains: Shutdown withdraws parked waiters with a
+// shutdown error rather than leaving clients hanging.
+func TestRemoteShutdownDrains(t *testing.T) {
+	srv, addr := startServer(t)
+	c := dialTest(t, addr, DialConfig{})
+
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := c.Space("jobs").Get(nil, tspace.Template{"job"})
+		done <- err
+	}()
+	testkit.Eventually(t, 5*time.Second, func() bool {
+		return srv.Stats().Blocked == 1
+	}, "waiter never parked")
+
+	srv.Shutdown()
+	select {
+	case err := <-done:
+		// Either the shutdown error arrived, or the connection died first;
+		// both are drains, silence is the failure mode.
+		if err == nil {
+			t.Fatal("Get succeeded during shutdown")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Get hung through server shutdown")
+	}
+}
+
+// TestRemoteFromSTINGThread drives the client from substrate threads: the
+// response wait must park via BlockUntil, not stall the VP — with VPs==1
+// a stalled VP would deadlock the matching Put thread.
+func TestRemoteFromSTINGThread(t *testing.T) {
+	_, addr := startServer(t)
+	vm := testkit.VM(t, 1, 1) // one VP: any VP-stalling wait deadlocks
+	c := dialTest(t, addr, DialConfig{})
+	sp := c.Space("pipe")
+
+	testkit.RunIn(t, vm, func(ctx *core.Context) error {
+		getter := ctx.Fork(func(cc *core.Context) ([]core.Value, error) {
+			_, b, err := sp.Get(cc, tspace.Template{"msg", tspace.F("v")})
+			if err != nil {
+				return nil, err
+			}
+			return []core.Value{b["v"]}, nil
+		}, nil)
+		if err := sp.Put(ctx, tspace.Tuple{"msg", "hi"}); err != nil {
+			return err
+		}
+		v, err := ctx.Value1(getter)
+		if err != nil {
+			return err
+		}
+		if v != "hi" {
+			t.Errorf("value %v", v)
+		}
+		return nil
+	})
+}

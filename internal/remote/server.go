@@ -1,0 +1,358 @@
+package remote
+
+import (
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sio"
+	"repro/internal/tspace"
+)
+
+// ServerConfig parameterizes the fabric server.
+type ServerConfig struct {
+	// WriteTimeout bounds one response write so a stalled client cannot
+	// wedge a VP (default 10s).
+	WriteTimeout time.Duration
+	// Registry supplies the named spaces; nil creates a fresh registry of
+	// hash spaces.
+	Registry *tspace.Registry
+}
+
+// Server serves a registry of named tuple spaces over TCP. Every request
+// runs as a STING thread on the server's VM: decoding happens on the
+// connection's call-back goroutine, but the tuple-space operation — and
+// any blocking it entails — happens on substrate threads parked through
+// the ordinary block/wakeup machinery. Disconnects and shutdown withdraw
+// parked waiters through tspace.CancelToken, so no registration outlives
+// its connection.
+type Server struct {
+	vm    *core.VM
+	reg   *tspace.Registry
+	cfg   ServerConfig
+	stats Stats
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[*serverConn]struct{}
+	closed atomic.Bool
+
+	ops sync.WaitGroup // in-flight request threads
+}
+
+// NewServer creates a server for vm. The VM's policy managers schedule the
+// request threads; pick them as you would for any workload (a worker-farm
+// global FIFO suits uniform request streams).
+func NewServer(vm *core.VM, cfg ServerConfig) *Server {
+	if cfg.WriteTimeout == 0 {
+		cfg.WriteTimeout = 10 * time.Second
+	}
+	if cfg.Registry == nil {
+		cfg.Registry = tspace.NewRegistry(tspace.KindHash, tspace.Config{})
+	}
+	return &Server{
+		vm:    vm,
+		reg:   cfg.Registry,
+		cfg:   cfg,
+		conns: make(map[*serverConn]struct{}),
+	}
+}
+
+// Registry returns the server's space registry.
+func (s *Server) Registry() *tspace.Registry { return s.reg }
+
+// Stats snapshots the server counters and space depths.
+func (s *Server) Stats() StatsSnapshot {
+	return s.stats.Snapshot(s.reg.Depths())
+}
+
+// Serve accepts connections on ln until Shutdown (or a listener error).
+// It blocks; run it on its own goroutine.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed.Load() {
+		s.mu.Unlock()
+		ln.Close()
+		return ErrShutdown
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			if s.closed.Load() {
+				return nil
+			}
+			return err
+		}
+		s.addConn(c)
+	}
+}
+
+// Addr returns the listener address (nil before Serve).
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Shutdown drains the server: stop accepting, withdraw every parked
+// waiter with ErrShutdown (clients receive a shutdown error, not silence),
+// wait for in-flight request threads, then close the connections.
+func (s *Server) Shutdown() {
+	if s.closed.Swap(true) {
+		return
+	}
+	s.mu.Lock()
+	ln := s.ln
+	conns := make([]*serverConn, 0, len(s.conns))
+	for sc := range s.conns {
+		conns = append(conns, sc)
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	for _, sc := range conns {
+		sc.cancelAll(ErrShutdown)
+	}
+	s.ops.Wait()
+	for _, sc := range conns {
+		sc.close()
+	}
+}
+
+func (s *Server) addConn(c net.Conn) {
+	sc := &serverConn{
+		s:      s,
+		fc:     sio.NewFrameConn(c, maxFrame, s.cfg.WriteTimeout),
+		tokens: make(map[uint32]*tspace.CancelToken),
+	}
+	s.mu.Lock()
+	if s.closed.Load() {
+		s.mu.Unlock()
+		c.Close()
+		return
+	}
+	s.conns[sc] = struct{}{}
+	s.mu.Unlock()
+	s.stats.Conns.Add(1)
+	s.stats.ConnsActive.Add(1)
+	sc.fc.Start(func(frame []byte, err error) {
+		if err != nil {
+			sc.teardown()
+			return
+		}
+		s.stats.BytesIn.Add(uint64(len(frame)) + 4)
+		s.handleFrame(sc, frame)
+	})
+}
+
+func (s *Server) removeConn(sc *serverConn) {
+	s.mu.Lock()
+	_, present := s.conns[sc]
+	delete(s.conns, sc)
+	s.mu.Unlock()
+	if present {
+		s.stats.ConnsActive.Add(-1)
+	}
+}
+
+// handleFrame runs on the connection's reader goroutine: decode, then hand
+// the operation to a STING thread. Protocol errors answer best-effort and
+// close the connection — a malformed peer gets no second frame.
+func (s *Server) handleFrame(sc *serverConn, frame []byte) {
+	req, err := decodeRequest(frame)
+	if err != nil {
+		s.stats.ProtoErrors.Add(1)
+		sc.send(encodeErrResp(req.id, codeProtocol, err.Error()))
+		sc.teardown()
+		return
+	}
+	s.stats.serve(req.op)
+	if req.op == opHello {
+		sc.send(encodeOK(req.id))
+		return
+	}
+	if s.closed.Load() {
+		sc.send(encodeErrResp(req.id, codeShutdown, ErrShutdown.Error()))
+		return
+	}
+	s.ops.Add(1)
+	s.vm.Spawn(func(ctx *core.Context) ([]core.Value, error) {
+		defer s.ops.Done()
+		s.serveOp(ctx, sc, req)
+		return nil, nil
+	}, core.WithName("stingd/"+opName(req.op)))
+}
+
+// serveOp executes one decoded request on a STING thread.
+func (s *Server) serveOp(ctx *core.Context, sc *serverConn, req request) {
+	switch req.op {
+	case opStats:
+		sc.send(encodeStatsResp(req.id, s.Stats()))
+		return
+	case opLen:
+		sc.send(encodeLenResp(req.id, s.reg.OpenDefault(req.space).Len()))
+		return
+	}
+	ts := s.reg.OpenDefault(req.space)
+	switch req.op {
+	case opPut:
+		if err := ts.Put(ctx, req.tuple); err != nil {
+			sc.send(encodeErrResp(req.id, codeInternal, err.Error()))
+			return
+		}
+		sc.send(encodeOK(req.id))
+	case opTryGet, opTryRd:
+		var tup tspace.Tuple
+		var bind tspace.Bindings
+		var err error
+		if req.op == opTryGet {
+			tup, bind, err = ts.TryGet(ctx, req.template)
+		} else {
+			tup, bind, err = ts.TryRd(ctx, req.template)
+		}
+		sc.sendMatch(req, tup, bind, err)
+	case opGet, opRd:
+		s.serveBlocking(ctx, sc, req, ts)
+	default:
+		sc.send(encodeErrResp(req.id, codeUnknownOp, "unknown op"))
+	}
+}
+
+// serveBlocking runs a Get/Rd that may park the thread. The cancel token
+// is registered with the connection so a disconnect withdraws the waiter;
+// a deadline arms a timer that cancels with a timeout reason.
+func (s *Server) serveBlocking(ctx *core.Context, sc *serverConn, req request, ts tspace.TupleSpace) {
+	tok := tspace.NewCancelToken()
+	if !sc.addToken(req.id, tok) {
+		return // connection already gone; nobody to answer
+	}
+	defer sc.removeToken(req.id)
+	var timedOut atomic.Bool
+	if req.deadline > 0 {
+		timer := time.AfterFunc(req.deadline, func() {
+			timedOut.Store(true)
+			tok.Cancel(ErrTimeout)
+		})
+		defer timer.Stop()
+	}
+	s.stats.Blocked.Add(1)
+	var tup tspace.Tuple
+	var bind tspace.Bindings
+	var err error
+	tspace.WithCancel(ctx, tok, func() {
+		if req.op == opGet {
+			tup, bind, err = ts.Get(ctx, req.template)
+		} else {
+			tup, bind, err = ts.Rd(ctx, req.template)
+		}
+	})
+	s.stats.Blocked.Add(-1)
+	switch {
+	case err == nil:
+		sc.sendMatch(req, tup, bind, nil)
+	case timedOut.Load() || err == ErrTimeout:
+		s.stats.Timeouts.Add(1)
+		sc.send(encodeErrResp(req.id, codeTimeout,
+			(&TimeoutError{Op: opName(req.op), Space: req.space, Deadline: req.deadline}).Error()))
+	case err == ErrDisconnected:
+		s.stats.Canceled.Add(1) // client gone; no reply possible
+	case err == ErrShutdown:
+		s.stats.Canceled.Add(1)
+		sc.send(encodeErrResp(req.id, codeShutdown, ErrShutdown.Error()))
+	default:
+		sc.sendMatch(req, nil, nil, err)
+	}
+}
+
+// serverConn tracks one client connection and its in-flight blocking ops.
+type serverConn struct {
+	s  *Server
+	fc *sio.FrameConn
+
+	mu     sync.Mutex
+	tokens map[uint32]*tspace.CancelToken
+	gone   bool
+}
+
+// addToken registers a blocking op; false means the connection is gone.
+func (sc *serverConn) addToken(id uint32, tok *tspace.CancelToken) bool {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	if sc.gone {
+		return false
+	}
+	sc.tokens[id] = tok
+	return true
+}
+
+func (sc *serverConn) removeToken(id uint32) {
+	sc.mu.Lock()
+	delete(sc.tokens, id)
+	sc.mu.Unlock()
+}
+
+// cancelAll withdraws every parked waiter of this connection.
+func (sc *serverConn) cancelAll(reason error) {
+	sc.mu.Lock()
+	toks := make([]*tspace.CancelToken, 0, len(sc.tokens))
+	for _, t := range sc.tokens {
+		toks = append(toks, t)
+	}
+	sc.mu.Unlock()
+	for _, t := range toks {
+		t.Cancel(reason)
+	}
+}
+
+// teardown handles a dead connection: mark gone, withdraw waiters, close.
+func (sc *serverConn) teardown() {
+	sc.mu.Lock()
+	already := sc.gone
+	sc.gone = true
+	sc.mu.Unlock()
+	if already {
+		return
+	}
+	sc.cancelAll(ErrDisconnected)
+	sc.s.removeConn(sc)
+	sc.fc.Close()
+}
+
+func (sc *serverConn) close() { sc.teardown() }
+
+// send writes a response frame, counting bytes; write errors tear the
+// connection down (the reader call-back finishes the cleanup).
+func (sc *serverConn) send(frame []byte) {
+	if err := sc.fc.WriteFrame(frame); err != nil {
+		sc.teardown()
+		return
+	}
+	sc.s.stats.BytesOut.Add(uint64(len(frame)) + 4)
+}
+
+// sendMatch renders a (tuple, bindings, error) triple as a response.
+func (sc *serverConn) sendMatch(req request, tup tspace.Tuple, bind tspace.Bindings, err error) {
+	switch {
+	case err == nil:
+		frame, encErr := encodeTupleResp(req.id, tup, bind)
+		if encErr != nil {
+			// The matched tuple holds process-local values (threads); it
+			// cannot travel. Report rather than drop silently.
+			sc.send(encodeErrResp(req.id, codeUnsupported, encErr.Error()))
+			return
+		}
+		sc.send(frame)
+	case err == tspace.ErrNoMatch:
+		sc.send(encodeNoMatch(req.id))
+	default:
+		sc.send(encodeErrResp(req.id, codeInternal, err.Error()))
+	}
+}

@@ -1,0 +1,153 @@
+package remote
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync/atomic"
+)
+
+// Stats counts server-side fabric events, mirroring the core.VPStats
+// snapshot idiom: cumulative atomic counters, a plain-value Snapshot, and
+// a render helper for the daemon's -dump-stats.
+type Stats struct {
+	OpsServed   [8]atomic.Uint64 // indexed by request op - 1
+	ProtoErrors atomic.Uint64    // malformed frames received
+	Timeouts    atomic.Uint64    // blocking ops expired server-side
+	Canceled    atomic.Uint64    // waiters withdrawn (disconnect/shutdown)
+	Blocked     atomic.Int64     // gauge: ops currently inside a blocking Get/Rd
+	BytesIn     atomic.Uint64    // frame bytes received
+	BytesOut    atomic.Uint64    // frame bytes sent
+	Conns       atomic.Uint64    // connections accepted, cumulative
+	ConnsActive atomic.Int64     // gauge: connections currently open
+}
+
+func (s *Stats) serve(op byte) {
+	if op >= 1 && int(op) <= len(s.OpsServed) {
+		s.OpsServed[op-1].Add(1)
+	}
+}
+
+// Snapshot copies the counters and attaches the per-space depths.
+func (s *Stats) Snapshot(depths map[string]int) StatsSnapshot {
+	snap := StatsSnapshot{
+		Ops:         make(map[string]uint64, len(s.OpsServed)),
+		ProtoErrors: s.ProtoErrors.Load(),
+		Timeouts:    s.Timeouts.Load(),
+		Canceled:    s.Canceled.Load(),
+		Blocked:     s.Blocked.Load(),
+		BytesIn:     s.BytesIn.Load(),
+		BytesOut:    s.BytesOut.Load(),
+		Conns:       s.Conns.Load(),
+		ConnsActive: s.ConnsActive.Load(),
+		SpaceDepths: depths,
+	}
+	for i := range s.OpsServed {
+		if n := s.OpsServed[i].Load(); n > 0 {
+			snap.Ops[opName(byte(i+1))] = n
+		}
+	}
+	if snap.SpaceDepths == nil {
+		snap.SpaceDepths = map[string]int{}
+	}
+	return snap
+}
+
+// StatsSnapshot is a plain-value copy of Stats plus per-space depths; it
+// is what the STATS wire op ships.
+type StatsSnapshot struct {
+	Ops         map[string]uint64 // per-op served counts, by op name
+	ProtoErrors uint64
+	Timeouts    uint64
+	Canceled    uint64
+	Blocked     int64
+	BytesIn     uint64
+	BytesOut    uint64
+	Conns       uint64
+	ConnsActive int64
+	SpaceDepths map[string]int
+}
+
+// OpsTotal sums the per-op counters.
+func (s StatsSnapshot) OpsTotal() uint64 {
+	var n uint64
+	for _, v := range s.Ops {
+		n += v
+	}
+	return n
+}
+
+// counters flattens the snapshot for the wire (op counters prefixed
+// "op.").
+func (s StatsSnapshot) counters() map[string]int64 {
+	m := map[string]int64{
+		"proto_errors": int64(s.ProtoErrors),
+		"timeouts":     int64(s.Timeouts),
+		"canceled":     int64(s.Canceled),
+		"blocked":      s.Blocked,
+		"bytes_in":     int64(s.BytesIn),
+		"bytes_out":    int64(s.BytesOut),
+		"conns":        int64(s.Conns),
+		"conns_active": s.ConnsActive,
+	}
+	for op, v := range s.Ops {
+		m["op."+op] = int64(v)
+	}
+	return m
+}
+
+// setCounters is the wire-decoding inverse of counters.
+func (s *StatsSnapshot) setCounters(m map[string]int64) {
+	s.Ops = make(map[string]uint64)
+	for k, v := range m {
+		switch k {
+		case "proto_errors":
+			s.ProtoErrors = uint64(v)
+		case "timeouts":
+			s.Timeouts = uint64(v)
+		case "canceled":
+			s.Canceled = uint64(v)
+		case "blocked":
+			s.Blocked = v
+		case "bytes_in":
+			s.BytesIn = uint64(v)
+		case "bytes_out":
+			s.BytesOut = uint64(v)
+		case "conns":
+			s.Conns = uint64(v)
+		case "conns_active":
+			s.ConnsActive = v
+		default:
+			if op, ok := strings.CutPrefix(k, "op."); ok {
+				s.Ops[op] = uint64(v)
+			}
+		}
+	}
+}
+
+// String renders the snapshot as the table -dump-stats prints.
+func (s StatsSnapshot) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "ops served: %d", s.OpsTotal())
+	ops := make([]string, 0, len(s.Ops))
+	for op := range s.Ops {
+		ops = append(ops, op)
+	}
+	sort.Strings(ops)
+	for _, op := range ops {
+		fmt.Fprintf(&b, "  %s=%d", op, s.Ops[op])
+	}
+	fmt.Fprintf(&b, "\nblocked waiters: %d   timeouts: %d   canceled: %d   protocol errors: %d\n",
+		s.Blocked, s.Timeouts, s.Canceled, s.ProtoErrors)
+	fmt.Fprintf(&b, "bytes in/out: %d/%d   conns: %d (%d active)\n",
+		s.BytesIn, s.BytesOut, s.Conns, s.ConnsActive)
+	names := make([]string, 0, len(s.SpaceDepths))
+	for n := range s.SpaceDepths {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(&b, "space %-20q depth %d\n", n, s.SpaceDepths[n])
+	}
+	return b.String()
+}

@@ -1,0 +1,457 @@
+// Package remote is the networked tuple-space fabric: it serves STING's
+// first-class tuple spaces (§4.2) over TCP so that processes — and, via
+// sharding in a later PR, whole fleets — coordinate through the same
+// content-addressable synchronizing memory a single substrate offers
+// in-process.
+//
+// The design keeps the coordination protocol behind a narrow, substrate-
+// level interface. The server runs one virtual machine: every request is
+// handled by a STING thread scheduled through policy-managed VPs, and a
+// blocking Get/Rd parks that thread via the ordinary block/wakeup
+// machinery — no OS thread (and no goroutine beyond the thread's recycled
+// TCB) is consumed per blocked waiter. Network reads live on per-
+// connection sio.FrameConn call-backs, mirroring how the paper's
+// non-blocking I/O delivers device completions.
+//
+// Wire format: length-prefixed frames (sio.FrameConn), payload =
+//
+//	byte  op
+//	u32   request id (big endian)
+//	u32   deadline in ms (0 = none; blocking ops only)
+//	str   space name (uvarint length + bytes)
+//	body  op-specific (tuple, template, stats, …) via the tspace codec
+//
+// Malformed frames never panic the server: decoding returns ErrProtocol,
+// the client receives a protocol error, and the connection closes.
+package remote
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/tspace"
+)
+
+// Protocol version carried in the HELLO exchange.
+const protocolVersion = 1
+
+// maxFrame bounds one frame's payload.
+const maxFrame = 1 << 20
+
+// maxNameLen bounds a space name on the wire.
+const maxNameLen = 256
+
+// Request ops.
+const (
+	opHello byte = iota + 1
+	opPut
+	opGet
+	opRd
+	opTryGet
+	opTryRd
+	opStats
+	opLen
+)
+
+// Response ops (disjoint from requests so a stray frame cannot be
+// mistaken for the other direction).
+const (
+	respOK byte = iota + 64
+	respTuple
+	respNoMatch
+	respErr
+	respStats
+	respLen
+)
+
+// Wire error codes carried by respErr.
+const (
+	codeProtocol byte = iota + 1
+	codeUnknownOp
+	codeBadSpace
+	codeTimeout
+	codeShutdown
+	codeUnsupported
+	codeInternal
+)
+
+// Errors.
+var (
+	// ErrProtocol wraps every malformed-frame error.
+	ErrProtocol = errors.New("remote: protocol error")
+	// ErrShutdown is returned for operations interrupted by server drain.
+	ErrShutdown = errors.New("remote: server shutting down")
+	// ErrDisconnected is the cancel reason for waiters whose client hung up.
+	ErrDisconnected = errors.New("remote: client disconnected")
+	// ErrUnsupported is returned for operations a remote space cannot
+	// perform (Spawn: thunks do not cross address spaces).
+	ErrUnsupported = errors.New("remote: operation unsupported over the wire")
+	// ErrTimeout is matched (errors.Is) by every *TimeoutError.
+	ErrTimeout = errors.New("remote: deadline exceeded")
+)
+
+// TimeoutError is the typed error a deadline-bounded operation returns.
+// It matches ErrTimeout via errors.Is and reports Timeout() true, so both
+// sentinel checks and net.Error-style probes work.
+type TimeoutError struct {
+	Op       string
+	Space    string
+	Deadline time.Duration
+}
+
+func (e *TimeoutError) Error() string {
+	return fmt.Sprintf("remote: %s on %q exceeded deadline %v", e.Op, e.Space, e.Deadline)
+}
+
+// Timeout reports true, mirroring net.Error.
+func (e *TimeoutError) Timeout() bool { return true }
+
+// Is makes errors.Is(err, ErrTimeout) hold.
+func (e *TimeoutError) Is(target error) bool { return target == ErrTimeout }
+
+func protoErrf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrProtocol, fmt.Sprintf(format, args...))
+}
+
+// opName names a request op for stats and errors.
+func opName(op byte) string {
+	switch op {
+	case opHello:
+		return "hello"
+	case opPut:
+		return "put"
+	case opGet:
+		return "get"
+	case opRd:
+		return "rd"
+	case opTryGet:
+		return "tryget"
+	case opTryRd:
+		return "tryrd"
+	case opStats:
+		return "stats"
+	case opLen:
+		return "len"
+	default:
+		return fmt.Sprintf("op%d", op)
+	}
+}
+
+// request is a decoded client frame.
+type request struct {
+	op       byte
+	id       uint32
+	deadline time.Duration
+	space    string
+	tuple    tspace.Tuple    // opPut
+	template tspace.Template // opGet/opRd/opTryGet/opTryRd
+}
+
+// blockingOp reports whether the op may park a server thread.
+func blockingOp(op byte) bool { return op == opGet || op == opRd }
+
+func appendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+func decodeString(b []byte, limit int) (string, int, error) {
+	l, n := binary.Uvarint(b)
+	if n <= 0 {
+		return "", 0, protoErrf("bad string length")
+	}
+	if l > uint64(limit) {
+		return "", 0, protoErrf("string of %d bytes exceeds limit %d", l, limit)
+	}
+	if uint64(len(b)-n) < l {
+		return "", 0, protoErrf("truncated string")
+	}
+	return string(b[n : n+int(l)]), n + int(l), nil
+}
+
+// encodeRequest builds a request frame payload.
+func encodeRequest(req request) ([]byte, error) {
+	if len(req.space) > maxNameLen {
+		return nil, protoErrf("space name of %d bytes exceeds limit", len(req.space))
+	}
+	buf := make([]byte, 0, 64)
+	buf = append(buf, req.op)
+	buf = binary.BigEndian.AppendUint32(buf, req.id)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(req.deadline/time.Millisecond))
+	buf = appendString(buf, req.space)
+	var err error
+	switch req.op {
+	case opPut:
+		buf, err = tspace.AppendTuple(buf, req.tuple)
+	case opGet, opRd, opTryGet, opTryRd:
+		buf, err = tspace.AppendTemplate(buf, req.template)
+	case opHello:
+		buf = append(buf, protocolVersion)
+	case opStats, opLen:
+		// header only
+	default:
+		err = protoErrf("unknown request op %d", req.op)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// DecodeRequest parses a request frame payload. It is exported (within the
+// package's test surface) for the fuzzer: whatever bytes arrive, it
+// returns a request or an error — never panics.
+func decodeRequest(b []byte) (request, error) {
+	var req request
+	if len(b) < 9 {
+		return req, protoErrf("frame of %d bytes shorter than header", len(b))
+	}
+	req.op = b[0]
+	req.id = binary.BigEndian.Uint32(b[1:5])
+	req.deadline = time.Duration(binary.BigEndian.Uint32(b[5:9])) * time.Millisecond
+	name, n, err := decodeString(b[9:], maxNameLen)
+	if err != nil {
+		return req, err
+	}
+	req.space = name
+	rest := b[9+n:]
+	switch req.op {
+	case opPut:
+		tup, c, err := tspace.DecodeTuple(rest)
+		if err != nil {
+			return req, protoErrf("put tuple: %v", err)
+		}
+		if len(rest) != c {
+			return req, protoErrf("%d trailing bytes", len(rest)-c)
+		}
+		req.tuple = tup
+	case opGet, opRd, opTryGet, opTryRd:
+		tpl, c, err := tspace.DecodeTemplate(rest)
+		if err != nil {
+			return req, protoErrf("template: %v", err)
+		}
+		if len(rest) != c {
+			return req, protoErrf("%d trailing bytes", len(rest)-c)
+		}
+		req.template = tpl
+	case opHello:
+		if len(rest) != 1 {
+			return req, protoErrf("hello body of %d bytes", len(rest))
+		}
+		if rest[0] != protocolVersion {
+			return req, protoErrf("version %d, want %d", rest[0], protocolVersion)
+		}
+	case opStats, opLen:
+		if len(rest) != 0 {
+			return req, protoErrf("%d trailing bytes", len(rest))
+		}
+	default:
+		return req, protoErrf("unknown request op %d", req.op)
+	}
+	return req, nil
+}
+
+// response encoders -------------------------------------------------------
+
+func respHeader(op byte, id uint32) []byte {
+	buf := make([]byte, 0, 32)
+	buf = append(buf, op)
+	return binary.BigEndian.AppendUint32(buf, id)
+}
+
+func encodeOK(id uint32) []byte {
+	return append(respHeader(respOK, id), protocolVersion)
+}
+
+func encodeTupleResp(id uint32, tup tspace.Tuple, bind tspace.Bindings) ([]byte, error) {
+	buf := respHeader(respTuple, id)
+	buf, err := tspace.AppendTuple(buf, tup)
+	if err != nil {
+		return nil, err
+	}
+	return tspace.AppendBindings(buf, bind)
+}
+
+func encodeNoMatch(id uint32) []byte { return respHeader(respNoMatch, id) }
+
+func encodeErrResp(id uint32, code byte, msg string) []byte {
+	buf := respHeader(respErr, id)
+	buf = append(buf, code)
+	if len(msg) > 1024 {
+		msg = msg[:1024]
+	}
+	return appendString(buf, msg)
+}
+
+func encodeLenResp(id uint32, n int) []byte {
+	buf := respHeader(respLen, id)
+	return binary.AppendVarint(buf, int64(n))
+}
+
+func encodeStatsResp(id uint32, s StatsSnapshot) []byte {
+	buf := respHeader(respStats, id)
+	counters := s.counters()
+	keys := make([]string, 0, len(counters))
+	for k := range counters {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(keys)))
+	for _, k := range keys {
+		buf = appendString(buf, k)
+		buf = binary.AppendVarint(buf, counters[k])
+	}
+	names := make([]string, 0, len(s.SpaceDepths))
+	for n := range s.SpaceDepths {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(names)))
+	for _, n := range names {
+		buf = appendString(buf, n)
+		buf = binary.AppendVarint(buf, int64(s.SpaceDepths[n]))
+	}
+	return buf
+}
+
+// response is a decoded server frame.
+type response struct {
+	op      byte
+	id      uint32
+	tuple   tspace.Tuple
+	bind    tspace.Bindings
+	code    byte
+	message string
+	length  int64
+	stats   StatsSnapshot
+}
+
+func decodeResponse(b []byte) (response, error) {
+	var r response
+	if len(b) < 5 {
+		return r, protoErrf("response of %d bytes shorter than header", len(b))
+	}
+	r.op = b[0]
+	r.id = binary.BigEndian.Uint32(b[1:5])
+	rest := b[5:]
+	switch r.op {
+	case respOK:
+		if len(rest) != 1 || rest[0] != protocolVersion {
+			return r, protoErrf("bad hello reply")
+		}
+	case respTuple:
+		tup, c, err := tspace.DecodeTuple(rest)
+		if err != nil {
+			return r, protoErrf("tuple: %v", err)
+		}
+		bind, c2, err := tspace.DecodeBindings(rest[c:])
+		if err != nil {
+			return r, protoErrf("bindings: %v", err)
+		}
+		if len(rest) != c+c2 {
+			return r, protoErrf("%d trailing bytes", len(rest)-c-c2)
+		}
+		r.tuple, r.bind = tup, bind
+	case respNoMatch:
+		if len(rest) != 0 {
+			return r, protoErrf("%d trailing bytes", len(rest))
+		}
+	case respErr:
+		if len(rest) < 1 {
+			return r, protoErrf("empty error body")
+		}
+		r.code = rest[0]
+		msg, _, err := decodeString(rest[1:], 4096)
+		if err != nil {
+			return r, err
+		}
+		r.message = msg
+	case respLen:
+		v, n := binary.Varint(rest)
+		if n <= 0 {
+			return r, protoErrf("bad length")
+		}
+		r.length = v
+	case respStats:
+		s, err := decodeStatsBody(rest)
+		if err != nil {
+			return r, err
+		}
+		r.stats = s
+	default:
+		return r, protoErrf("unknown response op %d", r.op)
+	}
+	return r, nil
+}
+
+func decodeStatsBody(b []byte) (StatsSnapshot, error) {
+	var s StatsSnapshot
+	if len(b) < 4 {
+		return s, protoErrf("truncated stats")
+	}
+	nc := binary.BigEndian.Uint32(b)
+	if nc > 1024 {
+		return s, protoErrf("%d stats counters exceed limit", nc)
+	}
+	off := 4
+	counters := make(map[string]int64, nc)
+	for i := uint32(0); i < nc; i++ {
+		k, n, err := decodeString(b[off:], 256)
+		if err != nil {
+			return s, err
+		}
+		off += n
+		v, n2 := binary.Varint(b[off:])
+		if n2 <= 0 {
+			return s, protoErrf("bad counter value")
+		}
+		off += n2
+		counters[k] = v
+	}
+	s.setCounters(counters)
+	if len(b)-off < 4 {
+		return s, protoErrf("truncated space depths")
+	}
+	ns := binary.BigEndian.Uint32(b[off:])
+	if ns > 1<<16 {
+		return s, protoErrf("%d spaces exceed limit", ns)
+	}
+	off += 4
+	s.SpaceDepths = make(map[string]int, ns)
+	for i := uint32(0); i < ns; i++ {
+		name, n, err := decodeString(b[off:], maxNameLen)
+		if err != nil {
+			return s, err
+		}
+		off += n
+		v, n2 := binary.Varint(b[off:])
+		if n2 <= 0 {
+			return s, protoErrf("bad depth value")
+		}
+		off += n2
+		s.SpaceDepths[name] = int(v)
+	}
+	if off != len(b) {
+		return s, protoErrf("%d trailing bytes", len(b)-off)
+	}
+	return s, nil
+}
+
+// wireError converts a respErr frame into a typed Go error.
+func wireError(r response, op, space string, deadline time.Duration) error {
+	switch r.code {
+	case codeTimeout:
+		return &TimeoutError{Op: op, Space: space, Deadline: deadline}
+	case codeShutdown:
+		return ErrShutdown
+	case codeUnsupported:
+		return fmt.Errorf("%w: %s", ErrUnsupported, r.message)
+	case codeProtocol, codeUnknownOp:
+		return fmt.Errorf("%w: server: %s", ErrProtocol, r.message)
+	default:
+		return fmt.Errorf("remote: server error (%s): %s", op, r.message)
+	}
+}

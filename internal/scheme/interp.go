@@ -42,6 +42,7 @@ func New(vm *core.VM, opts ...Option) *Interp {
 	installIO(in)
 	installStorage(in)
 	installStrings(in)
+	installRemote(in)
 	if err := in.loadPrelude(); err != nil {
 		panic(fmt.Sprintf("scheme: prelude failed: %v", err))
 	}

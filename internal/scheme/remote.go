@@ -1,0 +1,282 @@
+package scheme
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/remote"
+	"repro/internal/tspace"
+)
+
+// remoteSpace adapts a fabric space to Scheme: symbols (literal tags like
+// job) travel as strings, and results convert back through the ordinary
+// schemeValue path. Because it implements tspace.TupleSpace, every
+// existing form — (put sp ...), (get sp (tpl) body...), (rd ...),
+// (tuple-space-size sp) — works on a remote space unchanged.
+type remoteSpace struct {
+	sp *remote.Space
+}
+
+func (r remoteSpace) wireTuple(tup tspace.Tuple) tspace.Tuple {
+	out := make(tspace.Tuple, len(tup))
+	for i, v := range tup {
+		out[i] = wireValue(v)
+	}
+	return out
+}
+
+func (r remoteSpace) wireTemplate(tpl tspace.Template) tspace.Template {
+	out := make(tspace.Template, len(tpl))
+	for i, v := range tpl {
+		if f, ok := v.(tspace.Formal); ok {
+			out[i] = f
+		} else {
+			out[i] = wireValue(v)
+		}
+	}
+	return out
+}
+
+// wireValue lowers a Scheme value to its wire representation.
+func wireValue(v core.Value) core.Value {
+	switch x := v.(type) {
+	case Symbol:
+		return string(x)
+	case *SString:
+		return x.String()
+	default:
+		return v
+	}
+}
+
+func (r remoteSpace) Put(ctx *core.Context, tup tspace.Tuple) error {
+	return r.sp.Put(ctx, r.wireTuple(tup))
+}
+
+func (r remoteSpace) Get(ctx *core.Context, tpl tspace.Template) (tspace.Tuple, tspace.Bindings, error) {
+	return r.sp.Get(ctx, r.wireTemplate(tpl))
+}
+
+func (r remoteSpace) Rd(ctx *core.Context, tpl tspace.Template) (tspace.Tuple, tspace.Bindings, error) {
+	return r.sp.Rd(ctx, r.wireTemplate(tpl))
+}
+
+func (r remoteSpace) TryGet(ctx *core.Context, tpl tspace.Template) (tspace.Tuple, tspace.Bindings, error) {
+	return r.sp.TryGet(ctx, r.wireTemplate(tpl))
+}
+
+func (r remoteSpace) TryRd(ctx *core.Context, tpl tspace.Template) (tspace.Tuple, tspace.Bindings, error) {
+	return r.sp.TryRd(ctx, r.wireTemplate(tpl))
+}
+
+func (r remoteSpace) Spawn(ctx *core.Context, thunks ...core.Thunk) ([]*core.Thread, error) {
+	return r.sp.Spawn(ctx, thunks...)
+}
+
+func (r remoteSpace) Len() int          { return r.sp.Len() }
+func (r remoteSpace) Kind() tspace.Kind { return r.sp.Kind() }
+
+// installRemote binds the networked-fabric surface:
+//
+//	(remote-open "host:port" "space")        → remote tuple space
+//	(remote-put sp '(job 1))                 → unspecified
+//	(remote-get sp '(job ?n) [timeout-ms])   → matched tuple as a list
+//	(remote-rd sp '(job ?n) [timeout-ms])    → matched tuple as a list
+//	(remote-try-get sp '(job ?n))            → tuple list or #f
+//	(remote-try-rd sp '(job ?n))             → tuple list or #f
+//	(remote-stats "host:port")               → assoc list of counters
+//	(remote-close ["host:port"])             → unspecified
+//
+// Connections are cached per address and shared by every space opened
+// through them. The procedural remote-* forms take quoted templates (?x
+// marks a formal); remote spaces equally work with the generic put/get/rd
+// binding forms.
+func installRemote(in *Interp) {
+	var mu sync.Mutex
+	clients := map[string]*remote.Client{}
+
+	dial := func(ctx *core.Context, addr string) (*remote.Client, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if c, ok := clients[addr]; ok {
+			return c, nil
+		}
+		c, err := remote.Dial(ctx, addr, remote.DialConfig{})
+		if err != nil {
+			return nil, err
+		}
+		clients[addr] = c
+		return c, nil
+	}
+
+	stringArg := func(who string, v Value) (string, error) {
+		switch x := v.(type) {
+		case *SString:
+			return x.String(), nil
+		case Symbol:
+			return string(x), nil
+		default:
+			return "", Errorf("%s: expected a string, got %s", who, WriteString(v))
+		}
+	}
+
+	spaceArg := func(who string, v Value) (remoteSpace, error) {
+		sp, ok := v.(remoteSpace)
+		if !ok {
+			return remoteSpace{}, Errorf("%s: not a remote tuple space: %s", who, WriteString(v))
+		}
+		return sp, nil
+	}
+
+	// quotedTemplate parses a quoted list into a template: ?x symbols are
+	// formals, everything else lowers via wireValue.
+	quotedTemplate := func(who string, v Value) (tspace.Template, error) {
+		items, err := ListToSlice(v)
+		if err != nil {
+			return nil, Errorf("%s: bad template: %v", who, err)
+		}
+		tpl := make(tspace.Template, len(items))
+		for i, it := range items {
+			if s, ok := it.(Symbol); ok && len(s) > 0 && s[0] == '?' {
+				tpl[i] = tspace.F(string(s[1:]))
+				continue
+			}
+			tpl[i] = wireValue(it)
+		}
+		return tpl, nil
+	}
+
+	tupleList := func(tup tspace.Tuple) Value {
+		out := make([]Value, len(tup))
+		for i, v := range tup {
+			out[i] = schemeValue(v)
+		}
+		return List(out...)
+	}
+
+	in.prim("remote-open", 2, 2, func(_ *Interp, ctx *core.Context, a []Value) (Value, error) {
+		addr, err := stringArg("remote-open", a[0])
+		if err != nil {
+			return nil, err
+		}
+		name, err := stringArg("remote-open", a[1])
+		if err != nil {
+			return nil, err
+		}
+		c, err := dial(ctx, addr)
+		if err != nil {
+			return nil, Errorf("remote-open: %v", err)
+		}
+		return remoteSpace{sp: c.Space(name)}, nil
+	})
+
+	in.prim("remote-put", 2, 2, func(_ *Interp, ctx *core.Context, a []Value) (Value, error) {
+		sp, err := spaceArg("remote-put", a[0])
+		if err != nil {
+			return nil, err
+		}
+		items, err := ListToSlice(a[1])
+		if err != nil {
+			return nil, Errorf("remote-put: %v", err)
+		}
+		tup := make(tspace.Tuple, len(items))
+		for i, it := range items {
+			tup[i] = tupleValue(it)
+		}
+		return Unspecified, sp.Put(ctx, tup)
+	})
+
+	matching := func(name string, blocking, remove bool) {
+		maxArgs := 2
+		if blocking {
+			maxArgs = 3
+		}
+		in.prim(name, 2, maxArgs, func(_ *Interp, ctx *core.Context, a []Value) (Value, error) {
+			sp, err := spaceArg(name, a[0])
+			if err != nil {
+				return nil, err
+			}
+			tpl, err := quotedTemplate(name, a[1])
+			if err != nil {
+				return nil, err
+			}
+			target := sp.sp
+			if len(a) == 3 {
+				ms, ok := a[2].(int64)
+				if !ok || ms < 0 {
+					return nil, Errorf("%s: timeout must be a nonnegative integer (ms)", name)
+				}
+				target = target.Deadline(time.Duration(ms) * time.Millisecond)
+			}
+			var tup tspace.Tuple
+			switch {
+			case blocking && remove:
+				tup, _, err = target.Get(ctx, tpl)
+			case blocking:
+				tup, _, err = target.Rd(ctx, tpl)
+			case remove:
+				tup, _, err = target.TryGet(ctx, tpl)
+			default:
+				tup, _, err = target.TryRd(ctx, tpl)
+			}
+			if err == tspace.ErrNoMatch {
+				return false, nil
+			}
+			if err != nil {
+				return nil, Errorf("%s: %v", name, err)
+			}
+			return tupleList(tup), nil
+		})
+	}
+	matching("remote-get", true, true)
+	matching("remote-rd", true, false)
+	matching("remote-try-get", false, true)
+	matching("remote-try-rd", false, false)
+
+	in.prim("remote-stats", 1, 1, func(_ *Interp, ctx *core.Context, a []Value) (Value, error) {
+		addr, err := stringArg("remote-stats", a[0])
+		if err != nil {
+			return nil, err
+		}
+		c, err := dial(ctx, addr)
+		if err != nil {
+			return nil, Errorf("remote-stats: %v", err)
+		}
+		snap, err := c.Stats(ctx)
+		if err != nil {
+			return nil, Errorf("remote-stats: %v", err)
+		}
+		var rows []Value
+		rows = append(rows,
+			List(Symbol("ops"), int64(snap.OpsTotal())),
+			List(Symbol("blocked"), snap.Blocked),
+			List(Symbol("timeouts"), int64(snap.Timeouts)),
+			List(Symbol("conns"), int64(snap.Conns)))
+		for name, depth := range snap.SpaceDepths {
+			rows = append(rows, List(Symbol("depth"), NewSString(name), int64(depth)))
+		}
+		return List(rows...), nil
+	})
+
+	in.prim("remote-close", 0, 1, func(_ *Interp, _ *core.Context, a []Value) (Value, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if len(a) == 1 {
+			addr, err := stringArg("remote-close", a[0])
+			if err != nil {
+				return nil, err
+			}
+			if c, ok := clients[addr]; ok {
+				delete(clients, addr)
+				return Unspecified, c.Close()
+			}
+			return Unspecified, nil
+		}
+		for addr, c := range clients {
+			delete(clients, addr)
+			c.Close() //nolint:errcheck
+		}
+		return Unspecified, nil
+	})
+}

@@ -1,0 +1,66 @@
+package scheme
+
+import (
+	"net"
+	"strings"
+	"testing"
+
+	"repro/internal/remote"
+	"repro/internal/testkit"
+)
+
+// startFabric boots a fabric server on its own VM and returns its address.
+func startFabric(t *testing.T) (*remote.Server, string) {
+	t.Helper()
+	vm := testkit.VM(t, 2, 2)
+	srv := remote.NewServer(vm, remote.ServerConfig{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	go srv.Serve(ln) //nolint:errcheck
+	t.Cleanup(srv.Shutdown)
+	return srv, ln.Addr().String()
+}
+
+func TestRemotePrims(t *testing.T) {
+	srv, addr := startFabric(t)
+	in := newInterp(t, 2, 2)
+
+	evalOK(t, in, `(define sp (remote-open "`+addr+`" "jobs")) (tuple-space? sp)`, "#t")
+	evalOK(t, in, `(remote-put sp '(job 1 "alpha"))`, WriteString(Unspecified))
+	evalOK(t, in, `(tuple-space-size sp)`, "1")
+	// Symbols travel as strings; results come back as strings.
+	evalOK(t, in, `(remote-rd sp '(job ?n ?name))`, `("job" 1 "alpha")`)
+	evalOK(t, in, `(remote-get sp '(job 1 ?name))`, `("job" 1 "alpha")`)
+	evalOK(t, in, `(remote-try-get sp '(job ?n ?name))`, "#f")
+	// Deadline-bounded blocking get on an empty space: scheme-level error.
+	err := evalErr(t, in, `(remote-get sp '(job ?n ?name) 60)`)
+	if !strings.Contains(err.Error(), "deadline") {
+		t.Fatalf("timeout error text: %v", err)
+	}
+	if srv.Stats().Timeouts != 1 {
+		t.Fatalf("server timeouts = %d, want 1", srv.Stats().Timeouts)
+	}
+
+	// The generic binding forms work on remote spaces too: the wrapper
+	// lowers symbol tags to strings on the way out.
+	evalOK(t, in, `(put sp '(pair 3 4))`, WriteString(Unspecified))
+	evalOK(t, in, `(get sp (pair ?x ?y) (+ x y))`, "7")
+
+	evalOK(t, in, `(pair? (assq 'ops (remote-stats "`+addr+`")))`, "#t")
+	evalOK(t, in, `(remote-close)`, WriteString(Unspecified))
+}
+
+func TestRemoteOpenBadAddress(t *testing.T) {
+	in := newInterp(t, 1, 1)
+	// Nothing listens on a reserved port; bounded retry must surface an
+	// error, not hang. Low attempt budget keeps the test quick.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	evalErr(t, in, `(remote-open "`+addr+`" "jobs")`)
+}

@@ -1,0 +1,130 @@
+package sio
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrFrameTooLarge is delivered (and the connection closed) when a peer
+// announces a frame beyond the configured maximum.
+var ErrFrameTooLarge = errors.New("sio: frame exceeds maximum size")
+
+// FrameCallback receives inbound frames. It runs on the connection's
+// reader goroutine and must be brief — decode, hand off to a thread, wake
+// a waiter. After the first non-nil err (io.EOF for orderly close) no
+// further calls are made.
+type FrameCallback func(frame []byte, err error)
+
+// FrameConn is the connection-level rendering of this package's callback
+// I/O model: it frames a byte stream into length-prefixed messages
+// (4-byte big-endian length, then payload), delivers inbound frames via a
+// call-back on a background goroutine, and serializes outbound writes.
+// Threads never block a VP on the socket: reads happen off-substrate and
+// the call-back wakes parked threads, exactly like Device completions.
+type FrameConn struct {
+	c        net.Conn
+	maxFrame uint32
+	writeTO  time.Duration
+
+	wmu    sync.Mutex
+	closed atomic.Bool
+
+	bytesIn  atomic.Uint64
+	bytesOut atomic.Uint64
+}
+
+// NewFrameConn wraps c. maxFrame bounds accepted payloads (default 1 MiB
+// when zero); writeTimeout bounds each WriteFrame so a stalled peer cannot
+// wedge a writer for good (default 10s when zero).
+func NewFrameConn(c net.Conn, maxFrame uint32, writeTimeout time.Duration) *FrameConn {
+	if maxFrame == 0 {
+		maxFrame = 1 << 20
+	}
+	if writeTimeout == 0 {
+		writeTimeout = 10 * time.Second
+	}
+	return &FrameConn{c: c, maxFrame: maxFrame, writeTO: writeTimeout}
+}
+
+// Conn returns the underlying connection.
+func (fc *FrameConn) Conn() net.Conn { return fc.c }
+
+// BytesIn returns how many bytes have been read, framing included.
+func (fc *FrameConn) BytesIn() uint64 { return fc.bytesIn.Load() }
+
+// BytesOut returns how many bytes have been written, framing included.
+func (fc *FrameConn) BytesOut() uint64 { return fc.bytesOut.Load() }
+
+// Start launches the reader goroutine: cb receives each inbound frame,
+// then exactly one terminal error (io.EOF on orderly close). The frame
+// slice is freshly allocated per message and may be retained.
+func (fc *FrameConn) Start(cb FrameCallback) {
+	go func() {
+		var hdr [4]byte
+		for {
+			if _, err := io.ReadFull(fc.c, hdr[:]); err != nil {
+				cb(nil, readErr(err))
+				return
+			}
+			n := binary.BigEndian.Uint32(hdr[:])
+			if n > fc.maxFrame {
+				cb(nil, fmt.Errorf("%w: %d > %d", ErrFrameTooLarge, n, fc.maxFrame))
+				fc.Close()
+				return
+			}
+			buf := make([]byte, n)
+			if _, err := io.ReadFull(fc.c, buf); err != nil {
+				cb(nil, readErr(err))
+				return
+			}
+			fc.bytesIn.Add(uint64(n) + 4)
+			cb(buf, nil)
+		}
+	}()
+}
+
+// readErr normalizes a mid-frame EOF: the peer vanished, which callers
+// treat like any other broken connection.
+func readErr(err error) error {
+	if errors.Is(err, io.ErrUnexpectedEOF) {
+		return io.EOF
+	}
+	return err
+}
+
+// WriteFrame writes one length-prefixed frame. Concurrent writers are
+// serialized; each write carries the configured deadline.
+func (fc *FrameConn) WriteFrame(payload []byte) error {
+	if uint32(len(payload)) > fc.maxFrame {
+		return fmt.Errorf("%w: %d > %d", ErrFrameTooLarge, len(payload), fc.maxFrame)
+	}
+	buf := make([]byte, 4+len(payload))
+	binary.BigEndian.PutUint32(buf, uint32(len(payload)))
+	copy(buf[4:], payload)
+	fc.wmu.Lock()
+	defer fc.wmu.Unlock()
+	if fc.closed.Load() {
+		return net.ErrClosed
+	}
+	if err := fc.c.SetWriteDeadline(time.Now().Add(fc.writeTO)); err == nil {
+		defer fc.c.SetWriteDeadline(time.Time{}) //nolint:errcheck
+	}
+	n, err := fc.c.Write(buf)
+	fc.bytesOut.Add(uint64(n))
+	return err
+}
+
+// Close tears the connection down; the reader call-back receives its
+// terminal error shortly after.
+func (fc *FrameConn) Close() error {
+	if fc.closed.Swap(true) {
+		return nil
+	}
+	return fc.c.Close()
+}

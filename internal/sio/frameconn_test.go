@@ -1,0 +1,117 @@
+package sio
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+func framePair(t *testing.T, maxFrame uint32) (*FrameConn, *FrameConn) {
+	t.Helper()
+	a, b := net.Pipe()
+	fa := NewFrameConn(a, maxFrame, time.Second)
+	fb := NewFrameConn(b, maxFrame, time.Second)
+	t.Cleanup(func() { fa.Close(); fb.Close() })
+	return fa, fb
+}
+
+func TestFrameConnRoundTrip(t *testing.T) {
+	fa, fb := framePair(t, 0)
+	got := make(chan []byte, 4)
+	errs := make(chan error, 1)
+	fb.Start(func(frame []byte, err error) {
+		if err != nil {
+			errs <- err
+			return
+		}
+		got <- frame
+	})
+	msgs := [][]byte{[]byte("hello"), {}, bytes.Repeat([]byte{7}, 1000)}
+	for _, m := range msgs {
+		if err := fa.WriteFrame(m); err != nil {
+			t.Fatalf("WriteFrame: %v", err)
+		}
+	}
+	for _, want := range msgs {
+		select {
+		case frame := <-got:
+			if !bytes.Equal(frame, want) {
+				t.Fatalf("frame = %q, want %q", frame, want)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatal("timed out waiting for frame")
+		}
+	}
+	fa.Close()
+	select {
+	case err := <-errs:
+		if !errors.Is(err, io.EOF) {
+			t.Fatalf("terminal err = %v, want EOF", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("no terminal error after close")
+	}
+	wantBytes := uint64(0)
+	for _, m := range msgs {
+		wantBytes += uint64(len(m)) + 4
+	}
+	if fb.BytesIn() != wantBytes || fa.BytesOut() != wantBytes {
+		t.Fatalf("bytes in/out = %d/%d, want %d", fb.BytesIn(), fa.BytesOut(), wantBytes)
+	}
+}
+
+func TestFrameConnOversizedFrame(t *testing.T) {
+	fa, fb := framePair(t, 64)
+	if err := fa.WriteFrame(bytes.Repeat([]byte{1}, 65)); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("oversized write err = %v, want ErrFrameTooLarge", err)
+	}
+	// An oversized announcement from the peer kills the read loop.
+	errs := make(chan error, 1)
+	fb.Start(func(frame []byte, err error) {
+		if err != nil {
+			errs <- err
+		}
+	})
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], 1<<30)
+	go fa.Conn().Write(hdr[:]) //nolint:errcheck
+	select {
+	case err := <-errs:
+		if !errors.Is(err, ErrFrameTooLarge) {
+			t.Fatalf("reader err = %v, want ErrFrameTooLarge", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("reader did not reject oversized frame")
+	}
+}
+
+func TestFrameConnMidFrameEOF(t *testing.T) {
+	fa, fb := framePair(t, 0)
+	errs := make(chan error, 1)
+	fb.Start(func(frame []byte, err error) {
+		if err != nil {
+			errs <- err
+		}
+	})
+	// Announce 100 bytes, send 3, hang up: the reader sees EOF, not a
+	// partial frame.
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], 100)
+	go func() {
+		fa.Conn().Write(hdr[:])          //nolint:errcheck
+		fa.Conn().Write([]byte{1, 2, 3}) //nolint:errcheck
+		fa.Close()                       // mid-frame hangup
+	}()
+	select {
+	case err := <-errs:
+		if !errors.Is(err, io.EOF) {
+			t.Fatalf("reader err = %v, want EOF", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("reader did not notice hangup")
+	}
+}

@@ -1,0 +1,264 @@
+package tspace
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+)
+
+// Wire codec for tuples, templates and bindings: the compact, allocation-
+// light encoding the remote tuple-space fabric ships over TCP. Only
+// immediate values travel — threads and aggregates are process-local (a
+// thread's thunk cannot cross an address space), so encoding one is an
+// error, not a silent degradation.
+//
+// Every decoder is hardened against adversarial input: lengths are bounds-
+// checked against both the buffer and fixed limits before any allocation,
+// so malformed frames from untrusted clients return ErrCodec rather than
+// panicking or ballooning memory.
+
+// Codec errors.
+var (
+	// ErrCodec is wrapped by every malformed-encoding error.
+	ErrCodec = errors.New("tspace: malformed wire encoding")
+	// ErrNotWirable is returned when a value cannot travel (threads,
+	// aggregates, arbitrary Go types).
+	ErrNotWirable = errors.New("tspace: value not wire-encodable")
+)
+
+// Wire limits, enforced on decode before allocation.
+const (
+	// MaxWireElems bounds tuple/template arity and binding count.
+	MaxWireElems = 1024
+	// MaxWireString bounds one encoded string.
+	MaxWireString = 1 << 20
+)
+
+// Value tags.
+const (
+	wireNil byte = iota
+	wireFalse
+	wireTrue
+	wireInt    // zigzag varint
+	wireFloat  // 8-byte IEEE 754 big endian
+	wireString // uvarint length + bytes
+	wireFormal // uvarint length + name bytes (templates only)
+)
+
+func codecErrf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrCodec, fmt.Sprintf(format, args...))
+}
+
+// AppendValue appends the encoding of v. Formals are legal only inside
+// templates; AppendTuple rejects them.
+func AppendValue(dst []byte, v core.Value) ([]byte, error) {
+	switch x := v.(type) {
+	case nil:
+		return append(dst, wireNil), nil
+	case bool:
+		if x {
+			return append(dst, wireTrue), nil
+		}
+		return append(dst, wireFalse), nil
+	case float64:
+		dst = append(dst, wireFloat)
+		return binary.BigEndian.AppendUint64(dst, math.Float64bits(x)), nil
+	case float32:
+		dst = append(dst, wireFloat)
+		return binary.BigEndian.AppendUint64(dst, math.Float64bits(float64(x))), nil
+	case string:
+		if len(x) > MaxWireString {
+			return nil, codecErrf("string of %d bytes exceeds limit", len(x))
+		}
+		dst = append(dst, wireString)
+		dst = binary.AppendUvarint(dst, uint64(len(x)))
+		return append(dst, x...), nil
+	case Formal:
+		if len(x.Name) > MaxWireString {
+			return nil, codecErrf("formal name of %d bytes exceeds limit", len(x.Name))
+		}
+		dst = append(dst, wireFormal)
+		dst = binary.AppendUvarint(dst, uint64(len(x.Name)))
+		return append(dst, x.Name...), nil
+	default:
+		if i, ok := asInt64(v); ok {
+			dst = append(dst, wireInt)
+			return binary.AppendVarint(dst, i), nil
+		}
+		return nil, fmt.Errorf("%w: %T", ErrNotWirable, v)
+	}
+}
+
+// DecodeValue decodes one value from b, returning it and the bytes
+// consumed. Integers decode as int64 (matching normalizes int widths).
+func DecodeValue(b []byte) (core.Value, int, error) {
+	if len(b) == 0 {
+		return nil, 0, codecErrf("empty value")
+	}
+	tag := b[0]
+	rest := b[1:]
+	switch tag {
+	case wireNil:
+		return nil, 1, nil
+	case wireFalse:
+		return false, 1, nil
+	case wireTrue:
+		return true, 1, nil
+	case wireInt:
+		i, n := binary.Varint(rest)
+		if n <= 0 {
+			return nil, 0, codecErrf("bad varint")
+		}
+		return i, 1 + n, nil
+	case wireFloat:
+		if len(rest) < 8 {
+			return nil, 0, codecErrf("truncated float")
+		}
+		return math.Float64frombits(binary.BigEndian.Uint64(rest)), 9, nil
+	case wireString, wireFormal:
+		l, n := binary.Uvarint(rest)
+		if n <= 0 {
+			return nil, 0, codecErrf("bad string length")
+		}
+		if l > MaxWireString {
+			return nil, 0, codecErrf("string of %d bytes exceeds limit", l)
+		}
+		if uint64(len(rest)-n) < l {
+			return nil, 0, codecErrf("truncated string")
+		}
+		s := string(rest[n : n+int(l)])
+		if tag == wireFormal {
+			return Formal{Name: s}, 1 + n + int(l), nil
+		}
+		return s, 1 + n + int(l), nil
+	default:
+		return nil, 0, codecErrf("unknown value tag %d", tag)
+	}
+}
+
+func appendSeq(dst []byte, vals []core.Value, allowFormals bool) ([]byte, error) {
+	if len(vals) > MaxWireElems {
+		return nil, codecErrf("arity %d exceeds limit", len(vals))
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(vals)))
+	for _, v := range vals {
+		if _, isF := v.(Formal); isF && !allowFormals {
+			return nil, fmt.Errorf("%w: formal outside a template", ErrNotWirable)
+		}
+		var err error
+		dst, err = AppendValue(dst, v)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return dst, nil
+}
+
+func decodeSeq(b []byte, allowFormals bool) ([]core.Value, int, error) {
+	l, n := binary.Uvarint(b)
+	if n <= 0 {
+		return nil, 0, codecErrf("bad arity")
+	}
+	if l > MaxWireElems {
+		return nil, 0, codecErrf("arity %d exceeds limit", l)
+	}
+	vals := make([]core.Value, 0, l)
+	off := n
+	for i := uint64(0); i < l; i++ {
+		v, c, err := DecodeValue(b[off:])
+		if err != nil {
+			return nil, 0, err
+		}
+		if _, isF := v.(Formal); isF && !allowFormals {
+			return nil, 0, codecErrf("formal in a tuple")
+		}
+		vals = append(vals, v)
+		off += c
+	}
+	return vals, off, nil
+}
+
+// AppendTuple appends the encoding of tup (no formals allowed).
+func AppendTuple(dst []byte, tup Tuple) ([]byte, error) {
+	return appendSeq(dst, tup, false)
+}
+
+// DecodeTuple decodes a tuple, returning it and the bytes consumed.
+func DecodeTuple(b []byte) (Tuple, int, error) {
+	vals, n, err := decodeSeq(b, false)
+	return Tuple(vals), n, err
+}
+
+// AppendTemplate appends the encoding of tpl (formals allowed).
+func AppendTemplate(dst []byte, tpl Template) ([]byte, error) {
+	return appendSeq(dst, tpl, true)
+}
+
+// DecodeTemplate decodes a template, returning it and the bytes consumed.
+func DecodeTemplate(b []byte) (Template, int, error) {
+	vals, n, err := decodeSeq(b, true)
+	return Template(vals), n, err
+}
+
+// AppendBindings appends the encoding of b (sorted order is not
+// guaranteed; bindings are a map).
+func AppendBindings(dst []byte, bind Bindings) ([]byte, error) {
+	if len(bind) > MaxWireElems {
+		return nil, codecErrf("%d bindings exceed limit", len(bind))
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(bind)))
+	for name, v := range bind {
+		if len(name) > MaxWireString {
+			return nil, codecErrf("binding name of %d bytes exceeds limit", len(name))
+		}
+		dst = binary.AppendUvarint(dst, uint64(len(name)))
+		dst = append(dst, name...)
+		var err error
+		dst, err = AppendValue(dst, v)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return dst, nil
+}
+
+// DecodeBindings decodes bindings, returning them and the bytes consumed.
+func DecodeBindings(b []byte) (Bindings, int, error) {
+	l, n := binary.Uvarint(b)
+	if n <= 0 {
+		return nil, 0, codecErrf("bad binding count")
+	}
+	if l > MaxWireElems {
+		return nil, 0, codecErrf("%d bindings exceed limit", l)
+	}
+	bind := make(Bindings, l)
+	off := n
+	for i := uint64(0); i < l; i++ {
+		nl, c := binary.Uvarint(b[off:])
+		if c <= 0 {
+			return nil, 0, codecErrf("bad binding name length")
+		}
+		if nl > MaxWireString {
+			return nil, 0, codecErrf("binding name of %d bytes exceeds limit", nl)
+		}
+		off += c
+		if uint64(len(b)-off) < nl {
+			return nil, 0, codecErrf("truncated binding name")
+		}
+		name := string(b[off : off+int(nl)])
+		off += int(nl)
+		v, c, err := DecodeValue(b[off:])
+		if err != nil {
+			return nil, 0, err
+		}
+		if _, isF := v.(Formal); isF {
+			return nil, 0, codecErrf("formal as a binding value")
+		}
+		bind[name] = v
+		off += c
+	}
+	return bind, off, nil
+}

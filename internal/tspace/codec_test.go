@@ -1,0 +1,162 @@
+package tspace
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestCodecTupleRoundTrip(t *testing.T) {
+	tup := Tuple{"job", int64(42), 3.25, true, false, nil, "payload"}
+	enc, err := AppendTuple(nil, tup)
+	if err != nil {
+		t.Fatalf("AppendTuple: %v", err)
+	}
+	dec, n, err := DecodeTuple(enc)
+	if err != nil {
+		t.Fatalf("DecodeTuple: %v", err)
+	}
+	if n != len(enc) {
+		t.Fatalf("consumed %d of %d bytes", n, len(enc))
+	}
+	if len(dec) != len(tup) {
+		t.Fatalf("arity %d, want %d", len(dec), len(tup))
+	}
+	for i := range tup {
+		if !immediateEqual(tup[i], dec[i]) {
+			t.Errorf("elem %d: %#v != %#v", i, dec[i], tup[i])
+		}
+	}
+}
+
+func TestCodecIntWidthsNormalize(t *testing.T) {
+	// Go ints of any width travel as int64 and still match an int template.
+	enc, err := AppendTuple(nil, Tuple{"n", 7})
+	if err != nil {
+		t.Fatalf("AppendTuple: %v", err)
+	}
+	dec, _, err := DecodeTuple(enc)
+	if err != nil {
+		t.Fatalf("DecodeTuple: %v", err)
+	}
+	if v, ok := dec[1].(int64); !ok || v != 7 {
+		t.Fatalf("int decoded as %#v, want int64(7)", dec[1])
+	}
+	if !immediateEqual(dec[1], 7) {
+		t.Fatal("decoded int64 does not match literal int")
+	}
+}
+
+func TestCodecTemplateFormals(t *testing.T) {
+	tpl := Template{"job", F("n"), F("")}
+	enc, err := AppendTemplate(nil, tpl)
+	if err != nil {
+		t.Fatalf("AppendTemplate: %v", err)
+	}
+	dec, _, err := DecodeTemplate(enc)
+	if err != nil {
+		t.Fatalf("DecodeTemplate: %v", err)
+	}
+	if f, ok := dec[1].(Formal); !ok || f.Name != "n" {
+		t.Fatalf("formal decoded as %#v", dec[1])
+	}
+	// Formals are template-only: tuples reject them on both paths.
+	if _, err := AppendTuple(nil, Tuple{F("x")}); !errors.Is(err, ErrNotWirable) {
+		t.Errorf("AppendTuple(formal) err = %v, want ErrNotWirable", err)
+	}
+	if _, _, err := DecodeTuple(enc); !errors.Is(err, ErrCodec) {
+		t.Errorf("DecodeTuple(template bytes) err = %v, want ErrCodec", err)
+	}
+}
+
+func TestCodecBindingsRoundTrip(t *testing.T) {
+	bind := Bindings{"n": int64(9), "who": "worker-3", "ok": true}
+	enc, err := AppendBindings(nil, bind)
+	if err != nil {
+		t.Fatalf("AppendBindings: %v", err)
+	}
+	dec, n, err := DecodeBindings(enc)
+	if err != nil {
+		t.Fatalf("DecodeBindings: %v", err)
+	}
+	if n != len(enc) {
+		t.Fatalf("consumed %d of %d bytes", n, len(enc))
+	}
+	if len(dec) != len(bind) {
+		t.Fatalf("got %d bindings, want %d", len(dec), len(bind))
+	}
+	for k, v := range bind {
+		if !immediateEqual(dec[k], v) {
+			t.Errorf("binding %q: %#v != %#v", k, dec[k], v)
+		}
+	}
+}
+
+func TestCodecRejectsUnwirable(t *testing.T) {
+	vals := []core.Value{
+		&core.Thread{},
+		[]int{1, 2},
+		map[string]int{"a": 1},
+		struct{ X int }{1},
+	}
+	for _, v := range vals {
+		if _, err := AppendValue(nil, v); !errors.Is(err, ErrNotWirable) {
+			t.Errorf("AppendValue(%T) err = %v, want ErrNotWirable", v, err)
+		}
+	}
+	if _, err := AppendValue(nil, strings.Repeat("x", MaxWireString+1)); !errors.Is(err, ErrCodec) {
+		t.Errorf("oversized string err = %v, want ErrCodec", err)
+	}
+}
+
+func TestCodecDecodeMalformed(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{},
+		{99},                           // unknown tag
+		{wireInt},                      // truncated varint
+		{wireFloat, 1, 2, 3},           // truncated float
+		{wireString, 0xff, 0xff, 0xff}, // absurd length
+		{wireString, 4, 'a'},           // short string
+		{2, wireNil},                   // arity 2, one element
+		{0xff, 0xff, 0xff, 0xff, 0xff}, // arity overflow
+	}
+	for i, b := range cases {
+		if _, _, err := DecodeTuple(b); err == nil {
+			t.Errorf("case %d: DecodeTuple(%v) succeeded, want error", i, b)
+		}
+		if _, _, err := DecodeBindings(b); err == nil && len(b) > 0 && b[0] != 0 {
+			t.Errorf("case %d: DecodeBindings(%v) succeeded, want error", i, b)
+		}
+	}
+}
+
+func TestRegistryOpenAndDepths(t *testing.T) {
+	r := NewRegistry(KindHash, Config{Bins: 8})
+	a, err := r.Open("tasks", KindQueue, Config{})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if a.Kind() != KindQueue {
+		t.Fatalf("kind = %s, want queue", a.Kind())
+	}
+	if _, err := r.Open("tasks", KindBag, Config{}); !errors.Is(err, ErrKindMismatch) {
+		t.Fatalf("re-open with other kind err = %v, want ErrKindMismatch", err)
+	}
+	b := r.OpenDefault("results")
+	if b.Kind() != KindHash {
+		t.Fatalf("default kind = %s, want hash", b.Kind())
+	}
+	if same := r.OpenDefault("tasks"); same != a {
+		t.Fatal("OpenDefault did not return the existing space")
+	}
+	names := r.Names()
+	if len(names) != 2 || names[0] != "results" || names[1] != "tasks" {
+		t.Fatalf("names = %v", names)
+	}
+	if d := r.Depths(); d["tasks"] != 0 || d["results"] != 0 {
+		t.Fatalf("depths = %v", d)
+	}
+}

@@ -45,6 +45,9 @@ func newHashTS(cfg Config) *hashTS {
 // Kind implements TupleSpace.
 func (ts *hashTS) Kind() Kind { return KindHash }
 
+// Waiters implements WaiterCount.
+func (ts *hashTS) Waiters() int { return ts.wt.waiters() }
+
 // binFor classifies a tuple: keyable first fields map to a hashed bin;
 // everything else (empty tuples, thread or aggregate first fields) goes to
 // the arity's wildcard bin.

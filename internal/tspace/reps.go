@@ -32,6 +32,9 @@ func (ts *bagTS) Kind() Kind {
 	return KindBag
 }
 
+// Waiters implements WaiterCount (queueTS inherits it through embedding).
+func (ts *bagTS) Waiters() int { return ts.wt.waiters() }
+
 func sameTuple(a, b Tuple) bool {
 	if len(a) != len(b) {
 		return false
@@ -202,6 +205,9 @@ func newSharedVarTS(cfg Config) *sharedVarTS {
 // Kind implements TupleSpace.
 func (ts *sharedVarTS) Kind() Kind { return KindSharedVar }
 
+// Waiters implements WaiterCount.
+func (ts *sharedVarTS) Waiters() int { return ts.wt.waiters() }
+
 // Put implements TupleSpace: the new tuple replaces the old value.
 func (ts *sharedVarTS) Put(ctx *core.Context, tup Tuple) error {
 	ts.mu.Lock()
@@ -308,6 +314,9 @@ func newSemTS(cfg Config) *semTS { return &semTS{wt: newWaitTable(), parent: cfg
 
 // Kind implements TupleSpace.
 func (ts *semTS) Kind() Kind { return KindSemaphore }
+
+// Waiters implements WaiterCount.
+func (ts *semTS) Waiters() int { return ts.wt.waiters() }
 
 // Put implements TupleSpace.
 func (ts *semTS) Put(ctx *core.Context, tup Tuple) error {

@@ -52,6 +52,11 @@ const (
 	KindSemaphore
 )
 
+// KindRemote marks a proxy for a space living in another process (the
+// remote fabric's client handle); its representation is the server's
+// choice and unknown to the proxy.
+const KindRemote Kind = -1
+
 func (k Kind) String() string {
 	switch k {
 	case KindHash:
@@ -68,6 +73,8 @@ func (k Kind) String() string {
 		return "shared-variable"
 	case KindSemaphore:
 		return "semaphore"
+	case KindRemote:
+		return "remote"
 	default:
 		return "unknown"
 	}
@@ -167,11 +174,34 @@ func (w *waitTable) wake(arity int) {
 	}
 }
 
+// waiters counts the processes currently registered in HB.
+func (w *waitTable) waiters() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	n := 0
+	for _, list := range w.byArity {
+		n += len(list)
+	}
+	return n
+}
+
+// WaiterCount is implemented by every shipped representation; it exposes
+// the size of the blocked table HB for draining servers and leak tests.
+type WaiterCount interface {
+	Waiters() int
+}
+
 // blockingLoop implements the shared probe/register/block cycle used by
-// every representation's Get and Rd.
+// every representation's Get and Rd. A CancelToken installed with
+// WithCancel withdraws the waiter: the operation unregisters from HB and
+// returns the token's reason instead of parking forever.
 func blockingLoop(ctx *core.Context, wt *waitTable, arity int,
 	probe func() (Tuple, Bindings, error)) (Tuple, Bindings, error) {
+	tok := cancelOf(ctx)
 	for {
+		if tok != nil && tok.Canceled() {
+			return nil, nil, tok.Reason()
+		}
 		tup, b, err := probe()
 		if err == nil {
 			return tup, b, nil
@@ -191,6 +221,19 @@ func blockingLoop(ctx *core.Context, wt *waitTable, arity int,
 			wt.unregister(tw)
 			return nil, nil, err
 		}
-		ctx.BlockUntil(func() bool { return tw.woke.Load() })
+		if tok == nil {
+			ctx.BlockUntil(func() bool { return tw.woke.Load() })
+			continue
+		}
+		if !tok.attach(ctx.TCB()) {
+			wt.unregister(tw)
+			return nil, nil, tok.Reason()
+		}
+		ctx.BlockUntil(func() bool { return tw.woke.Load() || tok.Canceled() })
+		tok.detach(ctx.TCB())
+		if !tw.woke.Load() && tok.Canceled() {
+			wt.unregister(tw)
+			return nil, nil, tok.Reason()
+		}
 	}
 }

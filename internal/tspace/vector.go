@@ -34,6 +34,9 @@ func newVectorTS(cfg Config) *vectorTS {
 // Kind implements TupleSpace.
 func (ts *vectorTS) Kind() Kind { return KindVector }
 
+// Waiters implements WaiterCount.
+func (ts *vectorTS) Waiters() int { return ts.wt.waiters() }
+
 // Size returns the vector length.
 func (ts *vectorTS) Size() int {
 	ts.mu.Lock()

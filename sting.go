@@ -33,6 +33,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/futures"
 	"repro/internal/policy"
+	"repro/internal/remote"
 	"repro/internal/spec"
 	"repro/internal/streams"
 	"repro/internal/synch"
@@ -206,6 +207,35 @@ const (
 	KindVector    = tspace.KindVector
 	KindSharedVar = tspace.KindSharedVar
 	KindSemaphore = tspace.KindSemaphore
+)
+
+// Networked tuple-space fabric (internal/remote): named spaces served
+// over TCP by a stingd daemon, with the client side implementing the
+// same TupleSpace interface.
+type (
+	// RemoteServer serves a registry of named tuple spaces over TCP.
+	RemoteServer = remote.Server
+	// RemoteServerConfig parameterizes the server.
+	RemoteServerConfig = remote.ServerConfig
+	// RemoteClient is one connection to a fabric server.
+	RemoteClient = remote.Client
+	// RemoteSpace is a client-side handle implementing TupleSpace.
+	RemoteSpace = remote.Space
+	// RemoteDialConfig tunes client retry/backoff/deadlines.
+	RemoteDialConfig = remote.DialConfig
+	// RemoteStats is the server's counter snapshot.
+	RemoteStats = remote.StatsSnapshot
+	// TupleSpaceRegistry names tuple spaces for the fabric.
+	TupleSpaceRegistry = tspace.Registry
+)
+
+var (
+	// NewRemoteServer creates a fabric server on a VM.
+	NewRemoteServer = remote.NewServer
+	// DialRemote connects to a fabric server with bounded retry.
+	DialRemote = remote.Dial
+	// NewTupleSpaceRegistry creates a registry of named spaces.
+	NewTupleSpaceRegistry = tspace.NewRegistry
 )
 
 // Futures (internal/futures).
