@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race check bench clean
+.PHONY: all build vet test race check bench obs-smoke obs-bench clean
 
 all: check
 
@@ -15,14 +15,25 @@ vet:
 test:
 	$(GO) test ./...
 
-# The fabric and tuple-space packages carry the concurrency-critical
-# paths (wire callbacks, cancel tokens, hash-bin locking); run them
-# under the race detector on every check.
+# The fabric, tuple-space, and observability packages carry the
+# concurrency-critical paths (wire callbacks, cancel tokens, hash-bin
+# locking, lock-free histograms, the trace ring); run them under the race
+# detector on every check.
 race:
-	$(GO) test -race ./internal/remote/... ./internal/tspace/...
+	$(GO) test -race ./internal/remote/... ./internal/tspace/... ./internal/obs/... ./internal/core/...
 
 check: build vet test race
 
 bench:
 	$(GO) test -bench BenchmarkRemoteTuplePingPong -run xxx ./internal/remote/
 	$(GO) run ./cmd/stingbench -table remote
+
+# Boot stingd -http, scrape /metrics + /healthz + /debug/trace, grep for
+# the required metric families.
+obs-smoke:
+	./scripts/obs_smoke.sh
+
+# The metric-collection overhead ablation (EXPERIMENTS.md): the remote
+# ping-pong with the per-op latency histograms on vs off.
+obs-bench:
+	$(GO) test -run xxx -bench 'BenchmarkRemoteTuplePingPong' -benchtime 3000x -count 3 ./internal/remote/

@@ -17,6 +17,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -26,9 +27,32 @@ import (
 	"repro/internal/bench"
 )
 
+// benchRecord is one machine-readable result row for -json: tooling (CI
+// trend lines, the EXPERIMENTS.md overhead table) consumes these instead
+// of scraping the human tables.
+type benchRecord struct {
+	Name    string  `json:"name"`
+	NsPerOp float64 `json:"ns_per_op"`
+	OpsSec  float64 `json:"ops_per_sec"`
+}
+
+// benchRecords accumulates rows as the tables print; written by -json.
+var benchRecords []benchRecord
+
+// record appends one -json row; elapsed-per-run tables pass their whole
+// run as the op.
+func record(name string, nsPerOp float64) {
+	ops := 0.0
+	if nsPerOp > 0 {
+		ops = 1e9 / nsPerOp
+	}
+	benchRecords = append(benchRecords, benchRecord{Name: name, NsPerOp: nsPerOp, OpsSec: ops})
+}
+
 func main() {
 	table := flag.String("table", "all", "which table/figure to regenerate")
 	n := flag.Int("n", 20000, "iterations per microbenchmark row")
+	jsonOut := flag.String("json", "", "also write results as JSON to this file")
 	flag.Parse()
 
 	run := func(name string, f func() error) {
@@ -50,6 +74,22 @@ func main() {
 	run("tspace-ablation", tspaceAblation)
 	run("recycle-ablation", recycleAblation)
 	run("remote", remoteFabric)
+
+	if *jsonOut != "" {
+		if err := writeJSON(*jsonOut); err != nil {
+			fmt.Fprintf(os.Stderr, "stingbench: -json: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("stingbench: wrote %d results to %s\n", len(benchRecords), *jsonOut)
+	}
+}
+
+func writeJSON(path string) error {
+	b, err := json.MarshalIndent(benchRecords, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
 }
 
 func newTab() *tabwriter.Writer {
@@ -77,6 +117,7 @@ func fig6(n int) error {
 			ratio = us / switchUS
 		}
 		fmt.Fprintf(w, "%s\t%.2f\t%.2f\t%.1fx\t%s\n", r.Name, r.PaperUS, us, ratio, r.Note)
+		record("fig6/"+r.Name, r.NsPerOp)
 	}
 	return w.Flush()
 }
@@ -94,6 +135,10 @@ func fig4() error {
 			fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%d\t%d\t%d\t%v\n",
 				r.Policy, r.Limit, r.NPrimes, r.Threads, r.Steals,
 				r.TCBAllocs, r.Blocks, r.Elapsed.Round(time.Microsecond))
+			if r.Threads > 0 {
+				record(fmt.Sprintf("fig4/%s/limit=%d", r.Policy, r.Limit),
+					float64(r.Elapsed.Nanoseconds())/float64(r.Threads))
+			}
 		}
 	}
 	if err := w.Flush(); err != nil {
@@ -121,6 +166,7 @@ func pmAblation() error {
 			}
 			fmt.Fprintf(w, "%s\t%s\t%v\t%d\t%d\n",
 				best.Policy, best.Workload, best.Elapsed.Round(time.Microsecond), best.Blocks, best.Migrated)
+			record("pm-ablation/"+best.Policy+"/"+best.Workload, float64(best.Elapsed.Nanoseconds()))
 		}
 	}
 	if err := w.Flush(); err != nil {
@@ -145,6 +191,9 @@ func preemptAblation() error {
 		}
 		fmt.Fprintf(w, "%s\t%d\t%v\t%d\n", qs, r.Rounds,
 			r.Elapsed.Round(time.Microsecond), r.Preemptions)
+		if r.Rounds > 0 {
+			record("preempt-ablation/quantum="+qs, float64(r.Elapsed.Nanoseconds())/float64(r.Rounds))
+		}
 	}
 	if err := w.Flush(); err != nil {
 		return err
@@ -166,6 +215,8 @@ func stealAblation() error {
 			fmt.Fprintf(w, "%v\t%d\t%v\t%d\t%d\t%d\n",
 				r.Stealing, r.Limit, r.Elapsed.Round(time.Microsecond),
 				r.Steals, r.TCBAllocs, r.Blocks)
+			record(fmt.Sprintf("steal-ablation/stealing=%v/limit=%d", r.Stealing, r.Limit),
+				float64(r.Elapsed.Nanoseconds()))
 		}
 	}
 	if err := w.Flush(); err != nil {
@@ -194,6 +245,7 @@ func tspaceAblation() error {
 		}
 		fmt.Fprintf(w, "%d\t%d\t%v\t%.0f\n", best.Bins, best.Ops,
 			best.Elapsed.Round(time.Microsecond), best.PerOpNs)
+		record(fmt.Sprintf("tspace-ablation/bins=%d", best.Bins), best.PerOpNs)
 	}
 	if err := w.Flush(); err != nil {
 		return err
@@ -213,6 +265,10 @@ func recycleAblation() error {
 		}
 		fmt.Fprintf(w, "%v\t%d\t%v\t%d\t%d\n", r.Recycling, r.Threads,
 			r.Elapsed.Round(time.Microsecond), r.TCBHits, r.TCBMisses)
+		if r.Threads > 0 {
+			record(fmt.Sprintf("recycle-ablation/recycling=%v", r.Recycling),
+				float64(r.Elapsed.Nanoseconds())/float64(r.Threads))
+		}
 	}
 	if err := w.Flush(); err != nil {
 		return err
@@ -240,6 +296,7 @@ func remoteFabric() error {
 		fmt.Fprintf(w, "%d\t%d\t%v\t%.1f\t%d\t%d\n", best.Pairs, best.Rounds,
 			best.Elapsed.Round(time.Microsecond), best.PerRTTNs/1e3,
 			best.BytesIn, best.BytesOut)
+		record(fmt.Sprintf("remote/pairs=%d", best.Pairs), best.PerRTTNs)
 	}
 	if err := w.Flush(); err != nil {
 		return err

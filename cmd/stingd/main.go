@@ -10,6 +10,7 @@
 //	stingd -spaces jobs=hash,done=queue     pre-create spaces by representation
 //	stingd -vps 8 -procs 4                  size the serving VM
 //	stingd -stats-every 10s                 print the counter table periodically
+//	stingd -http :9090                      serve /metrics, /healthz, /debug/trace
 //	stingd -addr host:7734 -dump-stats      client mode: fetch and print a
 //	                                        server's stats snapshot, then exit
 //
@@ -24,6 +25,7 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -40,13 +42,14 @@ func main() {
 		spaces     = flag.String("spaces", "", "pre-created spaces, name=kind comma-separated (kinds: hash,bag,set,queue,vector,shared-variable,semaphore)")
 		statsEvery = flag.Duration("stats-every", 0, "print server stats at this interval")
 		dumpStats  = flag.Bool("dump-stats", false, "dial -addr, print its stats snapshot, exit")
+		httpAddr   = flag.String("http", "", "serve /metrics, /healthz, /debug/trace on this address (empty: off)")
 	)
 	flag.Parse()
 
 	if *dumpStats {
 		os.Exit(runDumpStats(*addr))
 	}
-	os.Exit(runServer(*addr, *vps, *procs, *spaces, *statsEvery))
+	os.Exit(runServer(*addr, *httpAddr, *vps, *procs, *spaces, *statsEvery))
 }
 
 // runDumpStats is the client mode: one STATS round trip, rendered.
@@ -66,7 +69,7 @@ func runDumpStats(addr string) int {
 	return 0
 }
 
-func runServer(addr string, vps, procs int, spaces string, statsEvery time.Duration) int {
+func runServer(addr, httpAddr string, vps, procs int, spaces string, statsEvery time.Duration) int {
 	reg := tspace.NewRegistry(tspace.KindHash, tspace.Config{})
 	if err := preopenSpaces(reg, spaces); err != nil {
 		fmt.Fprintln(os.Stderr, "stingd:", err)
@@ -89,6 +92,18 @@ func runServer(addr string, vps, procs int, spaces string, statsEvery time.Durat
 	fmt.Printf("stingd: serving tuple spaces on %s (spaces: %s)\n",
 		ln.Addr(), strings.Join(append(reg.Names(), "* on demand"), ", "))
 
+	var draining atomic.Bool
+	if httpAddr != "" {
+		trace := core.NewTraceBuffer(obsTraceCap)
+		core.SetTracer(trace.Record)
+		obsAddr, err := serveObs(httpAddr, buildObsHandler(vm, reg, srv, trace, &draining))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "stingd:", err)
+			return 1
+		}
+		fmt.Printf("stingd: observability on http://%s (/metrics /healthz /debug/trace)\n", obsAddr)
+	}
+
 	if statsEvery > 0 {
 		go func() {
 			for range time.Tick(statsEvery) {
@@ -104,6 +119,7 @@ func runServer(addr string, vps, procs int, spaces string, statsEvery time.Durat
 	select {
 	case sig := <-sigs:
 		fmt.Printf("stingd: %v — draining\n", sig)
+		draining.Store(true) // /healthz flips to 503 before the drain starts
 		srv.Shutdown()
 		fmt.Print(srv.Stats().String())
 	case err := <-done:

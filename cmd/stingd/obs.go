@@ -1,0 +1,52 @@
+package main
+
+import (
+	"errors"
+	"net"
+	"net/http"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/remote"
+	"repro/internal/tspace"
+)
+
+// obsTraceCap sizes the daemon's trace ring: at ~5 events per request a
+// 64Ki ring retains the last ~13k requests' worth of scheduling history.
+const obsTraceCap = 65536
+
+// buildObsHandler assembles the daemon's observability surface: one obs
+// registry fed by the VM, the space registry, the fabric server, and the
+// trace ring, behind the /metrics, /healthz, /debug/trace handler.
+// Factored out of runServer so tests can drive it without sockets.
+func buildObsHandler(vm *core.VM, reg *tspace.Registry, srv *remote.Server, trace *core.TraceBuffer, draining *atomic.Bool) http.Handler {
+	r := obs.NewRegistry()
+	r.Register("core", core.VMCollector{VM: vm})
+	r.Register("tspace", tspace.RegistryCollector{Registry: reg})
+	r.Register("remote", remote.ServerCollector{Server: srv})
+	r.Register("trace", core.TraceCollector{Buffer: trace})
+	return &obs.Handler{
+		Registry: r,
+		Healthy: func() error {
+			if draining.Load() {
+				return errors.New("draining")
+			}
+			return nil
+		},
+		TraceEvents: func() []obs.TraceEvent {
+			return core.ObsTraceEvents(trace.Events())
+		},
+	}
+}
+
+// serveObs binds addr and serves h on a background goroutine, returning
+// the bound address (so -http :0 works and the smoke test can find it).
+func serveObs(addr string, h http.Handler) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	go http.Serve(ln, h) //nolint:errcheck
+	return ln.Addr(), nil
+}

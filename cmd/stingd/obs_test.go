@@ -1,0 +1,123 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/remote"
+	"repro/internal/tspace"
+)
+
+// TestObsHandlerExposesRequiredFamilies boots a real fabric server with
+// the observability surface attached, drives traffic through it, and
+// asserts the acceptance-criteria metric families appear in /metrics,
+// /healthz tracks the drain flag, and /debug/trace is valid trace_event
+// JSON.
+func TestObsHandlerExposesRequiredFamilies(t *testing.T) {
+	m := core.NewMachine(core.MachineConfig{Processors: 2})
+	defer m.Shutdown()
+	vm, err := m.NewVM(core.VMConfig{Name: "obs-test", VPs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := tspace.NewRegistry(tspace.KindHash, tspace.Config{})
+	srv := remote.NewServer(vm, remote.ServerConfig{Registry: reg})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln) //nolint:errcheck
+	defer srv.Shutdown()
+
+	trace := core.NewTraceBuffer(4096)
+	core.SetTracer(trace.Record)
+	defer core.SetTracer(nil)
+
+	var draining atomic.Bool
+	h := buildObsHandler(vm, reg, srv, trace, &draining)
+	web := httptest.NewServer(h)
+	defer web.Close()
+
+	// Drive traffic so every collector has something to report: a dial, a
+	// Put (spawns a STING thread, emitting trace events), a depth.
+	c, err := remote.Dial(nil, ln.Addr().String(), remote.DialConfig{})
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer c.Close() //nolint:errcheck
+	sp := c.Space("jobs")
+	if err := sp.Put(nil, tspace.Tuple{"job", 1}); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+
+	body := get(t, web.URL+"/metrics")
+	for _, family := range []string{
+		"sting_vp_dispatches_total",
+		"sting_tspace_depth",
+		"sting_remote_op_latency_seconds_bucket",
+		"sting_remote_conns_active",
+		"sting_trace_events",
+	} {
+		if !strings.Contains(body, family) {
+			t.Errorf("/metrics missing family %s", family)
+		}
+	}
+	if !strings.Contains(body, `sting_tspace_depth{space="jobs",kind="hash"} 1`) {
+		t.Errorf("/metrics depth sample wrong:\n%s", grepLines(body, "sting_tspace_depth"))
+	}
+
+	if got := get(t, web.URL+"/healthz"); got != "ok\n" {
+		t.Errorf("/healthz = %q, want ok", got)
+	}
+	draining.Store(true)
+	resp, err := web.Client().Get(web.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close() //nolint:errcheck
+	if resp.StatusCode != 503 {
+		t.Errorf("/healthz while draining = %d, want 503", resp.StatusCode)
+	}
+	draining.Store(false)
+
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(get(t, web.URL+"/debug/trace")), &doc); err != nil {
+		t.Fatalf("/debug/trace not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Error("/debug/trace has no events despite live traffic")
+	}
+}
+
+func get(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close() //nolint:errcheck
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", url, err)
+	}
+	return string(b)
+}
+
+func grepLines(s, substr string) string {
+	var out []string
+	for _, l := range strings.Split(s, "\n") {
+		if strings.Contains(l, substr) {
+			out = append(out, l)
+		}
+	}
+	return strings.Join(out, "\n")
+}

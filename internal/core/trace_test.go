@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sync"
 	"testing"
 )
 
@@ -61,6 +62,120 @@ func TestTracerDisabledIsDefault(t *testing.T) {
 		return nil, nil
 	}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestTraceBufferOverflowAccounting(t *testing.T) {
+	const n = 64
+	buf := NewTraceBuffer(n)
+	for i := 0; i < 2*n; i++ {
+		buf.Record(TraceEvent{Kind: TraceYield, Thread: uint64(i)})
+	}
+	if got := buf.Recorded(); got != 2*n {
+		t.Fatalf("Recorded = %d, want %d", got, 2*n)
+	}
+	if got := buf.Dropped(); got != n {
+		t.Fatalf("Dropped = %d, want %d", got, n)
+	}
+	ev := buf.Events()
+	if uint64(len(ev))+buf.Dropped() != buf.Recorded() {
+		t.Fatalf("accounting broken: retained %d + dropped %d != recorded %d",
+			len(ev), buf.Dropped(), buf.Recorded())
+	}
+	// The survivors are exactly the newest n, oldest first.
+	for i, e := range ev {
+		if e.Thread != uint64(n+i) {
+			t.Fatalf("event %d thread = %d, want %d", i, e.Thread, n+i)
+		}
+	}
+	// Drain empties the ring but the cumulative totals survive.
+	if got := len(buf.Drain()); got != n {
+		t.Fatalf("Drain returned %d events, want %d", got, n)
+	}
+	if len(buf.Events()) != 0 {
+		t.Fatal("ring not empty after Drain")
+	}
+	if buf.Recorded() != 2*n || buf.Dropped() != n {
+		t.Fatalf("totals reset by Drain: recorded %d dropped %d", buf.Recorded(), buf.Dropped())
+	}
+	// Refill past capacity: drop accounting restarts cleanly.
+	for i := 0; i < n+5; i++ {
+		buf.Record(TraceEvent{Kind: TraceYield, Thread: uint64(i)})
+	}
+	if got := buf.Dropped(); got != n+5 {
+		t.Fatalf("Dropped after refill = %d, want %d", got, n+5)
+	}
+}
+
+// TestTraceBufferConcurrentEmitDrain hammers the ring from several emitters
+// while a drainer races it, then checks two invariants: events are never
+// torn (each event's fields stay mutually consistent), and every recorded
+// event is either drained exactly once or counted dropped — the totals
+// balance to the unit.
+func TestTraceBufferConcurrentEmitDrain(t *testing.T) {
+	const (
+		writers = 8
+		events  = 4000
+		ring    = 256
+	)
+	buf := NewTraceBuffer(ring)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for seq := 0; seq < events; seq++ {
+				// Fields are derived from one another so a torn read/write
+				// is detectable: Kind and VP must match the Thread payload.
+				buf.Record(TraceEvent{
+					Kind:   TraceKind(seq % 10),
+					Thread: uint64(w)<<32 | uint64(seq),
+					VP:     w,
+				})
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+
+	lastSeq := make([]int, writers) // highest seq drained per writer, -1 none
+	for i := range lastSeq {
+		lastSeq[i] = -1
+	}
+	var drained uint64
+	check := func(batch []TraceEvent) {
+		for _, e := range batch {
+			w := int(e.Thread >> 32)
+			seq := int(e.Thread & 0xffffffff)
+			if w < 0 || w >= writers {
+				t.Fatalf("torn event: writer %d out of range (%+v)", w, e)
+			}
+			if e.VP != w || e.Kind != TraceKind(seq%10) {
+				t.Fatalf("torn event: fields disagree (%+v, want vp=%d kind=%d)", e, w, seq%10)
+			}
+			if seq <= lastSeq[w] {
+				t.Fatalf("writer %d seq %d drained after %d: order violated", w, seq, lastSeq[w])
+			}
+			lastSeq[w] = seq
+		}
+		drained += uint64(len(batch))
+	}
+	for {
+		select {
+		case <-done:
+			check(buf.Drain()) // final sweep after all writers stopped
+			want := uint64(writers * events)
+			if got := buf.Recorded(); got != want {
+				t.Fatalf("Recorded = %d, want %d", got, want)
+			}
+			if drained+buf.Dropped() != want {
+				t.Fatalf("accounting broken: drained %d + dropped %d != recorded %d",
+					drained, buf.Dropped(), want)
+			}
+			return
+		default:
+			check(buf.Drain())
+		}
 	}
 }
 

@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"fmt"
+	"net/http"
+)
+
+// Handler serves the observability endpoints over plain net/http:
+//
+//	/metrics      Prometheus text exposition of Registry.Gather
+//	/healthz      200 "ok" while Healthy returns nil, 503 otherwise
+//	/debug/trace  Chrome trace_event JSON of TraceEvents (open in Perfetto)
+//
+// Zero-value fields degrade gracefully: a nil Registry serves an empty
+// exposition, a nil Healthy always reports healthy, a nil TraceEvents
+// makes /debug/trace a 404.
+type Handler struct {
+	Registry *Registry
+	// Healthy reports liveness; return an error (e.g. "draining") to flip
+	// /healthz to 503.
+	Healthy func() error
+	// TraceEvents supplies the trace-ring snapshot for /debug/trace.
+	TraceEvents func() []TraceEvent
+}
+
+// ServeHTTP implements http.Handler, routing the three endpoints.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch r.URL.Path {
+	case "/metrics":
+		h.serveMetrics(w)
+	case "/healthz":
+		h.serveHealth(w)
+	case "/debug/trace":
+		h.serveTrace(w)
+	case "/":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, "sting observability\n/metrics\n/healthz\n/debug/trace\n")
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+func (h *Handler) serveMetrics(w http.ResponseWriter) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if h.Registry == nil {
+		return
+	}
+	_ = WritePrometheus(w, h.Registry.Gather())
+}
+
+func (h *Handler) serveHealth(w http.ResponseWriter) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if h.Healthy != nil {
+		if err := h.Healthy(); err != nil {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintf(w, "unhealthy: %v\n", err)
+			return
+		}
+	}
+	fmt.Fprint(w, "ok\n")
+}
+
+func (h *Handler) serveTrace(w http.ResponseWriter) {
+	if h.TraceEvents == nil {
+		http.Error(w, "tracing not enabled", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = WriteChromeTrace(w, h.TraceEvents())
+}

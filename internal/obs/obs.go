@@ -1,0 +1,180 @@
+// Package obs is the substrate's unified observability layer: a
+// dependency-free metrics registry that Collector sources register into,
+// producing one coherent snapshot model (counters, gauges, and fixed-bucket
+// lock-free latency histograms), plus Prometheus text exposition, an HTTP
+// handler, and a Chrome trace_event exporter for the core trace ring.
+//
+// The paper positions STING's programming environment as one that must
+// support "debugging, profiling, observing the dynamic unfolding of
+// computations"; this package is where every subsystem's counters meet a
+// scrape. It deliberately imports nothing from the rest of the repository
+// (and nothing outside the standard library), so core, tspace, and remote
+// can all depend on it without cycles.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// MetricKind classifies a sample for exposition.
+type MetricKind int
+
+// Metric kinds.
+const (
+	KindCounter MetricKind = iota
+	KindGauge
+	KindHistogram
+)
+
+func (k MetricKind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	default:
+		return fmt.Sprintf("MetricKind(%d)", int(k))
+	}
+}
+
+// Label is one metric dimension; labels are ordered as given.
+type Label struct {
+	Key, Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Metric is one sample in a gathered snapshot. Counter and gauge samples
+// carry Value; histogram samples carry Hist.
+type Metric struct {
+	Name   string
+	Help   string
+	Kind   MetricKind
+	Labels []Label
+	Value  float64
+	Hist   *HistogramSnapshot
+}
+
+// Counter builds a counter sample.
+func Counter(name, help string, v float64, labels ...Label) Metric {
+	return Metric{Name: name, Help: help, Kind: KindCounter, Value: v, Labels: labels}
+}
+
+// Gauge builds a gauge sample.
+func Gauge(name, help string, v float64, labels ...Label) Metric {
+	return Metric{Name: name, Help: help, Kind: KindGauge, Value: v, Labels: labels}
+}
+
+// HistogramSample snapshots h into a histogram sample; nil histograms
+// yield an empty snapshot so collectors need no guards.
+func HistogramSample(name, help string, h *Histogram, labels ...Label) Metric {
+	var snap *HistogramSnapshot
+	if h != nil {
+		snap = h.Snapshot()
+	} else {
+		snap = &HistogramSnapshot{Bounds: LatencyBuckets, Counts: make([]uint64, len(LatencyBuckets)+1)}
+	}
+	return Metric{Name: name, Help: help, Kind: KindHistogram, Hist: snap, Labels: labels}
+}
+
+// Collector is a source of metrics; Collect is called on every Gather and
+// must be safe for concurrent use.
+type Collector interface {
+	Collect() []Metric
+}
+
+// CollectorFunc adapts a function to the Collector interface.
+type CollectorFunc func() []Metric
+
+// Collect implements Collector.
+func (f CollectorFunc) Collect() []Metric { return f() }
+
+// Registry holds named collector sources and gathers them into one
+// coherent, deterministically ordered snapshot.
+type Registry struct {
+	mu      sync.Mutex
+	sources map[string]Collector
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{sources: make(map[string]Collector)}
+}
+
+// defaultRegistry is the process-wide registry embedding programs scrape.
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide default registry.
+func Default() *Registry { return defaultRegistry }
+
+// Register installs c under source, replacing any previous collector of
+// that name (re-registration is idiomatic across server restarts).
+func (r *Registry) Register(source string, c Collector) {
+	r.mu.Lock()
+	r.sources[source] = c
+	r.mu.Unlock()
+}
+
+// Unregister removes the named source.
+func (r *Registry) Unregister(source string) {
+	r.mu.Lock()
+	delete(r.sources, source)
+	r.mu.Unlock()
+}
+
+// Sources returns the registered source names, sorted.
+func (r *Registry) Sources() []string {
+	r.mu.Lock()
+	out := make([]string, 0, len(r.sources))
+	for n := range r.sources {
+		out = append(out, n)
+	}
+	r.mu.Unlock()
+	sort.Strings(out)
+	return out
+}
+
+// Gather collects every source and returns the combined samples sorted by
+// family name then label values, the order exposition wants. Collectors
+// run outside the registry lock, so a collector may itself Register.
+func (r *Registry) Gather() []Metric {
+	r.mu.Lock()
+	cs := make([]Collector, 0, len(r.sources))
+	names := make([]string, 0, len(r.sources))
+	for n := range r.sources {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		cs = append(cs, r.sources[n])
+	}
+	r.mu.Unlock()
+	var out []Metric
+	for _, c := range cs {
+		out = append(out, c.Collect()...)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return labelKey(out[i].Labels) < labelKey(out[j].Labels)
+	})
+	return out
+}
+
+func labelKey(ls []Label) string {
+	var b strings.Builder
+	for _, l := range ls {
+		b.WriteString(l.Key)
+		b.WriteByte('=')
+		b.WriteString(l.Value)
+		b.WriteByte(',')
+	}
+	return b.String()
+}

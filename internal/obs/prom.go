@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders samples in the Prometheus text exposition format
+// (version 0.0.4), hand-rolled — no external dependency. Samples must be
+// sorted by name (Registry.Gather's order); HELP and TYPE are emitted once
+// per family, histogram samples expand to cumulative _bucket/_sum/_count
+// series.
+func WritePrometheus(w io.Writer, metrics []Metric) error {
+	var lastFamily string
+	for _, m := range metrics {
+		if m.Name != lastFamily {
+			if m.Help != "" {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", m.Name, escapeHelp(m.Help)); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", m.Name, m.Kind); err != nil {
+				return err
+			}
+			lastFamily = m.Name
+		}
+		if m.Kind == KindHistogram {
+			if err := writeHistogram(w, m); err != nil {
+				return err
+			}
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "%s%s %s\n", m.Name, renderLabels(m.Labels), formatFloat(m.Value)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeHistogram(w io.Writer, m Metric) error {
+	h := m.Hist
+	if h == nil {
+		h = &HistogramSnapshot{}
+	}
+	var cum uint64
+	for i, bound := range h.Bounds {
+		cum += h.Counts[i]
+		le := append(append([]Label{}, m.Labels...), L("le", formatFloat(bound)))
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", m.Name, renderLabels(le), cum); err != nil {
+			return err
+		}
+	}
+	if len(h.Counts) > len(h.Bounds) {
+		cum += h.Counts[len(h.Bounds)]
+	}
+	inf := append(append([]Label{}, m.Labels...), L("le", "+Inf"))
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", m.Name, renderLabels(inf), cum); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", m.Name, renderLabels(m.Labels), formatFloat(h.Sum)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", m.Name, renderLabels(m.Labels), cum)
+	return err
+}
+
+func renderLabels(ls []Label) string {
+	if len(ls) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}

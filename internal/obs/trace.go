@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"strconv"
+)
+
+// TraceEvent is the exporter's view of one substrate trace-ring event.
+// core.ObsTraceEvents converts the core ring's events to this form; the
+// indirection keeps obs free of repository dependencies.
+type TraceEvent struct {
+	TimeNanos int64  // absolute wall-clock nanoseconds
+	Kind      string // create, schedule, dispatch, steal, block, wake, preempt, yield, determine, terminate-request
+	Thread    uint64 // thread id, 0 when not applicable
+	VP        int    // vp index, -1 when not applicable
+}
+
+// chromeEvent is one entry of the Chrome trace_event JSON format
+// (Perfetto and chrome://tracing both load it).
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"` // microseconds
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// spanName maps the phase a thread entered at a given event kind to the
+// slice name rendered for the duration ending at the next event.
+func spanName(fromKind string) string {
+	switch fromKind {
+	case "create":
+		return "pending"
+	case "schedule", "wake", "yield", "preempt":
+		return "queued"
+	case "dispatch":
+		return "running"
+	case "steal":
+		return "running (stolen)"
+	case "block":
+		return "blocked"
+	default:
+		return ""
+	}
+}
+
+// WriteChromeTrace renders trace-ring events as Chrome trace_event JSON:
+// each thread's lifecycle phases (create→schedule→dispatch→…→determine)
+// become duration events placed on the track of the virtual processor that
+// ended the phase, so a run opens in Perfetto as one swim-lane per VP.
+// Steals and terminate requests appear as instant events.
+func WriteChromeTrace(w io.Writer, events []TraceEvent) error {
+	var t0 int64
+	for i, e := range events {
+		if i == 0 || e.TimeNanos < t0 {
+			t0 = e.TimeNanos
+		}
+	}
+	micros := func(ns int64) float64 { return float64(ns-t0) / 1e3 }
+
+	type phase struct {
+		kind string
+		ts   int64
+		vp   int
+	}
+	open := make(map[uint64]phase)
+	tids := make(map[int]bool)
+	var out []chromeEvent
+
+	// tid maps a VP index to a Chrome thread id; unplaced events (-1)
+	// share track 0, VP i lands on track i+1.
+	tid := func(vp int) int { return vp + 1 }
+
+	for _, e := range events {
+		if p, ok := open[e.Thread]; ok && e.Thread != 0 {
+			if name := spanName(p.kind); name != "" {
+				vp := e.VP
+				if vp < 0 {
+					vp = p.vp
+				}
+				tids[tid(vp)] = true
+				out = append(out, chromeEvent{
+					Name: name,
+					Ph:   "X",
+					TS:   micros(p.ts),
+					Dur:  micros(e.TimeNanos) - micros(p.ts),
+					PID:  1,
+					TID:  tid(vp),
+					Args: map[string]any{"thread": e.Thread, "from": p.kind, "to": e.Kind},
+				})
+			}
+		}
+		switch e.Kind {
+		case "steal", "terminate-request":
+			tids[tid(e.VP)] = true
+			out = append(out, chromeEvent{
+				Name: e.Kind,
+				Ph:   "i",
+				TS:   micros(e.TimeNanos),
+				PID:  1,
+				TID:  tid(e.VP),
+				Args: map[string]any{"thread": e.Thread, "s": "t"},
+			})
+		}
+		if e.Thread != 0 {
+			if e.Kind == "determine" {
+				delete(open, e.Thread)
+			} else {
+				open[e.Thread] = phase{kind: e.Kind, ts: e.TimeNanos, vp: e.VP}
+			}
+		}
+	}
+
+	// Name the tracks so Perfetto shows "vp 0", "vp 1", … instead of ids.
+	meta := make([]chromeEvent, 0, len(tids)+1)
+	meta = append(meta, chromeEvent{
+		Name: "process_name", Ph: "M", PID: 1, TID: 0,
+		Args: map[string]any{"name": "sting"},
+	})
+	for t := range tids {
+		name := "unplaced"
+		if t > 0 {
+			name = "vp " + strconv.Itoa(t-1)
+		}
+		meta = append(meta, chromeEvent{
+			Name: "thread_name", Ph: "M", PID: 1, TID: t,
+			Args: map[string]any{"name": name},
+		})
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeTrace{TraceEvents: append(meta, out...), DisplayTimeUnit: "ms"})
+}

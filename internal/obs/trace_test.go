@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// decodedTrace mirrors the Chrome trace_event container so the export can
+// be verified as valid, loadable JSON (what Perfetto's legacy importer
+// parses).
+type decodedTrace struct {
+	TraceEvents []struct {
+		Name string         `json:"name"`
+		Ph   string         `json:"ph"`
+		TS   float64        `json:"ts"`
+		Dur  float64        `json:"dur"`
+		PID  int            `json:"pid"`
+		TID  int            `json:"tid"`
+		Args map[string]any `json:"args"`
+	} `json:"traceEvents"`
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+}
+
+func TestWriteChromeTraceDecodes(t *testing.T) {
+	// One thread's full lifecycle on vp 0 plus a steal on vp 1.
+	events := []TraceEvent{
+		{TimeNanos: 1_000, Kind: "create", Thread: 7, VP: -1},
+		{TimeNanos: 2_000, Kind: "schedule", Thread: 7, VP: 0},
+		{TimeNanos: 5_000, Kind: "dispatch", Thread: 7, VP: 0},
+		{TimeNanos: 9_000, Kind: "block", Thread: 7, VP: 0},
+		{TimeNanos: 12_000, Kind: "wake", Thread: 7, VP: 0},
+		{TimeNanos: 13_000, Kind: "dispatch", Thread: 7, VP: 0},
+		{TimeNanos: 20_000, Kind: "determine", Thread: 7, VP: 0},
+		{TimeNanos: 6_000, Kind: "steal", Thread: 9, VP: 1},
+	}
+	var b strings.Builder
+	if err := WriteChromeTrace(&b, events); err != nil {
+		t.Fatal(err)
+	}
+	var tr decodedTrace
+	if err := json.Unmarshal([]byte(b.String()), &tr); err != nil {
+		t.Fatalf("export is not valid JSON: %v\n%s", err, b.String())
+	}
+	var phases []string
+	durByName := map[string]float64{}
+	sawSteal := false
+	sawVPName := false
+	for _, e := range tr.TraceEvents {
+		switch e.Ph {
+		case "X":
+			phases = append(phases, e.Name)
+			durByName[e.Name] += e.Dur
+			if e.Dur < 0 {
+				t.Fatalf("negative duration on %q: %v", e.Name, e.Dur)
+			}
+			if e.TID != 1 { // vp 0 → tid 1
+				t.Fatalf("phase %q on tid %d, want vp-0 track (1)", e.Name, e.TID)
+			}
+		case "i":
+			if e.Name == "steal" {
+				sawSteal = true
+				if e.TID != 2 {
+					t.Fatalf("steal on tid %d, want vp-1 track (2)", e.TID)
+				}
+			}
+		case "M":
+			if e.Name == "thread_name" && e.Args["name"] == "vp 0" {
+				sawVPName = true
+			}
+		}
+	}
+	for _, want := range []string{"pending", "queued", "running", "blocked"} {
+		found := false
+		for _, p := range phases {
+			if p == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("lifecycle phase %q missing; got %v", want, phases)
+		}
+	}
+	// create(1µs)→schedule(2µs) pending = 1µs; two running slices
+	// 5→9 and 13→20 = 11µs total.
+	if durByName["pending"] != 1 {
+		t.Fatalf("pending duration %v µs, want 1", durByName["pending"])
+	}
+	if durByName["running"] != 11 {
+		t.Fatalf("running duration %v µs, want 11", durByName["running"])
+	}
+	if !sawSteal {
+		t.Fatal("steal instant event missing")
+	}
+	if !sawVPName {
+		t.Fatal("vp 0 thread_name metadata missing")
+	}
+	if tr.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit %q", tr.DisplayTimeUnit)
+	}
+}
+
+func TestWriteChromeTraceEmpty(t *testing.T) {
+	var b strings.Builder
+	if err := WriteChromeTrace(&b, nil); err != nil {
+		t.Fatal(err)
+	}
+	var tr decodedTrace
+	if err := json.Unmarshal([]byte(b.String()), &tr); err != nil {
+		t.Fatalf("empty export invalid: %v", err)
+	}
+}

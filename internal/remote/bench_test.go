@@ -1,18 +1,29 @@
 package remote
 
 import (
+	"net"
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/testkit"
 	"repro/internal/tspace"
 )
 
-// BenchmarkRemoteTuplePingPong measures one fabric round trip: a remote
-// Put answered by a server-side STING echo thread, collected with a remote
-// blocking Get. Compare with the in-process tuple ops in internal/bench's
-// Fig. 6 table to see the wire's cost.
-func BenchmarkRemoteTuplePingPong(b *testing.B) {
-	srv, addr := startServer(b)
+// benchPingPong measures one fabric round trip: a remote Put answered by a
+// server-side STING echo thread, collected with a remote blocking Get.
+// Compare with the in-process tuple ops in internal/bench's Fig. 6 table
+// to see the wire's cost.
+func benchPingPong(b *testing.B, cfg ServerConfig) {
+	vm := testkit.VM(b, 2, 2)
+	srv := NewServer(vm, cfg)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatalf("listen: %v", err)
+	}
+	go srv.Serve(ln) //nolint:errcheck
+	b.Cleanup(srv.Shutdown)
+	addr := ln.Addr().String()
+
 	ts := srv.Registry().OpenDefault("pingpong")
 	echo := srv.vm.Spawn(func(ctx *core.Context) ([]core.Value, error) {
 		for {
@@ -48,4 +59,17 @@ func BenchmarkRemoteTuplePingPong(b *testing.B) {
 	if _, err := core.JoinThread(echo); err != nil {
 		b.Fatalf("echo: %v", err)
 	}
+}
+
+// BenchmarkRemoteTuplePingPong runs the ping-pong with the per-op latency
+// histograms armed (the default); its NoObs twin below is the ablation
+// baseline for the metric-collection overhead entry in EXPERIMENTS.md.
+func BenchmarkRemoteTuplePingPong(b *testing.B) {
+	benchPingPong(b, ServerConfig{})
+}
+
+// BenchmarkRemoteTuplePingPongNoObs is the same round trip with metric
+// recording disabled server-side.
+func BenchmarkRemoteTuplePingPongNoObs(b *testing.B) {
+	benchPingPong(b, ServerConfig{DisableMetrics: true})
 }

@@ -124,6 +124,8 @@ type Client struct {
 	nextID  uint32
 	closed  bool
 	wg      sync.WaitGroup // in-flight roundTrips, for Close's drain
+
+	metrics *clientMetrics
 }
 
 // Dial connects to a fabric server, retrying transient connect/handshake
@@ -137,6 +139,7 @@ func Dial(ctx *core.Context, addr string, cfg DialConfig) (*Client, error) {
 		addr:    addr,
 		cfg:     cfg,
 		pending: make(map[uint32]*call),
+		metrics: newClientMetrics(),
 	}
 	c.mu.Lock()
 	err := c.redialLocked(ctx)
@@ -150,9 +153,11 @@ func Dial(ctx *core.Context, addr string, cfg DialConfig) (*Client, error) {
 // redialLocked (c.mu held) establishes a fresh connection with bounded
 // retry and the HELLO handshake.
 func (c *Client) redialLocked(ctx *core.Context) error {
+	t0 := time.Now()
 	var lastErr error
 	for attempt := 0; attempt <= c.cfg.DialRetries; attempt++ {
 		if attempt > 0 {
+			c.metrics.dialRetries.Add(1)
 			sleep(ctx, c.cfg.backoff(attempt-1))
 		}
 		if c.closed {
@@ -171,8 +176,10 @@ func (c *Client) redialLocked(ctx *core.Context) error {
 		}
 		c.fc = fc
 		fc.Start(func(frame []byte, err error) { c.onFrame(fc, frame, err) })
+		c.metrics.dialLatency.ObserveSince(t0)
 		return nil
 	}
+	c.metrics.dialFails.Add(1)
 	return fmt.Errorf("remote: dial %s: %w", c.addr, lastErr)
 }
 
@@ -329,9 +336,11 @@ func sleep(ctx *core.Context, d time.Duration) {
 func (c *Client) roundTrip(ctx *core.Context, req request, wait time.Duration) (response, error) {
 	c.wg.Add(1)
 	defer c.wg.Done()
+	t0 := time.Now()
 	var lastErr error
 	for attempt := 0; attempt <= c.cfg.OpRetries; attempt++ {
 		if attempt > 0 {
+			c.metrics.opRetries.Add(1)
 			sleep(ctx, c.cfg.backoff(attempt-1))
 		}
 		cl, id, fc, err := c.register(ctx)
@@ -363,7 +372,14 @@ func (c *Client) roundTrip(ctx *core.Context, req request, wait time.Duration) (
 			lastErr = err
 			continue
 		}
-		return c.wait(ctx, cl, id, req, wait)
+		resp, err := c.wait(ctx, cl, id, req, wait)
+		switch {
+		case err == nil:
+			c.metrics.observeOp(req.op, time.Since(t0))
+		case errors.Is(err, ErrTimeout):
+			c.metrics.timeouts.Add(1)
+		}
+		return resp, err
 	}
 	return response{}, fmt.Errorf("remote: %s on %q: retries exhausted: %w",
 		opName(req.op), req.space, lastErr)

@@ -19,6 +19,9 @@ type ServerConfig struct {
 	// Registry supplies the named spaces; nil creates a fresh registry of
 	// hash spaces.
 	Registry *tspace.Registry
+	// DisableMetrics turns off the per-op latency histograms (the
+	// observability-overhead ablation switch; counters stay on).
+	DisableMetrics bool
 }
 
 // Server serves a registry of named tuple spaces over TCP. Every request
@@ -52,12 +55,16 @@ func NewServer(vm *core.VM, cfg ServerConfig) *Server {
 	if cfg.Registry == nil {
 		cfg.Registry = tspace.NewRegistry(tspace.KindHash, tspace.Config{})
 	}
-	return &Server{
+	s := &Server{
 		vm:    vm,
 		reg:   cfg.Registry,
 		cfg:   cfg,
 		conns: make(map[*serverConn]struct{}),
 	}
+	if !cfg.DisableMetrics {
+		s.stats.initLatency()
+	}
+	return s
 }
 
 // Registry returns the server's space registry.
@@ -165,8 +172,11 @@ func (s *Server) removeConn(sc *serverConn) {
 
 // handleFrame runs on the connection's reader goroutine: decode, then hand
 // the operation to a STING thread. Protocol errors answer best-effort and
-// close the connection — a malformed peer gets no second frame.
+// close the connection — a malformed peer gets no second frame. Service
+// latency is measured from frame arrival to response completion, so
+// blocking ops include their park time — the latency a client observes.
 func (s *Server) handleFrame(sc *serverConn, frame []byte) {
+	t0 := time.Now()
 	req, err := decodeRequest(frame)
 	if err != nil {
 		s.stats.ProtoErrors.Add(1)
@@ -177,6 +187,7 @@ func (s *Server) handleFrame(sc *serverConn, frame []byte) {
 	s.stats.serve(req.op)
 	if req.op == opHello {
 		sc.send(encodeOK(req.id))
+		s.stats.observe(req.op, time.Since(t0))
 		return
 	}
 	if s.closed.Load() {
@@ -187,6 +198,7 @@ func (s *Server) handleFrame(sc *serverConn, frame []byte) {
 	s.vm.Spawn(func(ctx *core.Context) ([]core.Value, error) {
 		defer s.ops.Done()
 		s.serveOp(ctx, sc, req)
+		s.stats.observe(req.op, time.Since(t0))
 		return nil, nil
 	}, core.WithName("stingd/"+opName(req.op)))
 }

@@ -5,11 +5,17 @@ import (
 	"sort"
 	"strings"
 	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
 )
 
 // Stats counts server-side fabric events, mirroring the core.VPStats
 // snapshot idiom: cumulative atomic counters, a plain-value Snapshot, and
-// a render helper for the daemon's -dump-stats.
+// a render helper for the daemon's -dump-stats. OpLatency carries one
+// lock-free histogram per wire op, recorded in the server dispatch path;
+// the histograms are optional (nil when metrics are disabled) and every
+// recording site tolerates their absence.
 type Stats struct {
 	OpsServed   [8]atomic.Uint64 // indexed by request op - 1
 	ProtoErrors atomic.Uint64    // malformed frames received
@@ -20,11 +26,30 @@ type Stats struct {
 	BytesOut    atomic.Uint64    // frame bytes sent
 	Conns       atomic.Uint64    // connections accepted, cumulative
 	ConnsActive atomic.Int64     // gauge: connections currently open
+
+	OpLatency [8]*obs.Histogram // per-op service latency, indexed by op - 1
 }
 
 func (s *Stats) serve(op byte) {
 	if op >= 1 && int(op) <= len(s.OpsServed) {
 		s.OpsServed[op-1].Add(1)
+	}
+}
+
+// initLatency arms the per-op histograms (metric recording on).
+func (s *Stats) initLatency() {
+	for i := range s.OpLatency {
+		s.OpLatency[i] = obs.NewHistogram()
+	}
+}
+
+// observe records one op's service latency; a no-op when histograms are
+// off or the op is out of range.
+func (s *Stats) observe(op byte, d time.Duration) {
+	if op >= 1 && int(op) <= len(s.OpLatency) {
+		if h := s.OpLatency[op-1]; h != nil {
+			h.Observe(d.Seconds())
+		}
 	}
 }
 
@@ -47,10 +72,34 @@ func (s *Stats) Snapshot(depths map[string]int) StatsSnapshot {
 			snap.Ops[opName(byte(i+1))] = n
 		}
 	}
+	snap.OpLatency = map[string]LatencySummary{}
+	for i, h := range s.OpLatency {
+		if h == nil {
+			continue
+		}
+		hs := h.Snapshot()
+		if hs.Count == 0 {
+			continue
+		}
+		snap.OpLatency[opName(byte(i+1))] = LatencySummary{
+			Count: hs.Count,
+			P50:   hs.Quantile(0.50),
+			P95:   hs.Quantile(0.95),
+			P99:   hs.Quantile(0.99),
+		}
+	}
 	if snap.SpaceDepths == nil {
 		snap.SpaceDepths = map[string]int{}
 	}
 	return snap
+}
+
+// LatencySummary is the wire-portable digest of one op's latency
+// histogram: bucket-interpolated quantiles in seconds plus the sample
+// count. It is what -dump-stats and fabric clients see without HTTP.
+type LatencySummary struct {
+	Count         uint64
+	P50, P95, P99 float64 // seconds
 }
 
 // StatsSnapshot is a plain-value copy of Stats plus per-space depths; it
@@ -66,6 +115,7 @@ type StatsSnapshot struct {
 	Conns       uint64
 	ConnsActive int64
 	SpaceDepths map[string]int
+	OpLatency   map[string]LatencySummary // per-op latency digests, by op name
 }
 
 // OpsTotal sums the per-op counters.
@@ -93,12 +143,22 @@ func (s StatsSnapshot) counters() map[string]int64 {
 	for op, v := range s.Ops {
 		m["op."+op] = int64(v)
 	}
+	// Latency digests flatten to integer-nanosecond counters, keeping the
+	// STATS wire format a flat string→int64 map (old peers simply ignore
+	// the unknown keys).
+	for op, ls := range s.OpLatency {
+		m["lat."+op+".count"] = int64(ls.Count)
+		m["lat."+op+".p50_ns"] = int64(ls.P50 * 1e9)
+		m["lat."+op+".p95_ns"] = int64(ls.P95 * 1e9)
+		m["lat."+op+".p99_ns"] = int64(ls.P99 * 1e9)
+	}
 	return m
 }
 
 // setCounters is the wire-decoding inverse of counters.
 func (s *StatsSnapshot) setCounters(m map[string]int64) {
 	s.Ops = make(map[string]uint64)
+	s.OpLatency = make(map[string]LatencySummary)
 	for k, v := range m {
 		switch k {
 		case "proto_errors":
@@ -120,6 +180,25 @@ func (s *StatsSnapshot) setCounters(m map[string]int64) {
 		default:
 			if op, ok := strings.CutPrefix(k, "op."); ok {
 				s.Ops[op] = uint64(v)
+			} else if rest, ok := strings.CutPrefix(k, "lat."); ok {
+				op, field, ok := strings.Cut(rest, ".")
+				if !ok {
+					continue
+				}
+				ls := s.OpLatency[op]
+				switch field {
+				case "count":
+					ls.Count = uint64(v)
+				case "p50_ns":
+					ls.P50 = float64(v) / 1e9
+				case "p95_ns":
+					ls.P95 = float64(v) / 1e9
+				case "p99_ns":
+					ls.P99 = float64(v) / 1e9
+				default:
+					continue
+				}
+				s.OpLatency[op] = ls
 			}
 		}
 	}
@@ -141,6 +220,16 @@ func (s StatsSnapshot) String() string {
 		s.Blocked, s.Timeouts, s.Canceled, s.ProtoErrors)
 	fmt.Fprintf(&b, "bytes in/out: %d/%d   conns: %d (%d active)\n",
 		s.BytesIn, s.BytesOut, s.Conns, s.ConnsActive)
+	lops := make([]string, 0, len(s.OpLatency))
+	for op := range s.OpLatency {
+		lops = append(lops, op)
+	}
+	sort.Strings(lops)
+	for _, op := range lops {
+		ls := s.OpLatency[op]
+		fmt.Fprintf(&b, "latency %-8s p50=%s p95=%s p99=%s (n=%d)\n",
+			op, latencyDur(ls.P50), latencyDur(ls.P95), latencyDur(ls.P99), ls.Count)
+	}
 	names := make([]string, 0, len(s.SpaceDepths))
 	for n := range s.SpaceDepths {
 		names = append(names, n)
@@ -150,4 +239,9 @@ func (s StatsSnapshot) String() string {
 		fmt.Fprintf(&b, "space %-20q depth %d\n", n, s.SpaceDepths[n])
 	}
 	return b.String()
+}
+
+// latencyDur renders a seconds value as a rounded duration string.
+func latencyDur(sec float64) string {
+	return time.Duration(sec * 1e9).Round(time.Microsecond).String()
 }

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/persist"
+	"repro/internal/tspace"
 )
 
 // Interp is a STING Scheme system bound to one virtual machine. The global
@@ -17,7 +18,8 @@ type Interp struct {
 	vm     *core.VM
 	global *Env
 	out    io.Writer
-	store  *persist.Store // long-lived persistent roots (§2 program model)
+	store  *persist.Store   // long-lived persistent roots (§2 program model)
+	spaces *tspace.Registry // named spaces for (named-space ...)/(space-depth ...)
 
 	stepCount atomic.Uint64
 	gensyms   atomic.Uint64
@@ -29,6 +31,10 @@ type Option func(*Interp)
 // WithOutput redirects (display ...) and friends.
 func WithOutput(w io.Writer) Option { return func(in *Interp) { in.out = w } }
 
+// WithSpaces shares a named-space registry (e.g. a fabric server's) with
+// the interpreter's (named-space ...) and (space-depth ...) forms.
+func WithSpaces(r *tspace.Registry) Option { return func(in *Interp) { in.spaces = r } }
+
 // New creates an interpreter on vm with the full standard and STING
 // environment installed.
 func New(vm *core.VM, opts ...Option) *Interp {
@@ -37,12 +43,16 @@ func New(vm *core.VM, opts ...Option) *Interp {
 	for _, o := range opts {
 		o(in)
 	}
+	if in.spaces == nil {
+		in.spaces = tspace.NewRegistry(tspace.KindHash, tspace.Config{})
+	}
 	installPrimitives(in)
 	installConcurrency(in)
 	installIO(in)
 	installStorage(in)
 	installStrings(in)
 	installRemote(in)
+	installObs(in)
 	if err := in.loadPrelude(); err != nil {
 		panic(fmt.Sprintf("scheme: prelude failed: %v", err))
 	}
@@ -57,6 +67,9 @@ func (in *Interp) Global() *Env { return in.global }
 
 // Store returns the interpreter's persistent-root table.
 func (in *Interp) Store() *persist.Store { return in.store }
+
+// Spaces returns the interpreter's named-space registry.
+func (in *Interp) Spaces() *tspace.Registry { return in.spaces }
 
 // steps supports the evaluator's poll budget; shared across threads so
 // safe-point density holds machine-wide.

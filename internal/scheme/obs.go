@@ -1,0 +1,117 @@
+package scheme
+
+import (
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/tspace"
+)
+
+// installObs binds the observability surface — the paper's environment
+// story asks for "observing the dynamic unfolding of computations" from
+// inside the language, not only from an external scraper:
+//
+//	(vp-stats)                 → assoc list of the calling thread's VP counters
+//	(named-space name [kind])  → tuple space from the interpreter's registry
+//	(space-depth name)         → tuples currently in the named space
+//
+// The named-space registry is the same one a co-resident fabric server
+// publishes (wire it in with WithSpaces), so a Scheme program can inspect
+// the very spaces remote peers are filling.
+func installObs(in *Interp) {
+	in.prim("vp-stats", 0, 0, func(_ *Interp, ctx *core.Context, _ []Value) (Value, error) {
+		vp := ctx.VP()
+		if vp == nil {
+			return nil, Errorf("vp-stats: thread is not placed on a VP")
+		}
+		s := vp.Stats().Snapshot()
+		return List(
+			List(Symbol("vp"), int64(vp.Index())),
+			List(Symbol("dispatches"), int64(s.Dispatches)),
+			List(Symbol("switches"), int64(s.Switches)),
+			List(Symbol("preemptions"), int64(s.Preemptions)),
+			List(Symbol("blocks"), int64(s.Blocks)),
+			List(Symbol("steals"), int64(s.Steals)),
+			List(Symbol("scheduled"), int64(s.Scheduled)),
+			List(Symbol("idles"), int64(s.Idles)),
+			List(Symbol("tcb-hits"), int64(s.TCBHits)),
+			List(Symbol("tcb-misses"), int64(s.TCBMisses)),
+			List(Symbol("migrations"), int64(s.Migrations)),
+		), nil
+	})
+
+	nameArg := func(who string, v Value) (string, error) {
+		switch x := v.(type) {
+		case *SString:
+			return x.String(), nil
+		case Symbol:
+			return string(x), nil
+		default:
+			return "", Errorf("%s: expected a space name, got %s", who, WriteString(v))
+		}
+	}
+
+	in.prim("named-space", 1, 2, func(_ *Interp, _ *core.Context, a []Value) (Value, error) {
+		name, err := nameArg("named-space", a[0])
+		if err != nil {
+			return nil, err
+		}
+		if len(a) == 1 {
+			return in.spaces.OpenDefault(name), nil
+		}
+		s, ok := a[1].(Symbol)
+		if !ok {
+			return nil, Errorf("named-space: representation must be a symbol")
+		}
+		kind, err := spaceKind("named-space", s)
+		if err != nil {
+			return nil, err
+		}
+		ts, err := in.spaces.Open(name, kind, tspace.Config{})
+		if err != nil {
+			return nil, Errorf("named-space: %v", err)
+		}
+		return ts, nil
+	})
+
+	in.prim("space-depth", 1, 1, func(_ *Interp, _ *core.Context, a []Value) (Value, error) {
+		name, err := nameArg("space-depth", a[0])
+		if err != nil {
+			return nil, err
+		}
+		return int64(in.spaces.OpenDefault(name).Len()), nil
+	})
+
+	in.prim("space-names", 0, 0, func(_ *Interp, _ *core.Context, _ []Value) (Value, error) {
+		names := in.spaces.Names()
+		sort.Strings(names)
+		out := make([]Value, len(names))
+		for i, n := range names {
+			out[i] = NewSString(n)
+		}
+		return List(out...), nil
+	})
+}
+
+// spaceKind maps a representation symbol to its tspace kind (the same
+// vocabulary make-tuple-space and stingd -spaces use).
+func spaceKind(who string, s Symbol) (tspace.Kind, error) {
+	switch s {
+	case "hash":
+		return tspace.KindHash, nil
+	case "bag":
+		return tspace.KindBag, nil
+	case "set":
+		return tspace.KindSet, nil
+	case "queue":
+		return tspace.KindQueue, nil
+	case "vector":
+		return tspace.KindVector, nil
+	case "shared-variable":
+		return tspace.KindSharedVar, nil
+	case "semaphore":
+		return tspace.KindSemaphore, nil
+	default:
+		return 0, Errorf("%s: unknown representation %s", who, s)
+	}
+}

@@ -1,0 +1,52 @@
+package scheme
+
+import (
+	"testing"
+
+	"repro/internal/tspace"
+)
+
+// TestVPStatsPrim: (vp-stats) returns the calling thread's VP counter
+// assoc list, and the counters are live — dispatches grow once a thread
+// has actually run.
+func TestVPStatsPrim(t *testing.T) {
+	in := newInterp(t, 1, 1)
+	evalOK(t, in, `(let ((s (vp-stats))) (and (pair? s) (pair? (assq 'vp s)) (pair? (assq 'dispatches s))))`, "#t")
+	evalOK(t, in, `(>= (cadr (assq 'dispatches (vp-stats))) 1)`, "#t")
+	// The counters are cumulative: a later snapshot never regresses.
+	evalOK(t, in, `
+		(let ((before (cadr (assq 'dispatches (vp-stats)))))
+		  (future 1)
+		  (>= (cadr (assq 'dispatches (vp-stats))) before))`, "#t")
+}
+
+// TestNamedSpacePrims: (named-space ...) opens registry-backed spaces
+// usable with the ordinary forms, and (space-depth ...) observes them.
+func TestNamedSpacePrims(t *testing.T) {
+	in := newInterp(t, 1, 2)
+	evalOK(t, in, `(tuple-space? (named-space "jobs"))`, "#t")
+	evalOK(t, in, `(space-depth "jobs")`, "0")
+	evalOK(t, in, `(begin (put (named-space "jobs") '(job 1)) (put (named-space "jobs") '(job 2)) (space-depth "jobs"))`, "2")
+	// The same name yields the same space; a different name is fresh.
+	evalOK(t, in, `(space-depth "other")`, "0")
+	evalOK(t, in, `(tuple-space? (named-space "q" 'queue))`, "#t")
+	evalErr(t, in, `(named-space "x" 'nonsense)`) // bad kind opens nothing
+	evalOK(t, in, `(space-names)`, `("jobs" "other" "q")`)
+}
+
+// TestWithSpacesSharesRegistry: a registry handed in via WithSpaces is
+// what the prims see — the stingd-embedding scenario.
+func TestWithSpacesSharesRegistry(t *testing.T) {
+	reg := tspace.NewRegistry(tspace.KindHash, tspace.Config{})
+	vm := newInterp(t, 1, 1).VM() // reuse a machine-backed VM
+	in := New(vm, WithSpaces(reg))
+	if in.Spaces() != reg {
+		t.Fatal("WithSpaces registry not installed")
+	}
+	if _, err := in.EvalString(`(put (named-space "shared") '(x))`); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.OpenDefault("shared").Len(); got != 1 {
+		t.Fatalf("registry depth = %d, want 1 (prims used a different registry)", got)
+	}
+}

@@ -1,0 +1,38 @@
+package tspace
+
+import (
+	"repro/internal/obs"
+)
+
+// RegistryCollector exposes a named-space registry to the obs layer:
+// per-space depths and blocked-waiter counts, plus the space population.
+// Depths are read without holding the registry lock (each space's Len
+// takes its own locks), so a scrape never stalls fabric traffic.
+type RegistryCollector struct {
+	Registry *Registry
+}
+
+// Collect implements obs.Collector.
+func (c RegistryCollector) Collect() []obs.Metric {
+	r := c.Registry
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	spaces := make(map[string]TupleSpace, len(r.spaces))
+	for n, ts := range r.spaces {
+		spaces[n] = ts
+	}
+	r.mu.Unlock()
+	out := []obs.Metric{
+		obs.Gauge("sting_tspace_spaces", "Named tuple spaces registered.", float64(len(spaces))),
+	}
+	for name, ts := range spaces {
+		l := []obs.Label{obs.L("space", name), obs.L("kind", ts.Kind().String())}
+		out = append(out, obs.Gauge("sting_tspace_depth", "Tuples present in the space.", float64(ts.Len()), l...))
+		if wc, ok := ts.(WaiterCount); ok {
+			out = append(out, obs.Gauge("sting_tspace_waiters", "Threads blocked on the space.", float64(wc.Waiters()), l...))
+		}
+	}
+	return out
+}

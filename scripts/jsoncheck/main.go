@@ -1,0 +1,22 @@
+// Command jsoncheck exits 0 iff stdin is valid JSON; the obs-smoke script
+// uses it to validate /debug/trace without depending on python or jq.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+func main() {
+	data, err := io.ReadAll(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "jsoncheck:", err)
+		os.Exit(1)
+	}
+	if !json.Valid(data) {
+		fmt.Fprintln(os.Stderr, "jsoncheck: invalid JSON")
+		os.Exit(1)
+	}
+}

@@ -32,6 +32,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/futures"
+	"repro/internal/obs"
 	"repro/internal/policy"
 	"repro/internal/remote"
 	"repro/internal/spec"
@@ -298,4 +299,57 @@ var (
 	DumpTree = core.DumpTree
 	// DefaultAuthority is the genealogy-subtree authority policy.
 	DefaultAuthority = core.DefaultAuthority
+)
+
+// Observability (internal/obs): the unified metrics layer — a registry of
+// collector sources, lock-free latency histograms, Prometheus text
+// exposition, an HTTP handler, and a Chrome trace_event exporter for the
+// core trace ring.
+type (
+	// ObsRegistry gathers collector sources into one coherent snapshot.
+	ObsRegistry = obs.Registry
+	// ObsCollector is a source of metrics.
+	ObsCollector = obs.Collector
+	// ObsCollectorFunc adapts a function to ObsCollector.
+	ObsCollectorFunc = obs.CollectorFunc
+	// ObsMetric is one gathered sample.
+	ObsMetric = obs.Metric
+	// ObsLabel is one metric dimension.
+	ObsLabel = obs.Label
+	// ObsHistogram is a fixed-bucket lock-free latency histogram.
+	ObsHistogram = obs.Histogram
+	// ObsHandler serves /metrics, /healthz, /debug/trace over net/http.
+	ObsHandler = obs.Handler
+	// VMCollector exposes a VM's scheduler counters to a registry.
+	VMCollector = core.VMCollector
+	// TraceCollector exposes a trace ring's occupancy counters.
+	TraceCollector = core.TraceCollector
+	// TupleSpaceCollector exposes a space registry's depths and waiters.
+	TupleSpaceCollector = tspace.RegistryCollector
+	// RemoteServerCollector exposes a fabric server's counters/latencies.
+	RemoteServerCollector = remote.ServerCollector
+	// RemoteClientCollector exposes a fabric client's dial/op latencies.
+	RemoteClientCollector = remote.ClientCollector
+)
+
+var (
+	// DefaultRegistry is the process-wide obs registry.
+	DefaultRegistry = obs.Default()
+	// NewObsRegistry creates an empty obs registry.
+	NewObsRegistry = obs.NewRegistry
+	// NewObsHistogram creates a latency histogram (default buckets when
+	// none given).
+	NewObsHistogram = obs.NewHistogram
+	// ObsCounter, ObsGauge and ObsHistogramSample build metric samples
+	// inside a custom collector.
+	ObsCounter         = obs.Counter
+	ObsGauge           = obs.Gauge
+	ObsHistogramSample = obs.HistogramSample
+	// WritePrometheus renders gathered metrics in Prometheus text format.
+	WritePrometheus = obs.WritePrometheus
+	// WriteChromeTrace renders trace events as Chrome trace_event JSON
+	// (open in Perfetto).
+	WriteChromeTrace = obs.WriteChromeTrace
+	// ObsTraceEvents converts core trace events for WriteChromeTrace.
+	ObsTraceEvents = core.ObsTraceEvents
 )

@@ -7,6 +7,7 @@ package sting
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -370,5 +371,53 @@ func TestFacadeMultipleVMsIsolated(t *testing.T) {
 	if vm1.Stats().ThreadsCreated != vm2.Stats().ThreadsCreated {
 		t.Fatalf("VM thread accounting differs: %d vs %d",
 			vm1.Stats().ThreadsCreated, vm2.Stats().ThreadsCreated)
+	}
+}
+
+// TestFacadeObservability drives the obs surface through the public
+// exports: register a VM collector and a custom source, render the
+// gathered metrics as Prometheus text, and export trace events as Chrome
+// trace_event JSON.
+func TestFacadeObservability(t *testing.T) {
+	vm := boot(t, 2, 2)
+	trace := NewTraceBuffer(1024)
+	SetTracer(trace.Record)
+	defer SetTracer(nil)
+
+	if _, err := vm.Run(func(ctx *Context) ([]Value, error) {
+		child := ctx.Fork(func(*Context) ([]Value, error) { return []Value{1}, nil }, nil)
+		return ctx.Value(child)
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	hist := NewObsHistogram()
+	hist.Observe(0.004)
+	reg := NewObsRegistry()
+	reg.Register("vm", VMCollector{VM: vm})
+	reg.Register("trace", TraceCollector{Buffer: trace})
+	reg.Register("app", ObsCollectorFunc(func() []ObsMetric {
+		return []ObsMetric{ObsHistogramSample("app_latency_seconds", "App-defined latency.", hist)}
+	}))
+
+	var prom strings.Builder
+	if err := WritePrometheus(&prom, reg.Gather()); err != nil {
+		t.Fatal(err)
+	}
+	for _, family := range []string{"sting_vp_dispatches_total", "sting_trace_events", "app_latency_seconds_bucket"} {
+		if !strings.Contains(prom.String(), family) {
+			t.Errorf("exposition missing %s", family)
+		}
+	}
+
+	var chrome strings.Builder
+	if err := WriteChromeTrace(&chrome, ObsTraceEvents(trace.Events())); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(chrome.String(), `"traceEvents"`) {
+		t.Error("trace export missing traceEvents array")
+	}
+	if DefaultRegistry == nil {
+		t.Error("DefaultRegistry is nil")
 	}
 }
