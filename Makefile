@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race check bench obs-smoke obs-bench clean
+.PHONY: all build vet test race check bench obs-smoke obs-bench cluster-smoke clean
 
 all: check
 
@@ -15,12 +15,12 @@ vet:
 test:
 	$(GO) test ./...
 
-# The fabric, tuple-space, and observability packages carry the
-# concurrency-critical paths (wire callbacks, cancel tokens, hash-bin
-# locking, lock-free histograms, the trace ring); run them under the race
-# detector on every check.
+# The fabric, cluster, tuple-space, and observability packages carry the
+# concurrency-critical paths (wire callbacks, cancel tokens, fan-out
+# racing, hash-bin locking, lock-free histograms, the trace ring); run
+# them under the race detector on every check.
 race:
-	$(GO) test -race ./internal/remote/... ./internal/tspace/... ./internal/obs/... ./internal/core/...
+	$(GO) test -race ./internal/remote/... ./internal/cluster/... ./internal/tspace/... ./internal/obs/... ./internal/core/...
 
 check: build vet test race
 
@@ -32,6 +32,11 @@ bench:
 # the required metric families.
 obs-smoke:
 	./scripts/obs_smoke.sh
+
+# Boot a 3-shard stingd cluster, drive keyed + wildcard ops through the
+# sting CLI, assert all shards healthy with zero misroutes.
+cluster-smoke:
+	./scripts/cluster_smoke.sh
 
 # The metric-collection overhead ablation (EXPERIMENTS.md): the remote
 # ping-pong with the per-op latency histograms on vs off.

@@ -8,6 +8,9 @@
 //	sting file.scm ...     run programs
 //	sting -e '(+ 1 2)'     evaluate an expression
 //	sting -vps 8 file.scm  size the virtual machine
+//	sting -cluster nodes.json  bind *cluster* to a sharded fabric, so
+//	                           (remote-open *cluster* "jobs") routes
+//	                           across every stingd shard
 package main
 
 import (
@@ -23,10 +26,11 @@ import (
 
 func main() {
 	var (
-		vps   = flag.Int("vps", 0, "virtual processors (default: one per physical processor)")
-		procs = flag.Int("procs", 0, "physical processors (default GOMAXPROCS)")
-		expr  = flag.String("e", "", "evaluate this expression and exit")
-		stats = flag.Bool("stats", false, "print VM statistics on exit")
+		vps     = flag.Int("vps", 0, "virtual processors (default: one per physical processor)")
+		procs   = flag.Int("procs", 0, "physical processors (default GOMAXPROCS)")
+		expr    = flag.String("e", "", "evaluate this expression and exit")
+		stats   = flag.Bool("stats", false, "print VM statistics on exit")
+		cluster = flag.String("cluster", "", "cluster membership (nodes.json path or \"id=addr,…\"); binds *cluster* for remote-open")
 	)
 	flag.Parse()
 
@@ -38,6 +42,11 @@ func main() {
 		os.Exit(1)
 	}
 	in := scheme.New(vm, scheme.WithOutput(os.Stdout))
+	if *cluster != "" {
+		// The remote prims parse the "cluster:" prefix; scripts just use
+		// the pre-bound address: (remote-open *cluster* "jobs").
+		in.Global().Define(scheme.Symbol("*cluster*"), scheme.NewSString("cluster:"+*cluster))
+	}
 
 	exit := func(code int) {
 		if *stats {

@@ -11,6 +11,12 @@
 //	stingd -vps 8 -procs 4                  size the serving VM
 //	stingd -stats-every 10s                 print the counter table periodically
 //	stingd -http :9090                      serve /metrics, /healthz, /debug/trace
+//	stingd -cluster nodes.json -node n1     join a sharded cluster as node n1:
+//	                                        keyed ops that belong to another
+//	                                        shard are answered with a typed
+//	                                        redirect naming the owner
+//	stingd -snapshot state.gob              restore passive tuples on boot,
+//	                                        write them back on graceful drain
 //	stingd -addr host:7734 -dump-stats      client mode: fetch and print a
 //	                                        server's stats snapshot, then exit
 //
@@ -29,27 +35,51 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/persist"
 	"repro/internal/remote"
 	"repro/internal/tspace"
 )
 
 func main() {
 	var (
-		addr       = flag.String("addr", "127.0.0.1:7734", "listen (or, with -dump-stats, dial) address")
-		vps        = flag.Int("vps", 0, "virtual processors (default: one per physical processor)")
-		procs      = flag.Int("procs", 0, "physical processors (default GOMAXPROCS)")
-		spaces     = flag.String("spaces", "", "pre-created spaces, name=kind comma-separated (kinds: hash,bag,set,queue,vector,shared-variable,semaphore)")
-		statsEvery = flag.Duration("stats-every", 0, "print server stats at this interval")
-		dumpStats  = flag.Bool("dump-stats", false, "dial -addr, print its stats snapshot, exit")
-		httpAddr   = flag.String("http", "", "serve /metrics, /healthz, /debug/trace on this address (empty: off)")
+		addr        = flag.String("addr", "127.0.0.1:7734", "listen (or, with -dump-stats, dial) address")
+		vps         = flag.Int("vps", 0, "virtual processors (default: one per physical processor)")
+		procs       = flag.Int("procs", 0, "physical processors (default GOMAXPROCS)")
+		spaces      = flag.String("spaces", "", "pre-created spaces, name=kind comma-separated (kinds: hash,bag,set,queue,vector,shared-variable,semaphore)")
+		statsEvery  = flag.Duration("stats-every", 0, "print server stats at this interval")
+		dumpStats   = flag.Bool("dump-stats", false, "dial -addr, print its stats snapshot, exit")
+		httpAddr    = flag.String("http", "", "serve /metrics, /healthz, /debug/trace on this address (empty: off)")
+		clusterSpec = flag.String("cluster", "", "cluster membership: nodes.json path or \"id=addr,…\" spec")
+		nodeID      = flag.String("node", "", "this daemon's node id within -cluster (default: the node whose addr matches -addr)")
+		snapshot    = flag.String("snapshot", "", "persist passive tuples here: restored on boot, written on graceful drain")
 	)
 	flag.Parse()
 
 	if *dumpStats {
 		os.Exit(runDumpStats(*addr))
 	}
-	os.Exit(runServer(*addr, *httpAddr, *vps, *procs, *spaces, *statsEvery))
+	os.Exit(runServer(serverOpts{
+		addr:       *addr,
+		httpAddr:   *httpAddr,
+		vps:        *vps,
+		procs:      *procs,
+		spaces:     *spaces,
+		statsEvery: *statsEvery,
+		cluster:    *clusterSpec,
+		nodeID:     *nodeID,
+		snapshot:   *snapshot,
+	}))
+}
+
+// serverOpts carries the serving-mode flag set.
+type serverOpts struct {
+	addr, httpAddr, spaces string
+	cluster, nodeID        string
+	snapshot               string
+	vps, procs             int
+	statsEvery             time.Duration
 }
 
 // runDumpStats is the client mode: one STATS round trip, rendered.
@@ -69,22 +99,50 @@ func runDumpStats(addr string) int {
 	return 0
 }
 
-func runServer(addr, httpAddr string, vps, procs int, spaces string, statsEvery time.Duration) int {
+func runServer(opts serverOpts) int {
 	reg := tspace.NewRegistry(tspace.KindHash, tspace.Config{})
-	if err := preopenSpaces(reg, spaces); err != nil {
+	if err := preopenSpaces(reg, opts.spaces); err != nil {
 		fmt.Fprintln(os.Stderr, "stingd:", err)
 		return 2
 	}
 
-	m := core.NewMachine(core.MachineConfig{Processors: procs})
+	m := core.NewMachine(core.MachineConfig{Processors: opts.procs})
 	defer m.Shutdown()
-	vm, err := m.NewVM(core.VMConfig{Name: "stingd", VPs: vps})
+	vm, err := m.NewVM(core.VMConfig{Name: "stingd", VPs: opts.vps})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "stingd:", err)
 		return 1
 	}
-	srv := remote.NewServer(vm, remote.ServerConfig{Registry: reg})
-	ln, err := net.Listen("tcp", addr)
+
+	if opts.snapshot != "" {
+		tuples, spaces, err := restoreSnapshot(vm, reg, opts.snapshot)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "stingd: snapshot restore:", err)
+			return 1
+		}
+		if spaces > 0 {
+			fmt.Printf("stingd: restored %d tuples into %d spaces from %s\n", tuples, spaces, opts.snapshot)
+		}
+	}
+
+	scfg := remote.ServerConfig{Registry: reg}
+	if opts.cluster != "" {
+		member, selfID, err := clusterIdentity(opts.cluster, opts.nodeID, opts.addr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "stingd:", err)
+			return 2
+		}
+		check, err := cluster.SelfCheck(member, selfID, 0)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "stingd:", err)
+			return 2
+		}
+		scfg.RouteCheck = check
+		fmt.Printf("stingd: cluster node %s (%d shards); misrouted keyed ops are redirected\n",
+			selfID, member.Len())
+	}
+	srv := remote.NewServer(vm, scfg)
+	ln, err := net.Listen("tcp", opts.addr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "stingd:", err)
 		return 1
@@ -93,10 +151,10 @@ func runServer(addr, httpAddr string, vps, procs int, spaces string, statsEvery 
 		ln.Addr(), strings.Join(append(reg.Names(), "* on demand"), ", "))
 
 	var draining atomic.Bool
-	if httpAddr != "" {
+	if opts.httpAddr != "" {
 		trace := core.NewTraceBuffer(obsTraceCap)
 		core.SetTracer(trace.Record)
-		obsAddr, err := serveObs(httpAddr, buildObsHandler(vm, reg, srv, trace, &draining))
+		obsAddr, err := serveObs(opts.httpAddr, buildObsHandler(vm, reg, srv, trace, &draining))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "stingd:", err)
 			return 1
@@ -104,9 +162,9 @@ func runServer(addr, httpAddr string, vps, procs int, spaces string, statsEvery 
 		fmt.Printf("stingd: observability on http://%s (/metrics /healthz /debug/trace)\n", obsAddr)
 	}
 
-	if statsEvery > 0 {
+	if opts.statsEvery > 0 {
 		go func() {
-			for range time.Tick(statsEvery) {
+			for range time.Tick(opts.statsEvery) {
 				fmt.Print(srv.Stats().String())
 			}
 		}()
@@ -121,6 +179,16 @@ func runServer(addr, httpAddr string, vps, procs int, spaces string, statsEvery 
 		fmt.Printf("stingd: %v — draining\n", sig)
 		draining.Store(true) // /healthz flips to 503 before the drain starts
 		srv.Shutdown()
+		if opts.snapshot != "" {
+			// After Shutdown the registry is quiescent: waiters withdrawn,
+			// in-flight request threads done.
+			tuples, spaces, err := writeSnapshot(reg, opts.snapshot)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "stingd: snapshot write:", err)
+			} else {
+				fmt.Printf("stingd: snapshotted %d tuples from %d spaces to %s\n", tuples, spaces, opts.snapshot)
+			}
+		}
 		fmt.Print(srv.Stats().String())
 	case err := <-done:
 		if err != nil {
@@ -129,6 +197,79 @@ func runServer(addr, httpAddr string, vps, procs int, spaces string, statsEvery 
 		}
 	}
 	return 0
+}
+
+// clusterIdentity resolves the membership and this daemon's node id: an
+// explicit -node wins, otherwise the node whose addr equals -addr.
+func clusterIdentity(spec, nodeID, addr string) (*cluster.Membership, string, error) {
+	member, err := cluster.Load(spec)
+	if err != nil {
+		return nil, "", err
+	}
+	if nodeID != "" {
+		return member, nodeID, nil
+	}
+	for _, n := range member.Nodes() {
+		if n.Addr == addr {
+			return member, n.ID, nil
+		}
+	}
+	return nil, "", fmt.Errorf("no -node given and no cluster node listens on %q", addr)
+}
+
+// restoreSnapshot re-deposits a previous run's passive tuples, running the
+// Puts on a STING thread. A missing file is a clean first boot.
+func restoreSnapshot(vm *core.VM, reg *tspace.Registry, path string) (tuples, spaces int, err error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return 0, 0, nil
+	}
+	if err != nil {
+		return 0, 0, err
+	}
+	defer f.Close() //nolint:errcheck
+	store := persist.NewStore(nil)
+	if err := store.Restore(f); err != nil {
+		return 0, 0, err
+	}
+	th := vm.Spawn(func(ctx *core.Context) ([]core.Value, error) {
+		var rerr error
+		spaces, tuples, rerr = persist.RestoreRegistry(ctx, reg, store)
+		return nil, rerr
+	}, core.WithName("stingd/restore"))
+	if _, err := core.JoinThread(th); err != nil {
+		return tuples, spaces, err
+	}
+	return tuples, spaces, nil
+}
+
+// writeSnapshot captures the registry's passive tuples to path atomically
+// (temp file + rename).
+func writeSnapshot(reg *tspace.Registry, path string) (tuples, spaces int, err error) {
+	store := persist.NewStore(nil)
+	spaces, tuples, err = persist.SnapshotRegistry(reg, store)
+	if err != nil {
+		return tuples, spaces, err
+	}
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return tuples, spaces, err
+	}
+	if err := store.Snapshot(f); err != nil {
+		f.Close() //nolint:errcheck
+		os.Remove(tmp)
+		return tuples, spaces, err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return tuples, spaces, err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return tuples, spaces, err
+	}
+	return tuples, spaces, nil
 }
 
 // preopenSpaces parses "name=kind,name=kind" and creates each space.
@@ -141,7 +282,7 @@ func preopenSpaces(reg *tspace.Registry, spec string) error {
 		if !ok || name == "" {
 			return fmt.Errorf("bad -spaces entry %q (want name=kind)", entry)
 		}
-		kind, err := parseKind(kindName)
+		kind, err := tspace.ParseKind(kindName)
 		if err != nil {
 			return err
 		}
@@ -150,25 +291,4 @@ func preopenSpaces(reg *tspace.Registry, spec string) error {
 		}
 	}
 	return nil
-}
-
-func parseKind(s string) (tspace.Kind, error) {
-	switch s {
-	case "hash", "":
-		return tspace.KindHash, nil
-	case "bag":
-		return tspace.KindBag, nil
-	case "set":
-		return tspace.KindSet, nil
-	case "queue":
-		return tspace.KindQueue, nil
-	case "vector":
-		return tspace.KindVector, nil
-	case "shared-variable":
-		return tspace.KindSharedVar, nil
-	case "semaphore":
-		return tspace.KindSemaphore, nil
-	default:
-		return 0, fmt.Errorf("unknown space kind %q", s)
-	}
 }

@@ -17,13 +17,13 @@ func TestParseKind(t *testing.T) {
 		"semaphore":       tspace.KindSemaphore,
 	}
 	for name, want := range cases {
-		got, err := parseKind(name)
+		got, err := tspace.ParseKind(name)
 		if err != nil || got != want {
-			t.Errorf("parseKind(%q) = %v, %v; want %v", name, got, err, want)
+			t.Errorf("ParseKind(%q) = %v, %v; want %v", name, got, err, want)
 		}
 	}
-	if _, err := parseKind("btree"); err == nil {
-		t.Error("parseKind accepted an unknown kind")
+	if _, err := tspace.ParseKind("btree"); err == nil {
+		t.Error("ParseKind accepted an unknown kind")
 	}
 }
 

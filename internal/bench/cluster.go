@@ -1,0 +1,180 @@
+package bench
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/remote"
+	"repro/internal/tspace"
+)
+
+// ClusterResult is one sharded-fabric measurement: client pairs round-trip
+// keyed tuples through a cluster of stingd-protocol shards over loopback,
+// each pair's traffic landing on the shard rendezvous hashing assigns it.
+type ClusterResult struct {
+	Shards   int
+	Pairs    int
+	Rounds   int
+	Elapsed  time.Duration
+	PerRTTNs float64 // one round trip = routed Put + routed blocking Get
+	Fanouts  uint64
+}
+
+// RunClusterPingPong boots n in-process shards (each its own machine and
+// VM, running the cluster self-check) and measures keyed ping-pong
+// through a routing client: pair p deposits {p ping i} and blocks on
+// {p pong i}, echo threads on every shard answer locally. With one shard
+// every pair contends for the same server; with more, rendezvous hashing
+// spreads the pairs, so aggregate throughput is the claim under test.
+// One wildcard fan-out Rd at the end exercises the scatter path.
+func RunClusterPingPong(shards, pairs, rounds int) (ClusterResult, error) {
+	type node struct {
+		m   *core.Machine
+		vm  *core.VM
+		srv *remote.Server
+		ln  net.Listener
+	}
+	nodes := make([]*node, shards)
+	spec := ""
+	for i := range nodes {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return ClusterResult{}, err
+		}
+		nodes[i] = &node{ln: ln}
+		if i > 0 {
+			spec += ","
+		}
+		spec += fmt.Sprintf("s%d=%s", i, ln.Addr().String())
+	}
+	member, err := cluster.ParseSpec(spec)
+	if err != nil {
+		return ClusterResult{}, err
+	}
+	defer func() {
+		for _, nd := range nodes {
+			if nd.srv != nil {
+				nd.srv.Shutdown()
+			}
+			if nd.m != nil {
+				nd.m.Shutdown()
+			}
+		}
+	}()
+
+	echoes := make([]*core.Thread, 0, shards*pairs)
+	for i, nd := range nodes {
+		nd.m = core.NewMachine(core.MachineConfig{Processors: 2})
+		vm, err := nd.m.NewVM(core.VMConfig{VPs: 2})
+		if err != nil {
+			return ClusterResult{}, err
+		}
+		nd.vm = vm
+		check, err := cluster.SelfCheck(member, fmt.Sprintf("s%d", i), 0)
+		if err != nil {
+			return ClusterResult{}, err
+		}
+		nd.srv = remote.NewServer(vm, remote.ServerConfig{RouteCheck: check})
+		go nd.srv.Serve(nd.ln) //nolint:errcheck
+
+		// Echo workers answer locally on whatever pairs land here; the
+		// ones on non-owning shards idle until poisoned.
+		ts := nd.srv.Registry().OpenDefault("pingpong")
+		for e := 0; e < pairs; e++ {
+			echoes = append(echoes, vm.Spawn(func(ctx *core.Context) ([]core.Value, error) {
+				for {
+					_, b, err := ts.Get(ctx, tspace.Template{tspace.F("p"), "ping", tspace.F("n")})
+					if err != nil {
+						return nil, err
+					}
+					if b["n"].(int64) < 0 {
+						return nil, nil
+					}
+					if err := ts.Put(ctx, tspace.Tuple{b["p"], "pong", b["n"]}); err != nil {
+						return nil, err
+					}
+				}
+			}, core.WithName("cluster-echo")))
+		}
+	}
+
+	cc := cluster.Open(member, cluster.Config{})
+	defer cc.Close() //nolint:errcheck
+	sp := cc.Space("pingpong")
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	errs := make(chan error, pairs)
+	for p := 0; p < pairs; p++ {
+		wg.Add(1)
+		go func(p int64) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				if err := sp.Put(nil, tspace.Tuple{p, "ping", int64(i)}); err != nil {
+					errs <- err
+					return
+				}
+				if _, _, err := sp.Get(nil, tspace.Template{p, "pong", int64(i)}); err != nil {
+					errs <- err
+					return
+				}
+			}
+			errs <- nil
+		}(int64(p))
+	}
+	wg.Wait()
+	for p := 0; p < pairs; p++ {
+		if err := <-errs; err != nil {
+			return ClusterResult{}, err
+		}
+	}
+	elapsed := time.Since(start)
+
+	// One wildcard scatter for the record, then poison every echo thread
+	// through each shard's local registry (routing would send all the
+	// poison to one shard).
+	if err := sp.Put(nil, tspace.Tuple{int64(0), "marker", int64(1)}); err != nil {
+		return ClusterResult{}, err
+	}
+	if _, _, err := sp.Rd(nil, tspace.Template{tspace.F("k"), "marker", tspace.F("v")}); err != nil {
+		return ClusterResult{}, err
+	}
+	for _, nd := range nodes {
+		ts := nd.srv.Registry().OpenDefault("pingpong")
+		th := nd.vm.Spawn(func(ctx *core.Context) ([]core.Value, error) {
+			for e := 0; e < pairs; e++ {
+				if err := ts.Put(ctx, tspace.Tuple{int64(0), "ping", int64(-1)}); err != nil {
+					return nil, err
+				}
+			}
+			return nil, nil
+		}, core.WithName("cluster-poison"))
+		if _, err := core.JoinThread(th); err != nil {
+			return ClusterResult{}, err
+		}
+	}
+	for _, th := range echoes {
+		if _, err := core.JoinThread(th); err != nil {
+			return ClusterResult{}, fmt.Errorf("echo thread: %w", err)
+		}
+	}
+
+	total := pairs * rounds
+	res := ClusterResult{
+		Shards:   shards,
+		Pairs:    pairs,
+		Rounds:   rounds,
+		Elapsed:  elapsed,
+		PerRTTNs: float64(elapsed.Nanoseconds()) / float64(total),
+	}
+	for _, m := range cc.Collector().Collect() {
+		if m.Name == "sting_cluster_fanouts_total" {
+			res.Fanouts = uint64(m.Value)
+		}
+	}
+	return res, nil
+}

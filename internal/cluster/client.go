@@ -1,0 +1,635 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/remote"
+	"repro/internal/tspace"
+)
+
+// routeSlack is how deep into a key's ranked node list an operation may
+// legitimately land: the owner plus one failover replica. Servers running
+// SelfCheck accept the same window, so client-side read failover is never
+// rejected as misrouted.
+const routeSlack = 2
+
+// ErrNoShards means every shard is currently excluded.
+var ErrNoShards = errors.New("cluster: no healthy shard available")
+
+// ShardDownError reports a keyed operation whose owning shard is excluded.
+// Keyed writes and destructive reads do not fail over — a tuple deposited
+// on a replica would be invisible to later keyed ops once the owner
+// returns — so the operation fails fast instead.
+type ShardDownError struct {
+	Node string
+	Addr string
+}
+
+func (e *ShardDownError) Error() string {
+	return fmt.Sprintf("cluster: shard %s (%s) is down", e.Node, e.Addr)
+}
+
+// Config tunes a cluster client.
+type Config struct {
+	// Dial configures each per-shard fabric client.
+	Dial remote.DialConfig
+	// ProbeInterval is the background health prober's tick; 0 disables
+	// probing (excluded shards then stay excluded until an explicit
+	// ProbeOnce or a fresh client).
+	ProbeInterval time.Duration
+	// ReinstateBackoff is the first exclusion's reprobe delay; each failed
+	// probe doubles it up to MaxReinstateBackoff (defaults 250ms, 15s).
+	ReinstateBackoff    time.Duration
+	MaxReinstateBackoff time.Duration
+}
+
+func (cfg Config) withDefaults() Config {
+	if cfg.ReinstateBackoff == 0 {
+		cfg.ReinstateBackoff = 250 * time.Millisecond
+	}
+	if cfg.MaxReinstateBackoff == 0 {
+		cfg.MaxReinstateBackoff = 15 * time.Second
+	}
+	return cfg
+}
+
+// Client routes tuple-space operations across the membership's shards. It
+// satisfies the same op surface as a single remote.Client — Space handles
+// implement tspace.TupleSpace — but each keyed op travels to the one shard
+// rendezvous hashing assigns it, and wildcard-first templates fan out to
+// every healthy shard concurrently.
+type Client struct {
+	m      *Membership
+	cfg    Config
+	shards []*shard
+	byID   map[string]*shard
+
+	fanouts atomic.Uint64
+
+	wg       sync.WaitGroup // fan-out branches still draining
+	stop     chan struct{}
+	stopOnce sync.Once
+}
+
+// Open builds a client over m. Shard connections dial lazily on first
+// use; Open itself performs no I/O, so a partially-down cluster still
+// yields a client whose surviving ranges work.
+func Open(m *Membership, cfg Config) *Client {
+	cfg = cfg.withDefaults()
+	c := &Client{
+		m:    m,
+		cfg:  cfg,
+		byID: make(map[string]*shard, m.Len()),
+		stop: make(chan struct{}),
+	}
+	for _, n := range m.nodes {
+		sh := &shard{node: n, dial: cfg.Dial}
+		c.shards = append(c.shards, sh)
+		c.byID[n.ID] = sh
+	}
+	if cfg.ProbeInterval > 0 {
+		go c.probeLoop()
+	}
+	return c
+}
+
+// OpenSpec is Open over a cluster spec string (nodes.json path or
+// "id=addr,…" form).
+func OpenSpec(spec string, cfg Config) (*Client, error) {
+	m, err := Load(spec)
+	if err != nil {
+		return nil, err
+	}
+	return Open(m, cfg), nil
+}
+
+// Membership returns the cluster map this client routes against.
+func (c *Client) Membership() *Membership { return c.m }
+
+// Quiesce waits for background fan-out branches — including loser
+// compensation re-deposits — to drain. Tests call it before asserting
+// cluster-wide tuple counts.
+func (c *Client) Quiesce() { c.wg.Wait() }
+
+// Close stops the prober, drains fan-out branches, and hangs up every
+// shard connection.
+func (c *Client) Close() error {
+	c.stopOnce.Do(func() { close(c.stop) })
+	c.wg.Wait()
+	for _, sh := range c.shards {
+		sh.close()
+	}
+	return nil
+}
+
+// rankedShards maps a key's rendezvous order onto shard handles.
+func (c *Client) rankedShards(key uint64) []*shard {
+	ranked := c.m.Ranked(key)
+	out := make([]*shard, len(ranked))
+	for i, n := range ranked {
+		out[i] = c.byID[n.ID]
+	}
+	return out
+}
+
+// healthyShards returns the currently-included shards in membership order.
+func (c *Client) healthyShards() []*shard {
+	out := make([]*shard, 0, len(c.shards))
+	for _, sh := range c.shards {
+		if sh.healthy() {
+			out = append(out, sh)
+		}
+	}
+	return out
+}
+
+// Space returns a handle on the named space, cluster-wide.
+func (c *Client) Space(name string) *Space { return &Space{c: c, name: name} }
+
+// Space is a cluster-routed handle on one named tuple space.
+type Space struct {
+	c        *Client
+	name     string
+	deadline time.Duration
+}
+
+var _ tspace.TupleSpace = (*Space)(nil)
+
+// Deadline derives a handle whose blocking Get/Rd carry a per-op deadline
+// on every shard they touch.
+func (s *Space) Deadline(d time.Duration) *Space {
+	return &Space{c: s.c, name: s.name, deadline: d}
+}
+
+// Name returns the space's registry name.
+func (s *Space) Name() string { return s.name }
+
+// Kind reports KindRemote: a cluster space is a remote space with routing.
+func (s *Space) Kind() tspace.Kind { return tspace.KindRemote }
+
+// Spawn is unsupported: thunks do not cross address spaces.
+func (s *Space) Spawn(ctx *core.Context, thunks ...core.Thunk) ([]*core.Thread, error) {
+	return nil, remote.ErrUnsupported
+}
+
+// Len sums the healthy shards' depths (unreachable shards count 0; the
+// TupleSpace interface leaves no room for an error).
+func (s *Space) Len() int {
+	total := 0
+	for _, sh := range s.c.healthyShards() {
+		rc, err := sh.client(nil)
+		if err != nil {
+			continue
+		}
+		total += rc.Space(s.name).Len()
+	}
+	return total
+}
+
+// remoteSpace binds this handle's name and deadline onto one shard client.
+func (s *Space) remoteSpace(rc *remote.Client) *remote.Space {
+	sp := rc.Space(s.name)
+	if s.deadline > 0 {
+		sp = sp.Deadline(s.deadline)
+	}
+	return sp
+}
+
+// tupleShards ranks the shards for a tuple deposit. A Formal first field
+// cannot key a route, so such tuples live on the space's home shard (see
+// the package comment).
+func (s *Space) tupleShards(tup tspace.Tuple) []*shard {
+	var first core.Value
+	if len(tup) > 0 {
+		first = tup[0]
+	}
+	key, ok := tspace.HashKey(s.name, first, len(tup))
+	if !ok {
+		key, _ = tspace.Hash(s.name)
+	}
+	return s.c.rankedShards(key)
+}
+
+// owner picks a ranked list's first shard, failing fast when excluded.
+func owner(ranked []*shard) (*shard, error) {
+	sh := ranked[0]
+	if !sh.healthy() {
+		return nil, &ShardDownError{Node: sh.node.ID, Addr: sh.node.Addr}
+	}
+	return sh, nil
+}
+
+// onShard runs f against one shard, classifying the outcome for health
+// tracking: transport-class failures exclude the shard, op-level outcomes
+// (no-match, timeout, cancel, redirect) do not.
+func (s *Space) onShard(ctx *core.Context, sh *shard, f func(sp *remote.Space) error) error {
+	rc, err := sh.client(ctx)
+	if err != nil {
+		sh.errs.Add(1)
+		sh.markFailure(s.c.cfg)
+		return err
+	}
+	sh.ops.Add(1)
+	err = f(s.remoteSpace(rc))
+	switch {
+	case err == nil:
+		sh.markSuccess()
+	case errors.Is(err, remote.ErrRedirect):
+		sh.redirects.Add(1)
+	case transportError(err):
+		sh.errs.Add(1)
+		sh.markFailure(s.c.cfg)
+	}
+	return err
+}
+
+// Put deposits a tuple on the shard that owns its first field.
+func (s *Space) Put(ctx *core.Context, tup tspace.Tuple) error {
+	sh, err := owner(s.tupleShards(tup))
+	if err != nil {
+		return err
+	}
+	return s.onShard(ctx, sh, func(sp *remote.Space) error { return sp.Put(ctx, tup) })
+}
+
+// tplRoute resolves a template to its ranked shard list, or (nil, false)
+// for a wildcard first field that must fan out.
+func (s *Space) tplRoute(tpl tspace.Template) ([]*shard, bool) {
+	var first core.Value
+	if len(tpl) > 0 {
+		first = tpl[0]
+	}
+	key, ok := tspace.HashKey(s.name, first, len(tpl))
+	if !ok {
+		return nil, false
+	}
+	return s.c.rankedShards(key), true
+}
+
+// Get removes a matching tuple: keyed templates block on the owning shard,
+// wildcard templates fan out first-wins with loser cancellation.
+func (s *Space) Get(ctx *core.Context, tpl tspace.Template) (tspace.Tuple, tspace.Bindings, error) {
+	ranked, keyed := s.tplRoute(tpl)
+	if !keyed {
+		return s.fanMatch(ctx, tpl, true)
+	}
+	sh, err := owner(ranked)
+	if err != nil {
+		return nil, nil, err
+	}
+	var tup tspace.Tuple
+	var bind tspace.Bindings
+	err = s.onShard(ctx, sh, func(sp *remote.Space) error {
+		var e error
+		tup, bind, e = sp.Get(ctx, tpl)
+		return e
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return tup, bind, nil
+}
+
+// Rd reads without removing. Keyed reads are idempotent, so a transport
+// failure on the owner retries the next ranked replica (within
+// routeSlack); wildcard reads fan out first-wins.
+func (s *Space) Rd(ctx *core.Context, tpl tspace.Template) (tspace.Tuple, tspace.Bindings, error) {
+	ranked, keyed := s.tplRoute(tpl)
+	if !keyed {
+		return s.fanMatch(ctx, tpl, false)
+	}
+	return s.rankedRead(ctx, ranked, tpl, func(sp *remote.Space) func() (tspace.Tuple, tspace.Bindings, error) {
+		return func() (tspace.Tuple, tspace.Bindings, error) { return sp.Rd(ctx, tpl) }
+	})
+}
+
+// TryGet probes for a match: keyed on the owner, wildcard as a sequential
+// sweep (sequential so a probe can never consume two tuples).
+func (s *Space) TryGet(ctx *core.Context, tpl tspace.Template) (tspace.Tuple, tspace.Bindings, error) {
+	ranked, keyed := s.tplRoute(tpl)
+	if !keyed {
+		return s.sweep(ctx, tpl, true)
+	}
+	sh, err := owner(ranked)
+	if err != nil {
+		return nil, nil, err
+	}
+	var tup tspace.Tuple
+	var bind tspace.Bindings
+	err = s.onShard(ctx, sh, func(sp *remote.Space) error {
+		var e error
+		tup, bind, e = sp.TryGet(ctx, tpl)
+		return e
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return tup, bind, nil
+}
+
+// TryRd probes without removing; keyed probes fail over like Rd, wildcard
+// probes sweep the healthy shards.
+func (s *Space) TryRd(ctx *core.Context, tpl tspace.Template) (tspace.Tuple, tspace.Bindings, error) {
+	ranked, keyed := s.tplRoute(tpl)
+	if !keyed {
+		return s.sweep(ctx, tpl, false)
+	}
+	return s.rankedRead(ctx, ranked, tpl, func(sp *remote.Space) func() (tspace.Tuple, tspace.Bindings, error) {
+		return func() (tspace.Tuple, tspace.Bindings, error) { return sp.TryRd(ctx, tpl) }
+	})
+}
+
+// rankedRead walks a keyed read down the ranked replica list: the first
+// shard that answers — with a match, a no-match, or a timeout — is
+// authoritative; only transport-class failures move to the next replica.
+func (s *Space) rankedRead(ctx *core.Context, ranked []*shard, tpl tspace.Template,
+	op func(sp *remote.Space) func() (tspace.Tuple, tspace.Bindings, error)) (tspace.Tuple, tspace.Bindings, error) {
+	var lastErr error
+	for i := 0; i < routeSlack && i < len(ranked); i++ {
+		sh := ranked[i]
+		if !sh.healthy() {
+			continue
+		}
+		var tup tspace.Tuple
+		var bind tspace.Bindings
+		err := s.onShard(ctx, sh, func(sp *remote.Space) error {
+			var e error
+			tup, bind, e = op(sp)()
+			return e
+		})
+		if err == nil {
+			return tup, bind, nil
+		}
+		if !transportError(err) {
+			return nil, nil, err
+		}
+		lastErr = err
+	}
+	if lastErr == nil {
+		lastErr = &ShardDownError{Node: ranked[0].node.ID, Addr: ranked[0].node.Addr}
+	}
+	return nil, nil, lastErr
+}
+
+// sweep serves a wildcard probe by visiting healthy shards in membership
+// order. Destructive probes must be sequential: the first match ends the
+// sweep, so at most one tuple is ever consumed.
+func (s *Space) sweep(ctx *core.Context, tpl tspace.Template, destructive bool) (tspace.Tuple, tspace.Bindings, error) {
+	shards := s.c.healthyShards()
+	if len(shards) == 0 {
+		return nil, nil, ErrNoShards
+	}
+	var lastErr error
+	for _, sh := range shards {
+		var tup tspace.Tuple
+		var bind tspace.Bindings
+		err := s.onShard(ctx, sh, func(sp *remote.Space) error {
+			var e error
+			if destructive {
+				tup, bind, e = sp.TryGet(ctx, tpl)
+			} else {
+				tup, bind, e = sp.TryRd(ctx, tpl)
+			}
+			return e
+		})
+		switch {
+		case err == nil:
+			return tup, bind, nil
+		case errors.Is(err, tspace.ErrNoMatch):
+			// keep sweeping
+		default:
+			lastErr = err
+		}
+	}
+	if lastErr != nil {
+		return nil, nil, lastErr
+	}
+	return nil, nil, tspace.ErrNoMatch
+}
+
+// RdAll gathers one matching tuple from every healthy shard concurrently
+// — the cluster-wide non-blocking read. Shards with no match contribute
+// nothing; transport failures exclude their shard and are skipped.
+func (s *Space) RdAll(ctx *core.Context, tpl tspace.Template) ([]tspace.Tuple, error) {
+	shards := s.c.healthyShards()
+	if len(shards) == 0 {
+		return nil, ErrNoShards
+	}
+	results := make([]tspace.Tuple, len(shards))
+	errsSeen := make([]error, len(shards))
+	s.c.fanRun(ctx, len(shards), func(i int, bctx *core.Context) {
+		sh := shards[i]
+		errsSeen[i] = s.onShard(bctx, sh, func(sp *remote.Space) error {
+			tup, _, err := sp.TryRd(bctx, tpl)
+			if err != nil {
+				return err
+			}
+			results[i] = tup
+			return nil
+		})
+	})
+	out := make([]tspace.Tuple, 0, len(shards))
+	var lastErr error
+	for i, tup := range results {
+		if tup != nil {
+			out = append(out, tup)
+		} else if err := errsSeen[i]; err != nil && !errors.Is(err, tspace.ErrNoMatch) {
+			lastErr = err
+		}
+	}
+	if len(out) == 0 && lastErr != nil {
+		return nil, lastErr
+	}
+	return out, nil
+}
+
+// fanRun executes n branches concurrently and waits for all of them: as
+// STING threads forked onto the current VP under a context, as goroutines
+// without one. The branches themselves park through the substrate either
+// way (the remote client falls back to channels on a nil context).
+func (c *Client) fanRun(ctx *core.Context, n int, branch func(i int, bctx *core.Context)) {
+	var remaining atomic.Int64
+	remaining.Store(int64(n))
+	if ctx == nil {
+		var wg sync.WaitGroup
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func(i int) { defer wg.Done(); branch(i, nil) }(i)
+		}
+		wg.Wait()
+		return
+	}
+	parent := ctx.TCB()
+	for i := 0; i < n; i++ {
+		i := i
+		ctx.Fork(func(bctx *core.Context) ([]core.Value, error) {
+			branch(i, bctx)
+			if remaining.Add(-1) == 0 {
+				core.WakeTCB(parent)
+			}
+			return nil, nil
+		}, nil, core.WithName("cluster/fan"))
+	}
+	ctx.BlockUntil(func() bool { return remaining.Load() == 0 })
+}
+
+// fanMatch serves a wildcard blocking Get/Rd: every healthy shard runs the
+// op concurrently under its own cancel token; the first branch to match
+// wins and cancels the rest. A losing Get branch whose cancel arrived
+// after its server already matched owns a removed tuple — it compensates
+// by re-depositing to the same shard, preserving the cluster-wide
+// exactly-one-consumed invariant. The caller returns as soon as a winner
+// (or total failure) is decided; losers drain in the background, tracked
+// by the client's wait group (Quiesce).
+func (s *Space) fanMatch(ctx *core.Context, tpl tspace.Template, destructive bool) (tspace.Tuple, tspace.Bindings, error) {
+	shards := s.c.healthyShards()
+	if len(shards) == 0 {
+		return nil, nil, ErrNoShards
+	}
+	s.c.fanouts.Add(1)
+
+	type result struct {
+		tup  tspace.Tuple
+		bind tspace.Bindings
+	}
+	var (
+		mu      sync.Mutex
+		winner  *result
+		fails   int
+		lastErr error
+		decided = make(chan struct{})
+		once    sync.Once
+		parent  *core.TCB
+	)
+	if ctx != nil {
+		parent = ctx.TCB()
+	}
+	decide := func() {
+		once.Do(func() {
+			close(decided)
+			if parent != nil {
+				core.WakeTCB(parent)
+			}
+		})
+	}
+	toks := make([]*tspace.CancelToken, len(shards))
+	for i := range toks {
+		toks[i] = tspace.NewCancelToken()
+	}
+
+	branch := func(i int, bctx *core.Context) {
+		defer s.c.wg.Done()
+		sh := shards[i]
+		var tup tspace.Tuple
+		var bind tspace.Bindings
+		rc, err := sh.client(bctx)
+		if err == nil {
+			sh.ops.Add(1)
+			sp := s.remoteSpace(rc)
+			if destructive {
+				tup, bind, err = sp.GetCancel(bctx, tpl, toks[i])
+			} else {
+				tup, bind, err = sp.RdCancel(bctx, tpl, toks[i])
+			}
+		}
+		if err == nil {
+			sh.markSuccess()
+			mu.Lock()
+			if winner == nil {
+				winner = &result{tup: tup, bind: bind}
+				for j, tok := range toks {
+					if j != i {
+						tok.Cancel(nil)
+					}
+				}
+				mu.Unlock()
+				decide()
+				return
+			}
+			mu.Unlock()
+			if destructive {
+				// Lost the race with a tuple in hand: put it back where it
+				// came from. Failure here means the shard died under us —
+				// counted, the tuple goes down with its shard.
+				sh.compensations.Add(1)
+				if perr := s.remoteSpace(rc).Put(bctx, tup); perr != nil {
+					sh.compErrs.Add(1)
+				}
+			}
+			return
+		}
+		if transportError(err) {
+			sh.errs.Add(1)
+			sh.markFailure(s.c.cfg)
+		}
+		mu.Lock()
+		// A canceled branch is a loser, not a failure mode worth
+		// reporting; anything else becomes the all-failed verdict.
+		if !errors.Is(err, remote.ErrCanceled) {
+			lastErr = err
+		}
+		fails++
+		all := winner == nil && fails == len(shards)
+		mu.Unlock()
+		if all {
+			decide()
+		}
+	}
+
+	for i := range shards {
+		s.c.wg.Add(1)
+		if ctx != nil {
+			i := i
+			ctx.Fork(func(bctx *core.Context) ([]core.Value, error) {
+				branch(i, bctx)
+				return nil, nil
+			}, nil, core.WithName("cluster/fan"))
+		} else {
+			go branch(i, nil)
+		}
+	}
+	if ctx != nil {
+		ctx.BlockUntil(func() bool {
+			select {
+			case <-decided:
+				return true
+			default:
+				return false
+			}
+		})
+	} else {
+		<-decided
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if winner != nil {
+		return winner.tup, winner.bind, nil
+	}
+	if lastErr == nil {
+		lastErr = ErrNoShards
+	}
+	return nil, nil, lastErr
+}
+
+// transportError reports whether err indicts the shard rather than the
+// operation: connection and protocol failures count, op-level outcomes
+// (no match, timeout, cancellation, redirect, unsupported) do not.
+func transportError(err error) bool {
+	if err == nil {
+		return false
+	}
+	switch {
+	case errors.Is(err, tspace.ErrNoMatch),
+		errors.Is(err, remote.ErrTimeout),
+		errors.Is(err, remote.ErrCanceled),
+		errors.Is(err, remote.ErrRedirect),
+		errors.Is(err, remote.ErrUnsupported):
+		return false
+	}
+	return true
+}

@@ -1,0 +1,50 @@
+package cluster
+
+import (
+	"repro/internal/obs"
+	"repro/internal/remote"
+)
+
+// Collector exposes a cluster client's per-shard op, error, health, and
+// compensation counters — plus each shard's underlying fabric-client
+// latency histograms (labelled by addr) — to the obs registry.
+type Collector struct {
+	Client *Client
+}
+
+// Collect implements obs.Collector.
+func (c Collector) Collect() []obs.Metric {
+	cl := c.Client
+	if cl == nil {
+		return nil
+	}
+	out := []obs.Metric{
+		obs.Counter("sting_cluster_fanouts_total", "Wildcard templates fanned out to every healthy shard.", float64(cl.fanouts.Load())),
+	}
+	for _, sh := range cl.shards {
+		node := obs.L("node", sh.node.ID)
+		healthy := 0.0
+		if sh.healthy() {
+			healthy = 1.0
+		}
+		out = append(out,
+			obs.Counter("sting_cluster_shard_ops_total", "Operations attempted against the shard.", float64(sh.ops.Load()), node),
+			obs.Counter("sting_cluster_shard_errors_total", "Transport-class failures against the shard.", float64(sh.errs.Load()), node),
+			obs.Counter("sting_cluster_shard_redirects_total", "Operations the shard refused as misrouted.", float64(sh.redirects.Load()), node),
+			obs.Counter("sting_cluster_compensations_total", "Fan-out Get losers re-depositing a consumed tuple.", float64(sh.compensations.Load()), node),
+			obs.Counter("sting_cluster_compensation_errors_total", "Compensating re-deposits that failed.", float64(sh.compErrs.Load()), node),
+			obs.Counter("sting_cluster_probes_total", "Reinstatement probes sent to the shard.", float64(sh.probes.Load()), node),
+			obs.Gauge("sting_cluster_shard_healthy", "1 while the shard serves operations, 0 while excluded.", healthy, node),
+		)
+		sh.mu.Lock()
+		rc := sh.rc
+		sh.mu.Unlock()
+		if rc != nil {
+			out = append(out, remote.ClientCollector{Client: rc}.Collect()...)
+		}
+	}
+	return out
+}
+
+// Collector returns an obs.Collector over this client, ready to Register.
+func (c *Client) Collector() obs.Collector { return Collector{Client: c} }

@@ -1,0 +1,58 @@
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/remote"
+	"repro/internal/tspace"
+)
+
+// SelfCheck builds a remote.ServerConfig.RouteCheck enforcing that keyed
+// operations landing on this node actually belong here: the key's top
+// `slack` ranked nodes must include selfID (slack <= 0 means routeSlack,
+// matching the client's read-failover window, so a legitimate replica
+// read is never bounced). Wildcard templates pass — fan-out reaches every
+// shard by design — and a misrouted op earns a typed redirect naming the
+// owner, which the substrate answers as codeRedirect. The policy lives
+// here, above the fabric: the server stays routing-agnostic.
+func SelfCheck(m *Membership, selfID string, slack int) (func(space string, tup tspace.Tuple, tpl tspace.Template) error, error) {
+	if _, ok := m.ByID(selfID); !ok {
+		return nil, fmt.Errorf("cluster: self id %q not in membership", selfID)
+	}
+	if slack <= 0 {
+		slack = routeSlack
+	}
+	return func(space string, tup tspace.Tuple, tpl tspace.Template) error {
+		var first core.Value
+		var arity int
+		op := "get"
+		if tup != nil {
+			op = "put"
+			arity = len(tup)
+			if arity > 0 {
+				first = tup[0]
+			}
+		} else {
+			arity = len(tpl)
+			if arity > 0 {
+				first = tpl[0]
+			}
+		}
+		key, ok := tspace.HashKey(space, first, arity)
+		if !ok {
+			if tpl != nil {
+				return nil // wildcard template: every shard is a valid target
+			}
+			// Formal-first tuple: keyed to the space's home shard.
+			key, _ = tspace.Hash(space)
+		}
+		ranked := m.Ranked(key)
+		for i := 0; i < slack && i < len(ranked); i++ {
+			if ranked[i].ID == selfID {
+				return nil
+			}
+		}
+		return &remote.RedirectError{Op: op, Space: space, Node: ranked[0].ID, Addr: ranked[0].Addr}
+	}, nil
+}

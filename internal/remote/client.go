@@ -332,16 +332,32 @@ func sleep(ctx *core.Context, d time.Duration) {
 
 // roundTrip sends req and waits for its response. A request whose frame
 // was provably never written is retried (bounded, with backoff); once the
-// frame may have left, the op is never re-sent.
-func (c *Client) roundTrip(ctx *core.Context, req request, wait time.Duration) (response, error) {
+// frame may have left, the op is never re-sent. A non-nil tok arms
+// client-initiated cancellation: firing it sends a CANCEL frame for the
+// in-flight request id, and the server answers the op with codeCanceled.
+func (c *Client) roundTrip(ctx *core.Context, req request, wait time.Duration, tok *tspace.CancelToken) (response, error) {
 	c.wg.Add(1)
 	defer c.wg.Done()
 	t0 := time.Now()
+	// A blocking op's deadline is absolute: once it passes, no redial can
+	// still satisfy the op, so expiry is terminal — a timeout, not a
+	// transport error to burn dial retries on.
+	var expiry time.Time
+	if blockingOp(req.op) && req.deadline > 0 {
+		expiry = t0.Add(req.deadline)
+	}
 	var lastErr error
 	for attempt := 0; attempt <= c.cfg.OpRetries; attempt++ {
 		if attempt > 0 {
 			c.metrics.opRetries.Add(1)
 			sleep(ctx, c.cfg.backoff(attempt-1))
+		}
+		if !expiry.IsZero() && !time.Now().Before(expiry) {
+			c.metrics.timeouts.Add(1)
+			return response{}, &TimeoutError{Op: opName(req.op), Space: req.space, Deadline: req.deadline}
+		}
+		if tok != nil && tok.Canceled() {
+			return response{}, ErrCanceled
 		}
 		cl, id, fc, err := c.register(ctx)
 		if err != nil {
@@ -372,6 +388,16 @@ func (c *Client) roundTrip(ctx *core.Context, req request, wait time.Duration) (
 			lastErr = err
 			continue
 		}
+		if tok != nil {
+			// Register after the frame is written so the CANCEL always
+			// trails its target on the stream (ahead-of-target cancels on
+			// fresh connections still resolve via the server's precanceled
+			// set). The wait below still runs to the server's authoritative
+			// reply: a cancel that loses the race yields a real tuple the
+			// caller must dispose of, not a silently dropped one.
+			target := id
+			tok.Watch(func(error) { c.sendCancel(target) })
+		}
 		resp, err := c.wait(ctx, cl, id, req, wait)
 		switch {
 		case err == nil:
@@ -383,6 +409,23 @@ func (c *Client) roundTrip(ctx *core.Context, req request, wait time.Duration) (
 	}
 	return response{}, fmt.Errorf("remote: %s on %q: retries exhausted: %w",
 		opName(req.op), req.space, lastErr)
+}
+
+// sendCancel asks the server to withdraw the blocking op with the given
+// request id. Fire-and-forget: when the connection is gone the waiter
+// dies with it server-side anyway.
+func (c *Client) sendCancel(target uint32) {
+	c.mu.Lock()
+	fc := c.fc
+	c.mu.Unlock()
+	if fc == nil {
+		return
+	}
+	frame, err := encodeRequest(request{op: opCancel, target: target})
+	if err != nil {
+		return
+	}
+	fc.WriteFrame(frame) //nolint:errcheck
 }
 
 // register allocates a request id and pending call on a live connection,
@@ -476,7 +519,7 @@ func (c *Client) waitFor(req request) time.Duration {
 // Stats fetches the server's counter snapshot via the STATS wire op.
 func (c *Client) Stats(ctx *core.Context) (StatsSnapshot, error) {
 	req := request{op: opStats}
-	resp, err := c.roundTrip(ctx, req, c.cfg.Timeout)
+	resp, err := c.roundTrip(ctx, req, c.cfg.Timeout, nil)
 	if err != nil {
 		return StatsSnapshot{}, err
 	}
@@ -485,6 +528,22 @@ func (c *Client) Stats(ctx *core.Context) (StatsSnapshot, error) {
 	}
 	return resp.stats, nil
 }
+
+// Ping performs one HELLO round trip — the liveness probe cluster health
+// checking runs against each shard.
+func (c *Client) Ping(ctx *core.Context) error {
+	resp, err := c.roundTrip(ctx, request{op: opHello}, c.cfg.Timeout, nil)
+	if err != nil {
+		return err
+	}
+	if resp.op != respOK {
+		return protoErrf("hello reply op %d", resp.op)
+	}
+	return nil
+}
+
+// Addr returns the server address this client dials.
+func (c *Client) Addr() string { return c.addr }
 
 // Space returns a handle on the named tuple space. The handle implements
 // tspace.TupleSpace, so remote spaces drop into every consumer of the
@@ -515,7 +574,7 @@ func (s *Space) Name() string { return s.name }
 // Put deposits a tuple in the remote space.
 func (s *Space) Put(ctx *core.Context, tup tspace.Tuple) error {
 	req := request{op: opPut, space: s.name, tuple: tup}
-	resp, err := s.c.roundTrip(ctx, req, s.c.waitFor(req))
+	resp, err := s.c.roundTrip(ctx, req, s.c.waitFor(req), nil)
 	if err != nil {
 		return err
 	}
@@ -526,11 +585,16 @@ func (s *Space) Put(ctx *core.Context, tup tspace.Tuple) error {
 }
 
 func (s *Space) match(ctx *core.Context, op byte, tpl tspace.Template) (tspace.Tuple, tspace.Bindings, error) {
+	return s.matchTok(ctx, op, tpl, nil)
+}
+
+// matchTok runs one matching op, optionally governed by a cancel token.
+func (s *Space) matchTok(ctx *core.Context, op byte, tpl tspace.Template, tok *tspace.CancelToken) (tspace.Tuple, tspace.Bindings, error) {
 	req := request{op: op, space: s.name, template: tpl}
 	if blockingOp(op) {
 		req.deadline = s.deadline
 	}
-	resp, err := s.c.roundTrip(ctx, req, s.c.waitFor(req))
+	resp, err := s.c.roundTrip(ctx, req, s.c.waitFor(req), tok)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -555,6 +619,20 @@ func (s *Space) Rd(ctx *core.Context, tpl tspace.Template) (tspace.Tuple, tspace
 	return s.match(ctx, opRd, tpl)
 }
 
+// GetCancel is Get governed by tok: firing the token sends a CANCEL frame
+// that withdraws the server-side waiter, and the call returns ErrCanceled.
+// A cancel that loses the race to a match still returns the tuple — the
+// caller owns it and must dispose of it (the cluster fan-out re-deposits).
+func (s *Space) GetCancel(ctx *core.Context, tpl tspace.Template, tok *tspace.CancelToken) (tspace.Tuple, tspace.Bindings, error) {
+	return s.matchTok(ctx, opGet, tpl, tok)
+}
+
+// RdCancel is Rd governed by tok, with GetCancel's semantics (minus
+// disposal: a read removes nothing).
+func (s *Space) RdCancel(ctx *core.Context, tpl tspace.Template, tok *tspace.CancelToken) (tspace.Tuple, tspace.Bindings, error) {
+	return s.matchTok(ctx, opRd, tpl, tok)
+}
+
 // TryGet is the non-blocking Get probe.
 func (s *Space) TryGet(ctx *core.Context, tpl tspace.Template) (tspace.Tuple, tspace.Bindings, error) {
 	return s.match(ctx, opTryGet, tpl)
@@ -574,7 +652,7 @@ func (s *Space) Spawn(ctx *core.Context, thunks ...core.Thunk) ([]*core.Thread, 
 // the TupleSpace interface leaves no room for an error).
 func (s *Space) Len() int {
 	req := request{op: opLen, space: s.name}
-	resp, err := s.c.roundTrip(nil, req, s.c.cfg.Timeout)
+	resp, err := s.c.roundTrip(nil, req, s.c.cfg.Timeout, nil)
 	if err != nil || resp.op != respLen {
 		return 0
 	}

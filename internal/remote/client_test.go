@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/testkit"
 	"repro/internal/tspace"
 )
 
@@ -193,6 +194,136 @@ func TestClosedClientRejectsOps(t *testing.T) {
 	}
 	if err := c.Space("x").Put(nil, tspace.Tuple{"a"}); !errors.Is(err, net.ErrClosed) {
 		t.Fatalf("Put on closed client = %v, want net.ErrClosed", err)
+	}
+}
+
+// TestBlockingDeadlineExpiryTerminal: a blocking Get whose deadline has
+// passed must fail with a timeout, not burn the op-retry budget redialing
+// a dead server. Regression: the retry loop used to treat every register
+// failure as transient, so a 50ms-deadline Get against a downed shard
+// spent OpRetries full dial-retry cycles (seconds) before giving up — and
+// then reported exhausted retries instead of the timeout it was.
+func TestBlockingDeadlineExpiryTerminal(t *testing.T) {
+	srv, addr := startServer(t)
+	c := dialTest(t, addr, DialConfig{
+		DialRetries: 4,
+		BaseBackoff: 20 * time.Millisecond,
+		MaxBackoff:  80 * time.Millisecond,
+		OpRetries:   5,
+	})
+	srv.Shutdown()
+	// Wait for the client to notice the dead transport so the Get goes
+	// straight to the redial path rather than racing the reader teardown.
+	waitUntil := time.Now().Add(2 * time.Second)
+	for {
+		c.mu.Lock()
+		gone := c.fc == nil
+		c.mu.Unlock()
+		if gone {
+			break
+		}
+		if time.Now().After(waitUntil) {
+			t.Fatal("connection never torn down after shutdown")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	start := time.Now()
+	_, _, err := c.Space("jobs").Deadline(50*time.Millisecond).Get(nil, tspace.Template{"never"})
+	elapsed := time.Since(start)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("Get err = %v, want ErrTimeout", err)
+	}
+	// One redial cycle may still run to completion (~300ms here); five of
+	// them must not.
+	if elapsed > time.Second {
+		t.Fatalf("Get took %v; deadline expiry kept redialing", elapsed)
+	}
+}
+
+// TestCancelWithdrawsBlockingGet: firing a client-side token sends a
+// CANCEL frame that withdraws the parked server-side waiter; the call
+// returns ErrCanceled and the server counts the withdrawal.
+func TestCancelWithdrawsBlockingGet(t *testing.T) {
+	srv, addr := startServer(t)
+	c := dialTest(t, addr, DialConfig{})
+	tok := tspace.NewCancelToken()
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := c.Space("jobs").GetCancel(nil, tspace.Template{"never"}, tok)
+		done <- err
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Stats().Blocked == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("Get never parked server-side")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	tok.Cancel(nil)
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrCanceled) {
+			t.Fatalf("GetCancel err = %v, want ErrCanceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("canceled Get hung")
+	}
+	if n := srv.Stats().Canceled; n != 1 {
+		t.Fatalf("server Canceled = %d, want 1", n)
+	}
+}
+
+// TestCancelBeforeParkStillWithdraws: a token fired before the op's frame
+// is even written must short-circuit (or withdraw immediately after
+// registration via the server's precanceled set) — never hang.
+func TestCancelBeforeParkStillWithdraws(t *testing.T) {
+	_, addr := startServer(t)
+	c := dialTest(t, addr, DialConfig{})
+	tok := tspace.NewCancelToken()
+	tok.Cancel(nil)
+	_, _, err := c.Space("jobs").GetCancel(nil, tspace.Template{"never"}, tok)
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("pre-canceled GetCancel err = %v, want ErrCanceled", err)
+	}
+}
+
+// TestRouteCheckRedirects: a server armed with a routing policy answers
+// misrouted ops with a typed redirect naming the owning shard, counts it,
+// and leaves correctly-routed ops alone.
+func TestRouteCheckRedirects(t *testing.T) {
+	vm := testkit.VM(t, 2, 2)
+	srv := NewServer(vm, ServerConfig{
+		RouteCheck: func(space string, tup tspace.Tuple, tpl tspace.Template) error {
+			if space == "keyed" {
+				return &RedirectError{Op: "put", Space: space, Node: "n2", Addr: "10.0.0.2:7000"}
+			}
+			return nil
+		},
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	go srv.Serve(ln) //nolint:errcheck
+	t.Cleanup(srv.Shutdown)
+	c := dialTest(t, ln.Addr().String(), DialConfig{})
+
+	if err := c.Space("open").Put(nil, tspace.Tuple{"a"}); err != nil {
+		t.Fatalf("Put on accepted space: %v", err)
+	}
+	err = c.Space("keyed").Put(nil, tspace.Tuple{"a", 1})
+	if !errors.Is(err, ErrRedirect) {
+		t.Fatalf("misrouted Put err = %v, want ErrRedirect", err)
+	}
+	var re *RedirectError
+	if !errors.As(err, &re) || re.Node != "n2" || re.Addr != "10.0.0.2:7000" {
+		t.Fatalf("redirect = %+v, want node n2 at 10.0.0.2:7000", re)
+	}
+	if n := srv.Stats().Redirects; n != 1 {
+		t.Fatalf("Redirects = %d, want 1", n)
+	}
+	if err := c.Ping(nil); err != nil {
+		t.Fatalf("Ping: %v", err)
 	}
 }
 

@@ -26,6 +26,7 @@ func (c ServerCollector) Collect() []obs.Metric {
 		obs.Counter("sting_remote_proto_errors_total", "Malformed frames received.", float64(s.ProtoErrors.Load())),
 		obs.Counter("sting_remote_timeouts_total", "Blocking ops expired server-side.", float64(s.Timeouts.Load())),
 		obs.Counter("sting_remote_canceled_total", "Waiters withdrawn by disconnect or shutdown.", float64(s.Canceled.Load())),
+		obs.Counter("sting_remote_redirects_total", "Keyed ops refused by the cluster route check.", float64(s.Redirects.Load())),
 		obs.Gauge("sting_remote_blocked", "Ops currently parked inside a blocking Get/Rd.", float64(s.Blocked.Load())),
 		obs.Counter("sting_remote_bytes_in_total", "Frame bytes received.", float64(s.BytesIn.Load())),
 		obs.Counter("sting_remote_bytes_out_total", "Frame bytes sent.", float64(s.BytesOut.Load())),

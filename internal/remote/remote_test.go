@@ -236,7 +236,7 @@ func TestRemoteDeadline(t *testing.T) {
 	c := dialTest(t, addr, DialConfig{})
 
 	start := time.Now()
-	_, _, err := c.Space("jobs").Deadline(80 * time.Millisecond).
+	_, _, err := c.Space("jobs").Deadline(80*time.Millisecond).
 		Get(nil, tspace.Template{"job", tspace.F("n")})
 	if err == nil {
 		t.Fatal("deadline Get succeeded on an empty space")

@@ -1,6 +1,7 @@
 package remote
 
 import (
+	"errors"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -22,6 +23,13 @@ type ServerConfig struct {
 	// DisableMetrics turns off the per-op latency histograms (the
 	// observability-overhead ablation switch; counters stay on).
 	DisableMetrics bool
+	// RouteCheck, when set, vets each data op against the cluster routing
+	// policy before execution: tuple is non-nil for Put, template for the
+	// matching ops. Returning a *RedirectError answers the client with a
+	// typed redirect (codeRedirect) naming the owning shard; any other
+	// error answers as internal. The substrate stays policy-free — the
+	// cluster layer supplies the check (cluster.SelfCheck).
+	RouteCheck func(space string, tuple tspace.Tuple, template tspace.Template) error
 }
 
 // Server serves a registry of named tuple spaces over TCP. Every request
@@ -190,6 +198,12 @@ func (s *Server) handleFrame(sc *serverConn, frame []byte) {
 		s.stats.observe(req.op, time.Since(t0))
 		return
 	}
+	if req.op == opCancel {
+		// Fire-and-forget, handled on the reader so a cancel never queues
+		// behind the op it targets.
+		sc.cancelID(req.target)
+		return
+	}
 	if s.closed.Load() {
 		sc.send(encodeErrResp(req.id, codeShutdown, ErrShutdown.Error()))
 		return
@@ -212,6 +226,25 @@ func (s *Server) serveOp(ctx *core.Context, sc *serverConn, req request) {
 	case opLen:
 		sc.send(encodeLenResp(req.id, s.reg.OpenDefault(req.space).Len()))
 		return
+	}
+	if rc := s.cfg.RouteCheck; rc != nil {
+		var rerr error
+		switch req.op {
+		case opPut:
+			rerr = rc(req.space, req.tuple, nil)
+		case opGet, opRd, opTryGet, opTryRd:
+			rerr = rc(req.space, nil, req.template)
+		}
+		if rerr != nil {
+			var re *RedirectError
+			if errors.As(rerr, &re) {
+				s.stats.Redirects.Add(1)
+				sc.send(encodeErrResp(req.id, codeRedirect, redirectMessage(re)))
+			} else {
+				sc.send(encodeErrResp(req.id, codeInternal, rerr.Error()))
+			}
+			return
+		}
 	}
 	ts := s.reg.OpenDefault(req.space)
 	switch req.op {
@@ -276,6 +309,9 @@ func (s *Server) serveBlocking(ctx *core.Context, sc *serverConn, req request, t
 			(&TimeoutError{Op: opName(req.op), Space: req.space, Deadline: req.deadline}).Error()))
 	case err == ErrDisconnected:
 		s.stats.Canceled.Add(1) // client gone; no reply possible
+	case err == ErrCanceled:
+		s.stats.Canceled.Add(1) // withdrawn by the client's CANCEL frame
+		sc.send(encodeErrResp(req.id, codeCanceled, ErrCanceled.Error()))
 	case err == ErrShutdown:
 		s.stats.Canceled.Add(1)
 		sc.send(encodeErrResp(req.id, codeShutdown, ErrShutdown.Error()))
@@ -289,20 +325,53 @@ type serverConn struct {
 	s  *Server
 	fc *sio.FrameConn
 
-	mu     sync.Mutex
-	tokens map[uint32]*tspace.CancelToken
-	gone   bool
+	mu          sync.Mutex
+	tokens      map[uint32]*tspace.CancelToken
+	precanceled map[uint32]struct{}
+	gone        bool
 }
 
+// maxPrecanceled bounds remembered ahead-of-target cancels so a client
+// spraying CANCEL frames for ids it never uses cannot grow the set.
+const maxPrecanceled = 1024
+
 // addToken registers a blocking op; false means the connection is gone.
+// A cancel that raced ahead of the registration fires the token now.
 func (sc *serverConn) addToken(id uint32, tok *tspace.CancelToken) bool {
 	sc.mu.Lock()
-	defer sc.mu.Unlock()
 	if sc.gone {
+		sc.mu.Unlock()
 		return false
 	}
 	sc.tokens[id] = tok
+	_, pc := sc.precanceled[id]
+	if pc {
+		delete(sc.precanceled, id)
+	}
+	sc.mu.Unlock()
+	if pc {
+		tok.Cancel(ErrCanceled)
+	}
 	return true
+}
+
+// cancelID withdraws the blocking op with the given request id. The CANCEL
+// frame and its target arrive on the same ordered stream, but the target's
+// token registration happens on a spawned STING thread — a cancel decoded
+// before that registration is remembered and applied in addToken.
+func (sc *serverConn) cancelID(id uint32) {
+	sc.mu.Lock()
+	tok := sc.tokens[id]
+	if tok == nil && !sc.gone && len(sc.precanceled) < maxPrecanceled {
+		if sc.precanceled == nil {
+			sc.precanceled = make(map[uint32]struct{})
+		}
+		sc.precanceled[id] = struct{}{}
+	}
+	sc.mu.Unlock()
+	if tok != nil {
+		tok.Cancel(ErrCanceled)
+	}
 }
 
 func (sc *serverConn) removeToken(id uint32) {

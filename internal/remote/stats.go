@@ -21,6 +21,7 @@ type Stats struct {
 	ProtoErrors atomic.Uint64    // malformed frames received
 	Timeouts    atomic.Uint64    // blocking ops expired server-side
 	Canceled    atomic.Uint64    // waiters withdrawn (disconnect/shutdown)
+	Redirects   atomic.Uint64    // keyed ops refused by the cluster route check
 	Blocked     atomic.Int64     // gauge: ops currently inside a blocking Get/Rd
 	BytesIn     atomic.Uint64    // frame bytes received
 	BytesOut    atomic.Uint64    // frame bytes sent
@@ -60,6 +61,7 @@ func (s *Stats) Snapshot(depths map[string]int) StatsSnapshot {
 		ProtoErrors: s.ProtoErrors.Load(),
 		Timeouts:    s.Timeouts.Load(),
 		Canceled:    s.Canceled.Load(),
+		Redirects:   s.Redirects.Load(),
 		Blocked:     s.Blocked.Load(),
 		BytesIn:     s.BytesIn.Load(),
 		BytesOut:    s.BytesOut.Load(),
@@ -109,6 +111,7 @@ type StatsSnapshot struct {
 	ProtoErrors uint64
 	Timeouts    uint64
 	Canceled    uint64
+	Redirects   uint64
 	Blocked     int64
 	BytesIn     uint64
 	BytesOut    uint64
@@ -134,6 +137,7 @@ func (s StatsSnapshot) counters() map[string]int64 {
 		"proto_errors": int64(s.ProtoErrors),
 		"timeouts":     int64(s.Timeouts),
 		"canceled":     int64(s.Canceled),
+		"redirects":    int64(s.Redirects),
 		"blocked":      s.Blocked,
 		"bytes_in":     int64(s.BytesIn),
 		"bytes_out":    int64(s.BytesOut),
@@ -167,6 +171,8 @@ func (s *StatsSnapshot) setCounters(m map[string]int64) {
 			s.Timeouts = uint64(v)
 		case "canceled":
 			s.Canceled = uint64(v)
+		case "redirects":
+			s.Redirects = uint64(v)
 		case "blocked":
 			s.Blocked = v
 		case "bytes_in":
@@ -216,8 +222,8 @@ func (s StatsSnapshot) String() string {
 	for _, op := range ops {
 		fmt.Fprintf(&b, "  %s=%d", op, s.Ops[op])
 	}
-	fmt.Fprintf(&b, "\nblocked waiters: %d   timeouts: %d   canceled: %d   protocol errors: %d\n",
-		s.Blocked, s.Timeouts, s.Canceled, s.ProtoErrors)
+	fmt.Fprintf(&b, "\nblocked waiters: %d   timeouts: %d   canceled: %d   redirects: %d   protocol errors: %d\n",
+		s.Blocked, s.Timeouts, s.Canceled, s.Redirects, s.ProtoErrors)
 	fmt.Fprintf(&b, "bytes in/out: %d/%d   conns: %d (%d active)\n",
 		s.BytesIn, s.BytesOut, s.Conns, s.ConnsActive)
 	lops := make([]string, 0, len(s.OpLatency))

@@ -30,6 +30,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strings"
 	"time"
 
 	"repro/internal/tspace"
@@ -54,6 +55,11 @@ const (
 	opTryRd
 	opStats
 	opLen
+	// opCancel withdraws an in-flight blocking op on the same connection
+	// (body: the target request id). Fire-and-forget: the canceled op
+	// itself answers with codeCanceled; opCancel has no response of its
+	// own, so a stale cancel (the op already finished) is a silent no-op.
+	opCancel
 )
 
 // Response ops (disjoint from requests so a stray frame cannot be
@@ -76,6 +82,10 @@ const (
 	codeShutdown
 	codeUnsupported
 	codeInternal
+	codeCanceled
+	// codeRedirect rejects a keyed op routed to the wrong shard of a
+	// cluster; the message carries "<node-id> <addr>" of the owner.
+	codeRedirect
 )
 
 // Errors.
@@ -91,7 +101,39 @@ var (
 	ErrUnsupported = errors.New("remote: operation unsupported over the wire")
 	// ErrTimeout is matched (errors.Is) by every *TimeoutError.
 	ErrTimeout = errors.New("remote: deadline exceeded")
+	// ErrCanceled is returned for a blocking op withdrawn by a CANCEL
+	// frame from its own client (the cluster fan-out's loser branches).
+	ErrCanceled = errors.New("remote: operation canceled")
+	// ErrRedirect is matched (errors.Is) by every *RedirectError.
+	ErrRedirect = errors.New("remote: keyed op routed to wrong shard")
 )
+
+// RedirectError is the typed rejection a cluster-aware server returns for
+// a keyed operation whose owning shard — by the membership both sides
+// share — is some other node. Clients re-route to Node/Addr or surface a
+// configuration mismatch.
+type RedirectError struct {
+	Op    string
+	Space string
+	Node  string // owning shard's node id
+	Addr  string // owning shard's address
+}
+
+func (e *RedirectError) Error() string {
+	return fmt.Sprintf("remote: %s on %q belongs to shard %s (%s)", e.Op, e.Space, e.Node, e.Addr)
+}
+
+// Is makes errors.Is(err, ErrRedirect) hold.
+func (e *RedirectError) Is(target error) bool { return target == ErrRedirect }
+
+// redirectMessage renders the owner for the wire; node ids are validated
+// space-free at membership load, so a space separator is unambiguous.
+func redirectMessage(e *RedirectError) string { return e.Node + " " + e.Addr }
+
+func parseRedirect(msg, op, space string) *RedirectError {
+	node, addr, _ := strings.Cut(msg, " ")
+	return &RedirectError{Op: op, Space: space, Node: node, Addr: addr}
+}
 
 // TimeoutError is the typed error a deadline-bounded operation returns.
 // It matches ErrTimeout via errors.Is and reports Timeout() true, so both
@@ -135,6 +177,8 @@ func opName(op byte) string {
 		return "stats"
 	case opLen:
 		return "len"
+	case opCancel:
+		return "cancel"
 	default:
 		return fmt.Sprintf("op%d", op)
 	}
@@ -148,6 +192,7 @@ type request struct {
 	space    string
 	tuple    tspace.Tuple    // opPut
 	template tspace.Template // opGet/opRd/opTryGet/opTryRd
+	target   uint32          // opCancel: the request id to withdraw
 }
 
 // blockingOp reports whether the op may park a server thread.
@@ -190,6 +235,8 @@ func encodeRequest(req request) ([]byte, error) {
 		buf, err = tspace.AppendTemplate(buf, req.template)
 	case opHello:
 		buf = append(buf, protocolVersion)
+	case opCancel:
+		buf = binary.BigEndian.AppendUint32(buf, req.target)
 	case opStats, opLen:
 		// header only
 	default:
@@ -244,6 +291,11 @@ func decodeRequest(b []byte) (request, error) {
 		if rest[0] != protocolVersion {
 			return req, protoErrf("version %d, want %d", rest[0], protocolVersion)
 		}
+	case opCancel:
+		if len(rest) != 4 {
+			return req, protoErrf("cancel body of %d bytes", len(rest))
+		}
+		req.target = binary.BigEndian.Uint32(rest)
 	case opStats, opLen:
 		if len(rest) != 0 {
 			return req, protoErrf("%d trailing bytes", len(rest))
@@ -447,6 +499,10 @@ func wireError(r response, op, space string, deadline time.Duration) error {
 		return &TimeoutError{Op: op, Space: space, Deadline: deadline}
 	case codeShutdown:
 		return ErrShutdown
+	case codeCanceled:
+		return ErrCanceled
+	case codeRedirect:
+		return parseRedirect(r.message, op, space)
 	case codeUnsupported:
 		return fmt.Errorf("%w: %s", ErrUnsupported, r.message)
 	case codeProtocol, codeUnknownOp:

@@ -1,21 +1,36 @@
 package scheme
 
 import (
+	"strings"
 	"sync"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/remote"
 	"repro/internal/tspace"
 )
 
-// remoteSpace adapts a fabric space to Scheme: symbols (literal tags like
-// job) travel as strings, and results convert back through the ordinary
-// schemeValue path. Because it implements tspace.TupleSpace, every
-// existing form — (put sp ...), (get sp (tpl) body...), (rd ...),
+// remoteSpace adapts a fabric space — a single server's (*remote.Space)
+// or a sharded cluster's (*cluster.Space) — to Scheme: symbols (literal
+// tags like job) travel as strings, and results convert back through the
+// ordinary schemeValue path. Because it implements tspace.TupleSpace,
+// every existing form — (put sp ...), (get sp (tpl) body...), (rd ...),
 // (tuple-space-size sp) — works on a remote space unchanged.
 type remoteSpace struct {
-	sp *remote.Space
+	sp tspace.TupleSpace
+}
+
+// withDeadline derives the underlying space with a per-op deadline; both
+// fabric space flavors support it.
+func (r remoteSpace) withDeadline(d time.Duration) tspace.TupleSpace {
+	switch x := r.sp.(type) {
+	case *remote.Space:
+		return x.Deadline(d)
+	case *cluster.Space:
+		return x.Deadline(d)
+	}
+	return r.sp
 }
 
 func (r remoteSpace) wireTuple(tup tspace.Tuple) tspace.Tuple {
@@ -77,37 +92,74 @@ func (r remoteSpace) Spawn(ctx *core.Context, thunks ...core.Thunk) ([]*core.Thr
 func (r remoteSpace) Len() int          { return r.sp.Len() }
 func (r remoteSpace) Kind() tspace.Kind { return r.sp.Kind() }
 
+// fabricConn is one cached connection: a point client to a single
+// daemon, or a routing client over a sharded cluster.
+type fabricConn struct {
+	rc *remote.Client
+	cc *cluster.Client
+}
+
+func (f fabricConn) space(name string) tspace.TupleSpace {
+	if f.cc != nil {
+		return f.cc.Space(name)
+	}
+	return f.rc.Space(name)
+}
+
+func (f fabricConn) close() error {
+	if f.cc != nil {
+		return f.cc.Close()
+	}
+	return f.rc.Close()
+}
+
 // installRemote binds the networked-fabric surface:
 //
 //	(remote-open "host:port" "space")        → remote tuple space
+//	(remote-open "cluster:a=h:p,b=h:p" "space")
+//	                                         → sharded cluster space
 //	(remote-put sp '(job 1))                 → unspecified
 //	(remote-get sp '(job ?n) [timeout-ms])   → matched tuple as a list
 //	(remote-rd sp '(job ?n) [timeout-ms])    → matched tuple as a list
 //	(remote-try-get sp '(job ?n))            → tuple list or #f
 //	(remote-try-rd sp '(job ?n))             → tuple list or #f
 //	(remote-stats "host:port")               → assoc list of counters
+//	(cluster-health "cluster:…")             → list of (node addr ok fails)
 //	(remote-close ["host:port"])             → unspecified
 //
 // Connections are cached per address and shared by every space opened
-// through them. The procedural remote-* forms take quoted templates (?x
+// through them. A "cluster:" prefix names a sharded cluster — the rest is
+// a nodes.json path or an "id=addr,…" spec — and the resulting spaces
+// route keyed ops by their first field and fan wildcard templates out to
+// every shard. The procedural remote-* forms take quoted templates (?x
 // marks a formal); remote spaces equally work with the generic put/get/rd
 // binding forms.
 func installRemote(in *Interp) {
 	var mu sync.Mutex
-	clients := map[string]*remote.Client{}
+	clients := map[string]fabricConn{}
 
-	dial := func(ctx *core.Context, addr string) (*remote.Client, error) {
+	dial := func(ctx *core.Context, addr string) (fabricConn, error) {
 		mu.Lock()
 		defer mu.Unlock()
 		if c, ok := clients[addr]; ok {
 			return c, nil
 		}
+		if spec, ok := strings.CutPrefix(addr, "cluster:"); ok {
+			cc, err := cluster.OpenSpec(spec, cluster.Config{ProbeInterval: time.Second})
+			if err != nil {
+				return fabricConn{}, err
+			}
+			conn := fabricConn{cc: cc}
+			clients[addr] = conn
+			return conn, nil
+		}
 		c, err := remote.Dial(ctx, addr, remote.DialConfig{})
 		if err != nil {
-			return nil, err
+			return fabricConn{}, err
 		}
-		clients[addr] = c
-		return c, nil
+		conn := fabricConn{rc: c}
+		clients[addr] = conn
+		return conn, nil
 	}
 
 	stringArg := func(who string, v Value) (string, error) {
@@ -168,7 +220,7 @@ func installRemote(in *Interp) {
 		if err != nil {
 			return nil, Errorf("remote-open: %v", err)
 		}
-		return remoteSpace{sp: c.Space(name)}, nil
+		return remoteSpace{sp: c.space(name)}, nil
 	})
 
 	in.prim("remote-put", 2, 2, func(_ *Interp, ctx *core.Context, a []Value) (Value, error) {
@@ -207,7 +259,7 @@ func installRemote(in *Interp) {
 				if !ok || ms < 0 {
 					return nil, Errorf("%s: timeout must be a nonnegative integer (ms)", name)
 				}
-				target = target.Deadline(time.Duration(ms) * time.Millisecond)
+				target = sp.withDeadline(time.Duration(ms) * time.Millisecond)
 			}
 			var tup tspace.Tuple
 			switch {
@@ -243,7 +295,10 @@ func installRemote(in *Interp) {
 		if err != nil {
 			return nil, Errorf("remote-stats: %v", err)
 		}
-		snap, err := c.Stats(ctx)
+		if c.rc == nil {
+			return nil, Errorf("remote-stats: %s is a cluster; use cluster-health", addr)
+		}
+		snap, err := c.rc.Stats(ctx)
 		if err != nil {
 			return nil, Errorf("remote-stats: %v", err)
 		}
@@ -259,6 +314,26 @@ func installRemote(in *Interp) {
 		return List(rows...), nil
 	})
 
+	in.prim("cluster-health", 1, 1, func(_ *Interp, ctx *core.Context, a []Value) (Value, error) {
+		addr, err := stringArg("cluster-health", a[0])
+		if err != nil {
+			return nil, err
+		}
+		c, err := dial(ctx, addr)
+		if err != nil {
+			return nil, Errorf("cluster-health: %v", err)
+		}
+		if c.cc == nil {
+			return nil, Errorf("cluster-health: %s is not a cluster (want a \"cluster:\" address)", addr)
+		}
+		c.cc.ProbeOnce()
+		var rows []Value
+		for _, h := range c.cc.Health() {
+			rows = append(rows, List(Symbol(h.Node), NewSString(h.Addr), h.Healthy, int64(h.Fails)))
+		}
+		return List(rows...), nil
+	})
+
 	in.prim("remote-close", 0, 1, func(_ *Interp, _ *core.Context, a []Value) (Value, error) {
 		mu.Lock()
 		defer mu.Unlock()
@@ -269,13 +344,13 @@ func installRemote(in *Interp) {
 			}
 			if c, ok := clients[addr]; ok {
 				delete(clients, addr)
-				return Unspecified, c.Close()
+				return Unspecified, c.close()
 			}
 			return Unspecified, nil
 		}
 		for addr, c := range clients {
 			delete(clients, addr)
-			c.Close() //nolint:errcheck
+			c.close() //nolint:errcheck
 		}
 		return Unspecified, nil
 	})

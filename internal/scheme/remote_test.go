@@ -1,10 +1,13 @@
 package scheme
 
 import (
+	"fmt"
 	"net"
 	"strings"
 	"testing"
+	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/remote"
 	"repro/internal/testkit"
 )
@@ -50,6 +53,80 @@ func TestRemotePrims(t *testing.T) {
 
 	evalOK(t, in, `(pair? (assq 'ops (remote-stats "`+addr+`")))`, "#t")
 	evalOK(t, in, `(remote-close)`, WriteString(Unspecified))
+}
+
+// waitFor polls cond until it holds or a short deadline passes.
+func waitFor(t *testing.T, cond func() bool, msg string) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal(msg)
+}
+
+// TestClusterPrims drives the same prims through a 3-shard cluster
+// address: keyed ops route by first field, wildcard templates fan out,
+// and cluster-health reports every shard.
+func TestClusterPrims(t *testing.T) {
+	const n = 3
+	addrs := make([]string, n)
+	lns := make([]net.Listener, n)
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("listen: %v", err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	spec := ""
+	for i, a := range addrs {
+		if i > 0 {
+			spec += ","
+		}
+		spec += fmt.Sprintf("n%d=%s", i+1, a)
+	}
+	m, err := cluster.ParseSpec(spec)
+	if err != nil {
+		t.Fatalf("spec: %v", err)
+	}
+	for i := 0; i < n; i++ {
+		vm := testkit.VM(t, 2, 2)
+		check, err := cluster.SelfCheck(m, fmt.Sprintf("n%d", i+1), 0)
+		if err != nil {
+			t.Fatalf("selfcheck: %v", err)
+		}
+		srv := remote.NewServer(vm, remote.ServerConfig{RouteCheck: check})
+		go srv.Serve(lns[i]) //nolint:errcheck
+		t.Cleanup(srv.Shutdown)
+	}
+
+	in := newInterp(t, 2, 2)
+	caddr := "cluster:" + spec
+	evalOK(t, in, `(define sp (remote-open "`+caddr+`" "jobs")) (tuple-space? sp)`, "#t")
+	for i := 0; i < 12; i++ {
+		evalOK(t, in, fmt.Sprintf(`(remote-put sp '(%d "payload"))`, i), WriteString(Unspecified))
+	}
+	evalOK(t, in, `(tuple-space-size sp)`, "12")
+	// Keyed ops route to one shard; wildcard templates fan out.
+	evalOK(t, in, `(remote-rd sp '(7 ?p))`, `(7 "payload")`)
+	evalOK(t, in, `(remote-get sp '(7 ?p))`, `(7 "payload")`)
+	evalOK(t, in, `(pair? (remote-get sp '(?k ?p)))`, "#t")
+	// A losing fan-out branch may still be re-depositing its consumed
+	// tuple in the background; poll until the cluster-wide count settles.
+	waitFor(t, func() bool {
+		v, err := in.EvalString(`(tuple-space-size sp)`)
+		return err == nil && v == int64(10)
+	}, "cluster size did not settle at 10")
+	// All shards healthy: every health row ends in (… #t 0).
+	evalOK(t, in, `(length (cluster-health "`+caddr+`"))`, "3")
+	evalOK(t, in, `(caddr (car (cluster-health "`+caddr+`")))`, "#t")
+	evalErr(t, in, `(remote-stats "`+caddr+`")`)
+	evalOK(t, in, `(remote-close "`+caddr+`")`, WriteString(Unspecified))
 }
 
 func TestRemoteOpenBadAddress(t *testing.T) {

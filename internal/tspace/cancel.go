@@ -24,6 +24,7 @@ type CancelToken struct {
 	canceled bool
 	reason   error
 	tcbs     map[*core.TCB]struct{}
+	watchers []func(reason error)
 }
 
 // NewCancelToken creates an unfired token.
@@ -49,10 +50,30 @@ func (c *CancelToken) Cancel(reason error) {
 	for tcb := range c.tcbs {
 		waiters = append(waiters, tcb)
 	}
+	watchers := c.watchers
+	c.watchers = nil
 	c.mu.Unlock()
 	for _, tcb := range waiters {
 		core.WakeTCB(tcb)
 	}
+	for _, fn := range watchers {
+		fn(reason)
+	}
+}
+
+// Watch registers fn to run once when the token fires — immediately when
+// it already has. Transports use it to translate cancellation into a wire
+// message (the fabric's CANCEL frame); fn must not block.
+func (c *CancelToken) Watch(fn func(reason error)) {
+	c.mu.Lock()
+	if c.canceled {
+		reason := c.reason
+		c.mu.Unlock()
+		fn(reason)
+		return
+	}
+	c.watchers = append(c.watchers, fn)
+	c.mu.Unlock()
 }
 
 // Canceled reports whether the token has fired.

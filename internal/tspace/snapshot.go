@@ -1,0 +1,75 @@
+package tspace
+
+import "repro/internal/core"
+
+// Snapshotter is implemented by representations that can enumerate their
+// passive tuples — fully-determined data with no thread elements — for
+// persistence. Active tuples (those still holding threads) are skipped:
+// a thread's thunk cannot outlive its address space, the same rule the
+// wire codec enforces.
+type Snapshotter interface {
+	PassiveTuples() []Tuple
+}
+
+// passiveCopy filters out taken entries and tuples with thread elements,
+// copying the survivors so the snapshot is stable after the lock drops.
+func passiveCopy(entries []*entry) []Tuple {
+	out := make([]Tuple, 0, len(entries))
+	for _, e := range entries {
+		if e.taken.Load() || !passiveTuple(e.tup) {
+			continue
+		}
+		out = append(out, append(Tuple(nil), e.tup...))
+	}
+	return out
+}
+
+func passiveTuple(tup Tuple) bool {
+	for _, v := range tup {
+		if _, isThread := v.(*core.Thread); isThread {
+			return false
+		}
+	}
+	return true
+}
+
+// PassiveTuples implements Snapshotter for the hash representation.
+func (ts *hashTS) PassiveTuples() []Tuple {
+	var out []Tuple
+	collect := func(b *hashBin) {
+		b.mu.Lock()
+		out = append(out, passiveCopy(b.entries)...)
+		b.mu.Unlock()
+	}
+	for _, b := range ts.bins {
+		collect(b)
+	}
+	ts.wildMu.Lock()
+	wilds := make([]*hashBin, 0, len(ts.wild))
+	for _, b := range ts.wild {
+		wilds = append(wilds, b)
+	}
+	ts.wildMu.Unlock()
+	for _, b := range wilds {
+		collect(b)
+	}
+	return out
+}
+
+// PassiveTuples implements Snapshotter for the bag, set, and (through
+// embedding) queue representations.
+func (ts *bagTS) PassiveTuples() []Tuple {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	return passiveCopy(ts.entries)
+}
+
+// PassiveTuples implements Snapshotter for the shared variable.
+func (ts *sharedVarTS) PassiveTuples() []Tuple {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	if !ts.set || !passiveTuple(ts.tup) {
+		return nil
+	}
+	return []Tuple{append(Tuple(nil), ts.tup...)}
+}

@@ -1,6 +1,7 @@
 package tspace
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 
@@ -77,6 +78,29 @@ func (k Kind) String() string {
 		return "remote"
 	default:
 		return "unknown"
+	}
+}
+
+// ParseKind is String's inverse for the constructible kinds — the form
+// flags and snapshots carry.
+func ParseKind(s string) (Kind, error) {
+	switch s {
+	case "hash", "":
+		return KindHash, nil
+	case "bag":
+		return KindBag, nil
+	case "set":
+		return KindSet, nil
+	case "queue":
+		return KindQueue, nil
+	case "vector":
+		return KindVector, nil
+	case "shared-variable":
+		return KindSharedVar, nil
+	case "semaphore":
+		return KindSemaphore, nil
+	default:
+		return 0, fmt.Errorf("tspace: unknown space kind %q", s)
 	}
 }
 

@@ -1,0 +1,118 @@
+#!/usr/bin/env bash
+# cluster_smoke.sh — boot a 3-shard stingd cluster on loopback, drive
+# keyed and wildcard tuple ops through the sting CLI's cluster routing,
+# and assert every shard stayed healthy and saw zero misroutes. Run via
+# `make cluster-smoke`.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+tmp="$(mktemp -d)"
+pids=()
+trap 'for p in "${pids[@]:-}"; do kill "$p" 2>/dev/null || true; done; rm -rf "$tmp"' EXIT
+
+go build -o "$tmp/stingd" ./cmd/stingd
+go build -o "$tmp/sting" ./cmd/sting
+
+mapfile -t ports < <(go run ./scripts/freeport 3)
+cat >"$tmp/nodes.json" <<EOF
+{"nodes": [
+  {"id": "n1", "addr": "127.0.0.1:${ports[0]}"},
+  {"id": "n2", "addr": "127.0.0.1:${ports[1]}"},
+  {"id": "n3", "addr": "127.0.0.1:${ports[2]}"}
+]}
+EOF
+
+obs=()
+for i in 1 2 3; do
+    port="${ports[$((i - 1))]}"
+    "$tmp/stingd" -addr "127.0.0.1:$port" -cluster "$tmp/nodes.json" \
+        -http 127.0.0.1:0 -snapshot "$tmp/snap$i.gob" >"$tmp/shard$i.log" 2>&1 &
+    pids+=($!)
+done
+for i in 1 2 3; do
+    addr=""
+    for _ in $(seq 1 50); do
+        addr="$(sed -n 's|^stingd: observability on http://\([^ ]*\).*|\1|p' "$tmp/shard$i.log")"
+        [ -n "$addr" ] && break
+        kill -0 "${pids[$((i - 1))]}" 2>/dev/null || { echo "FAIL: shard $i exited early"; cat "$tmp/shard$i.log"; exit 1; }
+        sleep 0.1
+    done
+    [ -n "$addr" ] || { echo "FAIL: shard $i never announced observability"; cat "$tmp/shard$i.log"; exit 1; }
+    obs+=("$addr")
+    grep -q "cluster node n$i (3 shards)" "$tmp/shard$i.log" \
+        || { echo "FAIL: shard $i did not self-identify"; cat "$tmp/shard$i.log"; exit 1; }
+done
+echo "cluster up: shards on ${ports[*]}"
+
+# Keyed puts spread across the shards; a keyed rd and get route to one;
+# a wildcard get fans out; cluster-health reports every shard.
+cat >"$tmp/smoke.scm" <<'EOF'
+(define sp (remote-open *cluster* "jobs"))
+(define (fill i)
+  (if (< i 12)
+      (begin (remote-put sp (list i "payload")) (fill (+ i 1)))))
+(fill 0)
+(display (tuple-space-size sp)) (newline)
+(display (remote-rd sp '(7 ?v))) (newline)
+(display (pair? (remote-get sp '(7 ?v)))) (newline)
+(display (pair? (remote-get sp '(?k ?v)))) (newline)
+(display (cluster-health *cluster*)) (newline)
+EOF
+out="$("$tmp/sting" -cluster "$tmp/nodes.json" "$tmp/smoke.scm")"
+echo "$out"
+
+fail=0
+expect() {
+    if ! grep -q "$1" <<<"$out"; then
+        echo "FAIL: sting output missing: $1"
+        fail=1
+    fi
+}
+expect '^12$'          # all keyed puts landed
+expect '(7 payload)'   # keyed rd found its shard
+healthy="$(grep -o '#t' <<<"$out" | wc -l)"
+if [ "$healthy" -lt 5 ]; then # keyed get, wildcard get, 3 health rows
+    echo "FAIL: expected 5 #t (2 gets + 3 healthy shards), saw $healthy"
+    fail=1
+fi
+if grep -q '#f' <<<"$out"; then
+    echo "FAIL: an op missed or a shard is unhealthy"
+    fail=1
+fi
+
+# Every shard: alive, and zero ops refused as misrouted (the client's
+# routing must agree with the servers' self-check).
+for i in 1 2 3; do
+    health="$(curl -fsS "http://${obs[$((i - 1))]}/healthz")"
+    if [ "$health" != "ok" ]; then
+        echo "FAIL: shard $i /healthz = '$health'"
+        fail=1
+    fi
+    metrics="$(curl -fsS "http://${obs[$((i - 1))]}/metrics")"
+    if ! grep -q '^sting_remote_redirects_total 0' <<<"$metrics"; then
+        echo "FAIL: shard $i reported redirects:"
+        grep '^sting_remote_redirects_total' <<<"$metrics" || echo "  (family missing)"
+        fail=1
+    fi
+done
+
+# Graceful drain writes each shard's snapshot.
+for i in 1 2 3; do
+    kill -TERM "${pids[$((i - 1))]}"
+done
+for i in 1 2 3; do
+    wait "${pids[$((i - 1))]}" 2>/dev/null || true
+    if ! grep -q 'snapshotted .* tuples' "$tmp/shard$i.log"; then
+        echo "FAIL: shard $i wrote no snapshot on drain"
+        cat "$tmp/shard$i.log"
+        fail=1
+    fi
+done
+pids=()
+
+if [ "$fail" -ne 0 ]; then
+    echo "cluster-smoke: FAILED"
+    exit 1
+fi
+echo "cluster-smoke: OK (3 shards, keyed + wildcard ops, 0 redirects, snapshots written)"

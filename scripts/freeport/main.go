@@ -1,0 +1,39 @@
+// Command freeport prints N free loopback TCP ports, one per line —
+// shell scripts that must write a cluster membership file before booting
+// the daemons use it to pick addresses.
+package main
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"strconv"
+)
+
+func main() {
+	n := 1
+	if len(os.Args) > 1 {
+		v, err := strconv.Atoi(os.Args[1])
+		if err != nil || v < 1 {
+			fmt.Fprintln(os.Stderr, "usage: freeport [count]")
+			os.Exit(2)
+		}
+		n = v
+	}
+	// Hold every listener until all ports are chosen so they are distinct.
+	lns := make([]net.Listener, 0, n)
+	defer func() {
+		for _, ln := range lns {
+			ln.Close() //nolint:errcheck
+		}
+	}()
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "freeport:", err)
+			os.Exit(1)
+		}
+		lns = append(lns, ln)
+		fmt.Println(ln.Addr().(*net.TCPAddr).Port)
+	}
+}

@@ -30,6 +30,7 @@ package sting
 import (
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/futures"
 	"repro/internal/obs"
@@ -237,6 +238,36 @@ var (
 	DialRemote = remote.Dial
 	// NewTupleSpaceRegistry creates a registry of named spaces.
 	NewTupleSpaceRegistry = tspace.NewRegistry
+)
+
+// Sharded tuple-space cluster (internal/cluster): one logical space
+// rendezvous-hashed across many stingd shards, with wildcard fan-out,
+// health-checked failover, and server-side misroute redirects.
+type (
+	// ClusterMembership is the immutable shard map (ids, addrs, weights).
+	ClusterMembership = cluster.Membership
+	// ClusterNode is one shard's entry in the membership.
+	ClusterNode = cluster.Node
+	// ClusterClient routes tuple-space ops across the membership.
+	ClusterClient = cluster.Client
+	// ClusterSpace is a cluster-routed handle implementing TupleSpace.
+	ClusterSpace = cluster.Space
+	// ClusterConfig tunes per-shard dialing and health probing.
+	ClusterConfig = cluster.Config
+	// ClusterShardHealth is one shard's inclusion state.
+	ClusterShardHealth = cluster.ShardHealth
+)
+
+var (
+	// OpenCluster builds a routing client over a membership.
+	OpenCluster = cluster.Open
+	// OpenClusterSpec builds one from a nodes.json path or "id=addr,…".
+	OpenClusterSpec = cluster.OpenSpec
+	// LoadClusterMembership parses a nodes.json path or spec string.
+	LoadClusterMembership = cluster.Load
+	// ClusterSelfCheck builds a server-side RouteCheck that redirects
+	// keyed ops belonging to another shard.
+	ClusterSelfCheck = cluster.SelfCheck
 )
 
 // Futures (internal/futures).
