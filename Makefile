@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race check bench obs-smoke obs-bench cluster-smoke clean
+.PHONY: all build vet test race check bench sched-bench bench-compare obs-smoke obs-bench cluster-smoke clean
 
 all: check
 
@@ -27,6 +27,15 @@ check: build vet test race
 bench:
 	$(GO) test -bench BenchmarkRemoteTuplePingPong -run xxx ./internal/remote/
 	$(GO) run ./cmd/stingbench -table remote
+
+# Regenerate the scheduler-core table and refresh the committed baseline.
+sched-bench:
+	$(GO) run ./cmd/stingbench -table sched -json BENCH_sched.json
+
+# Rerun the scheduler table and fail on >10% ns/op regression against the
+# committed BENCH_sched.json baseline.
+bench-compare:
+	./scripts/bench_compare.sh
 
 # Boot stingd -http, scrape /metrics + /healthz + /debug/trace, grep for
 # the required metric families.

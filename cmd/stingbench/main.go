@@ -10,6 +10,8 @@
 //	-table recycle-ablation  storage-model TCB recycling on/off
 //	-table remote            networked tuple-space fabric ping-pong
 //	-table cluster           sharded-cluster routing: 1 vs N shards
+//	-table sched             scheduler core: fork-join fan-out, yield
+//	                         ping-pong, keyed tuple throughput at 1/2/4/8 VPs
 //	-table all               everything (default)
 //
 // Absolute numbers will differ from the paper's 1992 MIPS R3000 (and this
@@ -76,6 +78,7 @@ func main() {
 	run("recycle-ablation", recycleAblation)
 	run("remote", remoteFabric)
 	run("cluster", clusterFabric)
+	run("sched", schedCore)
 
 	if *jsonOut != "" {
 		if err := writeJSON(*jsonOut); err != nil {
@@ -304,6 +307,80 @@ func remoteFabric() error {
 		return err
 	}
 	fmt.Println("claim: a fabric round trip is network-bound; blocked remote readers cost no VP.")
+	return nil
+}
+
+func schedCore() error {
+	fmt.Println("scheduler core — ready-queue machinery under fan-out, yields, and keyed wakeups")
+
+	fmt.Println("\nfork-join fan-out (2000 threads forked onto one VP, joined)")
+	w := newTab()
+	fmt.Fprintln(w, "VPs\tThreads\tElapsed\tns/thread\tMigrated\tIdles")
+	for _, vps := range []int{1, 2, 4, 8} {
+		var best bench.SchedForkJoinResult
+		for rep := 0; rep < 3; rep++ { // best of three: single-CPU jitter
+			r, err := bench.RunSchedForkJoin(vps, 2000)
+			if err != nil {
+				return err
+			}
+			if rep == 0 || r.Elapsed < best.Elapsed {
+				best = r
+			}
+		}
+		fmt.Fprintf(w, "%d\t%d\t%v\t%.0f\t%d\t%d\n", best.VPs, best.Threads,
+			best.Elapsed.Round(time.Microsecond), best.PerThreadNs,
+			best.Migrations, best.Idles)
+		record(fmt.Sprintf("sched/forkjoin/vps=%d", best.VPs), best.PerThreadNs)
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+
+	fmt.Println("\nyield ping-pong (64 resident threads, 400 yields each)")
+	w = newTab()
+	fmt.Fprintln(w, "VPs\tThreads\tYields\tElapsed\tns/yield")
+	for _, vps := range []int{1, 4} {
+		var best bench.SchedYieldResult
+		for rep := 0; rep < 3; rep++ {
+			r, err := bench.RunSchedYield(vps, 64, 400)
+			if err != nil {
+				return err
+			}
+			if rep == 0 || r.Elapsed < best.Elapsed {
+				best = r
+			}
+		}
+		fmt.Fprintf(w, "%d\t%d\t%d\t%v\t%.0f\n", best.VPs, best.Threads,
+			best.Yields, best.Elapsed.Round(time.Microsecond), best.PerYieldNs)
+		record(fmt.Sprintf("sched/yield/vps=%d", best.VPs), best.PerYieldNs)
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+
+	fmt.Println("\nkeyed tuple throughput (4 producer/consumer pairs, disjoint keys, one space)")
+	w = newTab()
+	fmt.Fprintln(w, "VPs\tOps\tElapsed\tns/op\tBlocks\tWakes\tWakeMiss\tHandoffs")
+	for _, vps := range []int{1, 2, 4, 8} {
+		var best bench.SchedTupleResult
+		for rep := 0; rep < 3; rep++ {
+			r, err := bench.RunSchedTuple(vps, 4, 400)
+			if err != nil {
+				return err
+			}
+			if rep == 0 || r.Elapsed < best.Elapsed {
+				best = r
+			}
+		}
+		fmt.Fprintf(w, "%d\t%d\t%v\t%.0f\t%d\t%d\t%d\t%d\n", best.VPs, best.Ops,
+			best.Elapsed.Round(time.Microsecond), best.PerOpNs, best.Blocks,
+			best.Wakes, best.WakeMisses, best.WakeHandoffs)
+		record(fmt.Sprintf("sched/tuple/vps=%d", best.VPs), best.PerOpNs)
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Println("claim: batched steal-half drains fan-out queues; keyed wakeups kill the herd.")
 	return nil
 }
 

@@ -60,7 +60,12 @@ func TestObsHandlerExposesRequiredFamilies(t *testing.T) {
 	body := get(t, web.URL+"/metrics")
 	for _, family := range []string{
 		"sting_vp_dispatches_total",
+		"sting_vp_steal_batches_total",
+		"sting_vp_failed_steals_total",
 		"sting_tspace_depth",
+		"sting_tspace_wakes_total",
+		"sting_tspace_wake_misses_total",
+		"sting_tspace_wake_handoffs_total",
 		"sting_remote_op_latency_seconds_bucket",
 		"sting_remote_conns_active",
 		"sting_trace_events",

@@ -1,0 +1,208 @@
+package bench
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/tspace"
+)
+
+// ---------------------------------------------------------------------------
+// Scheduler-core suite (`stingbench -table sched`): the three workloads that
+// exercise the ready-queue machinery itself — fan-out from one VP's queue to
+// idle siblings, yield re-enqueue on a deep queue, and tuple-space wakeups
+// under keyed producer/consumer traffic. All three run on the machine default
+// policy manager so the measured path is the stock scheduler.
+
+// SchedForkJoinResult is one fork-join fan-out measurement.
+type SchedForkJoinResult struct {
+	VPs         int
+	Threads     int
+	Elapsed     time.Duration
+	PerThreadNs float64
+	Migrations  uint64 // runnables moved to idle VPs
+	Idles       uint64 // pm-vp-idle invocations
+}
+
+// RunSchedForkJoin forks `threads` small non-stealable threads from the
+// master — all land on the master VP's ready queue — and joins them. Each
+// child yields once mid-work, so the run pays the re-enqueue path while the
+// queue is thousands deep, and with more than one VP the join is dominated
+// by how cheaply idle VPs can drain the master's queue.
+func RunSchedForkJoin(vps, threads int) (SchedForkJoinResult, error) {
+	m := core.NewMachine(core.MachineConfig{Processors: vps})
+	defer m.Shutdown()
+	vm, err := m.NewVM(core.VMConfig{VPs: vps})
+	if err != nil {
+		return SchedForkJoinResult{}, err
+	}
+	start := time.Now()
+	_, err = vm.Run(func(ctx *core.Context) ([]core.Value, error) {
+		home := ctx.VP()
+		set := make([]*core.Thread, threads)
+		for i := range set {
+			set[i] = ctx.Fork(func(c *core.Context) ([]core.Value, error) {
+				sink := 0
+				for j := 0; j < 100; j++ {
+					sink += j
+				}
+				c.Yield()
+				for j := 0; j < 100; j++ {
+					sink += j
+				}
+				return []core.Value{sink}, nil
+			}, home, core.WithStealable(false))
+		}
+		ctx.BlockOnGroup(len(set), set)
+		return nil, nil
+	})
+	if err != nil {
+		return SchedForkJoinResult{}, err
+	}
+	elapsed := time.Since(start)
+	s := vm.Stats()
+	return SchedForkJoinResult{
+		VPs:         vps,
+		Threads:     threads,
+		Elapsed:     elapsed,
+		PerThreadNs: float64(elapsed.Nanoseconds()) / float64(threads),
+		Migrations:  s.VPs.Migrations,
+		Idles:       s.VPs.Idles,
+	}, nil
+}
+
+// SchedYieldResult is one yield ping-pong measurement.
+type SchedYieldResult struct {
+	VPs        int
+	Threads    int
+	Yields     int // total yields across all threads
+	Elapsed    time.Duration
+	PerYieldNs float64
+}
+
+// RunSchedYield keeps `threads` peers resident and yielding: every yield
+// re-enqueues the caller on a queue that is ~threads deep, which is exactly
+// the re-enqueue path the scheduler pays on context switches.
+func RunSchedYield(vps, threads, yieldsPer int) (SchedYieldResult, error) {
+	m := core.NewMachine(core.MachineConfig{Processors: vps})
+	defer m.Shutdown()
+	vm, err := m.NewVM(core.VMConfig{VPs: vps})
+	if err != nil {
+		return SchedYieldResult{}, err
+	}
+	start := time.Now()
+	_, err = vm.Run(func(ctx *core.Context) ([]core.Value, error) {
+		set := make([]*core.Thread, threads)
+		for i := range set {
+			set[i] = ctx.Fork(func(c *core.Context) ([]core.Value, error) {
+				for j := 0; j < yieldsPer; j++ {
+					c.Yield()
+				}
+				return nil, nil
+			}, vm.VP(i%vps), core.WithStealable(false))
+		}
+		ctx.BlockOnGroup(len(set), set)
+		return nil, nil
+	})
+	if err != nil {
+		return SchedYieldResult{}, err
+	}
+	elapsed := time.Since(start)
+	total := threads * yieldsPer
+	return SchedYieldResult{
+		VPs:        vps,
+		Threads:    threads,
+		Yields:     total,
+		Elapsed:    elapsed,
+		PerYieldNs: float64(elapsed.Nanoseconds()) / float64(total),
+	}, nil
+}
+
+// SchedTupleResult is one N-producer/M-consumer tuple-throughput
+// measurement.
+type SchedTupleResult struct {
+	VPs     int
+	Pairs   int
+	Ops     int // puts + gets
+	Elapsed time.Duration
+	PerOpNs float64
+	// Blocks counts parks taken by hosted threads: every spurious wakeup
+	// forces a re-park, so the delta over the necessary ~one-block-per-get
+	// floor is the thundering-herd cost.
+	Blocks uint64
+	// WakeStats aggregates the wait-table counters across the space when the
+	// representation exposes them (zero on substrates without the counters).
+	Wakes, WakeMisses, WakeHandoffs uint64
+}
+
+// RunSchedTuple drives `pairs` keyed producer/consumer pairs through one
+// hashed tuple space: producer p deposits {p, i}, consumer p extracts
+// {p, ?v}. Keys never overlap, so every wakeup delivered to a waiter on a
+// different key is spurious.
+func RunSchedTuple(vps, pairs, opsPerPair int) (SchedTupleResult, error) {
+	m := core.NewMachine(core.MachineConfig{Processors: vps})
+	defer m.Shutdown()
+	vm, err := m.NewVM(core.VMConfig{VPs: vps})
+	if err != nil {
+		return SchedTupleResult{}, err
+	}
+	ts := tspace.New(tspace.KindHash, tspace.Config{Bins: 16})
+	start := time.Now()
+	_, err = vm.Run(func(ctx *core.Context) ([]core.Value, error) {
+		var all []*core.Thread
+		for p := 0; p < pairs; p++ {
+			tag := int64(p)
+			all = append(all, ctx.Fork(func(c *core.Context) ([]core.Value, error) {
+				for i := 0; i < opsPerPair; i++ {
+					if err := ts.Put(c, tspace.Tuple{tag, int64(i)}); err != nil {
+						return nil, err
+					}
+					if i%8 == 0 {
+						c.Yield() // let consumers drain so waiters stay parked
+					}
+				}
+				return nil, nil
+			}, vm.VP((2*p)%vps), core.WithStealable(false)))
+			all = append(all, ctx.Fork(func(c *core.Context) ([]core.Value, error) {
+				for i := 0; i < opsPerPair; i++ {
+					if _, _, err := ts.Get(c, tspace.Template{tag, tspace.F("v")}); err != nil {
+						return nil, err
+					}
+				}
+				return nil, nil
+			}, vm.VP((2*p+1)%vps), core.WithStealable(false)))
+		}
+		for _, t := range all {
+			ctx.Wait(t)
+		}
+		return nil, nil
+	})
+	if err != nil {
+		return SchedTupleResult{}, err
+	}
+	elapsed := time.Since(start)
+	ops := pairs * opsPerPair * 2
+	s := vm.Stats()
+	res := SchedTupleResult{
+		VPs:     vps,
+		Pairs:   pairs,
+		Ops:     ops,
+		Elapsed: elapsed,
+		PerOpNs: float64(elapsed.Nanoseconds()) / float64(ops),
+		Blocks:  s.VPs.Blocks,
+	}
+	res.Wakes, res.WakeMisses, res.WakeHandoffs = wakeStatsOf(ts)
+	return res, nil
+}
+
+// wakeStatsOf reads the targeted-wakeup counters when the space provides
+// them; old-style representations report zeros.
+func wakeStatsOf(ts tspace.TupleSpace) (wakes, misses, handoffs uint64) {
+	type wakeStatser interface {
+		WakeStats() (uint64, uint64, uint64)
+	}
+	if ws, ok := ts.(wakeStatser); ok {
+		return ws.WakeStats()
+	}
+	return 0, 0, 0
+}

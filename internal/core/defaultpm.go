@@ -1,52 +1,37 @@
 package core
 
-import (
-	"sync"
-	"time"
-)
+import "time"
 
-// defaultPM is the substrate's built-in policy manager: a per-VP deque
-// dispatched LIFO, with idle-time migration from siblings. New and woken
-// runnables are pushed on the dispatch end, so tree-structured fork
-// patterns unfold depth-first (the regime the paper recommends for
-// result-parallel programs and for effective stealing); yielding and
-// preempted threads are pushed on the far end, so yield-processor actually
-// lets other ready work run — and still resumes the caller immediately when
-// the VP is otherwise idle, which is the Fig. 6 synchronous-context-switch
-// case.
+// defaultPM is the substrate's built-in policy manager, a thin shell over
+// the lock-free work-stealing WorkQueue: new and woken runnables dispatch
+// LIFO so tree-structured fork patterns unfold depth-first (the regime the
+// paper recommends for result-parallel programs and for effective stealing);
+// yielding and preempted threads go to the deferred list, so yield-processor
+// actually lets other ready work run — and still resumes the caller
+// immediately when the VP is otherwise idle, which is the Fig. 6
+// synchronous-context-switch case. Idle VPs batch-steal half of the most
+// loaded sibling's stealable queue in one pass.
 //
 // Richer managers (global FIFO, round-robin preemptive, priority, realtime)
 // live in the policy package; this one exists so a Machine works with zero
 // configuration.
 type defaultPM struct {
-	mu sync.Mutex
-	q  []Runnable
+	wq WorkQueue
 }
 
-func newDefaultPM() *defaultPM { return &defaultPM{} }
-
-// GetNextThread implements PolicyManager (LIFO from the back).
-func (pm *defaultPM) GetNextThread(vp *VP) Runnable {
-	pm.mu.Lock()
-	defer pm.mu.Unlock()
-	if n := len(pm.q); n > 0 {
-		r := pm.q[n-1]
-		pm.q[n-1] = nil
-		pm.q = pm.q[:n-1]
-		return r
-	}
-	return nil
+func newDefaultPM() *defaultPM {
+	pm := &defaultPM{}
+	pm.wq.DeferYield = true
+	return pm
 }
 
-// EnqueueThread implements PolicyManager.
+// GetNextThread implements PolicyManager (LIFO, yielded work last).
+func (pm *defaultPM) GetNextThread(vp *VP) Runnable { return pm.wq.Next() }
+
+// EnqueueThread implements PolicyManager. Lock-free; safe from any
+// goroutine.
 func (pm *defaultPM) EnqueueThread(vp *VP, obj Runnable, st EnqueueState) {
-	pm.mu.Lock()
-	defer pm.mu.Unlock()
-	if st == EnqYield || st == EnqPreempted {
-		pm.q = append([]Runnable{obj}, pm.q...)
-		return
-	}
-	pm.q = append(pm.q, obj)
+	pm.wq.Enqueue(obj, st)
 }
 
 // SetPriority implements PolicyManager (ignored: LIFO has no priorities).
@@ -64,10 +49,12 @@ func (pm *defaultPM) AllocateVP(vm *VM) *VP {
 	return vp
 }
 
-// VPIdle implements PolicyManager: migrate the oldest runnable thread from
-// the most loaded sibling VP running the same manager type. Only threads
-// not yet evaluating are taken — TCBs stay on their VP for locality, the
-// lock-elision granularity regime of §3.3.
+// VPIdle implements PolicyManager: batch-steal half of the stealable queue
+// of the most loaded sibling VP running the same manager type. Only threads
+// not yet evaluating and not pinned are ever in the stealable deque — TCBs
+// stay on their VP for locality, the lock-elision granularity regime of
+// §3.3. Each element moves under its own top-CAS, so there is no window for
+// the victim to drain between a counting pass and a stealing pass.
 func (pm *defaultPM) VPIdle(vp *VP) {
 	var victim *defaultPM
 	var most int
@@ -79,42 +66,14 @@ func (pm *defaultPM) VPIdle(vp *VP) {
 		if !ok {
 			continue
 		}
-		spm.mu.Lock()
-		n := 0
-		for _, r := range spm.q {
-			if th, isThread := r.(*Thread); isThread && !th.Pinned() {
-				n++
-			}
-		}
-		spm.mu.Unlock()
-		if n > most {
+		if n := spm.wq.StealableLen(); n > most {
 			most, victim = n, spm
 		}
 	}
-	if victim == nil {
-		return
-	}
-	victim.mu.Lock()
-	var stolen Runnable
-	for i, r := range victim.q {
-		if th, isThread := r.(*Thread); isThread && !th.Pinned() {
-			stolen = r
-			victim.q = append(victim.q[:i], victim.q[i+1:]...)
-			break // take the oldest unpinned thread: least locality value
-		}
-	}
-	victim.mu.Unlock()
-	if stolen != nil {
-		vp.stats.Migrations.Add(1)
-		pm.mu.Lock()
-		pm.q = append(pm.q, stolen)
-		pm.mu.Unlock()
+	if victim == nil || pm.wq.StealHalfFrom(&victim.wq, vp) == 0 {
+		vp.stats.FailedSteals.Add(1)
 	}
 }
 
 // Len reports the queue length (diagnostics and tests).
-func (pm *defaultPM) Len() int {
-	pm.mu.Lock()
-	defer pm.mu.Unlock()
-	return len(pm.q)
-}
+func (pm *defaultPM) Len() int { return pm.wq.Len() }

@@ -60,10 +60,15 @@ func NewMachine(cfg MachineConfig) *Machine {
 		m.vpPolicy = &RoundRobinVPs{}
 	}
 	if m.defaultPM == nil {
-		m.defaultPM = func(vp *VP) PolicyManager { return newDefaultPM() }
+		m.defaultPM = func(vp *VP) PolicyManager {
+			pm := newDefaultPM()
+			pm.wq.Owner = vp
+			return pm
+		}
 	}
 	for i := 0; i < n; i++ {
 		pp := newPP(m, i, cfg.SliceBudget, cfg.IdleWait)
+		pp.fair = n > 1
 		m.pps = append(m.pps, pp)
 		m.done.Add(1)
 		go pp.loop()
@@ -174,6 +179,7 @@ type PP struct {
 
 	sliceBudget int
 	idleWait    time.Duration
+	fair        bool // yield the OS thread between slices (multi-PP machines)
 
 	slices atomic.Uint64
 	idles  atomic.Uint64
@@ -282,6 +288,14 @@ func (pp *PP) loop() {
 			case <-pp.kick:
 			case <-time.After(pp.idleWait):
 			}
+		} else if pp.fair {
+			// The grant-token handshake is pure channel ping-pong, which the
+			// Go runtime runs as a runnext chain that can monopolize an OS
+			// thread for a full ~10ms preemption slice. When GOMAXPROCS is
+			// lower than the PP count that starves sibling PPs, so a busy PP
+			// yields the thread once per slice (~32 dispatches) to bound
+			// cross-PP latency.
+			runtime.Gosched()
 		}
 	}
 }

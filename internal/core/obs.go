@@ -44,6 +44,8 @@ func (c VMCollector) Collect() []obs.Metric {
 			obs.Counter("sting_vp_scheduled_total", "Threads handed to this VP's manager.", float64(s.Scheduled.Load()), l...),
 			obs.Counter("sting_vp_idles_total", "pm-vp-idle invocations.", float64(s.Idles.Load()), l...),
 			obs.Counter("sting_vp_migrations_total", "Runnables taken from other VPs.", float64(s.Migrations.Load()), l...),
+			obs.Counter("sting_vp_steal_batches_total", "VPIdle batch-steals that moved at least one runnable.", float64(s.StealBatches.Load()), l...),
+			obs.Counter("sting_vp_failed_steals_total", "VPIdle passes that found nothing to take.", float64(s.FailedSteals.Load()), l...),
 			obs.Counter("sting_vp_tcb_cache_hits_total", "TCBs served from the recycle cache.", float64(hits), l...),
 			obs.Counter("sting_vp_tcb_cache_misses_total", "TCBs freshly allocated.", float64(misses), l...),
 			obs.Gauge("sting_vp_tcb_cache_size", "TCBs currently in the recycle cache.", float64(vp.CachedTCBs()), l...),

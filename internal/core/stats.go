@@ -5,37 +5,42 @@ import "sync/atomic"
 // VPStats counts scheduler events on one virtual processor. All counters
 // are cumulative and safe to read concurrently.
 type VPStats struct {
-	Dispatches  atomic.Uint64 // runnables granted the VP
-	Switches    atomic.Uint64 // voluntary yields
-	Preemptions atomic.Uint64 // quantum expiries honoured
-	Blocks      atomic.Uint64 // parks taken by hosted threads
-	Steals      atomic.Uint64 // thunks absorbed by hosted threads
-	Scheduled   atomic.Uint64 // threads handed to this VP's manager
-	Idles       atomic.Uint64 // pm-vp-idle invocations
-	TCBHits     atomic.Uint64 // TCBs served from the recycle cache
-	TCBMisses   atomic.Uint64 // TCBs freshly allocated
-	Migrations  atomic.Uint64 // runnables taken from other VPs
+	Dispatches   atomic.Uint64 // runnables granted the VP
+	Switches     atomic.Uint64 // voluntary yields
+	Preemptions  atomic.Uint64 // quantum expiries honoured
+	Blocks       atomic.Uint64 // parks taken by hosted threads
+	Steals       atomic.Uint64 // thunks absorbed by hosted threads
+	Scheduled    atomic.Uint64 // threads handed to this VP's manager
+	Idles        atomic.Uint64 // pm-vp-idle invocations
+	TCBHits      atomic.Uint64 // TCBs served from the recycle cache
+	TCBMisses    atomic.Uint64 // TCBs freshly allocated
+	Migrations   atomic.Uint64 // runnables taken from other VPs
+	StealBatches atomic.Uint64 // VPIdle batch-steals that moved ≥1 runnable
+	FailedSteals atomic.Uint64 // VPIdle passes that found nothing to take
 }
 
 // VPStatsSnapshot is a plain-value copy of VPStats.
 type VPStatsSnapshot struct {
 	Dispatches, Switches, Preemptions, Blocks, Steals uint64
 	Scheduled, Idles, TCBHits, TCBMisses, Migrations  uint64
+	StealBatches, FailedSteals                        uint64
 }
 
 // Snapshot copies the counters.
 func (s *VPStats) Snapshot() VPStatsSnapshot {
 	return VPStatsSnapshot{
-		Dispatches:  s.Dispatches.Load(),
-		Switches:    s.Switches.Load(),
-		Preemptions: s.Preemptions.Load(),
-		Blocks:      s.Blocks.Load(),
-		Steals:      s.Steals.Load(),
-		Scheduled:   s.Scheduled.Load(),
-		Idles:       s.Idles.Load(),
-		TCBHits:     s.TCBHits.Load(),
-		TCBMisses:   s.TCBMisses.Load(),
-		Migrations:  s.Migrations.Load(),
+		Dispatches:   s.Dispatches.Load(),
+		Switches:     s.Switches.Load(),
+		Preemptions:  s.Preemptions.Load(),
+		Blocks:       s.Blocks.Load(),
+		Steals:       s.Steals.Load(),
+		Scheduled:    s.Scheduled.Load(),
+		Idles:        s.Idles.Load(),
+		TCBHits:      s.TCBHits.Load(),
+		TCBMisses:    s.TCBMisses.Load(),
+		Migrations:   s.Migrations.Load(),
+		StealBatches: s.StealBatches.Load(),
+		FailedSteals: s.FailedSteals.Load(),
 	}
 }
 
@@ -51,6 +56,8 @@ func (s *VPStatsSnapshot) Add(o VPStatsSnapshot) {
 	s.TCBHits += o.TCBHits
 	s.TCBMisses += o.TCBMisses
 	s.Migrations += o.Migrations
+	s.StealBatches += o.StealBatches
+	s.FailedSteals += o.FailedSteals
 }
 
 // VMStats aggregates machine-visible events for one virtual machine.

@@ -1,0 +1,217 @@
+package core
+
+import "sync/atomic"
+
+// localQ is an owner-only queue with amortized-O(1) pops at both ends: the
+// head index advances instead of shifting the slice, and the buffer compacts
+// once the dead prefix reaches half its length.
+type localQ struct {
+	buf  []Runnable
+	head int
+}
+
+func (l *localQ) push(r Runnable) { l.buf = append(l.buf, r) }
+
+func (l *localQ) len() int { return len(l.buf) - l.head }
+
+func (l *localQ) popFront() Runnable {
+	if l.head >= len(l.buf) {
+		return nil
+	}
+	r := l.buf[l.head]
+	l.buf[l.head] = nil
+	l.head++
+	l.compact()
+	return r
+}
+
+func (l *localQ) popBack() Runnable {
+	n := len(l.buf)
+	if l.head >= n {
+		return nil
+	}
+	r := l.buf[n-1]
+	l.buf[n-1] = nil
+	l.buf = l.buf[:n-1]
+	if l.head >= len(l.buf) {
+		l.buf = l.buf[:0]
+		l.head = 0
+	}
+	return r
+}
+
+func (l *localQ) compact() {
+	if l.head == len(l.buf) {
+		l.buf = l.buf[:0]
+		l.head = 0
+		return
+	}
+	if l.head >= 32 && 2*l.head >= len(l.buf) {
+		n := copy(l.buf, l.buf[l.head:])
+		for i := n; i < len(l.buf); i++ {
+			l.buf[i] = nil
+		}
+		l.buf = l.buf[:n]
+		l.head = 0
+	}
+}
+
+// WorkQueue is the work-stealing ready-queue core shared by the default
+// policy manager and the local managers in the policy package. It segregates
+// runnables by what thieves may take:
+//
+//   - unpinned threads not yet evaluating → the Chase–Lev deque (stealable);
+//   - pinned threads and evaluating TCBs → an owner-local ready list
+//     (never stolen: pinning is a placement promise, and TCBs stay put for
+//     the locality regime of §3.3);
+//   - yielded/preempted TCBs → an owner-local deferred list dispatched after
+//     everything else when DeferYield is set, so yield-processor actually
+//     lets other ready work run and still resumes the caller at once on an
+//     otherwise-idle VP.
+//
+// All enqueues go through the lock-free Inbox because wakers and cross-VP
+// forks run on foreign goroutines; the owner classifies them at dispatch
+// time. Owner operations (Next, StealHalfFrom) may only be called from the
+// VP's thread-controller chain.
+type WorkQueue struct {
+	inbox    Inbox
+	deq      Deque
+	ready    localQ // owner-only
+	deferred localQ // owner-only
+	nLocal   atomic.Int64
+
+	// DeferYield routes EnqYield/EnqPreempted TCBs to the deferred list.
+	// When false they join the ready list like any woken TCB (the local-LIFO
+	// evaluating-first regime).
+	DeferYield bool
+	// FIFO dispatches the deque and ready list oldest-first instead of
+	// newest-first.
+	FIFO bool
+	// Owner, when set, is kicked after a thief re-pushes scavenged items the
+	// owner may have gone idle without seeing.
+	Owner *VP
+}
+
+// Enqueue records one runnable. Safe from any goroutine.
+func (q *WorkQueue) Enqueue(r Runnable, st EnqueueState) {
+	q.inbox.Push(r, st)
+}
+
+// drain classifies everything pending in the inbox. Owner only.
+func (q *WorkQueue) drain() {
+	q.inbox.Drain(func(r Runnable, st EnqueueState) {
+		switch x := r.(type) {
+		case *Thread:
+			if x.Pinned() {
+				q.ready.push(x)
+				q.nLocal.Add(1)
+				return
+			}
+			q.deq.PushBottom(x)
+		default:
+			if tcb, ok := r.(*TCB); ok && q.DeferYield &&
+				(st == EnqYield || st == EnqPreempted) {
+				q.deferred.push(tcb)
+			} else {
+				q.ready.push(r)
+			}
+			q.nLocal.Add(1)
+		}
+	})
+}
+
+// Next returns the next runnable to dispatch, or nil. Owner only.
+func (q *WorkQueue) Next() Runnable {
+	q.drain()
+	if q.ready.len() > 0 {
+		var r Runnable
+		if q.FIFO {
+			r = q.ready.popFront()
+		} else {
+			r = q.ready.popBack()
+		}
+		q.nLocal.Add(-1)
+		return r
+	}
+	if q.FIFO {
+		for {
+			t, retry := q.deq.Steal() // owner taking its own top: oldest first
+			if t != nil {
+				return t
+			}
+			if !retry {
+				break
+			}
+		}
+	} else if t := q.deq.PopBottom(); t != nil {
+		return t
+	}
+	if q.deferred.len() > 0 {
+		r := q.deferred.popFront()
+		q.nLocal.Add(-1)
+		return r
+	}
+	return nil
+}
+
+// StealableLen reports how many entries a thief could currently take. The
+// inbox counts too: enqueues the busy owner has not drained yet must stay
+// visible to thieves, or a VP hosting a long-running forker hides its whole
+// fan-out. Safe from any goroutine.
+func (q *WorkQueue) StealableLen() int { return q.deq.Len() + q.inbox.Len() }
+
+// Len reports the total queued entries (diagnostics, obs runq depth). Safe
+// from any goroutine.
+func (q *WorkQueue) Len() int {
+	n := int64(q.deq.Len()+q.inbox.Len()) + q.nLocal.Load()
+	if n < 0 {
+		return 0
+	}
+	return int(n)
+}
+
+// Lens splits Len into the owner-local portion (ready + deferred: TCBs and
+// pinned threads) and the thief-visible portion (deque + inbox) for
+// diagnostics that report evaluating/scheduled depths separately. Safe from
+// any goroutine.
+func (q *WorkQueue) Lens() (local, stealable int) {
+	if n := q.nLocal.Load(); n > 0 {
+		local = int(n)
+	}
+	return local, q.deq.Len() + q.inbox.Len()
+}
+
+// StealHalfFrom batch-steals up to half of victim's stealable entries into
+// q's deque and returns how many moved. The deque is tried first; if the
+// victim's owner is occupied mid-thunk (a forking master never reaches its
+// drain), the thief scavenges unpinned not-yet-evaluating threads straight
+// out of the victim's inbox, re-pushing everything else. The caller must own
+// q; victim may be under concurrent owner and thief traffic. Steal stats are
+// recorded on vp.
+func (q *WorkQueue) StealHalfFrom(victim *WorkQueue, vp *VP) int {
+	n := victim.deq.StealHalfInto(&q.deq, 0)
+	if n == 0 {
+		if avail := victim.inbox.Len(); avail > 0 {
+			want := (avail + 1) / 2
+			returned := victim.inbox.Scavenge(func(r Runnable, st EnqueueState) bool {
+				if n >= want {
+					return false
+				}
+				if th, ok := r.(*Thread); ok && !th.Pinned() {
+					q.deq.PushBottom(th)
+					n++
+					return true
+				}
+				return false
+			})
+			if returned > 0 && victim.Owner != nil {
+				victim.Owner.NotifyWork()
+			}
+		}
+	}
+	if n > 0 {
+		vp.stats.StealBatches.Add(1)
+		vp.stats.Migrations.Add(uint64(n))
+	}
+	return n
+}

@@ -19,15 +19,20 @@ type LocalLIFOConfig struct {
 	FIFO bool
 }
 
-// LocalLIFO returns the canonical result-parallel factory: per-VP queues,
-// LIFO dispatch (so tree-structured programs unfold depth-first and
-// stealing is effective), optional idle-time migration of scheduled
-// threads. This is the regime the paper recommends when many short threads
-// exhibit strong data dependencies.
+// LocalLIFO returns the canonical result-parallel factory: per-VP
+// work-stealing queues, LIFO dispatch (so tree-structured programs unfold
+// depth-first and stealing is effective), optional idle-time batch migration
+// of scheduled threads. This is the regime the paper recommends when many
+// short threads exhibit strong data dependencies.
 func LocalLIFO(cfg LocalLIFOConfig) Factory {
 	var group localGroup
 	return func(vp *core.VP) core.PolicyManager {
 		pm := &localLIFO{cfg: cfg, group: &group}
+		// Evaluating-first: TCBs (and pinned threads) sit on the owner-local
+		// ready list, dispatched before scheduled threads regardless of how
+		// they re-entered the queue.
+		pm.wq.FIFO = cfg.FIFO
+		pm.wq.Owner = vp
 		group.add(pm)
 		return pm
 	}
@@ -53,56 +58,35 @@ func (g *localGroup) snapshot() []*localLIFO {
 	return out
 }
 
+// localLIFO segregates runnables exactly as the paper's two-queue regime
+// does, but on the lock-free WorkQueue core: TCBs and pinned threads live on
+// the owner-local ready list (only this VP dispatches them, no lock at all),
+// scheduled threads live in the Chase–Lev deque where sibling VPs batch-steal
+// without ever blocking the owner.
 type localLIFO struct {
 	noopHints
 	allocVP
 	cfg   LocalLIFOConfig
 	group *localGroup
 
-	// evaluating holds TCBs: only this VP dispatches them and only wakers
-	// enqueue, so the lock is uncontended in steady state.
-	evalMu     sync.Mutex
-	evaluating deque
-
-	// scheduled holds threads; siblings migrate from here, so it is the
-	// locked, shared-granularity queue.
-	schedMu   sync.Mutex
-	scheduled deque
+	wq core.WorkQueue
 }
 
 // GetNextThread implements core.PolicyManager: evaluating threads first.
 func (pm *localLIFO) GetNextThread(vp *core.VP) core.Runnable {
-	pm.evalMu.Lock()
-	if r := pm.evaluating.popBack(); r != nil {
-		pm.evalMu.Unlock()
-		return r
-	}
-	pm.evalMu.Unlock()
-	pm.schedMu.Lock()
-	defer pm.schedMu.Unlock()
-	if pm.cfg.FIFO {
-		return pm.scheduled.popFront()
-	}
-	return pm.scheduled.popBack()
+	return pm.wq.Next()
 }
 
-// EnqueueThread implements core.PolicyManager.
+// EnqueueThread implements core.PolicyManager. Lock-free; safe from any
+// goroutine.
 func (pm *localLIFO) EnqueueThread(vp *core.VP, obj core.Runnable, st core.EnqueueState) {
-	switch obj.(type) {
-	case *core.TCB:
-		pm.evalMu.Lock()
-		pm.evaluating.pushBack(obj)
-		pm.evalMu.Unlock()
-	default:
-		pm.schedMu.Lock()
-		pm.scheduled.pushBack(obj)
-		pm.schedMu.Unlock()
-	}
+	pm.wq.Enqueue(obj, st)
 }
 
-// VPIdle implements core.PolicyManager: when configured, migrate the oldest
-// scheduled thread from the most loaded sibling (oldest = least locality
-// value to the victim, the usual work-stealing choice).
+// VPIdle implements core.PolicyManager: when configured, batch-steal half of
+// the stealable queue of the most loaded sibling. Each element moves under
+// its own top-CAS, so there is no window for the victim to drain between a
+// counting pass and a stealing pass, and pinned threads are never eligible.
 func (pm *localLIFO) VPIdle(vp *core.VP) {
 	if !pm.cfg.Migrate {
 		return
@@ -113,42 +97,17 @@ func (pm *localLIFO) VPIdle(vp *core.VP) {
 		if sib == pm {
 			continue
 		}
-		sib.schedMu.Lock()
-		n := sib.scheduled.len()
-		sib.schedMu.Unlock()
-		if n > most {
+		if n := sib.wq.StealableLen(); n > most {
 			most, victim = n, sib
 		}
 	}
-	if victim == nil {
-		return
-	}
-	victim.schedMu.Lock()
-	var stolen core.Runnable
-	for i, r := range victim.scheduled.items {
-		if th, ok := r.(*core.Thread); ok && th.Pinned() {
-			continue // explicitly placed threads stay put
-		}
-		stolen = r
-		victim.scheduled.items = append(victim.scheduled.items[:i], victim.scheduled.items[i+1:]...)
-		break
-	}
-	victim.schedMu.Unlock()
-	if stolen != nil {
-		vp.Stats().Migrations.Add(1)
-		pm.schedMu.Lock()
-		pm.scheduled.pushBack(stolen)
-		pm.schedMu.Unlock()
+	if victim == nil || pm.wq.StealHalfFrom(&victim.wq, vp) == 0 {
+		vp.Stats().FailedSteals.Add(1)
 	}
 }
 
-// Lens reports queue lengths (tests/diagnostics).
+// Lens reports queue lengths (tests/diagnostics): owner-local (evaluating)
+// and stealable (scheduled).
 func (pm *localLIFO) Lens() (evaluating, scheduled int) {
-	pm.evalMu.Lock()
-	evaluating = pm.evaluating.len()
-	pm.evalMu.Unlock()
-	pm.schedMu.Lock()
-	scheduled = pm.scheduled.len()
-	pm.schedMu.Unlock()
-	return
+	return pm.wq.Lens()
 }

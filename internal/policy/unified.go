@@ -6,17 +6,22 @@ import (
 	"repro/internal/core"
 )
 
-// Unified returns a factory whose managers keep a single per-VP deque of
+// Unified returns a factory whose managers keep a single per-VP queue of
 // runnables — the paper's "single queue regardless of state" granularity
 // choice, and the configuration its baseline timings were measured under
 // ("timings were derived using a single LIFO queue"). With lifo set,
 // dispatch takes the newest runnable and yielding/preempted threads go to
 // the far end (so yield-processor still lets other work run); without it,
-// dispatch is oldest-first round-robin.
+// dispatch is oldest-first round-robin. The queue rides on the lock-free
+// WorkQueue core: not-yet-evaluating unpinned threads sit in the Chase–Lev
+// deque where idle siblings batch-steal them.
 func Unified(lifo bool) Factory {
 	var group unifiedGroup
 	return func(vp *core.VP) core.PolicyManager {
-		pm := &unifiedPM{lifo: lifo, group: &group}
+		pm := &unifiedPM{group: &group}
+		pm.wq.DeferYield = true
+		pm.wq.FIFO = !lifo
+		pm.wq.Owner = vp
 		group.add(pm)
 		return pm
 	}
@@ -44,40 +49,26 @@ func (g *unifiedGroup) snapshot() []*unifiedPM {
 type unifiedPM struct {
 	noopHints
 	allocVP
-	lifo  bool
 	group *unifiedGroup
 
-	mu sync.Mutex
-	dq deque
+	wq core.WorkQueue
 }
 
 // GetNextThread implements core.PolicyManager.
 func (pm *unifiedPM) GetNextThread(vp *core.VP) core.Runnable {
-	pm.mu.Lock()
-	defer pm.mu.Unlock()
-	if pm.lifo {
-		return pm.dq.popBack()
-	}
-	return pm.dq.popFront()
+	return pm.wq.Next()
 }
 
-// EnqueueThread implements core.PolicyManager.
+// EnqueueThread implements core.PolicyManager. Lock-free; safe from any
+// goroutine.
 func (pm *unifiedPM) EnqueueThread(vp *core.VP, obj core.Runnable, st core.EnqueueState) {
-	pm.mu.Lock()
-	defer pm.mu.Unlock()
-	if st == core.EnqYield || st == core.EnqPreempted {
-		if pm.lifo {
-			pm.dq.pushFront(obj) // behind everything the LIFO will pop
-		} else {
-			pm.dq.pushBack(obj) // to the end of the round-robin line
-		}
-		return
-	}
-	pm.dq.pushBack(obj)
+	pm.wq.Enqueue(obj, st)
 }
 
-// VPIdle implements core.PolicyManager: migrate one not-yet-evaluating
-// thread from the most loaded sibling.
+// VPIdle implements core.PolicyManager: batch-steal half of the most loaded
+// sibling's stealable queue. Pinned threads and evaluating TCBs are never
+// eligible; each element moves under its own top-CAS so there is no
+// count-then-steal window.
 func (pm *unifiedPM) VPIdle(vp *core.VP) {
 	var victim *unifiedPM
 	most := 0
@@ -85,42 +76,16 @@ func (pm *unifiedPM) VPIdle(vp *core.VP) {
 		if sib == pm {
 			continue
 		}
-		sib.mu.Lock()
-		n := 0
-		for _, r := range sib.dq.items {
-			if th, ok := r.(*core.Thread); ok && !th.Pinned() {
-				n++
-			}
-		}
-		sib.mu.Unlock()
-		if n > most {
+		if n := sib.wq.StealableLen(); n > most {
 			most, victim = n, sib
 		}
 	}
-	if victim == nil {
-		return
-	}
-	victim.mu.Lock()
-	var stolen core.Runnable
-	for i, r := range victim.dq.items {
-		if th, ok := r.(*core.Thread); ok && !th.Pinned() {
-			stolen = r
-			victim.dq.items = append(victim.dq.items[:i], victim.dq.items[i+1:]...)
-			break
-		}
-	}
-	victim.mu.Unlock()
-	if stolen != nil {
-		vp.Stats().Migrations.Add(1)
-		pm.mu.Lock()
-		pm.dq.pushBack(stolen)
-		pm.mu.Unlock()
+	if victim == nil || pm.wq.StealHalfFrom(&victim.wq, vp) == 0 {
+		vp.Stats().FailedSteals.Add(1)
 	}
 }
 
 // Len reports the queue length.
 func (pm *unifiedPM) Len() int {
-	pm.mu.Lock()
-	defer pm.mu.Unlock()
-	return pm.dq.len()
+	return pm.wq.Len()
 }

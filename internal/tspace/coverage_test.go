@@ -139,10 +139,7 @@ func TestWaiterUnregister(t *testing.T) {
 		if _, _, err := ts.Get(ctx, Template{"x"}); err != nil {
 			return err
 		}
-		ts.wt.mu.Lock()
-		pending := len(ts.wt.byArity[1])
-		ts.wt.mu.Unlock()
-		if pending != 0 {
+		if pending := ts.wt.waiters(); pending != 0 {
 			t.Errorf("stale waiters: %d", pending)
 		}
 		return nil

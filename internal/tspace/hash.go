@@ -48,6 +48,9 @@ func (ts *hashTS) Kind() Kind { return KindHash }
 // Waiters implements WaiterCount.
 func (ts *hashTS) Waiters() int { return ts.wt.waiters() }
 
+// WakeStats reports the wait-table wake/miss/handoff counters.
+func (ts *hashTS) WakeStats() (wakes, misses, handoffs uint64) { return ts.wt.stats() }
+
 // binFor classifies a tuple: keyable first fields map to a hashed bin;
 // everything else (empty tuples, thread or aggregate first fields) goes to
 // the arity's wildcard bin.
@@ -98,7 +101,7 @@ func (ts *hashTS) Put(ctx *core.Context, tup Tuple) error {
 	b.mu.Lock()
 	b.entries = append(b.entries, e)
 	b.mu.Unlock()
-	ts.wt.wake(len(tup))
+	ts.wt.wake(tup)
 	return nil
 }
 
@@ -171,14 +174,14 @@ func (ts *hashTS) TryRd(ctx *core.Context, tpl Template) (Tuple, Bindings, error
 
 // Get implements TupleSpace.
 func (ts *hashTS) Get(ctx *core.Context, tpl Template) (Tuple, Bindings, error) {
-	return blockingLoop(ctx, ts.wt, len(tpl), func() (Tuple, Bindings, error) {
+	return blockingLoop(ctx, ts.wt, tpl, func() (Tuple, Bindings, error) {
 		return ts.probe(ctx, tpl, true)
 	})
 }
 
 // Rd implements TupleSpace.
 func (ts *hashTS) Rd(ctx *core.Context, tpl Template) (Tuple, Bindings, error) {
-	return blockingLoop(ctx, ts.wt, len(tpl), func() (Tuple, Bindings, error) {
+	return blockingLoop(ctx, ts.wt, tpl, func() (Tuple, Bindings, error) {
 		tup, bind, err := ts.probe(ctx, tpl, false)
 		if err == ErrNoMatch && ts.parent != nil {
 			ptup, pbind, perr := ts.parent.TryRd(ctx, tpl)

@@ -33,6 +33,16 @@ func (c RegistryCollector) Collect() []obs.Metric {
 		if wc, ok := ts.(WaiterCount); ok {
 			out = append(out, obs.Gauge("sting_tspace_waiters", "Threads blocked on the space.", float64(wc.Waiters()), l...))
 		}
+		if ws, ok := ts.(interface {
+			WakeStats() (uint64, uint64, uint64)
+		}); ok {
+			wakes, misses, handoffs := ws.WakeStats()
+			out = append(out,
+				obs.Counter("sting_tspace_wakes_total", "Deposits that woke a blocked waiter.", float64(wakes), l...),
+				obs.Counter("sting_tspace_wake_misses_total", "Woken waiters whose re-probe found nothing.", float64(misses), l...),
+				obs.Counter("sting_tspace_wake_handoffs_total", "Wake obligations passed to the next compatible waiter.", float64(handoffs), l...),
+			)
+		}
 	}
 	return out
 }

@@ -35,6 +35,9 @@ func (ts *bagTS) Kind() Kind {
 // Waiters implements WaiterCount (queueTS inherits it through embedding).
 func (ts *bagTS) Waiters() int { return ts.wt.waiters() }
 
+// WakeStats reports the wait-table wake/miss/handoff counters.
+func (ts *bagTS) WakeStats() (wakes, misses, handoffs uint64) { return ts.wt.stats() }
+
 func sameTuple(a, b Tuple) bool {
 	if len(a) != len(b) {
 		return false
@@ -54,14 +57,14 @@ func (ts *bagTS) Put(ctx *core.Context, tup Tuple) error {
 		for _, e := range ts.entries {
 			if !e.taken.Load() && sameTuple(e.tup, tup) {
 				ts.mu.Unlock()
-				ts.wt.wake(len(tup))
+				ts.wt.wake(tup)
 				return nil
 			}
 		}
 	}
 	ts.entries = append(ts.entries, &entry{tup: tup})
 	ts.mu.Unlock()
-	ts.wt.wake(len(tup))
+	ts.wt.wake(tup)
 	return nil
 }
 
@@ -115,14 +118,14 @@ func (ts *bagTS) TryRd(ctx *core.Context, tpl Template) (Tuple, Bindings, error)
 
 // Get implements TupleSpace.
 func (ts *bagTS) Get(ctx *core.Context, tpl Template) (Tuple, Bindings, error) {
-	return blockingLoop(ctx, ts.wt, len(tpl), func() (Tuple, Bindings, error) {
+	return blockingLoop(ctx, ts.wt, tpl, func() (Tuple, Bindings, error) {
 		return ts.probe(ctx, tpl, true)
 	})
 }
 
 // Rd implements TupleSpace.
 func (ts *bagTS) Rd(ctx *core.Context, tpl Template) (Tuple, Bindings, error) {
-	return blockingLoop(ctx, ts.wt, len(tpl), func() (Tuple, Bindings, error) {
+	return blockingLoop(ctx, ts.wt, tpl, func() (Tuple, Bindings, error) {
 		tup, b, err := ts.probe(ctx, tpl, false)
 		if err == ErrNoMatch && ts.parent != nil {
 			if ptup, pb, perr := ts.parent.TryRd(ctx, tpl); perr == nil {
@@ -208,13 +211,16 @@ func (ts *sharedVarTS) Kind() Kind { return KindSharedVar }
 // Waiters implements WaiterCount.
 func (ts *sharedVarTS) Waiters() int { return ts.wt.waiters() }
 
+// WakeStats reports the wait-table wake/miss/handoff counters.
+func (ts *sharedVarTS) WakeStats() (wakes, misses, handoffs uint64) { return ts.wt.stats() }
+
 // Put implements TupleSpace: the new tuple replaces the old value.
 func (ts *sharedVarTS) Put(ctx *core.Context, tup Tuple) error {
 	ts.mu.Lock()
 	ts.tup = tup
 	ts.set = true
 	ts.mu.Unlock()
-	ts.wt.wake(len(tup))
+	ts.wt.wake(tup)
 	return nil
 }
 
@@ -264,14 +270,14 @@ func (ts *sharedVarTS) TryRd(ctx *core.Context, tpl Template) (Tuple, Bindings, 
 
 // Get implements TupleSpace.
 func (ts *sharedVarTS) Get(ctx *core.Context, tpl Template) (Tuple, Bindings, error) {
-	return blockingLoop(ctx, ts.wt, len(tpl), func() (Tuple, Bindings, error) {
+	return blockingLoop(ctx, ts.wt, tpl, func() (Tuple, Bindings, error) {
 		return ts.probe(ctx, tpl, true)
 	})
 }
 
 // Rd implements TupleSpace.
 func (ts *sharedVarTS) Rd(ctx *core.Context, tpl Template) (Tuple, Bindings, error) {
-	return blockingLoop(ctx, ts.wt, len(tpl), func() (Tuple, Bindings, error) {
+	return blockingLoop(ctx, ts.wt, tpl, func() (Tuple, Bindings, error) {
 		tup, b, err := ts.probe(ctx, tpl, false)
 		if err == ErrNoMatch && ts.parent != nil {
 			if ptup, pb, perr := ts.parent.TryRd(ctx, tpl); perr == nil {
@@ -318,13 +324,17 @@ func (ts *semTS) Kind() Kind { return KindSemaphore }
 // Waiters implements WaiterCount.
 func (ts *semTS) Waiters() int { return ts.wt.waiters() }
 
+// WakeStats reports the wait-table wake/miss/handoff counters.
+func (ts *semTS) WakeStats() (wakes, misses, handoffs uint64) { return ts.wt.stats() }
+
 // Put implements TupleSpace.
 func (ts *semTS) Put(ctx *core.Context, tup Tuple) error {
 	ts.mu.Lock()
 	ts.count++
 	ts.mu.Unlock()
-	ts.wt.wake(len(tup))
-	ts.wt.wake(0) // token templates are conventionally empty
+	// Tokens carry no content, so any waiter is compatible: wake exactly one
+	// (V unblocks one P); readers chain further wakes through the baton.
+	ts.wt.wakeOne()
 	return nil
 }
 
@@ -352,14 +362,14 @@ func (ts *semTS) TryRd(ctx *core.Context, tpl Template) (Tuple, Bindings, error)
 
 // Get implements TupleSpace.
 func (ts *semTS) Get(ctx *core.Context, tpl Template) (Tuple, Bindings, error) {
-	return blockingLoop(ctx, ts.wt, len(tpl), func() (Tuple, Bindings, error) {
+	return blockingLoop(ctx, ts.wt, tpl, func() (Tuple, Bindings, error) {
 		return ts.probe(true)
 	})
 }
 
 // Rd implements TupleSpace.
 func (ts *semTS) Rd(ctx *core.Context, tpl Template) (Tuple, Bindings, error) {
-	return blockingLoop(ctx, ts.wt, len(tpl), func() (Tuple, Bindings, error) {
+	return blockingLoop(ctx, ts.wt, tpl, func() (Tuple, Bindings, error) {
 		return ts.probe(false)
 	})
 }

@@ -147,55 +147,248 @@ type entry struct {
 	taken atomic.Bool
 }
 
-// tsWaiter is a blocked reader in HB.
-type tsWaiter struct {
-	tcb   *core.TCB
+// waitKey classifies a blocked template for targeted wakeups: arity plus the
+// hash of a ground (concrete, keyable) first field. wild covers templates
+// whose first position is a formal or an unkeyable value, and every arity-0
+// template — those waiters are compatible with any deposit of their arity.
+type waitKey struct {
 	arity int
-	woke  atomic.Bool
+	sig   uint64
+	wild  bool
 }
 
-// waitTable is HB: blocked processes indexed by template arity.
+// keyFor classifies a template into its wait class.
+func keyFor(tpl Template) waitKey {
+	if len(tpl) > 0 && !isFormal(tpl[0]) {
+		if h, ok := hashValue(tpl[0]); ok {
+			return waitKey{arity: len(tpl), sig: h}
+		}
+	}
+	return waitKey{arity: len(tpl), wild: true}
+}
+
+// tsWaiter is a blocked reader in HB.
+type tsWaiter struct {
+	tcb  *core.TCB
+	key  waitKey
+	seq  uint64
+	woke atomic.Bool
+	// Stamped under the table lock when the waiter is chosen: the deposit
+	// class it must hand off if its re-probe fails, whether the deposit could
+	// match any class (wakeOne), and the registration cutoff bounding the
+	// baton chain. obligated is false for herd wakes, which have no
+	// single-wake obligation to pass on.
+	wokeKey   waitKey
+	wokeAny   bool
+	wokeSeq   uint64
+	obligated bool
+}
+
+// waitTable is HB: blocked processes indexed by (arity, ground-prefix
+// signature) so a deposit wakes one compatible waiter instead of the whole
+// arity class. A woken waiter that loses the re-probe (or leaves for any
+// other reason while holding the wake) passes the baton to the next waiter
+// registered before the deposit, so single wakeups never strand a tuple.
 type waitTable struct {
-	mu      sync.Mutex
-	byArity map[int][]*tsWaiter
+	mu       sync.Mutex
+	classes  map[waitKey][]*tsWaiter
+	seq      uint64
+	wakes    uint64 // deposits that woke a waiter directly
+	misses   uint64 // woken waiters whose re-probe found nothing
+	handoffs uint64 // baton passes to the next compatible waiter
 }
 
 func newWaitTable() *waitTable {
-	return &waitTable{byArity: make(map[int][]*tsWaiter)}
+	return &waitTable{classes: make(map[waitKey][]*tsWaiter)}
 }
 
-func (w *waitTable) register(ctx *core.Context, arity int) *tsWaiter {
-	tw := &tsWaiter{tcb: ctx.TCB(), arity: arity}
+func (w *waitTable) register(ctx *core.Context, tpl Template) *tsWaiter {
+	tw := &tsWaiter{tcb: ctx.TCB(), key: keyFor(tpl)}
 	w.mu.Lock()
-	w.byArity[arity] = append(w.byArity[arity], tw)
+	tw.seq = w.seq
+	w.seq++
+	w.classes[tw.key] = append(w.classes[tw.key], tw)
 	w.mu.Unlock()
 	return tw
 }
 
-func (w *waitTable) unregister(tw *tsWaiter) {
+// unregister removes tw and reports whether it was still registered; false
+// means a waker popped it concurrently, so the caller holds a wake it must
+// hand off.
+func (w *waitTable) unregister(tw *tsWaiter) bool {
 	w.mu.Lock()
-	list := w.byArity[tw.arity]
+	defer w.mu.Unlock()
+	list := w.classes[tw.key]
 	for i, x := range list {
 		if x == tw {
-			w.byArity[tw.arity] = append(list[:i], list[i+1:]...)
+			w.classes[tw.key] = append(list[:i], list[i+1:]...)
+			if len(w.classes[tw.key]) == 0 {
+				delete(w.classes, tw.key)
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// popLocked removes and returns the oldest waiter of class k registered
+// before cutoff, or nil.
+func (w *waitTable) popLocked(k waitKey, cutoff uint64) *tsWaiter {
+	list := w.classes[k]
+	for i, tw := range list {
+		if tw.seq < cutoff {
+			w.classes[k] = append(list[:i], list[i+1:]...)
+			if len(w.classes[k]) == 0 {
+				delete(w.classes, k)
+			}
+			return tw
+		}
+	}
+	return nil
+}
+
+// popAnyLocked removes the oldest waiter in any class registered before
+// cutoff (used when the deposit is compatible with every class).
+func (w *waitTable) popAnyLocked(cutoff uint64) *tsWaiter {
+	var best *tsWaiter
+	var bestKey waitKey
+	for k, list := range w.classes {
+		for _, tw := range list {
+			if tw.seq < cutoff && (best == nil || tw.seq < best.seq) {
+				best, bestKey = tw, k
+			}
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	list := w.classes[bestKey]
+	for i, tw := range list {
+		if tw == best {
+			w.classes[bestKey] = append(list[:i], list[i+1:]...)
 			break
 		}
 	}
-	w.mu.Unlock()
+	if len(w.classes[bestKey]) == 0 {
+		delete(w.classes, bestKey)
+	}
+	return best
 }
 
-// wake unblocks every process waiting on templates of the given arity;
-// the woken processes re-probe and re-block if the tuple was not for them
-// (a conservative rendering of the paper's identity-based unblocking).
-func (w *waitTable) wake(arity int) {
+// wake unblocks waiters for a deposited tuple. A tuple with a keyable first
+// field wakes exactly one compatible waiter — its exact class first, then
+// the arity's wildcard class (the paper's identity-based unblocking, made
+// affordable by the signature index). A tuple whose first field is
+// unkeyable (a thread, an aggregate) could match any template of its arity
+// once demanded, so the whole arity class is woken as before.
+func (w *waitTable) wake(tup Tuple) {
+	if len(tup) > 0 {
+		if h, ok := hashValue(tup[0]); ok {
+			w.wakeClass(waitKey{arity: len(tup), sig: h})
+			return
+		}
+		w.wakeArity(len(tup))
+		return
+	}
+	w.wakeClass(waitKey{arity: 0, wild: true})
+}
+
+// wakeClass wakes one waiter compatible with the class k deposit.
+func (w *waitTable) wakeClass(k waitKey) {
 	w.mu.Lock()
-	list := w.byArity[arity]
-	delete(w.byArity, arity)
+	cutoff := w.seq
+	tw := w.popLocked(k, cutoff)
+	if tw == nil && !k.wild {
+		tw = w.popLocked(waitKey{arity: k.arity, wild: true}, cutoff)
+	}
+	if tw != nil {
+		w.wakes++
+		tw.wokeKey, tw.wokeAny, tw.wokeSeq, tw.obligated = k, false, cutoff, true
+	}
 	w.mu.Unlock()
-	for _, tw := range list {
+	if tw != nil {
 		tw.woke.Store(true)
 		core.WakeTCB(tw.tcb)
 	}
+}
+
+// wakeOne wakes a single waiter of any class — the semaphore regime, where
+// deposits carry no content and every waiter is compatible.
+func (w *waitTable) wakeOne() {
+	w.mu.Lock()
+	cutoff := w.seq
+	tw := w.popAnyLocked(cutoff)
+	if tw != nil {
+		w.wakes++
+		tw.wokeAny, tw.wokeSeq, tw.obligated = true, cutoff, true
+	}
+	w.mu.Unlock()
+	if tw != nil {
+		tw.woke.Store(true)
+		core.WakeTCB(tw.tcb)
+	}
+}
+
+// wakeArity unblocks every process waiting on templates of the given arity;
+// the woken processes re-probe and re-block if the tuple was not for them.
+// Herd wakes carry no handoff obligation: every compatible waiter is
+// already up.
+func (w *waitTable) wakeArity(arity int) {
+	var woken []*tsWaiter
+	w.mu.Lock()
+	for k, list := range w.classes {
+		if k.arity != arity {
+			continue
+		}
+		woken = append(woken, list...)
+		delete(w.classes, k)
+	}
+	if len(woken) > 0 {
+		w.wakes += uint64(len(woken))
+	}
+	w.mu.Unlock()
+	for _, tw := range woken {
+		tw.woke.Store(true)
+		core.WakeTCB(tw.tcb)
+	}
+}
+
+// handoff passes tw's wake obligation to the next waiter that was registered
+// before the deposit; the chain dies when none remain, at which point every
+// still-blocked compatible waiter registered after the deposit and re-probed
+// past it.
+func (w *waitTable) handoff(tw *tsWaiter) {
+	if !tw.obligated {
+		return
+	}
+	tw.obligated = false
+	w.mu.Lock()
+	var next *tsWaiter
+	if tw.wokeAny {
+		next = w.popAnyLocked(tw.wokeSeq)
+	} else {
+		next = w.popLocked(tw.wokeKey, tw.wokeSeq)
+		if next == nil && !tw.wokeKey.wild {
+			next = w.popLocked(waitKey{arity: tw.wokeKey.arity, wild: true}, tw.wokeSeq)
+		}
+	}
+	if next != nil {
+		w.handoffs++
+		next.wokeKey, next.wokeAny, next.wokeSeq, next.obligated =
+			tw.wokeKey, tw.wokeAny, tw.wokeSeq, true
+	}
+	w.mu.Unlock()
+	if next != nil {
+		next.woke.Store(true)
+		core.WakeTCB(next.tcb)
+	}
+}
+
+// miss records a woken waiter whose re-probe found nothing for it.
+func (w *waitTable) miss() {
+	w.mu.Lock()
+	w.misses++
+	w.mu.Unlock()
 }
 
 // waiters counts the processes currently registered in HB.
@@ -203,10 +396,17 @@ func (w *waitTable) waiters() int {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	n := 0
-	for _, list := range w.byArity {
+	for _, list := range w.classes {
 		n += len(list)
 	}
 	return n
+}
+
+// stats returns the wake/miss/handoff counters.
+func (w *waitTable) stats() (wakes, misses, handoffs uint64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.wakes, w.misses, w.handoffs
 }
 
 // WaiterCount is implemented by every shipped representation; it exposes
@@ -219,44 +419,75 @@ type WaiterCount interface {
 // every representation's Get and Rd. A CancelToken installed with
 // WithCancel withdraws the waiter: the operation unregisters from HB and
 // returns the token's reason instead of parking forever.
-func blockingLoop(ctx *core.Context, wt *waitTable, arity int,
+//
+// Wakeups are single-waiter (see waitTable.wake), so a waiter that was
+// chosen for a deposit holds an obligation until the deposit is provably
+// handled: losing the re-probe, consuming some other tuple, or leaving on
+// cancel/error all pass the baton to the next waiter registered before the
+// deposit.
+func blockingLoop(ctx *core.Context, wt *waitTable, tpl Template,
 	probe func() (Tuple, Bindings, error)) (Tuple, Bindings, error) {
 	tok := cancelOf(ctx)
+	var baton *tsWaiter // wake held from the previous iteration, if any
+	release := func() {
+		if baton != nil {
+			wt.handoff(baton)
+			baton = nil
+		}
+	}
 	for {
 		if tok != nil && tok.Canceled() {
+			release()
 			return nil, nil, tok.Reason()
 		}
 		tup, b, err := probe()
 		if err == nil {
+			release()
 			return tup, b, nil
 		}
 		if err != ErrNoMatch {
+			release()
 			return nil, nil, err
 		}
-		tw := wt.register(ctx, arity)
+		if baton != nil {
+			// Woken but the deposit was not for us (or was already taken):
+			// the classic spurious wakeup. Pass it on before re-blocking.
+			wt.miss()
+			release()
+		}
+		tw := wt.register(ctx, tpl)
 		// Re-probe after registering: a deposit may have slipped between
 		// the failed probe and the registration.
 		tup, b, err = probe()
-		if err == nil {
-			wt.unregister(tw)
-			return tup, b, nil
-		}
-		if err != ErrNoMatch {
-			wt.unregister(tw)
-			return nil, nil, err
+		if err == nil || err != ErrNoMatch {
+			if !wt.unregister(tw) {
+				// A waker popped us concurrently; its deposit still needs a
+				// waiter.
+				wt.handoff(tw)
+			}
+			return tup, b, err
 		}
 		if tok == nil {
 			ctx.BlockUntil(func() bool { return tw.woke.Load() })
+			baton = tw
 			continue
 		}
 		if !tok.attach(ctx.TCB()) {
-			wt.unregister(tw)
+			if !wt.unregister(tw) {
+				wt.handoff(tw)
+			}
 			return nil, nil, tok.Reason()
 		}
 		ctx.BlockUntil(func() bool { return tw.woke.Load() || tok.Canceled() })
 		tok.detach(ctx.TCB())
-		if !tw.woke.Load() && tok.Canceled() {
-			wt.unregister(tw)
+		if tw.woke.Load() {
+			baton = tw
+			continue
+		}
+		if tok.Canceled() {
+			if !wt.unregister(tw) {
+				wt.handoff(tw)
+			}
 			return nil, nil, tok.Reason()
 		}
 	}

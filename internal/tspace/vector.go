@@ -37,6 +37,9 @@ func (ts *vectorTS) Kind() Kind { return KindVector }
 // Waiters implements WaiterCount.
 func (ts *vectorTS) Waiters() int { return ts.wt.waiters() }
 
+// WakeStats reports the wait-table wake/miss/handoff counters.
+func (ts *vectorTS) WakeStats() (wakes, misses, handoffs uint64) { return ts.wt.stats() }
+
 // Size returns the vector length.
 func (ts *vectorTS) Size() int {
 	ts.mu.Lock()
@@ -74,7 +77,7 @@ func (ts *vectorTS) Put(ctx *core.Context, tup Tuple) error {
 	ts.mu.Lock()
 	ts.slots[idx] = vslot{val: v, full: true}
 	ts.mu.Unlock()
-	ts.wt.wake(2)
+	ts.wt.wake(Tuple{idx, v})
 	return nil
 }
 
@@ -162,14 +165,14 @@ func (ts *vectorTS) TryRd(ctx *core.Context, tpl Template) (Tuple, Bindings, err
 
 // Get implements TupleSpace.
 func (ts *vectorTS) Get(ctx *core.Context, tpl Template) (Tuple, Bindings, error) {
-	return blockingLoop(ctx, ts.wt, 2, func() (Tuple, Bindings, error) {
+	return blockingLoop(ctx, ts.wt, tpl, func() (Tuple, Bindings, error) {
 		return ts.probe(ctx, tpl, true)
 	})
 }
 
 // Rd implements TupleSpace.
 func (ts *vectorTS) Rd(ctx *core.Context, tpl Template) (Tuple, Bindings, error) {
-	return blockingLoop(ctx, ts.wt, 2, func() (Tuple, Bindings, error) {
+	return blockingLoop(ctx, ts.wt, tpl, func() (Tuple, Bindings, error) {
 		return ts.probe(ctx, tpl, false)
 	})
 }

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# bench_compare.sh — rerun the scheduler benchmark table and fail if any
+# sched/ row is more than 10% slower than the committed BENCH_sched.json
+# baseline. Run via `make bench-compare`; CI runs it non-blocking because
+# shared runners add noise well beyond the threshold.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+baseline="BENCH_sched.json"
+[ -f "$baseline" ] || { echo "bench_compare: no committed $baseline baseline (run 'make sched-bench' and commit it)"; exit 2; }
+
+current="$(mktemp)"
+trap 'rm -f "$current"' EXIT
+
+go run ./cmd/stingbench -table sched -json "$current"
+go run ./scripts/benchdiff -threshold 0.10 -prefix sched/ "$baseline" "$current"

@@ -1,0 +1,104 @@
+// Command benchdiff compares two stingbench -json result files and exits
+// nonzero when any shared row regressed by more than the threshold. The
+// bench-compare script uses it to gate scheduler changes against the
+// committed BENCH_sched.json baseline without depending on jq.
+//
+// Usage: benchdiff [-threshold 0.10] [-prefix sched/] baseline.json current.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"text/tabwriter"
+)
+
+type row struct {
+	Name    string  `json:"name"`
+	NsPerOp float64 `json:"ns_per_op"`
+}
+
+func load(path string) (map[string]float64, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rows []row
+	if err := json.Unmarshal(b, &rows); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	m := make(map[string]float64, len(rows))
+	for _, r := range rows {
+		m[r.Name] = r.NsPerOp
+	}
+	return m, nil
+}
+
+func main() {
+	threshold := flag.Float64("threshold", 0.10, "allowed fractional slowdown before failing")
+	prefix := flag.String("prefix", "sched/", "only compare rows whose name has this prefix (empty = all)")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold 0.10] [-prefix sched/] baseline.json current.json")
+		os.Exit(2)
+	}
+	base, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	cur, err := load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "Row\tBaseline ns/op\tCurrent ns/op\tDelta")
+	compared, failed := 0, 0
+	for _, r := range sortedKeys(base) {
+		if *prefix != "" && !strings.HasPrefix(r, *prefix) {
+			continue
+		}
+		now, ok := cur[r]
+		if !ok {
+			fmt.Fprintf(w, "%s\t%.1f\t(missing)\t-\n", r, base[r])
+			failed++
+			continue
+		}
+		compared++
+		delta := (now - base[r]) / base[r]
+		mark := ""
+		if delta > *threshold {
+			mark = "  REGRESSION"
+			failed++
+		}
+		fmt.Fprintf(w, "%s\t%.1f\t%.1f\t%+.1f%%%s\n", r, base[r], now, delta*100, mark)
+	}
+	w.Flush() //nolint:errcheck
+
+	if compared == 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: no rows with prefix %q in baseline\n", *prefix)
+		os.Exit(2)
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d row(s) regressed beyond %.0f%%\n", failed, *threshold*100)
+		os.Exit(1)
+	}
+	fmt.Printf("benchdiff: %d row(s) within %.0f%% of baseline\n", compared, *threshold*100)
+}
+
+func sortedKeys(m map[string]float64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	for i := 1; i < len(out); i++ { // insertion sort; row counts are tiny
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

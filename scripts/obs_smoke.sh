@@ -37,7 +37,10 @@ fi
 metrics="$(curl -fsS "http://$obs/metrics")"
 for family in \
     sting_vp_dispatches_total \
+    sting_vp_steal_batches_total \
+    sting_vp_failed_steals_total \
     sting_tspace_depth \
+    sting_tspace_wakes_total \
     sting_remote_conns_active \
     sting_remote_op_latency_seconds_bucket \
     sting_trace_events; do
