@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race check bench sched-bench bench-compare obs-smoke obs-bench cluster-smoke clean
+.PHONY: all build vet test race check bench sched-bench bench-compare obs-smoke obs-bench cluster-smoke trace-smoke clean
 
 all: check
 
@@ -46,6 +46,12 @@ obs-smoke:
 # sting CLI, assert all shards healthy with zero misroutes.
 cluster-smoke:
 	./scripts/cluster_smoke.sh
+
+# Boot a 2-shard cluster with causal tracing on, run a traced op from the
+# sting CLI, merge all span dumps with tracecat, and assert the stitched
+# trace has client→server parentage under one trace ID.
+trace-smoke:
+	./scripts/trace_smoke.sh
 
 # The metric-collection overhead ablation (EXPERIMENTS.md): the remote
 # ping-pong with the per-op latency histograms on vs off.

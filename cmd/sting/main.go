@@ -26,11 +26,12 @@ import (
 
 func main() {
 	var (
-		vps     = flag.Int("vps", 0, "virtual processors (default: one per physical processor)")
-		procs   = flag.Int("procs", 0, "physical processors (default GOMAXPROCS)")
-		expr    = flag.String("e", "", "evaluate this expression and exit")
-		stats   = flag.Bool("stats", false, "print VM statistics on exit")
-		cluster = flag.String("cluster", "", "cluster membership (nodes.json path or \"id=addr,…\"); binds *cluster* for remote-open")
+		vps      = flag.Int("vps", 0, "virtual processors (default: one per physical processor)")
+		procs    = flag.Int("procs", 0, "physical processors (default GOMAXPROCS)")
+		expr     = flag.String("e", "", "evaluate this expression and exit")
+		stats    = flag.Bool("stats", false, "print VM statistics on exit")
+		cluster  = flag.String("cluster", "", "cluster membership (nodes.json path or \"id=addr,…\"); binds *cluster* for remote-open")
+		traceOut = flag.String("trace-out", "", "run the program under a root span and write finished spans (JSON dump) here on exit")
 	)
 	flag.Parse()
 
@@ -42,6 +43,17 @@ func main() {
 		os.Exit(1)
 	}
 	in := scheme.New(vm, scheme.WithOutput(os.Stdout))
+	var spanBuf *sting.SpanBuffer
+	var rootSpan *sting.Span
+	if *traceOut != "" {
+		// The sink goes in after New so the prelude load stays untraced;
+		// every toplevel form then evaluates under one root span, so remote
+		// ops in scripts open client spans that stitch to server spans.
+		spanBuf = sting.NewSpanBuffer(1 << 14)
+		sting.SetSpanSink(spanBuf.Record)
+		rootSpan = sting.StartSpan(sting.SpanContext{}, "sting/run", sting.SpanInternal)
+		in.SetToplevelOptions(sting.WithSpanContext(rootSpan.Context()))
+	}
 	if *cluster != "" {
 		// The remote prims parse the "cluster:" prefix; scripts just use
 		// the pre-bound address: (remote-open *cluster* "jobs").
@@ -57,6 +69,14 @@ func main() {
 				s.VPs.Switches, s.VPs.Blocks)
 		}
 		m.Shutdown()
+		if *traceOut != "" {
+			rootSpan.End()
+			if n, err := writeSpanDump(*traceOut, spanBuf); err != nil {
+				fmt.Fprintln(os.Stderr, "sting: span dump:", err)
+			} else {
+				fmt.Fprintf(os.Stderr, "; dumped %d spans to %s\n", n, *traceOut)
+			}
+		}
 		os.Exit(code)
 	}
 
@@ -87,6 +107,22 @@ func main() {
 
 	repl(in)
 	exit(0)
+}
+
+// writeSpanDump drains the span ring to path in the JSON dump format
+// under the node name "sting" (scripts/tracecat merges it with the
+// daemons' dumps), returning the span count.
+func writeSpanDump(path string, buf *sting.SpanBuffer) (int, error) {
+	drained := buf.Drain()
+	f, err := os.Create(path)
+	if err != nil {
+		return 0, err
+	}
+	if err := sting.WriteSpansJSON(f, "sting", drained); err != nil {
+		f.Close() //nolint:errcheck
+		return 0, err
+	}
+	return len(drained), f.Close()
 }
 
 // repl reads balanced forms from stdin and prints their values.

@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/obs"
 )
 
 // benchRecord is one machine-readable result row for -json: tooling (CI
@@ -56,7 +57,18 @@ func main() {
 	table := flag.String("table", "all", "which table/figure to regenerate")
 	n := flag.Int("n", 20000, "iterations per microbenchmark row")
 	jsonOut := flag.String("json", "", "also write results as JSON to this file")
+	spans := flag.Bool("spans", false, "install a span sink for the whole run (the overhead ablation); -table remote adds STING-thread-client rows traced off/on")
 	flag.Parse()
+
+	if *spans {
+		// The instrumentation-present configuration: every StartSpan site
+		// pays its atomic sink load, untraced threads pay their nil checks.
+		// Compare a -spans run's -json against a plain run for the overhead
+		// gate in EXPERIMENTS.md.
+		ring := obs.NewSpanBuffer(1 << 16)
+		obs.SetSpanSink(ring.Record)
+		fmt.Println("stingbench: span sink installed (-spans)")
+	}
 
 	run := func(name string, f func() error) {
 		if *table != "all" && *table != name {
@@ -76,7 +88,7 @@ func main() {
 	run("steal-ablation", stealAblation)
 	run("tspace-ablation", tspaceAblation)
 	run("recycle-ablation", recycleAblation)
-	run("remote", remoteFabric)
+	run("remote", func() error { return remoteFabric(*spans) })
 	run("cluster", clusterFabric)
 	run("sched", schedCore)
 
@@ -282,7 +294,7 @@ func recycleAblation() error {
 	return nil
 }
 
-func remoteFabric() error {
+func remoteFabric(spansOn bool) error {
 	fmt.Println("remote fabric — tuple ping-pong over loopback TCP (stingd protocol)")
 	w := newTab()
 	fmt.Fprintln(w, "Pairs\tRounds\tElapsed\tµs/RTT\tbytes in\tbytes out")
@@ -307,6 +319,33 @@ func remoteFabric() error {
 		return err
 	}
 	fmt.Println("claim: a fabric round trip is network-bound; blocked remote readers cost no VP.")
+
+	if spansOn {
+		fmt.Println("\nremote fabric — STING-thread clients, causal tracing off/on")
+		w = newTab()
+		fmt.Fprintln(w, "Traced\tPairs\tRounds\tElapsed\tµs/RTT")
+		for _, traced := range []bool{false, true} {
+			for _, pairs := range []int{1, 2, 4} {
+				var best bench.RemoteResult
+				for rep := 0; rep < 3; rep++ { // best of three: loopback jitter
+					r, err := bench.RunRemotePingPongSpans(pairs, 300, traced)
+					if err != nil {
+						return err
+					}
+					if rep == 0 || r.Elapsed < best.Elapsed {
+						best = r
+					}
+				}
+				fmt.Fprintf(w, "%v\t%d\t%d\t%v\t%.1f\n", traced, best.Pairs, best.Rounds,
+					best.Elapsed.Round(time.Microsecond), best.PerRTTNs/1e3)
+				record(fmt.Sprintf("remote/spans=%v/pairs=%d", traced, pairs), best.PerRTTNs)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			return err
+		}
+		fmt.Println("claim: untraced ops pay only nil checks; a traced op records ~6 spans/RTT at ~1-2µs each.")
+	}
 	return nil
 }
 

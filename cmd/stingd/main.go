@@ -37,6 +37,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/persist"
 	"repro/internal/remote"
 	"repro/internal/tspace"
@@ -50,7 +51,9 @@ func main() {
 		spaces      = flag.String("spaces", "", "pre-created spaces, name=kind comma-separated (kinds: hash,bag,set,queue,vector,shared-variable,semaphore)")
 		statsEvery  = flag.Duration("stats-every", 0, "print server stats at this interval")
 		dumpStats   = flag.Bool("dump-stats", false, "dial -addr, print its stats snapshot, exit")
-		httpAddr    = flag.String("http", "", "serve /metrics, /healthz, /debug/trace on this address (empty: off)")
+		httpAddr    = flag.String("http", "", "serve /metrics, /healthz, /debug/trace, /debug/spans on this address (empty: off)")
+		pprofOn     = flag.Bool("pprof", false, "expose /debug/pprof/ on the -http address")
+		traceOut    = flag.String("trace-out", "", "write finished spans (JSON dump) here on graceful drain")
 		clusterSpec = flag.String("cluster", "", "cluster membership: nodes.json path or \"id=addr,…\" spec")
 		nodeID      = flag.String("node", "", "this daemon's node id within -cluster (default: the node whose addr matches -addr)")
 		snapshot    = flag.String("snapshot", "", "persist passive tuples here: restored on boot, written on graceful drain")
@@ -70,6 +73,8 @@ func main() {
 		cluster:    *clusterSpec,
 		nodeID:     *nodeID,
 		snapshot:   *snapshot,
+		pprof:      *pprofOn,
+		traceOut:   *traceOut,
 	}))
 }
 
@@ -78,6 +83,8 @@ type serverOpts struct {
 	addr, httpAddr, spaces string
 	cluster, nodeID        string
 	snapshot               string
+	traceOut               string
+	pprof                  bool
 	vps, procs             int
 	statsEvery             time.Duration
 }
@@ -125,6 +132,7 @@ func runServer(opts serverOpts) int {
 		}
 	}
 
+	nodeName := "stingd"
 	scfg := remote.ServerConfig{Registry: reg}
 	if opts.cluster != "" {
 		member, selfID, err := clusterIdentity(opts.cluster, opts.nodeID, opts.addr)
@@ -138,6 +146,7 @@ func runServer(opts serverOpts) int {
 			return 2
 		}
 		scfg.RouteCheck = check
+		nodeName = selfID
 		fmt.Printf("stingd: cluster node %s (%d shards); misrouted keyed ops are redirected\n",
 			selfID, member.Len())
 	}
@@ -151,15 +160,26 @@ func runServer(opts serverOpts) int {
 		ln.Addr(), strings.Join(append(reg.Names(), "* on demand"), ", "))
 
 	var draining atomic.Bool
+	var spans *obs.SpanBuffer
+	if opts.httpAddr != "" || opts.traceOut != "" {
+		// Span tracing engages whenever there is somewhere for the spans to
+		// go: the HTTP surface, the drain-time dump file, or both.
+		spans = obs.NewSpanBuffer(obsSpanCap)
+		obs.SetSpanSink(spans.Record)
+	}
 	if opts.httpAddr != "" {
 		trace := core.NewTraceBuffer(obsTraceCap)
 		core.SetTracer(trace.Record)
-		obsAddr, err := serveObs(opts.httpAddr, buildObsHandler(vm, reg, srv, trace, &draining))
+		obsAddr, err := serveObs(opts.httpAddr, buildObsHandler(vm, reg, srv, trace, spans, nodeName, opts.pprof, &draining))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "stingd:", err)
 			return 1
 		}
-		fmt.Printf("stingd: observability on http://%s (/metrics /healthz /debug/trace)\n", obsAddr)
+		endpoints := "/metrics /healthz /debug/trace /debug/spans"
+		if opts.pprof {
+			endpoints += " /debug/pprof/"
+		}
+		fmt.Printf("stingd: observability on http://%s (%s)\n", obsAddr, endpoints)
 	}
 
 	if opts.statsEvery > 0 {
@@ -187,6 +207,14 @@ func runServer(opts serverOpts) int {
 				fmt.Fprintln(os.Stderr, "stingd: snapshot write:", err)
 			} else {
 				fmt.Printf("stingd: snapshotted %d tuples from %d spaces to %s\n", tuples, spaces, opts.snapshot)
+			}
+		}
+		if opts.traceOut != "" && spans != nil {
+			n, err := writeSpanDump(opts.traceOut, nodeName, spans)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "stingd: span dump:", err)
+			} else {
+				fmt.Printf("stingd: dumped %d spans to %s\n", n, opts.traceOut)
 			}
 		}
 		fmt.Print(srv.Stats().String())

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"net"
 	"net/http"
+	"os"
 	"sync/atomic"
 
 	"repro/internal/core"
@@ -16,17 +17,24 @@ import (
 // 64Ki ring retains the last ~13k requests' worth of scheduling history.
 const obsTraceCap = 65536
 
+// obsSpanCap sizes the daemon's span ring: each traced wire op costs a
+// couple of spans, so 16Ki retains the last ~8k traced requests.
+const obsSpanCap = 16384
+
 // buildObsHandler assembles the daemon's observability surface: one obs
-// registry fed by the VM, the space registry, the fabric server, and the
-// trace ring, behind the /metrics, /healthz, /debug/trace handler.
-// Factored out of runServer so tests can drive it without sockets.
-func buildObsHandler(vm *core.VM, reg *tspace.Registry, srv *remote.Server, trace *core.TraceBuffer, draining *atomic.Bool) http.Handler {
+// registry fed by the VM, the space registry, the fabric server, the
+// trace ring, and the span ring, behind the /metrics, /healthz,
+// /debug/trace, /debug/spans handler. spans may be nil (span tracing
+// off); node names this daemon in span dumps. Factored out of runServer
+// so tests can drive it without sockets.
+func buildObsHandler(vm *core.VM, reg *tspace.Registry, srv *remote.Server, trace *core.TraceBuffer,
+	spans *obs.SpanBuffer, node string, pprofOn bool, draining *atomic.Bool) http.Handler {
 	r := obs.NewRegistry()
 	r.Register("core", core.VMCollector{VM: vm})
 	r.Register("tspace", tspace.RegistryCollector{Registry: reg})
 	r.Register("remote", remote.ServerCollector{Server: srv})
 	r.Register("trace", core.TraceCollector{Buffer: trace})
-	return &obs.Handler{
+	h := &obs.Handler{
 		Registry: r,
 		Healthy: func() error {
 			if draining.Load() {
@@ -37,7 +45,29 @@ func buildObsHandler(vm *core.VM, reg *tspace.Registry, srv *remote.Server, trac
 		TraceEvents: func() []obs.TraceEvent {
 			return core.ObsTraceEvents(trace.Events())
 		},
+		Node:        node,
+		EnablePprof: pprofOn,
 	}
+	if spans != nil {
+		r.Register("spans", obs.SpanCollector{Buffer: spans})
+		h.Spans = spans.Spans
+	}
+	return h
+}
+
+// writeSpanDump drains the span ring to path in the JSON dump format
+// (scripts/tracecat merges several nodes' dumps), returning the span count.
+func writeSpanDump(path, node string, spans *obs.SpanBuffer) (int, error) {
+	drained := spans.Drain()
+	f, err := os.Create(path)
+	if err != nil {
+		return 0, err
+	}
+	if err := obs.WriteSpansJSON(f, node, drained); err != nil {
+		f.Close() //nolint:errcheck
+		return 0, err
+	}
+	return len(drained), f.Close()
 }
 
 // serveObs binds addr and serves h on a background goroutine, returning

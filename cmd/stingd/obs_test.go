@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/remote"
 	"repro/internal/tspace"
 )
@@ -40,8 +41,12 @@ func TestObsHandlerExposesRequiredFamilies(t *testing.T) {
 	core.SetTracer(trace.Record)
 	defer core.SetTracer(nil)
 
+	spans := obs.NewSpanBuffer(256)
+	obs.SetSpanSink(spans.Record)
+	defer obs.SetSpanSink(nil)
+
 	var draining atomic.Bool
-	h := buildObsHandler(vm, reg, srv, trace, &draining)
+	h := buildObsHandler(vm, reg, srv, trace, spans, "test-node", false, &draining)
 	web := httptest.NewServer(h)
 	defer web.Close()
 
@@ -57,6 +62,9 @@ func TestObsHandlerExposesRequiredFamilies(t *testing.T) {
 		t.Fatalf("Put: %v", err)
 	}
 
+	// One finished span so /debug/spans and the span metrics have content.
+	obs.StartSpan(obs.SpanContext{}, "obs-test-root", obs.SpanInternal).End()
+
 	body := get(t, web.URL+"/metrics")
 	for _, family := range []string{
 		"sting_vp_dispatches_total",
@@ -69,6 +77,8 @@ func TestObsHandlerExposesRequiredFamilies(t *testing.T) {
 		"sting_remote_op_latency_seconds_bucket",
 		"sting_remote_conns_active",
 		"sting_trace_events",
+		"sting_spans_retained",
+		"sting_span_recorded_total",
 	} {
 		if !strings.Contains(body, family) {
 			t.Errorf("/metrics missing family %s", family)
@@ -100,6 +110,36 @@ func TestObsHandlerExposesRequiredFamilies(t *testing.T) {
 	}
 	if len(doc.TraceEvents) == 0 {
 		t.Error("/debug/trace has no events despite live traffic")
+	}
+
+	resp, err = web.Client().Get(web.URL + "/debug/spans")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("/debug/spans Content-Type = %q, want application/json", ct)
+	}
+	var dump struct {
+		Node  string           `json:"node"`
+		Spans []map[string]any `json:"spans"`
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close() //nolint:errcheck
+	if err := json.Unmarshal(b, &dump); err != nil {
+		t.Fatalf("/debug/spans not valid JSON: %v", err)
+	}
+	if dump.Node != "test-node" || len(dump.Spans) == 0 {
+		t.Errorf("/debug/spans = node %q with %d spans, want test-node with ≥1", dump.Node, len(dump.Spans))
+	}
+
+	var chrome struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(get(t, web.URL+"/debug/spans?format=chrome&limit=10")), &chrome); err != nil {
+		t.Fatalf("/debug/spans?format=chrome not valid JSON: %v", err)
+	}
+	if len(chrome.TraceEvents) == 0 {
+		t.Error("/debug/spans?format=chrome has no events")
 	}
 }
 

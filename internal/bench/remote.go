@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/remote"
 	"repro/internal/tspace"
 )
@@ -94,6 +95,108 @@ func RunRemotePingPong(pairs, rounds int) (RemoteResult, error) {
 	for i := 0; i < pairs; i++ {
 		if err := <-errs; err != nil {
 			return RemoteResult{}, err
+		}
+	}
+	for _, t := range echoes {
+		if _, err := core.JoinThread(t); err != nil {
+			return RemoteResult{}, fmt.Errorf("echo thread: %w", err)
+		}
+	}
+	elapsed := time.Since(start)
+	snap := srv.Stats()
+	total := pairs * rounds
+	return RemoteResult{
+		Pairs:    pairs,
+		Rounds:   rounds,
+		Elapsed:  elapsed,
+		PerRTTNs: float64(elapsed.Nanoseconds()) / float64(total),
+		BytesIn:  snap.BytesIn,
+		BytesOut: snap.BytesOut,
+	}, nil
+}
+
+// RunRemotePingPongSpans is the span-overhead ablation variant: the
+// clients are STING threads (so they carry a span context at all), and
+// when traced every round trip opens a client span whose context rides the
+// wire and re-opens as a server span — the full causal-tracing cost on the
+// request path. With traced false the same STING-thread clients run
+// untraced, isolating span creation + the TRACECTX extension as the only
+// difference between the two measurements.
+func RunRemotePingPongSpans(pairs, rounds int, traced bool) (RemoteResult, error) {
+	m := core.NewMachine(core.MachineConfig{Processors: 2})
+	defer m.Shutdown()
+	vm, err := m.NewVM(core.VMConfig{VPs: 2})
+	if err != nil {
+		return RemoteResult{}, err
+	}
+	srv := remote.NewServer(vm, remote.ServerConfig{})
+	defer srv.Shutdown()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return RemoteResult{}, err
+	}
+	go srv.Serve(ln) //nolint:errcheck
+
+	ts := srv.Registry().OpenDefault("pingpong")
+	echoes := make([]*core.Thread, pairs)
+	for i := range echoes {
+		echoes[i] = vm.Spawn(func(ctx *core.Context) ([]core.Value, error) {
+			for {
+				_, b, err := ts.Get(ctx, tspace.Template{"ping", tspace.F("p"), tspace.F("n")})
+				if err != nil {
+					return nil, err
+				}
+				if b["n"].(int64) < 0 {
+					return nil, nil
+				}
+				if err := ts.Put(ctx, tspace.Tuple{"pong", b["p"], b["n"]}); err != nil {
+					return nil, err
+				}
+			}
+		}, core.WithName("echo"))
+	}
+
+	var clientOpts []core.ThreadOption
+	if traced {
+		// A private ring sink for the duration of the run; the previous sink
+		// (e.g. stingbench's -spans ring) comes back afterwards.
+		prev := obs.CurrentSpanSink()
+		buf := obs.NewSpanBuffer(1 << 16)
+		obs.SetSpanSink(buf.Record)
+		defer obs.SetSpanSink(prev)
+		root := obs.StartSpan(obs.SpanContext{}, "bench/remote-pingpong", obs.SpanInternal)
+		defer root.End()
+		clientOpts = []core.ThreadOption{core.WithSpanContext(root.Context())}
+	}
+
+	addr := ln.Addr().String()
+	start := time.Now()
+	clients := make([]*core.Thread, pairs)
+	for p := range clients {
+		pid := int64(p)
+		opts := append([]core.ThreadOption{core.WithName("bench-client")}, clientOpts...)
+		clients[p] = vm.Spawn(func(ctx *core.Context) ([]core.Value, error) {
+			c, err := remote.Dial(ctx, addr, remote.DialConfig{})
+			if err != nil {
+				return nil, err
+			}
+			defer c.Close() //nolint:errcheck
+			sp := c.Space("pingpong")
+			for i := 0; i < rounds; i++ {
+				if err := sp.Put(ctx, tspace.Tuple{"ping", pid, int64(i)}); err != nil {
+					return nil, err
+				}
+				if _, _, err := sp.Get(ctx, tspace.Template{"pong", pid, int64(i)}); err != nil {
+					return nil, err
+				}
+			}
+			// Retire this pair's echo thread.
+			return nil, sp.Put(ctx, tspace.Tuple{"ping", pid, int64(-1)})
+		}, opts...)
+	}
+	for _, t := range clients {
+		if _, err := core.JoinThread(t); err != nil {
+			return RemoteResult{}, fmt.Errorf("client thread: %w", err)
 		}
 	}
 	for _, t := range echoes {

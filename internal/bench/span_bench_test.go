@@ -1,0 +1,22 @@
+package bench
+
+import "testing"
+
+// The causal-tracing ablation from EXPERIMENTS.md under testing.B: one
+// client/server pair, 300 round trips per iteration, with the span sink
+// absent (Off) vs a root span over every client (On). Profile with
+// -cpuprofile/-memprofile to see where traced round trips spend the
+// extra time (allocation and GC, not the span code itself).
+
+func benchSpanPingPong(b *testing.B, traced bool) {
+	for i := 0; i < b.N; i++ {
+		r, err := RunRemotePingPongSpans(1, 300, traced)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.PerRTTNs, "ns/RTT")
+	}
+}
+
+func BenchmarkSpanPingPongOff(b *testing.B) { benchSpanPingPong(b, false) }
+func BenchmarkSpanPingPongOn(b *testing.B)  { benchSpanPingPong(b, true) }

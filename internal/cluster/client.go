@@ -3,11 +3,13 @@ package cluster
 import (
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/remote"
 	"repro/internal/tspace"
 )
@@ -347,8 +349,26 @@ func (s *Space) TryRd(ctx *core.Context, tpl tspace.Template) (tspace.Tuple, tsp
 // rankedRead walks a keyed read down the ranked replica list: the first
 // shard that answers — with a match, a no-match, or a timeout — is
 // authoritative; only transport-class failures move to the next replica.
+// A traced caller gets a cluster/read span; each replica hop past the
+// first marks a failover event on it.
 func (s *Space) rankedRead(ctx *core.Context, ranked []*shard, tpl tspace.Template,
 	op func(sp *remote.Space) func() (tspace.Tuple, tspace.Bindings, error)) (tspace.Tuple, tspace.Bindings, error) {
+	if ctx == nil || !ctx.SpanContext().Valid() {
+		return s.rankedWalk(ctx, ranked, op, nil)
+	}
+	var tup tspace.Tuple
+	var bind tspace.Bindings
+	var err error
+	ctx.WithSpan("cluster/read", func(span *obs.Span) {
+		span.SetAttr("space", s.name)
+		tup, bind, err = s.rankedWalk(ctx, ranked, op, span)
+	})
+	return tup, bind, err
+}
+
+// rankedWalk is rankedRead's replica loop.
+func (s *Space) rankedWalk(ctx *core.Context, ranked []*shard,
+	op func(sp *remote.Space) func() (tspace.Tuple, tspace.Bindings, error), span *obs.Span) (tspace.Tuple, tspace.Bindings, error) {
 	var lastErr error
 	for i := 0; i < routeSlack && i < len(ranked); i++ {
 		sh := ranked[i]
@@ -368,6 +388,7 @@ func (s *Space) rankedRead(ctx *core.Context, ranked []*shard, tpl tspace.Templa
 		if !transportError(err) {
 			return nil, nil, err
 		}
+		span.Event("failover")
 		lastErr = err
 	}
 	if lastErr == nil {
@@ -493,6 +514,26 @@ func (s *Space) fanMatch(ctx *core.Context, tpl tspace.Template, destructive boo
 	}
 	s.c.fanouts.Add(1)
 
+	// A traced caller gets a fanout span with one child span per shard
+	// branch: the winner marks "won" (and is recorded on the parent), a
+	// loser withdrawn by CANCEL marks "canceled", and a losing Get that
+	// re-deposits its tuple marks "redeposit". Branch spans are closed by
+	// defer, so a canceled or failed branch never leaks an open span.
+	var fanSpan *obs.Span
+	if ctx != nil {
+		if sc := ctx.SpanContext(); sc.Valid() {
+			if fanSpan = obs.StartSpan(sc, "cluster/fanout", obs.SpanInternal); fanSpan != nil {
+				fanSpan.SetAttr("space", s.name)
+				fanSpan.SetAttr("shards", strconv.Itoa(len(shards)))
+				if destructive {
+					fanSpan.SetAttr("op", "get")
+				} else {
+					fanSpan.SetAttr("op", "rd")
+				}
+			}
+		}
+	}
+
 	type result struct {
 		tup  tspace.Tuple
 		bind tspace.Bindings
@@ -525,6 +566,17 @@ func (s *Space) fanMatch(ctx *core.Context, tpl tspace.Template, destructive boo
 	branch := func(i int, bctx *core.Context) {
 		defer s.c.wg.Done()
 		sh := shards[i]
+		var bspan *obs.Span
+		if fanSpan != nil {
+			if bspan = obs.StartSpan(fanSpan.Context(), "cluster/branch", obs.SpanInternal); bspan != nil {
+				bspan.SetAttr("shard", sh.node.ID)
+				if bctx != nil {
+					// Re-parent the branch's wire operations under its span.
+					bctx.SetSpanContext(bspan.Context())
+				}
+			}
+		}
+		defer bspan.End()
 		var tup tspace.Tuple
 		var bind tspace.Bindings
 		rc, err := sh.client(bctx)
@@ -548,6 +600,8 @@ func (s *Space) fanMatch(ctx *core.Context, tpl tspace.Template, destructive boo
 					}
 				}
 				mu.Unlock()
+				bspan.Event("won")
+				fanSpan.SetAttr("winner", sh.node.ID)
 				decide()
 				return
 			}
@@ -556,12 +610,16 @@ func (s *Space) fanMatch(ctx *core.Context, tpl tspace.Template, destructive boo
 				// Lost the race with a tuple in hand: put it back where it
 				// came from. Failure here means the shard died under us —
 				// counted, the tuple goes down with its shard.
+				bspan.Event("redeposit")
 				sh.compensations.Add(1)
 				if perr := s.remoteSpace(rc).Put(bctx, tup); perr != nil {
 					sh.compErrs.Add(1)
 				}
 			}
 			return
+		}
+		if errors.Is(err, remote.ErrCanceled) {
+			bspan.Event("canceled")
 		}
 		if transportError(err) {
 			sh.errs.Add(1)
@@ -605,6 +663,9 @@ func (s *Space) fanMatch(ctx *core.Context, tpl tspace.Template, destructive boo
 	} else {
 		<-decided
 	}
+	// Losers drain in the background; their branch spans may outlive the
+	// fanout span, which records only the decided window the caller saw.
+	fanSpan.End()
 	mu.Lock()
 	defer mu.Unlock()
 	if winner != nil {

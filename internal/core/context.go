@@ -3,6 +3,8 @@ package core
 import (
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Context is handed to every thunk and is the handle through which running
@@ -133,6 +135,7 @@ func (ctx *Context) blockUntil(cond func() bool, st ExecState, enq EnqueueState)
 		ctx.applyRequests()
 		vp := tcb.vp.Load()
 		vp.stats.Blocks.Add(1)
+		ctx.Thread().spanEvent("block")
 		emit(TraceBlock, ctx.Thread().ID(), vpIndexOf(vp))
 		tcb.parkWait(st)
 	}
@@ -271,6 +274,7 @@ func (ctx *Context) TrySteal(t *Thread) bool {
 	if t.vm != nil {
 		t.vm.stats.Steals.Add(1)
 	}
+	t.spanEvent("stolen")
 	emit(TraceSteal, t.id, vpIndexOf(vp))
 	ctx.runStolen(t)
 	return true
@@ -291,11 +295,14 @@ func (ctx *Context) runStolen(t *Thread) {
 	}
 	savedFluid := tcb.fluid
 	tcb.fluid = t.fluid
+	savedSpan := tcb.spanCtx
+	tcb.spanCtx = t.spanCtx
 	var values []Value
 	var err error
 	func() {
 		defer func() {
 			tcb.fluid = savedFluid
+			tcb.spanCtx = savedSpan
 			tcb.stolen = tcb.stolen[:len(tcb.stolen)-1]
 			r := recover()
 			if r == nil {
@@ -392,3 +399,33 @@ func (ctx *Context) FluidLet(key any, value Value, body func()) {
 // FluidEnvSnapshot returns the current dynamic environment; threads created
 // from this context inherit it.
 func (ctx *Context) FluidEnvSnapshot() *FluidEnv { return ctx.tcb.fluid }
+
+// SpanContext returns the thread's current trace context — the one child
+// threads, remote operations, and WithSpan spans are parented under. It is
+// the zero context when the thread is untraced.
+func (ctx *Context) SpanContext() obs.SpanContext { return ctx.tcb.spanCtx }
+
+// SetSpanContext replaces the thread's current trace context. Cluster
+// fan-out branches use it to re-parent the wire operations a branch issues
+// under that branch's span.
+func (ctx *Context) SetSpanContext(sc obs.SpanContext) { ctx.tcb.spanCtx = sc }
+
+// WithSpan runs body inside a span parented under the current trace
+// context; threads forked and remote operations issued within body are
+// parented under the new span. Like FluidLet, the previous context is
+// restored afterwards. body receives the span (nil when tracing is off —
+// Span methods are nil-safe) and the span ends when body returns.
+func (ctx *Context) WithSpan(name string, body func(s *obs.Span)) {
+	s := obs.StartSpan(ctx.tcb.spanCtx, name, obs.SpanInternal)
+	if s == nil {
+		body(nil)
+		return
+	}
+	saved := ctx.tcb.spanCtx
+	ctx.tcb.spanCtx = s.Context()
+	defer func() {
+		ctx.tcb.spanCtx = saved
+		s.End()
+	}()
+	body(s)
+}

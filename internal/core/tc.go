@@ -16,8 +16,9 @@ import "time"
 func (ctx *Context) CreateThread(thunk Thunk, opts ...ThreadOption) *Thread {
 	ctx.Poll() // thread operations are TC entries
 	// The new thread captures the creator's *current* dynamic environment
-	// (fluid-let extent included); an explicit WithFluid option overrides.
-	opts = append([]ThreadOption{WithFluid(ctx.tcb.fluid)}, opts...)
+	// (fluid-let extent included) and trace context (with-span extent
+	// included); explicit WithFluid/WithSpanContext options override.
+	opts = append([]ThreadOption{WithFluid(ctx.tcb.fluid), WithSpanContext(ctx.tcb.spanCtx)}, opts...)
 	return newThread(ctx.VM(), ctx.Thread(), thunk, opts...)
 }
 
@@ -70,6 +71,7 @@ func scheduleThread(t *Thread, vp *VP, st EnqueueState) {
 		t.state.Store(int32(Scheduled))
 	}
 	vp.stats.Scheduled.Add(1)
+	t.spanEvent("scheduled")
 	emit(TraceSchedule, t.id, vp.index)
 	vp.pm.EnqueueThread(vp, t, st)
 	vp.NotifyWork()

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"sync/atomic"
 
+	"repro/internal/obs"
 	"repro/internal/storage"
 )
 
@@ -56,7 +57,8 @@ type TCB struct {
 	// inline due to stealing; owner-only.
 	stolen []*Thread
 
-	fluid *FluidEnv // current dynamic environment; owner-only
+	fluid   *FluidEnv       // current dynamic environment; owner-only
+	spanCtx obs.SpanContext // current trace context; owner-only, like fluid
 
 	polls    uint64 // owner-only TC-entry counter
 	preempts uint64 // owner-only preemptions taken
@@ -127,6 +129,7 @@ func (tcb *TCB) loop() {
 		t := tcb.thread.Load()
 		ctx := &Context{tcb: tcb}
 		tcb.fluid = t.fluid
+		tcb.spanCtx = t.spanCtx
 		tcb.stolen = tcb.stolen[:0]
 		values, err := runThunk(t, ctx)
 		t.determine(values, err)
@@ -189,6 +192,16 @@ func (tcb *TCB) yieldTo(st EnqueueState) {
 	tcb.exec.Store(int32(ExecRunning))
 }
 
+// ThreadSpanEvent annotates the span of the thread bound to this TCB —
+// the hook synchronization structures (tuple-space wakeups, baton
+// handoffs) use to mark their decisions on the woken thread's trace. A
+// no-op for untraced or unbound TCBs.
+func (tcb *TCB) ThreadSpanEvent(name string) {
+	if t := tcb.thread.Load(); t != nil {
+		t.spanEvent(name)
+	}
+}
+
 // wakeTCB reschedules a parked TCB, or leaves a pending-wake mark if its
 // thread is still running. Exactly one enqueue is produced per actual park.
 func wakeTCB(tcb *TCB, st EnqueueState) {
@@ -199,6 +212,7 @@ func wakeTCB(tcb *TCB, st EnqueueState) {
 				vp := tcb.vp.Load()
 				tcb.exec.Store(int32(ExecReady))
 				if t := tcb.thread.Load(); t != nil {
+					t.spanEvent("wake")
 					emit(TraceWake, t.ID(), vpIndexOf(vp))
 				}
 				vp.pm.EnqueueThread(vp, tcb, st)

@@ -2,9 +2,12 @@ package core
 
 import (
 	"fmt"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Thread is STING's basic concurrency object: a first-class, non-strict
@@ -51,6 +54,14 @@ type Thread struct {
 
 	fluid *FluidEnv // dynamic environment captured at creation
 
+	// Causal tracing: spanCtx is the trace context the thread was created
+	// under (inherited alongside the fluid environment); span is the
+	// thread's own genealogy-linked span, opened at creation when the
+	// inherited context names a live trace and ended at determine. Both
+	// are nil/zero for untraced threads.
+	spanCtx obs.SpanContext
+	span    *obs.Span
+
 	tcb *TCB // non-nil while evaluating; guarded by mu
 }
 
@@ -95,6 +106,16 @@ func WithFluid(env *FluidEnv) ThreadOption { return func(t *Thread) { t.fluid = 
 // parent's group.
 func WithGroup(g *Group) ThreadOption { return func(t *Thread) { t.group = g } }
 
+// WithSpanContext sets the trace context the thread starts under: when it
+// names a live trace (and a span sink is installed) the thread opens its
+// own child span at creation, so forked work appears genealogy-linked in
+// the trace. Context-created threads inherit their creator's current
+// context automatically; this option is for root threads (a server
+// dispatching a traced request) and explicit re-parenting.
+func WithSpanContext(sc obs.SpanContext) ThreadOption {
+	return func(t *Thread) { t.spanCtx = sc }
+}
+
 // newThread builds the thread object. parent may be nil (root threads).
 func newThread(vm *VM, parent *Thread, thunk Thunk, opts ...ThreadOption) *Thread {
 	t := &Thread{
@@ -128,6 +149,18 @@ func newThread(vm *VM, parent *Thread, thunk Thunk, opts ...ThreadOption) *Threa
 	}
 	if vm != nil {
 		vm.stats.ThreadsCreated.Add(1)
+	}
+	if t.spanCtx.Valid() {
+		name := t.name
+		if name == "" {
+			name = "thread"
+		}
+		if s := obs.StartSpan(t.spanCtx, name, obs.SpanInternal); s != nil {
+			s.SetAttr("thread", strconv.FormatUint(t.id, 10))
+			t.span = s
+			// Children forked by this thread nest under its span.
+			t.spanCtx = s.Context()
+		}
 	}
 	emit(TraceCreate, t.id, -1)
 	return t
@@ -181,6 +214,17 @@ func (t *Thread) Quantum() time.Duration { return time.Duration(t.quantum.Load()
 
 // Fluid returns the dynamic environment the thread was created with.
 func (t *Thread) Fluid() *FluidEnv { return t.fluid }
+
+// SpanContext returns the trace context the thread's children inherit:
+// its own span when the thread is traced, the zero context otherwise.
+func (t *Thread) SpanContext() obs.SpanContext { return t.spanCtx }
+
+// Span returns the thread's genealogy-linked span (nil when untraced).
+func (t *Thread) Span() *obs.Span { return t.span }
+
+// spanEvent annotates the thread's span; a no-op for untraced threads
+// (one nil check), so scheduler transition sites call it unconditionally.
+func (t *Thread) spanEvent(name string) { t.span.Event(name) }
 
 // SetQuantumHint records a preemption quantum for the thread; policy
 // managers use it to stamp their default quantum on threads that have not
@@ -290,6 +334,12 @@ func (t *Thread) determine(values []Value, err error) {
 	}
 	if t.vm != nil {
 		t.vm.stats.ThreadsDetermined.Add(1)
+	}
+	if t.span != nil {
+		if err != nil {
+			t.span.SetAttr("error", err.Error())
+		}
+		t.span.End()
 	}
 	emit(TraceDetermine, t.id, -1)
 	wakeupWaiters(w)

@@ -218,6 +218,7 @@ func (vp *VP) dispatch(r Runnable) bool {
 			tcb.asyncReq.Store(true) // requests recorded before dispatch
 		}
 		vp.stats.Dispatches.Add(1)
+		x.spanEvent("evaluating")
 		emit(TraceDispatch, x.id, vp.index)
 		vp.host(tcb, x)
 		return true

@@ -3,17 +3,24 @@ package obs
 import (
 	"fmt"
 	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"strings"
 )
 
 // Handler serves the observability endpoints over plain net/http:
 //
-//	/metrics      Prometheus text exposition of Registry.Gather
-//	/healthz      200 "ok" while Healthy returns nil, 503 otherwise
-//	/debug/trace  Chrome trace_event JSON of TraceEvents (open in Perfetto)
+//	/metrics       Prometheus text exposition of Registry.Gather
+//	/healthz       200 "ok" while Healthy returns nil, 503 otherwise
+//	/debug/trace   Chrome trace_event JSON of TraceEvents (open in Perfetto)
+//	/debug/spans   finished spans: JSON dump (default) or ?format=chrome
+//	/debug/pprof/  the runtime profiler, when EnablePprof is set
 //
-// Zero-value fields degrade gracefully: a nil Registry serves an empty
-// exposition, a nil Healthy always reports healthy, a nil TraceEvents
-// makes /debug/trace a 404.
+// /debug/trace and /debug/spans honour ?limit=N (the most recent N
+// entries), so a long-lived node can be sampled without shipping the whole
+// ring. Zero-value fields degrade gracefully: a nil Registry serves an
+// empty exposition, a nil Healthy always reports healthy, a nil
+// TraceEvents or Spans makes its endpoint a 404.
 type Handler struct {
 	Registry *Registry
 	// Healthy reports liveness; return an error (e.g. "draining") to flip
@@ -21,20 +28,38 @@ type Handler struct {
 	Healthy func() error
 	// TraceEvents supplies the trace-ring snapshot for /debug/trace.
 	TraceEvents func() []TraceEvent
+	// Spans supplies the finished-span snapshot for /debug/spans.
+	Spans func() []*SpanData
+	// Node names this process in span dumps (default "sting").
+	Node string
+	// EnablePprof exposes net/http/pprof under /debug/pprof/. Off by
+	// default: the profiler is a diagnostic surface, not a metric one.
+	EnablePprof bool
 }
 
-// ServeHTTP implements http.Handler, routing the three endpoints.
+// ServeHTTP implements http.Handler, routing the endpoints.
 func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	switch r.URL.Path {
-	case "/metrics":
+	switch {
+	case r.URL.Path == "/metrics":
 		h.serveMetrics(w)
-	case "/healthz":
+	case r.URL.Path == "/healthz":
 		h.serveHealth(w)
-	case "/debug/trace":
-		h.serveTrace(w)
-	case "/":
+	case r.URL.Path == "/debug/trace":
+		h.serveTrace(w, r)
+	case r.URL.Path == "/debug/spans":
+		h.serveSpans(w, r)
+	case strings.HasPrefix(r.URL.Path, "/debug/pprof/"):
+		if !h.EnablePprof {
+			http.NotFound(w, r)
+			return
+		}
+		h.servePprof(w, r)
+	case r.URL.Path == "/":
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprint(w, "sting observability\n/metrics\n/healthz\n/debug/trace\n")
+		fmt.Fprint(w, "sting observability\n/metrics\n/healthz\n/debug/trace\n/debug/spans\n")
+		if h.EnablePprof {
+			fmt.Fprint(w, "/debug/pprof/\n")
+		}
 	default:
 		http.NotFound(w, r)
 	}
@@ -60,11 +85,60 @@ func (h *Handler) serveHealth(w http.ResponseWriter) {
 	fmt.Fprint(w, "ok\n")
 }
 
-func (h *Handler) serveTrace(w http.ResponseWriter) {
+// parseLimit reads ?limit=N; 0 (or absence, or garbage) means unlimited.
+func parseLimit(r *http.Request) int {
+	n, err := strconv.Atoi(r.URL.Query().Get("limit"))
+	if err != nil || n < 0 {
+		return 0
+	}
+	return n
+}
+
+func (h *Handler) serveTrace(w http.ResponseWriter, r *http.Request) {
 	if h.TraceEvents == nil {
 		http.Error(w, "tracing not enabled", http.StatusNotFound)
 		return
 	}
+	events := h.TraceEvents()
+	if limit := parseLimit(r); limit > 0 && len(events) > limit {
+		events = events[len(events)-limit:]
+	}
 	w.Header().Set("Content-Type", "application/json")
-	_ = WriteChromeTrace(w, h.TraceEvents())
+	_ = WriteChromeTrace(w, events)
+}
+
+func (h *Handler) serveSpans(w http.ResponseWriter, r *http.Request) {
+	if h.Spans == nil {
+		http.Error(w, "span tracing not enabled", http.StatusNotFound)
+		return
+	}
+	spans := h.Spans()
+	if limit := parseLimit(r); limit > 0 && len(spans) > limit {
+		spans = spans[len(spans)-limit:]
+	}
+	node := h.Node
+	if node == "" {
+		node = "sting"
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if r.URL.Query().Get("format") == "chrome" {
+		_ = WriteChromeSpans(w, []NodeSpans{{Node: node, Spans: spans}})
+		return
+	}
+	_ = WriteSpansJSON(w, node, spans)
+}
+
+func (h *Handler) servePprof(w http.ResponseWriter, r *http.Request) {
+	switch strings.TrimPrefix(r.URL.Path, "/debug/pprof/") {
+	case "cmdline":
+		pprof.Cmdline(w, r)
+	case "profile":
+		pprof.Profile(w, r)
+	case "symbol":
+		pprof.Symbol(w, r)
+	case "trace":
+		pprof.Trace(w, r)
+	default:
+		pprof.Index(w, r) // named profiles (heap, goroutine, …) and the index
+	}
 }

@@ -25,6 +25,9 @@ type chromeEvent struct {
 	Dur  float64        `json:"dur,omitempty"`
 	PID  int            `json:"pid"`
 	TID  int            `json:"tid"`
+	ID   string         `json:"id,omitempty"`  // flow binding key (ph "s"/"f")
+	BP   string         `json:"bp,omitempty"`  // flow binding point ("e": enclosing slice)
+	Cat  string         `json:"cat,omitempty"` // category; flow events require one
 	Args map[string]any `json:"args,omitempty"`
 }
 

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/sio"
 	"repro/internal/tspace"
 )
@@ -120,6 +121,7 @@ type Client struct {
 
 	mu      sync.Mutex
 	fc      *sio.FrameConn
+	version byte // protocol version negotiated for the current connection
 	pending map[uint32]*call
 	nextID  uint32
 	closed  bool
@@ -169,12 +171,14 @@ func (c *Client) redialLocked(ctx *core.Context) error {
 			continue
 		}
 		fc := sio.NewFrameConn(nc, maxFrame, c.cfg.WriteTimeout)
-		if err := c.handshake(ctx, fc); err != nil {
+		v, err := c.handshake(ctx, fc)
+		if err != nil {
 			fc.Close()
 			lastErr = err
 			continue
 		}
 		c.fc = fc
+		c.version = v
 		fc.Start(func(frame []byte, err error) { c.onFrame(fc, frame, err) })
 		c.metrics.dialLatency.ObserveSince(t0)
 		return nil
@@ -183,17 +187,25 @@ func (c *Client) redialLocked(ctx *core.Context) error {
 	return fmt.Errorf("remote: dial %s: %w", c.addr, lastErr)
 }
 
+// helloResult carries the handshake outcome: the version the server
+// negotiated (min of both sides) or the error.
+type helloResult struct {
+	version byte
+	err     error
+}
+
 // handshake performs the HELLO exchange synchronously on a fresh
-// connection (its reader loop is not running yet).
-func (c *Client) handshake(ctx *core.Context, fc *sio.FrameConn) error {
+// connection (its reader loop is not running yet) and returns the
+// negotiated protocol version.
+func (c *Client) handshake(ctx *core.Context, fc *sio.FrameConn) (byte, error) {
 	frame, err := encodeRequest(request{op: opHello, id: 0})
 	if err != nil {
-		return err
+		return 0, err
 	}
 	if err := fc.WriteFrame(frame); err != nil {
-		return err
+		return 0, err
 	}
-	done := make(chan error, 1)
+	done := make(chan helloResult, 1)
 	go func() {
 		var hdr [4]byte
 		buf := make([]byte, 64)
@@ -201,51 +213,52 @@ func (c *Client) handshake(ctx *core.Context, fc *sio.FrameConn) error {
 		conn.SetReadDeadline(time.Now().Add(c.cfg.Timeout)) //nolint:errcheck
 		defer conn.SetReadDeadline(time.Time{})             //nolint:errcheck
 		if _, err := readFull(conn, hdr[:]); err != nil {
-			done <- err
+			done <- helloResult{err: err}
 			return
 		}
 		n := uint32(hdr[0])<<24 | uint32(hdr[1])<<16 | uint32(hdr[2])<<8 | uint32(hdr[3])
 		if n > uint32(len(buf)) {
-			done <- protoErrf("hello reply of %d bytes", n)
+			done <- helloResult{err: protoErrf("hello reply of %d bytes", n)}
 			return
 		}
 		if _, err := readFull(conn, buf[:n]); err != nil {
-			done <- err
+			done <- helloResult{err: err}
 			return
 		}
 		r, err := decodeResponse(buf[:n])
 		if err != nil {
-			done <- err
+			done <- helloResult{err: err}
 			return
 		}
 		if r.op == respErr {
-			done <- wireError(r, "hello", "", 0)
+			done <- helloResult{err: wireError(r, "hello", "", 0)}
 			return
 		}
 		if r.op != respOK {
-			done <- protoErrf("hello reply op %d", r.op)
+			done <- helloResult{err: protoErrf("hello reply op %d", r.op)}
 			return
 		}
-		done <- nil
+		done <- helloResult{version: r.version}
 	}()
 	if ctx == nil {
-		return <-done
+		res := <-done
+		return res.version, res.err
 	}
 	// From a STING thread: park through the substrate while the helper
 	// goroutine blocks on the socket.
-	var res error
+	var res helloResult
 	got := false
 	var mu sync.Mutex
 	tcb := ctx.TCB()
 	go func() {
-		err := <-done
+		r := <-done
 		mu.Lock()
-		res, got = err, true
+		res, got = r, true
 		mu.Unlock()
 		core.WakeTCB(tcb)
 	}()
 	ctx.BlockUntil(func() bool { mu.Lock(); defer mu.Unlock(); return got })
-	return res
+	return res.version, res.err
 }
 
 func readFull(conn net.Conn, buf []byte) (int, error) {
@@ -335,7 +348,32 @@ func sleep(ctx *core.Context, d time.Duration) {
 // frame may have left, the op is never re-sent. A non-nil tok arms
 // client-initiated cancellation: firing it sends a CANCEL frame for the
 // in-flight request id, and the server answers the op with codeCanceled.
+//
+// A caller on a traced STING thread gets a client span covering the whole
+// exchange (retries included); its id travels in the trace-context
+// extension, so the server half of the operation parents under it.
 func (c *Client) roundTrip(ctx *core.Context, req request, wait time.Duration, tok *tspace.CancelToken) (response, error) {
+	var span *obs.Span
+	if ctx != nil {
+		if sc := ctx.SpanContext(); sc.Valid() {
+			if span = obs.StartSpan(sc, "client/"+opName(req.op), obs.SpanClient); span != nil {
+				span.SetAttr("space", req.space)
+				span.SetAttr("addr", c.addr)
+				pctx := span.Context()
+				req.trace, req.parentSpan = pctx.Trace, pctx.Span
+			}
+		}
+	}
+	resp, err := c.roundTripRetry(ctx, req, wait, tok, span)
+	if err != nil {
+		span.SetAttr("error", err.Error())
+	}
+	span.End()
+	return resp, err
+}
+
+// roundTripRetry is roundTrip's attempt loop.
+func (c *Client) roundTripRetry(ctx *core.Context, req request, wait time.Duration, tok *tspace.CancelToken, span *obs.Span) (response, error) {
 	c.wg.Add(1)
 	defer c.wg.Done()
 	t0 := time.Now()
@@ -350,6 +388,7 @@ func (c *Client) roundTrip(ctx *core.Context, req request, wait time.Duration, t
 	for attempt := 0; attempt <= c.cfg.OpRetries; attempt++ {
 		if attempt > 0 {
 			c.metrics.opRetries.Add(1)
+			span.Event("retry")
 			sleep(ctx, c.cfg.backoff(attempt-1))
 		}
 		if !expiry.IsZero() && !time.Now().Before(expiry) {
@@ -359,7 +398,7 @@ func (c *Client) roundTrip(ctx *core.Context, req request, wait time.Duration, t
 		if tok != nil && tok.Canceled() {
 			return response{}, ErrCanceled
 		}
-		cl, id, fc, err := c.register(ctx)
+		cl, id, fc, ver, err := c.register(ctx)
 		if err != nil {
 			if errors.Is(err, net.ErrClosed) {
 				return response{}, err
@@ -368,6 +407,9 @@ func (c *Client) roundTrip(ctx *core.Context, req request, wait time.Duration, t
 			continue // dial failed; transient
 		}
 		req.id = id
+		// The trace-context extension needs a version-2 peer; a redial may
+		// land on an older server, so the gate is per attempt.
+		req.hasTrace = req.parentSpan != 0 && ver >= 2
 		frame, err := encodeRequest(req)
 		if err != nil {
 			c.unregister(id)
@@ -429,16 +471,17 @@ func (c *Client) sendCancel(target uint32) {
 }
 
 // register allocates a request id and pending call on a live connection,
-// redialing if the previous one died.
-func (c *Client) register(ctx *core.Context) (*call, uint32, *sio.FrameConn, error) {
+// redialing if the previous one died. It also reports the connection's
+// negotiated protocol version, which gates version-2 extensions.
+func (c *Client) register(ctx *core.Context) (*call, uint32, *sio.FrameConn, byte, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed {
-		return nil, 0, nil, net.ErrClosed
+		return nil, 0, nil, 0, net.ErrClosed
 	}
 	if c.fc == nil {
 		if err := c.redialLocked(ctx); err != nil {
-			return nil, 0, nil, err
+			return nil, 0, nil, 0, err
 		}
 	}
 	c.nextID++
@@ -448,7 +491,7 @@ func (c *Client) register(ctx *core.Context) (*call, uint32, *sio.FrameConn, err
 	id := c.nextID
 	cl := newCall()
 	c.pending[id] = cl
-	return cl, id, c.fc, nil
+	return cl, id, c.fc, c.version, nil
 }
 
 func (c *Client) unregister(id uint32) {

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/sio"
 	"repro/internal/tspace"
 )
@@ -148,6 +149,7 @@ func (s *Server) addConn(c net.Conn) {
 		fc:     sio.NewFrameConn(c, maxFrame, s.cfg.WriteTimeout),
 		tokens: make(map[uint32]*tspace.CancelToken),
 	}
+	sc.version.Store(minProtocolVersion) // until HELLO negotiates
 	s.mu.Lock()
 	if s.closed.Load() {
 		s.mu.Unlock()
@@ -194,7 +196,12 @@ func (s *Server) handleFrame(sc *serverConn, frame []byte) {
 	}
 	s.stats.serve(req.op)
 	if req.op == opHello {
-		sc.send(encodeOK(req.id))
+		v := req.version
+		if v > protocolVersion {
+			v = protocolVersion
+		}
+		sc.version.Store(uint32(v))
+		sc.send(encodeOK(req.id, v))
 		s.stats.observe(req.op, time.Since(t0))
 		return
 	}
@@ -208,13 +215,24 @@ func (s *Server) handleFrame(sc *serverConn, frame []byte) {
 		sc.send(encodeErrResp(req.id, codeShutdown, ErrShutdown.Error()))
 		return
 	}
+	// A propagated trace context opens a server span measured from frame
+	// arrival, so it covers queueing and — for blocking ops — park time:
+	// the latency the client's span observes. The request thread inherits
+	// the span's context, making in-process work it forks children of it.
+	var span *obs.Span
+	if req.hasTrace {
+		span = obs.StartSpanAt(obs.SpanContext{Trace: req.trace, Span: req.parentSpan},
+			"server/"+opName(req.op), obs.SpanServer, t0.UnixNano())
+		span.SetAttr("space", req.space)
+	}
 	s.ops.Add(1)
 	s.vm.Spawn(func(ctx *core.Context) ([]core.Value, error) {
 		defer s.ops.Done()
 		s.serveOp(ctx, sc, req)
+		span.End()
 		s.stats.observe(req.op, time.Since(t0))
 		return nil, nil
-	}, core.WithName("stingd/"+opName(req.op)))
+	}, core.WithName("stingd/"+opName(req.op)), core.WithSpanContext(span.Context()))
 }
 
 // serveOp executes one decoded request on a STING thread.
@@ -253,7 +271,7 @@ func (s *Server) serveOp(ctx *core.Context, sc *serverConn, req request) {
 			sc.send(encodeErrResp(req.id, codeInternal, err.Error()))
 			return
 		}
-		sc.send(encodeOK(req.id))
+		sc.send(encodeOK(req.id, byte(sc.version.Load())))
 	case opTryGet, opTryRd:
 		var tup tspace.Tuple
 		var bind tspace.Bindings
@@ -324,6 +342,10 @@ func (s *Server) serveBlocking(ctx *core.Context, sc *serverConn, req request, t
 type serverConn struct {
 	s  *Server
 	fc *sio.FrameConn
+
+	// version is the protocol version negotiated at HELLO; responses that
+	// carry a version byte echo it so version-1 clients keep decoding.
+	version atomic.Uint32
 
 	mu          sync.Mutex
 	tokens      map[uint32]*tspace.CancelToken

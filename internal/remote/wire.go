@@ -33,11 +33,21 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/tspace"
 )
 
-// Protocol version carried in the HELLO exchange.
-const protocolVersion = 1
+// Protocol versions carried in the HELLO exchange. The client announces
+// the highest version it speaks; the server replies with
+// min(client, server), and both sides speak the negotiated version for the
+// rest of the connection. Version 2 adds trailing TLV extensions to
+// request frames (currently the trace-context extension); they are only
+// sent once the handshake negotiated ≥2, because version-1 decoders
+// reject trailing bytes.
+const (
+	protocolVersion    = 2
+	minProtocolVersion = 1
+)
 
 // maxFrame bounds one frame's payload.
 const maxFrame = 1 << 20
@@ -184,6 +194,17 @@ func opName(op byte) string {
 	}
 }
 
+// Request-frame extension markers (version ≥2). Extensions trail the op
+// body as marker byte + uvarint length + payload; unknown markers are
+// skipped, so new extensions never break a peer that negotiated them.
+const (
+	// extTraceCtx propagates the caller's trace context: trace id (16
+	// bytes) + parent span id (8 bytes), big-endian.
+	extTraceCtx byte = 1
+)
+
+const extTraceCtxLen = 24
+
 // request is a decoded client frame.
 type request struct {
 	op       byte
@@ -193,6 +214,13 @@ type request struct {
 	tuple    tspace.Tuple    // opPut
 	template tspace.Template // opGet/opRd/opTryGet/opTryRd
 	target   uint32          // opCancel: the request id to withdraw
+	version  byte            // opHello: the client's announced version
+
+	// Propagated trace context (extTraceCtx); hasTrace gates both
+	// encoding the extension and opening a server span.
+	trace      obs.TraceID
+	parentSpan obs.SpanID
+	hasTrace   bool
 }
 
 // blockingOp reports whether the op may park a server thread.
@@ -234,7 +262,11 @@ func encodeRequest(req request) ([]byte, error) {
 	case opGet, opRd, opTryGet, opTryRd:
 		buf, err = tspace.AppendTemplate(buf, req.template)
 	case opHello:
-		buf = append(buf, protocolVersion)
+		v := req.version
+		if v == 0 {
+			v = protocolVersion
+		}
+		buf = append(buf, v)
 	case opCancel:
 		buf = binary.BigEndian.AppendUint32(buf, req.target)
 	case opStats, opLen:
@@ -244,6 +276,13 @@ func encodeRequest(req request) ([]byte, error) {
 	}
 	if err != nil {
 		return nil, err
+	}
+	if req.hasTrace {
+		buf = append(buf, extTraceCtx)
+		buf = binary.AppendUvarint(buf, extTraceCtxLen)
+		buf = binary.BigEndian.AppendUint64(buf, req.trace.Hi)
+		buf = binary.BigEndian.AppendUint64(buf, req.trace.Lo)
+		buf = binary.BigEndian.AppendUint64(buf, uint64(req.parentSpan))
 	}
 	return buf, nil
 }
@@ -265,45 +304,77 @@ func decodeRequest(b []byte) (request, error) {
 	}
 	req.space = name
 	rest := b[9+n:]
+	var consumed int
 	switch req.op {
 	case opPut:
 		tup, c, err := tspace.DecodeTuple(rest)
 		if err != nil {
 			return req, protoErrf("put tuple: %v", err)
 		}
-		if len(rest) != c {
-			return req, protoErrf("%d trailing bytes", len(rest)-c)
-		}
 		req.tuple = tup
+		consumed = c
 	case opGet, opRd, opTryGet, opTryRd:
 		tpl, c, err := tspace.DecodeTemplate(rest)
 		if err != nil {
 			return req, protoErrf("template: %v", err)
 		}
-		if len(rest) != c {
-			return req, protoErrf("%d trailing bytes", len(rest)-c)
-		}
 		req.template = tpl
+		consumed = c
 	case opHello:
-		if len(rest) != 1 {
+		if len(rest) < 1 {
 			return req, protoErrf("hello body of %d bytes", len(rest))
 		}
-		if rest[0] != protocolVersion {
-			return req, protoErrf("version %d, want %d", rest[0], protocolVersion)
+		if rest[0] < minProtocolVersion {
+			return req, protoErrf("version %d below minimum %d", rest[0], minProtocolVersion)
 		}
+		req.version = rest[0]
+		consumed = 1
 	case opCancel:
-		if len(rest) != 4 {
+		if len(rest) < 4 {
 			return req, protoErrf("cancel body of %d bytes", len(rest))
 		}
 		req.target = binary.BigEndian.Uint32(rest)
+		consumed = 4
 	case opStats, opLen:
-		if len(rest) != 0 {
-			return req, protoErrf("%d trailing bytes", len(rest))
-		}
+		consumed = 0
 	default:
 		return req, protoErrf("unknown request op %d", req.op)
 	}
+	if err := decodeExtensions(&req, rest[consumed:]); err != nil {
+		return req, err
+	}
 	return req, nil
+}
+
+// decodeExtensions parses the TLV tail of a version-≥2 request frame:
+// marker byte + uvarint length + payload, repeated. Unknown markers are
+// skipped so future extensions coexist with this decoder.
+func decodeExtensions(req *request, b []byte) error {
+	for len(b) > 0 {
+		marker := b[0]
+		l, n := binary.Uvarint(b[1:])
+		if n <= 0 {
+			return protoErrf("bad extension length (marker %d)", marker)
+		}
+		if l > uint64(len(b)-1-n) {
+			return protoErrf("truncated extension (marker %d)", marker)
+		}
+		payload := b[1+n : 1+n+int(l)]
+		b = b[1+n+int(l):]
+		switch marker {
+		case extTraceCtx:
+			if len(payload) != extTraceCtxLen {
+				return protoErrf("trace context of %d bytes", len(payload))
+			}
+			req.trace.Hi = binary.BigEndian.Uint64(payload)
+			req.trace.Lo = binary.BigEndian.Uint64(payload[8:])
+			req.parentSpan = obs.SpanID(binary.BigEndian.Uint64(payload[16:]))
+			req.hasTrace = !req.trace.IsZero()
+		default:
+			// Unknown extension: skip. New markers must tolerate old peers.
+		}
+	}
+	return nil
 }
 
 // response encoders -------------------------------------------------------
@@ -314,8 +385,14 @@ func respHeader(op byte, id uint32) []byte {
 	return binary.BigEndian.AppendUint32(buf, id)
 }
 
-func encodeOK(id uint32) []byte {
-	return append(respHeader(respOK, id), protocolVersion)
+// encodeOK is the HELLO reply carrying the negotiated version:
+// min(client's announced version, protocolVersion).
+func encodeOK(id uint32, clientVersion byte) []byte {
+	v := byte(protocolVersion)
+	if clientVersion < v {
+		v = clientVersion
+	}
+	return append(respHeader(respOK, id), v)
 }
 
 func encodeTupleResp(id uint32, tup tspace.Tuple, bind tspace.Bindings) ([]byte, error) {
@@ -379,6 +456,7 @@ type response struct {
 	message string
 	length  int64
 	stats   StatsSnapshot
+	version byte // respOK: the version the server negotiated
 }
 
 func decodeResponse(b []byte) (response, error) {
@@ -391,9 +469,10 @@ func decodeResponse(b []byte) (response, error) {
 	rest := b[5:]
 	switch r.op {
 	case respOK:
-		if len(rest) != 1 || rest[0] != protocolVersion {
+		if len(rest) != 1 || rest[0] < minProtocolVersion || rest[0] > protocolVersion {
 			return r, protoErrf("bad hello reply")
 		}
+		r.version = rest[0]
 	case respTuple:
 		tup, c, err := tspace.DecodeTuple(rest)
 		if err != nil {

@@ -52,7 +52,7 @@ func TestDecodeRequestRejectsMalformed(t *testing.T) {
 		"trailing bytes":   append(bytes.Clone(valid), 0),
 		"oversized name":   append([]byte{opLen, 0, 0, 0, 1, 0, 0, 0, 0, 0xff, 0x7f}, make([]byte, 300)...),
 		"bad hello body":   {opHello, 0, 0, 0, 1, 0, 0, 0, 0, 0},
-		"wrong version":    {opHello, 0, 0, 0, 1, 0, 0, 0, 0, 0, 99},
+		"version zero":     {opHello, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0},
 		"stats with body":  {opStats, 0, 0, 0, 1, 0, 0, 0, 0, 0, 1},
 		"template in put":  mustEncodeTemplateAsPut(t),
 		"formal arity lie": {opGet, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0xff},

@@ -21,6 +21,10 @@ type Interp struct {
 	store  *persist.Store   // long-lived persistent roots (§2 program model)
 	spaces *tspace.Registry // named spaces for (named-space ...)/(space-depth ...)
 
+	// toplevelOpts are extra thread options applied to every toplevel
+	// thread EvalString spawns (e.g. a root span context from the CLI).
+	toplevelOpts []core.ThreadOption
+
 	stepCount atomic.Uint64
 	gensyms   atomic.Uint64
 }
@@ -71,6 +75,12 @@ func (in *Interp) Store() *persist.Store { return in.store }
 // Spaces returns the interpreter's named-space registry.
 func (in *Interp) Spaces() *tspace.Registry { return in.spaces }
 
+// SetToplevelOptions installs extra thread options applied to every
+// toplevel thread EvalString spawns from now on. The CLI uses it to run
+// whole programs under one root span context (set after construction so
+// the prelude load stays untraced).
+func (in *Interp) SetToplevelOptions(opts ...core.ThreadOption) { in.toplevelOpts = opts }
+
 // steps supports the evaluator's poll budget; shared across threads so
 // safe-point density holds machine-wide.
 func (in *Interp) step() uint64 { return in.stepCount.Add(1) }
@@ -82,6 +92,7 @@ func (in *Interp) EvalString(src string) (Value, error) {
 	if err != nil {
 		return nil, err
 	}
+	opts := append(append([]core.ThreadOption{}, in.toplevelOpts...), core.WithName("scheme-toplevel"))
 	vals, err := in.vm.Run(func(ctx *core.Context) ([]core.Value, error) {
 		var out Value = Unspecified
 		for _, d := range data {
@@ -91,7 +102,7 @@ func (in *Interp) EvalString(src string) (Value, error) {
 			}
 		}
 		return []core.Value{out}, nil
-	}, core.WithName("scheme-toplevel"))
+	}, opts...)
 	if err != nil {
 		return nil, err
 	}

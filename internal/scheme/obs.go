@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/tspace"
 )
 
@@ -90,6 +91,37 @@ func installObs(in *Interp) {
 			out[i] = NewSString(n)
 		}
 		return List(out...), nil
+	})
+
+	// (current-trace-id) → the calling thread's trace ID as a hex string,
+	// or #f when the thread is untraced. Forked threads inherit the span
+	// context, so a whole computation tree answers the same ID.
+	in.prim("current-trace-id", 0, 0, func(_ *Interp, ctx *core.Context, _ []Value) (Value, error) {
+		sc := ctx.SpanContext()
+		if !sc.Valid() {
+			return false, nil
+		}
+		return NewSString(sc.Trace.String()), nil
+	})
+
+	// (with-span name thunk) → runs thunk under a child span named name;
+	// remote ops inside it stitch to server spans under that parent. The
+	// span closes when the thunk returns (or errors), and the body runs
+	// even when tracing is off.
+	in.prim("with-span", 2, 2, func(_ *Interp, ctx *core.Context, a []Value) (Value, error) {
+		name, err := nameArg("with-span", a[0])
+		if err != nil {
+			return nil, err
+		}
+		var out Value
+		var aerr error
+		ctx.WithSpan(name, func(s *obs.Span) {
+			out, aerr = in.Apply(ctx, a[1], nil)
+			if aerr != nil {
+				s.SetAttr("error", aerr.Error())
+			}
+		})
+		return out, aerr
 	})
 }
 

@@ -1,8 +1,11 @@
 package scheme
 
 import (
+	"strings"
 	"testing"
 
+	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/tspace"
 )
 
@@ -32,6 +35,45 @@ func TestNamedSpacePrims(t *testing.T) {
 	evalOK(t, in, `(tuple-space? (named-space "q" 'queue))`, "#t")
 	evalErr(t, in, `(named-space "x" 'nonsense)`) // bad kind opens nothing
 	evalOK(t, in, `(space-names)`, `("jobs" "other" "q")`)
+}
+
+// TestTracePrims: (current-trace-id) answers #f untraced and the trace's
+// hex ID once the toplevel runs under a root span; (with-span ...) runs
+// its thunk under a child span (recorded on End) and the body evaluates
+// either way.
+func TestTracePrims(t *testing.T) {
+	in := newInterp(t, 1, 2)
+	evalOK(t, in, `(current-trace-id)`, "#f")
+	evalOK(t, in, `(with-span "untraced" (lambda () (* 6 7)))`, "42")
+
+	buf := obs.NewSpanBuffer(64)
+	obs.SetSpanSink(buf.Record)
+	defer obs.SetSpanSink(nil)
+	root := obs.StartSpan(obs.SpanContext{}, "scheme-root", obs.SpanInternal)
+	in.SetToplevelOptions(core.WithSpanContext(root.Context()))
+
+	v, err := in.EvalString(`(current-trace-id)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := WriteString(v); !strings.Contains(got, root.Context().Trace.String()) {
+		t.Fatalf("(current-trace-id) = %s, want trace %s", got, root.Context().Trace)
+	}
+	// Forked threads inherit the context: the child answers the same ID.
+	evalOK(t, in, `(string=? (current-trace-id) (thread-value (fork-thread (current-trace-id))))`, "#t")
+
+	evalOK(t, in, `(with-span "phase" (lambda () 7))`, "7")
+	root.End()
+	in.SetToplevelOptions()
+	found := false
+	for _, s := range buf.Drain() {
+		if s.Name == "phase" && s.Trace == root.Context().Trace {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("(with-span \"phase\" ...) span not recorded")
+	}
 }
 
 // TestWithSpacesSharesRegistry: a registry handed in via WithSpaces is

@@ -308,6 +308,7 @@ func (w *waitTable) wakeClass(k waitKey) {
 	w.mu.Unlock()
 	if tw != nil {
 		tw.woke.Store(true)
+		tw.tcb.ThreadSpanEvent("tspace-wake")
 		core.WakeTCB(tw.tcb)
 	}
 }
@@ -325,6 +326,7 @@ func (w *waitTable) wakeOne() {
 	w.mu.Unlock()
 	if tw != nil {
 		tw.woke.Store(true)
+		tw.tcb.ThreadSpanEvent("tspace-wake")
 		core.WakeTCB(tw.tcb)
 	}
 }
@@ -349,6 +351,7 @@ func (w *waitTable) wakeArity(arity int) {
 	w.mu.Unlock()
 	for _, tw := range woken {
 		tw.woke.Store(true)
+		tw.tcb.ThreadSpanEvent("tspace-wake")
 		core.WakeTCB(tw.tcb)
 	}
 }
@@ -380,6 +383,7 @@ func (w *waitTable) handoff(tw *tsWaiter) {
 	w.mu.Unlock()
 	if next != nil {
 		next.woke.Store(true)
+		next.tcb.ThreadSpanEvent("tspace-handoff")
 		core.WakeTCB(next.tcb)
 	}
 }

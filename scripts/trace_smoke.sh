@@ -1,0 +1,101 @@
+#!/usr/bin/env bash
+# trace_smoke.sh — boot a 2-shard stingd cluster with span tracing on,
+# run one traced cluster op through the sting CLI, merge every node's
+# span dump with tracecat, and assert the stitched trace: a client span
+# and a server span sharing one trace ID with client→server parentage.
+# Run via `make trace-smoke`.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+tmp="$(mktemp -d)"
+pids=()
+trap 'for p in "${pids[@]:-}"; do kill "$p" 2>/dev/null || true; done; rm -rf "$tmp"' EXIT
+
+go build -o "$tmp/stingd" ./cmd/stingd
+go build -o "$tmp/sting" ./cmd/sting
+go build -o "$tmp/tracecat" ./scripts/tracecat
+
+mapfile -t ports < <(go run ./scripts/freeport 2)
+cat >"$tmp/nodes.json" <<EOF
+{"nodes": [
+  {"id": "n1", "addr": "127.0.0.1:${ports[0]}"},
+  {"id": "n2", "addr": "127.0.0.1:${ports[1]}"}
+]}
+EOF
+
+for i in 1 2; do
+    port="${ports[$((i - 1))]}"
+    "$tmp/stingd" -addr "127.0.0.1:$port" -cluster "$tmp/nodes.json" \
+        -trace-out "$tmp/spans-n$i.json" >"$tmp/shard$i.log" 2>&1 &
+    pids+=($!)
+done
+for i in 1 2; do
+    up=""
+    for _ in $(seq 1 50); do
+        grep -q "serving tuple spaces" "$tmp/shard$i.log" && { up=1; break; }
+        kill -0 "${pids[$((i - 1))]}" 2>/dev/null || { echo "FAIL: shard $i exited early"; cat "$tmp/shard$i.log"; exit 1; }
+        sleep 0.1
+    done
+    [ -n "$up" ] || { echo "FAIL: shard $i never came up"; cat "$tmp/shard$i.log"; exit 1; }
+done
+echo "cluster up: shards on ${ports[*]}"
+
+# One traced run: keyed puts land on both shards, a keyed get and a
+# wildcard get (fan-out with a CANCELed loser) ride the root span.
+cat >"$tmp/smoke.scm" <<'EOF'
+(define sp (remote-open *cluster* "jobs"))
+(define (fill i)
+  (if (< i 8)
+      (begin (remote-put sp (list i "payload")) (fill (+ i 1)))))
+(fill 0)
+(display (pair? (remote-get sp '(3 ?v)))) (newline)
+(display (pair? (remote-get sp '(?k ?v)))) (newline)
+(display (current-trace-id)) (newline)
+EOF
+out="$("$tmp/sting" -cluster "$tmp/nodes.json" -trace-out "$tmp/spans-cli.json" "$tmp/smoke.scm" 2>&1)"
+echo "$out"
+
+fail=0
+if grep -q '#f' <<<"$out"; then
+    echo "FAIL: an op missed or the toplevel ran untraced"
+    fail=1
+fi
+grep -q 'dumped .* spans' <<<"$out" || { echo "FAIL: sting CLI wrote no span dump"; fail=1; }
+
+# Graceful drain flushes each shard's span ring to its -trace-out file.
+for i in 1 2; do kill -TERM "${pids[$((i - 1))]}"; done
+for i in 1 2; do
+    wait "${pids[$((i - 1))]}" 2>/dev/null || true
+    grep -q 'dumped .* spans' "$tmp/shard$i.log" \
+        || { echo "FAIL: shard $i dumped no spans on drain"; cat "$tmp/shard$i.log"; fail=1; }
+done
+pids=()
+
+# Merge the three dumps; -require-stitched fails unless some server span
+# is parented on a client span within one shared trace ID.
+if ! "$tmp/tracecat" -require-stitched -summary \
+    "$tmp/spans-cli.json" "$tmp/spans-n1.json" "$tmp/spans-n2.json" >"$tmp/merged.json"; then
+    echo "FAIL: tracecat found no stitched client→server pair"
+    fail=1
+fi
+go run ./scripts/jsoncheck <"$tmp/merged.json" || { echo "FAIL: merged trace is not valid JSON"; fail=1; }
+
+# The CLI's trace ID (printed by the script) must appear in the shards'
+# dumps too: one trace ID across every process it touched.
+tid="$(grep -oE '^"?[0-9a-f]{32}"?$' <<<"$out" | tr -d '"' | head -1)"
+if [ -z "$tid" ]; then
+    echo "FAIL: could not read the CLI's trace id from its output"
+    fail=1
+else
+    for i in 1 2; do
+        grep -q "$tid" "$tmp/spans-n$i.json" \
+            || { echo "FAIL: shard $i's dump lacks trace $tid"; fail=1; }
+    done
+fi
+
+if [ "$fail" -ne 0 ]; then
+    echo "trace-smoke: FAILED"
+    exit 1
+fi
+echo "trace-smoke: OK (2 shards + CLI, one trace ID, client→server spans stitched)"

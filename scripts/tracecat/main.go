@@ -1,0 +1,120 @@
+// Command tracecat merges per-node span dumps (stingd -trace-out, sting
+// -trace-out, /debug/spans) into one Chrome trace_event document for
+// Perfetto, with flow arrows stitching each client span to its server
+// span.
+//
+// Usage:
+//
+//	tracecat n1.json n2.json client.json > merged.json
+//	tracecat -require-stitched n1.json client.json > merged.json
+//
+// -require-stitched makes the exit status a CI assertion: it fails unless
+// some trace contains both a client span and a server span sharing the
+// trace ID with the server span parented on the client span — i.e. unless
+// at least one wire operation was stitched end-to-end across processes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	requireStitched := flag.Bool("require-stitched", false,
+		"exit nonzero unless a client and a server span share a trace ID with client→server parentage")
+	summary := flag.Bool("summary", false, "print a per-trace span-count summary to stderr")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: tracecat [-require-stitched] dump.json ...")
+		os.Exit(2)
+	}
+
+	var nodes []obs.NodeSpans
+	for _, path := range flag.Args() {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tracecat:", err)
+			os.Exit(1)
+		}
+		node, spans, err := obs.DecodeSpansJSON(f)
+		f.Close() //nolint:errcheck
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tracecat: %s: %v\n", path, err)
+			os.Exit(1)
+		}
+		nodes = append(nodes, obs.NodeSpans{Node: node, Spans: spans})
+	}
+
+	if *summary {
+		printSummary(nodes)
+	}
+	if *requireStitched && !stitched(nodes) {
+		fmt.Fprintln(os.Stderr, "tracecat: no stitched client→server pair found across the dumps")
+		os.Exit(1)
+	}
+	if err := obs.WriteChromeSpans(os.Stdout, nodes); err != nil {
+		fmt.Fprintln(os.Stderr, "tracecat:", err)
+		os.Exit(1)
+	}
+}
+
+// stitched reports whether any server span's (trace, parent) names a
+// client span from any dump — the cross-process causal link.
+func stitched(nodes []obs.NodeSpans) bool {
+	type edge struct {
+		trace obs.TraceID
+		span  obs.SpanID
+	}
+	clients := make(map[edge]string)
+	for _, n := range nodes {
+		for _, s := range n.Spans {
+			if s.Kind == obs.SpanClient {
+				clients[edge{s.Trace, s.Span}] = n.Node
+			}
+		}
+	}
+	for _, n := range nodes {
+		for _, s := range n.Spans {
+			if s.Kind != obs.SpanServer || s.Parent == 0 {
+				continue
+			}
+			if from, ok := clients[edge{s.Trace, s.Parent}]; ok {
+				fmt.Fprintf(os.Stderr, "tracecat: stitched trace %s: client@%s → %s@%s\n",
+					s.Trace, from, s.Name, n.Node)
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func printSummary(nodes []obs.NodeSpans) {
+	type counts struct{ total, client, server int }
+	per := make(map[obs.TraceID]*counts)
+	var order []obs.TraceID
+	for _, n := range nodes {
+		for _, s := range n.Spans {
+			c := per[s.Trace]
+			if c == nil {
+				c = &counts{}
+				per[s.Trace] = c
+				order = append(order, s.Trace)
+			}
+			c.total++
+			switch s.Kind {
+			case obs.SpanClient:
+				c.client++
+			case obs.SpanServer:
+				c.server++
+			}
+		}
+	}
+	for _, id := range order {
+		c := per[id]
+		fmt.Fprintf(os.Stderr, "tracecat: trace %s: %d spans (%d client, %d server)\n",
+			id, c.total, c.client, c.server)
+	}
+}

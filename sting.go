@@ -384,3 +384,59 @@ var (
 	// ObsTraceEvents converts core trace events for WriteChromeTrace.
 	ObsTraceEvents = core.ObsTraceEvents
 )
+
+// Distributed causal tracing: spans propagate with threads (like fluid
+// bindings), across the wire (a TRACECTX extension on fabric requests),
+// and across cluster fan-outs (one span per shard branch).
+type (
+	// Span is a live span; End emits an immutable SpanData to the sink.
+	Span = obs.Span
+	// SpanData is one finished span.
+	SpanData = obs.SpanData
+	// SpanContext is the propagated (trace ID, span ID) pair.
+	SpanContext = obs.SpanContext
+	// SpanKind classifies a span: internal, client, server.
+	SpanKind = obs.SpanKind
+	// SpanBuffer is a bounded lock-free ring of finished spans.
+	SpanBuffer = obs.SpanBuffer
+	// SpanCollector exposes a span ring's counters to an obs registry.
+	SpanCollector = obs.SpanCollector
+	// NodeSpans pairs a node name with its spans for multi-node export.
+	NodeSpans = obs.NodeSpans
+	// SpanTraceID is the 128-bit trace identifier.
+	SpanTraceID = obs.TraceID
+	// SpanSpanID is the 64-bit span identifier.
+	SpanSpanID = obs.SpanID
+)
+
+// Span kinds.
+const (
+	SpanInternal = obs.SpanInternal
+	SpanClient   = obs.SpanClient
+	SpanServer   = obs.SpanServer
+)
+
+var (
+	// StartSpan opens a span under a parent context (zero context starts a
+	// new trace); returns nil (safe to use) when no sink is installed.
+	StartSpan = obs.StartSpan
+	// SetSpanSink installs the machine-wide span sink (nil disables).
+	SetSpanSink = obs.SetSpanSink
+	// NewSpanBuffer creates a ring sink for finished spans.
+	NewSpanBuffer = obs.NewSpanBuffer
+	// OpenSpans counts spans started but not yet ended (leak detector).
+	OpenSpans = obs.OpenSpans
+	// DisableSpans suppresses span creation even with a sink installed
+	// (the overhead-ablation switch).
+	DisableSpans = &obs.DisableSpans
+	// WithSpanContext seeds a new thread's span context explicitly
+	// (children inherit it like the fluid environment).
+	WithSpanContext = core.WithSpanContext
+	// WriteSpansJSON / DecodeSpansJSON are the per-node span dump codec
+	// (scripts/tracecat merges several nodes' dumps).
+	WriteSpansJSON  = obs.WriteSpansJSON
+	DecodeSpansJSON = obs.DecodeSpansJSON
+	// WriteChromeSpans renders spans from many nodes as one Chrome
+	// trace_event document with flow arrows stitching client to server.
+	WriteChromeSpans = obs.WriteChromeSpans
+)
