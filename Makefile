@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race check bench sched-bench bench-compare obs-smoke obs-bench cluster-smoke trace-smoke clean
+.PHONY: all build vet test race check bench sched-bench bench-compare obs-smoke obs-bench cluster-smoke trace-smoke stm-bench stm-bench-compare stm-smoke clean
 
 all: check
 
@@ -52,6 +52,21 @@ cluster-smoke:
 # trace has client→server parentage under one trace ID.
 trace-smoke:
 	./scripts/trace_smoke.sh
+
+# Regenerate the STM contention sweep + overhead ablation and refresh the
+# committed baseline.
+stm-bench:
+	$(GO) run ./cmd/stingbench -table stm -json BENCH_stm.json
+
+# Rerun the STM sweep and fail on >10% ns/op regression against the
+# committed BENCH_stm.json baseline (advisory in CI).
+stm-bench-compare:
+	./scripts/stm_compare.sh
+
+# Boot a single-shard stingd, run (atomic ...) transfers from the sting
+# CLI over the wire, assert conservation and server-side stm metrics.
+stm-smoke:
+	./scripts/stm_smoke.sh
 
 # The metric-collection overhead ablation (EXPERIMENTS.md): the remote
 # ping-pong with the per-op latency histograms on vs off.

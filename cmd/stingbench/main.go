@@ -12,6 +12,8 @@
 //	-table cluster           sharded-cluster routing: 1 vs N shards
 //	-table sched             scheduler core: fork-join fan-out, yield
 //	                         ping-pong, keyed tuple throughput at 1/2/4/8 VPs
+//	-table stm               STM contention sweep (update-rate × key-skew ×
+//	                         workers) and transactional-overhead ablation
 //	-table all               everything (default)
 //
 // Absolute numbers will differ from the paper's 1992 MIPS R3000 (and this
@@ -91,6 +93,7 @@ func main() {
 	run("remote", func() error { return remoteFabric(*spans) })
 	run("cluster", clusterFabric)
 	run("sched", schedCore)
+	run("stm", func() error { return stmSweep(*n) })
 
 	if *jsonOut != "" {
 		if err := writeJSON(*jsonOut); err != nil {
@@ -448,5 +451,84 @@ func clusterFabric() error {
 		return err
 	}
 	fmt.Println("claim: rendezvous routing spreads keyed pairs across shards; wildcard reads still see the whole cluster.")
+	return nil
+}
+
+func stmSweep(n int) error {
+	fmt.Println("STM contention sweep — transactional transfers, Synchrobench-style update-rate × key-skew × workers")
+	opsPer := n / 20 // transactions are whole bodies, not single ops
+	if opsPer < 100 {
+		opsPer = 100
+	}
+	w := newTab()
+	fmt.Fprintln(w, "Workers\tKeys\tUpdate%\tZipf\tThink\tTxns\tElapsed\tµs/txn\tCommits\tConflicts\tRetries")
+	// Two regimes. 32 keys, no think time: the dilute case, measuring raw
+	// commit cost with conflicts rare. 4 keys with think time (a yield
+	// between the body's reads and writes): transfers collide for real,
+	// exercising conflict detection, retry, and backoff — including on
+	// hosts with few processors, where pure timeslicing would otherwise
+	// hide almost every interleaving.
+	for _, cfg := range []struct {
+		keys  int
+		think bool
+	}{{32, false}, {4, true}} {
+		for _, workers := range []int{1, 2, 4, 8} {
+			for _, update := range []int{10, 100} {
+				for _, zipf := range []float64{0, 1.2} {
+					if cfg.keys == 4 && (zipf > 0 || workers < 2) {
+						continue // skew is meaningless over 4 keys; 1 worker cannot conflict
+					}
+					var best bench.STMContentionResult
+					for rep := 0; rep < 3; rep++ {
+						r, err := bench.RunSTMContention(4, workers, cfg.keys, update, zipf, opsPer, cfg.think)
+						if err != nil {
+							return err
+						}
+						if rep == 0 || r.Elapsed < best.Elapsed {
+							best = r
+						}
+					}
+					skew := "uni"
+					if zipf > 0 {
+						skew = fmt.Sprintf("%.1f", zipf)
+					}
+					think := "no"
+					if cfg.think {
+						think = "yes"
+					}
+					fmt.Fprintf(w, "%d\t%d\t%d\t%s\t%s\t%d\t%v\t%.1f\t%d\t%d\t%d\n",
+						best.Workers, best.Keys, best.UpdatePct, skew, think, best.Ops,
+						best.Elapsed.Round(time.Microsecond), best.PerOpNs/1e3,
+						best.Commits, best.Conflicts, best.Retries)
+					record(fmt.Sprintf("stm/k=%d/g=%d/u=%d/skew=%s", cfg.keys, workers, update, skew), best.PerOpNs)
+				}
+			}
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+
+	fmt.Println("\ntransactional-overhead ablation (TryGet+Put pair, naked vs inside Atomic)")
+	w = newTab()
+	fmt.Fprintln(w, "Path\tns/pair")
+	var best bench.STMOverheadResult
+	for rep := 0; rep < 3; rep++ {
+		r, err := bench.RunSTMOverhead(n)
+		if err != nil {
+			return err
+		}
+		if rep == 0 || r.NakedNs < best.NakedNs {
+			best = r
+		}
+	}
+	fmt.Fprintf(w, "naked ops\t%.0f\n", best.NakedNs)
+	fmt.Fprintf(w, "inside Atomic\t%.0f\n", best.TxnNs)
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	record("stm/overhead/naked", best.NakedNs)
+	record("stm/overhead/txn", best.TxnNs)
+	fmt.Printf("claim: non-transactional ops pay only a per-bin version bump (<5%% — gate against the tspace-ablation baseline); conflicts rise with skew and update rate, throughput degrades gracefully via backoff.\n")
 	return nil
 }

@@ -10,6 +10,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/remote"
+	"repro/internal/stm"
 	"repro/internal/tspace"
 )
 
@@ -33,6 +34,7 @@ func buildObsHandler(vm *core.VM, reg *tspace.Registry, srv *remote.Server, trac
 	r.Register("core", core.VMCollector{VM: vm})
 	r.Register("tspace", tspace.RegistryCollector{Registry: reg})
 	r.Register("remote", remote.ServerCollector{Server: srv})
+	r.Register("stm", stm.NewCollector())
 	r.Register("trace", core.TraceCollector{Buffer: trace})
 	h := &obs.Handler{
 		Registry: r,

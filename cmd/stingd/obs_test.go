@@ -2,10 +2,12 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"io"
 	"net"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -13,6 +15,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/remote"
+	"repro/internal/stm"
 	"repro/internal/tspace"
 )
 
@@ -65,6 +68,35 @@ func TestObsHandlerExposesRequiredFamilies(t *testing.T) {
 	// One finished span so /debug/spans and the span metrics have content.
 	obs.StartSpan(obs.SpanContext{}, "obs-test-root", obs.SpanInternal).End()
 
+	// A server-side transactional commit (TXNCOMMIT over the wire) and a
+	// client-side aborted transaction, so the sting_stm_* collector has
+	// non-zero commit and abort counts. The abort must close its stm/txn
+	// span — OpenSpans returning to base catches a leaked span.
+	if err := c.CommitTxn(nil, []tspace.TxnOp{
+		{Kind: tspace.TxnPut, Space: "jobs", Tup: tspace.Tuple{"job", 2}},
+	}); err != nil {
+		t.Fatalf("CommitTxn: %v", err)
+	}
+	baseOpen := obs.OpenSpans()
+	if _, err := vm.Run(func(ctx *core.Context) ([]core.Value, error) {
+		local := tspace.New(tspace.KindHash, tspace.Config{})
+		err := stm.Atomic(ctx, func(tx *stm.Txn) error {
+			if err := tx.Put(local, tspace.Tuple{"scrap", 1}); err != nil {
+				return err
+			}
+			return tx.Abort()
+		})
+		if !errors.Is(err, stm.ErrAborted) {
+			t.Errorf("Atomic abort = %v, want ErrAborted", err)
+		}
+		return nil, nil
+	}); err != nil {
+		t.Fatalf("vm.Run: %v", err)
+	}
+	if open := obs.OpenSpans(); open != baseOpen {
+		t.Errorf("OpenSpans = %d after aborted txn, want %d (span leaked)", open, baseOpen)
+	}
+
 	body := get(t, web.URL+"/metrics")
 	for _, family := range []string{
 		"sting_vp_dispatches_total",
@@ -76,6 +108,10 @@ func TestObsHandlerExposesRequiredFamilies(t *testing.T) {
 		"sting_tspace_wake_handoffs_total",
 		"sting_remote_op_latency_seconds_bucket",
 		"sting_remote_conns_active",
+		"sting_stm_commits_total",
+		"sting_stm_aborts_total",
+		"sting_stm_retries_total",
+		"sting_stm_commit_latency_seconds_bucket",
 		"sting_trace_events",
 		"sting_spans_retained",
 		"sting_span_recorded_total",
@@ -84,8 +120,14 @@ func TestObsHandlerExposesRequiredFamilies(t *testing.T) {
 			t.Errorf("/metrics missing family %s", family)
 		}
 	}
-	if !strings.Contains(body, `sting_tspace_depth{space="jobs",kind="hash"} 1`) {
+	if !strings.Contains(body, `sting_tspace_depth{space="jobs",kind="hash"} 2`) {
 		t.Errorf("/metrics depth sample wrong:\n%s", grepLines(body, "sting_tspace_depth"))
+	}
+	if v := metricValue(t, body, "sting_stm_commits_total"); v < 1 {
+		t.Errorf("sting_stm_commits_total = %v after a wire commit, want ≥ 1", v)
+	}
+	if v := metricValue(t, body, "sting_stm_aborts_total"); v < 1 {
+		t.Errorf("sting_stm_aborts_total = %v after an explicit abort, want ≥ 1", v)
 	}
 
 	if got := get(t, web.URL+"/healthz"); got != "ok\n" {
@@ -155,6 +197,23 @@ func get(t *testing.T, url string) string {
 		t.Fatalf("read %s: %v", url, err)
 	}
 	return string(b)
+}
+
+// metricValue extracts the sample value of an unlabelled counter/gauge
+// line ("family 12") from a /metrics body.
+func metricValue(t *testing.T, body, family string) float64 {
+	t.Helper()
+	for _, l := range strings.Split(body, "\n") {
+		if strings.HasPrefix(l, family+" ") {
+			v, err := strconv.ParseFloat(strings.TrimPrefix(l, family+" "), 64)
+			if err != nil {
+				t.Fatalf("parse %s sample %q: %v", family, l, err)
+			}
+			return v
+		}
+	}
+	t.Fatalf("no %s sample in /metrics:\n%s", family, grepLines(body, family))
+	return 0
 }
 
 func grepLines(s, substr string) string {

@@ -1,0 +1,50 @@
+package sting_test
+
+import (
+	"fmt"
+
+	sting "repro"
+)
+
+// Atomic moves value between tuples transactionally: the debit and the
+// credit commit together or not at all, and a conflicting interleaving
+// re-runs the body instead of losing an update.
+func ExampleAtomic() {
+	m := sting.NewMachine(sting.MachineConfig{Processors: 2})
+	defer m.Shutdown()
+	vm, _ := m.NewVM(sting.VMConfig{VPs: 2})
+
+	vm.Run(func(ctx *sting.Context) ([]sting.Value, error) {
+		bank := sting.NewTupleSpace(sting.KindHash, sting.TupleSpaceConfig{})
+		_ = bank.Put(ctx, sting.Tuple{"acct", "alice", 100})
+		_ = bank.Put(ctx, sting.Tuple{"acct", "bob", 0})
+
+		err := sting.Atomic(ctx, func(tx *sting.Txn) error {
+			from, _, err := tx.Get(bank, sting.Template{"acct", "alice", sting.Formal("n")})
+			if err != nil {
+				return err
+			}
+			to, _, err := tx.Get(bank, sting.Template{"acct", "bob", sting.Formal("n")})
+			if err != nil {
+				return err
+			}
+			amount := 40
+			if from[2].(int) < amount {
+				return tx.Abort() // insufficient funds: commit nothing
+			}
+			if err := tx.Put(bank, sting.Tuple{"acct", "alice", from[2].(int) - amount}); err != nil {
+				return err
+			}
+			return tx.Put(bank, sting.Tuple{"acct", "bob", to[2].(int) + amount})
+		})
+		if err != nil {
+			return nil, err
+		}
+
+		_, a, _ := bank.Rd(ctx, sting.Template{"acct", "alice", sting.Formal("n")})
+		_, b, _ := bank.Rd(ctx, sting.Template{"acct", "bob", sting.Formal("n")})
+		fmt.Printf("alice=%v bob=%v\n", a["n"], b["n"])
+		return nil, nil
+	})
+	// Output: alice=60 bob=40
+}

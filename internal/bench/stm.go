@@ -1,0 +1,192 @@
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/stm"
+	"repro/internal/tspace"
+)
+
+// ---------------------------------------------------------------------------
+// STM contention sweep (`stingbench -table stm`), Synchrobench-style: a key
+// universe of counter tuples, worker threads doing a read/update mix, swept
+// over update rate × key skew × worker count. Under low contention the
+// optimistic commit should cost little more than the naked ops it replaces;
+// under high skew and 100% updates it measures how gracefully retry-with-
+// backoff degrades.
+
+// STMContentionResult is one cell of the sweep.
+type STMContentionResult struct {
+	Workers   int
+	Keys      int
+	UpdatePct int     // % of ops that transfer between two keys (rest read)
+	Zipf      float64 // key-skew exponent; 0 = uniform
+	Think     bool    // yield between read and write halves of the body
+	Ops       int     // transactions attempted (committed + aborted bodies)
+	Elapsed   time.Duration
+	PerOpNs   float64
+	Commits   uint64 // commits this run added
+	Conflicts uint64 // commit-time conflicts this run added
+	Retries   uint64 // body re-executions this run added
+}
+
+// RunSTMContention runs workers×opsPerWorker transactions against a hash
+// space holding keys counter tuples. An update transaction moves one unit
+// between two keys (two takes, two puts — the debit/credit shape); a read
+// transaction reads two keys and commits read-validation only. With think
+// set, the body yields the VP between its reads and its writes — the
+// Synchrobench think-time knob, which widens the conflict window so the
+// retry path is exercised even when workers timeslice on few processors.
+func RunSTMContention(vps, workers, keys, updatePct int, zipf float64, opsPerWorker int, think bool) (STMContentionResult, error) {
+	m := core.NewMachine(core.MachineConfig{Processors: vps})
+	defer m.Shutdown()
+	vm, err := m.NewVM(core.VMConfig{VPs: vps})
+	if err != nil {
+		return STMContentionResult{}, err
+	}
+	ts := tspace.New(tspace.KindHash, tspace.Config{})
+	before := stm.CurrentStats()
+	start := time.Now()
+	_, err = vm.Run(func(ctx *core.Context) ([]core.Value, error) {
+		for i := 0; i < keys; i++ {
+			if err := ts.Put(ctx, tspace.Tuple{"k", i, 1000}); err != nil {
+				return nil, err
+			}
+		}
+		kids := make([]*core.Thread, workers)
+		for w := 0; w < workers; w++ {
+			seed := int64(w + 1)
+			kids[w] = ctx.Fork(func(cc *core.Context) ([]core.Value, error) {
+				rng := rand.New(rand.NewSource(seed))
+				var pick func() int
+				if zipf > 0 {
+					z := rand.NewZipf(rng, zipf, 1, uint64(keys-1))
+					pick = func() int { return int(z.Uint64()) }
+				} else {
+					pick = func() int { return rng.Intn(keys) }
+				}
+				for n := 0; n < opsPerWorker; n++ {
+					a := pick()
+					b := pick()
+					if a == b {
+						b = (b + 1) % keys
+					}
+					update := rng.Intn(100) < updatePct
+					err := stm.Atomic(cc, func(tx *stm.Txn) error {
+						if update {
+							ta, _, err := tx.Get(ts, tspace.Template{"k", a, tspace.F("n")})
+							if err != nil {
+								return err
+							}
+							tb, _, err := tx.Get(ts, tspace.Template{"k", b, tspace.F("n")})
+							if err != nil {
+								return err
+							}
+							if think {
+								cc.Yield()
+							}
+							if err := tx.Put(ts, tspace.Tuple{"k", a, ta[2].(int) - 1}); err != nil {
+								return err
+							}
+							return tx.Put(ts, tspace.Tuple{"k", b, tb[2].(int) + 1})
+						}
+						if _, _, err := tx.Rd(ts, tspace.Template{"k", a, tspace.F("n")}); err != nil {
+							return err
+						}
+						_, _, err := tx.Rd(ts, tspace.Template{"k", b, tspace.F("n")})
+						return err
+					})
+					if err != nil && !errors.Is(err, stm.ErrAborted) {
+						return nil, fmt.Errorf("worker %d op %d: %w", seed, n, err)
+					}
+				}
+				return nil, nil
+			}, vm.VP(w%vps), core.WithStealable(false))
+		}
+		for _, k := range kids {
+			if _, err := ctx.Value(k); err != nil {
+				return nil, err
+			}
+		}
+		return nil, nil
+	})
+	if err != nil {
+		return STMContentionResult{}, err
+	}
+	elapsed := time.Since(start)
+	after := stm.CurrentStats()
+	ops := workers * opsPerWorker
+	return STMContentionResult{
+		Workers:   workers,
+		Keys:      keys,
+		UpdatePct: updatePct,
+		Zipf:      zipf,
+		Think:     think,
+		Ops:       ops,
+		Elapsed:   elapsed,
+		PerOpNs:   float64(elapsed.Nanoseconds()) / float64(ops),
+		Commits:   after.Commits - before.Commits,
+		Conflicts: after.Conflicts - before.Conflicts,
+		Retries:   after.Retries - before.Retries,
+	}, nil
+}
+
+// STMOverheadResult compares the naked tuple-op path before and after the
+// version-counter instrumentation cannot be toggled off — so the ablation
+// measures the residual: one Put+TryGet pair per op on a space that never
+// sees a transaction, versus the same pair inside an always-commit
+// transaction.
+type STMOverheadResult struct {
+	NakedNs float64 // Put + TryGet, no transaction anywhere
+	TxnNs   float64 // the same pair inside Atomic (buffer + commit)
+}
+
+// RunSTMOverhead measures the per-op cost of the transactional machinery
+// relative to naked operations on the same representation.
+func RunSTMOverhead(n int) (STMOverheadResult, error) {
+	m := core.NewMachine(core.MachineConfig{Processors: 2})
+	defer m.Shutdown()
+	vm, err := m.NewVM(core.VMConfig{VPs: 2})
+	if err != nil {
+		return STMOverheadResult{}, err
+	}
+	var res STMOverheadResult
+	_, err = vm.Run(func(ctx *core.Context) ([]core.Value, error) {
+		ts := tspace.New(tspace.KindHash, tspace.Config{})
+		for i := 0; i < 64; i++ {
+			if err := ts.Put(ctx, tspace.Tuple{"k", i, 0}); err != nil {
+				return nil, err
+			}
+		}
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			if _, _, err := ts.TryGet(ctx, tspace.Template{"k", i & 63, tspace.F("v")}); err != nil {
+				return nil, err
+			}
+			if err := ts.Put(ctx, tspace.Tuple{"k", i & 63, i}); err != nil {
+				return nil, err
+			}
+		}
+		res.NakedNs = float64(time.Since(start).Nanoseconds()) / float64(n)
+
+		start = time.Now()
+		for i := 0; i < n; i++ {
+			err := stm.Atomic(ctx, func(tx *stm.Txn) error {
+				if _, _, err := tx.TryGet(ts, tspace.Template{"k", i & 63, tspace.F("v")}); err != nil {
+					return err
+				}
+				return tx.Put(ts, tspace.Tuple{"k", i & 63, i})
+			})
+			if err != nil {
+				return nil, err
+			}
+		}
+		res.TxnNs = float64(time.Since(start).Nanoseconds()) / float64(n)
+		return nil, nil
+	})
+	return res, err
+}

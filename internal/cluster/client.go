@@ -259,6 +259,64 @@ func (s *Space) Put(ctx *core.Context, tup tspace.Tuple) error {
 	return s.onShard(ctx, sh, func(sp *remote.Space) error { return sp.Put(ctx, tup) })
 }
 
+// ErrCrossShardTxn reports a transaction whose ops route to more than one
+// shard. The substrate has no distributed commit (no 2PC): a transaction
+// against a cluster must keep every tuple it touches on one shard —
+// in practice, sharing one first field per space, since the first field
+// keys the route.
+var ErrCrossShardTxn = errors.New("cluster: transaction spans shards (no cross-shard commit)")
+
+var _ tspace.RemoteTxn = (*Space)(nil)
+
+// TxnDomain identifies the commit authority: the cluster client. Spaces
+// from one cluster handle may share a transaction as long as every op
+// lands on the same shard; CommitTxn enforces that at commit time.
+func (s *Space) TxnDomain() any { return s.c }
+
+// TxnSpaceName returns the registry name commit-log ops should carry.
+func (s *Space) TxnSpaceName() string { return s.name }
+
+// CommitTxn routes a transaction's buffered log to the one shard that
+// owns every tuple in it and ships the log in a single TXNCOMMIT frame.
+// Ops that route to different shards fail with ErrCrossShardTxn — the
+// cluster offers single-shard atomicity only.
+func (s *Space) CommitTxn(ctx *core.Context, ops []tspace.TxnOp) error {
+	return s.c.CommitTxn(ctx, ops)
+}
+
+// CommitTxn is the client-level commit path behind Space.CommitTxn.
+func (c *Client) CommitTxn(ctx *core.Context, ops []tspace.TxnOp) error {
+	if len(ops) == 0 {
+		return nil
+	}
+	var ranked []*shard
+	for _, op := range ops {
+		var first core.Value
+		if len(op.Tup) > 0 {
+			first = op.Tup[0]
+		}
+		key, ok := tspace.HashKey(op.Space, first, len(op.Tup))
+		if !ok {
+			key, _ = tspace.Hash(op.Space)
+		}
+		r := c.rankedShards(key)
+		if ranked == nil {
+			ranked = r
+		} else if r[0] != ranked[0] {
+			return fmt.Errorf("%w: %q is on shard %s, %q on %s",
+				ErrCrossShardTxn, ops[0].Tup, ranked[0].node.ID, op.Tup, r[0].node.ID)
+		}
+	}
+	sh, err := owner(ranked)
+	if err != nil {
+		return err
+	}
+	sp := &Space{c: c, name: ops[0].Space}
+	return sp.onShard(ctx, sh, func(rsp *remote.Space) error {
+		return rsp.CommitTxn(ctx, ops)
+	})
+}
+
 // tplRoute resolves a template to its ranked shard list, or (nil, false)
 // for a wildcard first field that must fan out.
 func (s *Space) tplRoute(tpl tspace.Template) ([]*shard, bool) {

@@ -1,0 +1,100 @@
+package cluster
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/tspace"
+)
+
+// TestTxnCommitSingleShard: a commit log whose ops all share one first
+// field routes to that key's owner shard and applies there atomically.
+func TestTxnCommitSingleShard(t *testing.T) {
+	tc := startTestCluster(t, 3)
+	c := openTest(t, tc, Config{})
+	sp := c.Space("bank")
+
+	key := tc.keyOwnedBy(t, "bank", 1)
+	if err := sp.Put(nil, tspace.Tuple{key, 100}); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	tup, _, err := sp.TryRd(nil, tspace.Template{key, tspace.F("n")})
+	if err != nil {
+		t.Fatalf("TryRd: %v", err)
+	}
+	err = c.CommitTxn(nil, []tspace.TxnOp{
+		{Kind: tspace.TxnTake, Space: "bank", Tup: tup},
+		{Kind: tspace.TxnPut, Space: "bank", Tup: tspace.Tuple{key, int64(60)}},
+	})
+	if err != nil {
+		t.Fatalf("CommitTxn: %v", err)
+	}
+	if _, _, err := sp.TryRd(nil, tspace.Template{key, 60}); err != nil {
+		t.Errorf("post-commit read: %v", err)
+	}
+	// The log must have landed on the owner shard only.
+	if got := tc.servers[1].Registry().OpenDefault("bank").Len(); got != 1 {
+		t.Errorf("owner shard depth = %d, want 1", got)
+	}
+}
+
+// TestTxnCommitCrossShardRejected: ops routing to different shards cannot
+// commit — there is no 2PC — and fail with the typed error before any
+// frame is sent.
+func TestTxnCommitCrossShardRejected(t *testing.T) {
+	tc := startTestCluster(t, 3)
+	c := openTest(t, tc, Config{})
+
+	k0 := tc.keyOwnedBy(t, "bank", 0)
+	k1 := tc.keyOwnedBy(t, "bank", 1)
+	err := c.CommitTxn(nil, []tspace.TxnOp{
+		{Kind: tspace.TxnPut, Space: "bank", Tup: tspace.Tuple{k0, int64(1)}},
+		{Kind: tspace.TxnPut, Space: "bank", Tup: tspace.Tuple{k1, int64(2)}},
+	})
+	if !errors.Is(err, ErrCrossShardTxn) {
+		t.Fatalf("err = %v, want ErrCrossShardTxn", err)
+	}
+	for i, srv := range tc.servers {
+		if got := srv.Registry().OpenDefault("bank").Len(); got != 0 {
+			t.Errorf("shard %d depth = %d after rejected commit", i, got)
+		}
+	}
+}
+
+// TestTxnCommitConflictOverCluster: a failed validation on the owner
+// shard surfaces as the typed conflict through the cluster client.
+func TestTxnCommitConflictOverCluster(t *testing.T) {
+	tc := startTestCluster(t, 2)
+	c := openTest(t, tc, Config{})
+
+	err := c.CommitTxn(nil, []tspace.TxnOp{
+		{Kind: tspace.TxnTake, Space: "bank", Tup: tspace.Tuple{7, int64(99)}},
+	})
+	if !errors.Is(err, tspace.ErrTxnConflict) {
+		t.Fatalf("err = %v, want ErrTxnConflict", err)
+	}
+}
+
+// TestTxnCommitOwnerDown: a commit whose owner shard is excluded fails
+// fast with ShardDownError, like any other keyed op.
+func TestTxnCommitOwnerDown(t *testing.T) {
+	tc := startTestCluster(t, 2)
+	c := openTest(t, tc, Config{})
+
+	key := tc.keyOwnedBy(t, "bank", 1)
+	tc.kill(1)
+	// Drive health-tracking to exclusion with plain ops first.
+	for i := 0; i < 10; i++ {
+		_ = c.Space("bank").Put(nil, tspace.Tuple{key, i})
+	}
+	err := c.CommitTxn(nil, []tspace.TxnOp{
+		{Kind: tspace.TxnPut, Space: "bank", Tup: tspace.Tuple{key, int64(1)}},
+	})
+	if err == nil {
+		t.Fatal("commit to dead shard succeeded")
+	}
+	var sd *ShardDownError
+	if !errors.As(err, &sd) && !transportError(err) {
+		t.Fatalf("err = %v, want ShardDownError or transport error", err)
+	}
+}

@@ -407,8 +407,16 @@ func (c *Client) roundTripRetry(ctx *core.Context, req request, wait time.Durati
 			continue // dial failed; transient
 		}
 		req.id = id
-		// The trace-context extension needs a version-2 peer; a redial may
-		// land on an older server, so the gate is per attempt.
+		// Version gates are per attempt: a redial may land on an older
+		// server. An op the peer predates cannot be sent at all — an old
+		// decoder treats the unknown op as a protocol error and closes
+		// the connection — so minVer misses fail rather than degrade.
+		if req.minVer > 0 && ver < req.minVer {
+			c.unregister(id)
+			return response{}, fmt.Errorf("%w: %s needs protocol version %d, server speaks %d",
+				ErrUnsupported, opName(req.op), req.minVer, ver)
+		}
+		// The trace-context extension needs a version-2 peer.
 		req.hasTrace = req.parentSpan != 0 && ver >= 2
 		frame, err := encodeRequest(req)
 		if err != nil {
@@ -689,6 +697,44 @@ func (s *Space) TryRd(ctx *core.Context, tpl tspace.Template) (tspace.Tuple, tsp
 // Spawn is unsupported on remote spaces: thunks are process-local.
 func (s *Space) Spawn(ctx *core.Context, thunks ...core.Thunk) ([]*core.Thread, error) {
 	return nil, ErrUnsupported
+}
+
+var _ tspace.RemoteTxn = (*Space)(nil)
+
+// TxnDomain identifies the commit authority behind this handle: the
+// client. Every space reached through one client lands on one server, so
+// a transaction touching several of them still commits in a single
+// TXNCOMMIT frame; spaces from different clients cannot (no 2PC).
+func (s *Space) TxnDomain() any { return s.c }
+
+// TxnSpaceName returns the registry name commit-log ops should carry.
+func (s *Space) TxnSpaceName() string { return s.name }
+
+// CommitTxn forwards the buffered commit log to the server.
+func (s *Space) CommitTxn(ctx *core.Context, ops []tspace.TxnOp) error {
+	return s.c.CommitTxn(ctx, ops)
+}
+
+// CommitTxn ships a transaction's buffered log in one TXNCOMMIT frame for
+// atomic server-side validation and apply. A validation failure surfaces
+// as a *tspace.ConflictError, telling the caller to re-run the body. The
+// op needs a version-3 server; older peers yield ErrUnsupported.
+//
+// Like Put, TXNCOMMIT is not idempotent: it is retried only while the
+// frame provably never reached the socket.
+func (c *Client) CommitTxn(ctx *core.Context, ops []tspace.TxnOp) error {
+	if len(ops) == 0 {
+		return nil
+	}
+	req := request{op: opTxnCommit, space: ops[0].Space, txnOps: ops, minVer: 3}
+	resp, err := c.roundTrip(ctx, req, c.waitFor(req), nil)
+	if err != nil {
+		return err
+	}
+	if resp.op != respOK {
+		return protoErrf("txncommit reply op %d", resp.op)
+	}
+	return nil
 }
 
 // Len reports the remote space's depth (0 when the server is unreachable:

@@ -2,6 +2,7 @@ package remote
 
 import (
 	"errors"
+	"fmt"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -244,6 +245,9 @@ func (s *Server) serveOp(ctx *core.Context, sc *serverConn, req request) {
 	case opLen:
 		sc.send(encodeLenResp(req.id, s.reg.OpenDefault(req.space).Len()))
 		return
+	case opTxnCommit:
+		s.serveTxnCommit(ctx, sc, req)
+		return
 	}
 	if rc := s.cfg.RouteCheck; rc != nil {
 		var rerr error
@@ -287,6 +291,57 @@ func (s *Server) serveOp(ctx *core.Context, sc *serverConn, req request) {
 	default:
 		sc.send(encodeErrResp(req.id, codeUnknownOp, "unknown op"))
 	}
+}
+
+// serveTxnCommit applies a whole buffered transaction log atomically: the
+// wire half of the STM subsystem. Every op is route-checked (a cluster
+// transaction must have been routed to the shard owning every key), every
+// named space must support transactions, and validation failures answer
+// codeConflict so the client's Atomic loop retries its body.
+func (s *Server) serveTxnCommit(ctx *core.Context, sc *serverConn, req request) {
+	if rc := s.cfg.RouteCheck; rc != nil {
+		for _, op := range req.txnOps {
+			rerr := rc(op.Space, op.Tup, nil)
+			if rerr == nil {
+				continue
+			}
+			var re *RedirectError
+			if errors.As(rerr, &re) {
+				s.stats.Redirects.Add(1)
+				sc.send(encodeErrResp(req.id, codeRedirect, redirectMessage(re)))
+			} else {
+				sc.send(encodeErrResp(req.id, codeInternal, rerr.Error()))
+			}
+			return
+		}
+	}
+	cops := make([]tspace.CommitOp, 0, len(req.txnOps))
+	for _, op := range req.txnOps {
+		ts := s.reg.OpenDefault(op.Space)
+		txs, ok := ts.(tspace.TxnSpace)
+		if !ok {
+			sc.send(encodeErrResp(req.id, codeUnsupported,
+				fmt.Sprintf("space %q (%s) does not support transactions", op.Space, ts.Kind())))
+			return
+		}
+		cops = append(cops, tspace.CommitOp{
+			Space: txs, Name: op.Space, Kind: op.Kind, Ver: op.Ver, Tup: op.Tup,
+		})
+	}
+	if err := tspace.ApplyCommit(ctx, cops); err != nil {
+		var ce *tspace.ConflictError
+		if errors.As(err, &ce) {
+			msg := ce.Detail
+			if ce.Space != "" {
+				msg = ce.Space + ": " + ce.Detail
+			}
+			sc.send(encodeErrResp(req.id, codeConflict, msg))
+		} else {
+			sc.send(encodeErrResp(req.id, codeInternal, err.Error()))
+		}
+		return
+	}
+	sc.send(encodeOK(req.id, byte(sc.version.Load())))
 }
 
 // serveBlocking runs a Get/Rd that may park the thread. The cancel token

@@ -17,7 +17,7 @@ import (
 // the histograms are optional (nil when metrics are disabled) and every
 // recording site tolerates their absence.
 type Stats struct {
-	OpsServed   [8]atomic.Uint64 // indexed by request op - 1
+	OpsServed   [10]atomic.Uint64 // indexed by request op - 1 (through opTxnCommit)
 	ProtoErrors atomic.Uint64    // malformed frames received
 	Timeouts    atomic.Uint64    // blocking ops expired server-side
 	Canceled    atomic.Uint64    // waiters withdrawn (disconnect/shutdown)
@@ -28,7 +28,7 @@ type Stats struct {
 	Conns       atomic.Uint64    // connections accepted, cumulative
 	ConnsActive atomic.Int64     // gauge: connections currently open
 
-	OpLatency [8]*obs.Histogram // per-op service latency, indexed by op - 1
+	OpLatency [10]*obs.Histogram // per-op service latency, indexed by op - 1
 }
 
 func (s *Stats) serve(op byte) {

@@ -43,9 +43,12 @@ import (
 // rest of the connection. Version 2 adds trailing TLV extensions to
 // request frames (currently the trace-context extension); they are only
 // sent once the handshake negotiated ≥2, because version-1 decoders
-// reject trailing bytes.
+// reject trailing bytes. Version 3 adds TXNCOMMIT: one frame carrying a
+// whole transaction's buffered write/validate log for a single atomic
+// server-side commit; it is only sent once the handshake negotiated ≥3,
+// because older decoders close the connection on an unknown op.
 const (
-	protocolVersion    = 2
+	protocolVersion    = 3
 	minProtocolVersion = 1
 )
 
@@ -70,6 +73,11 @@ const (
 	// itself answers with codeCanceled; opCancel has no response of its
 	// own, so a stale cancel (the op already finished) is a silent no-op.
 	opCancel
+	// opTxnCommit (version ≥3) ships a transaction's whole buffered log —
+	// reads to validate, takes, puts, possibly across several spaces of
+	// this server — for one atomic commit. Answers respOK on commit,
+	// codeConflict when validation fails (the client retries its body).
+	opTxnCommit
 )
 
 // Response ops (disjoint from requests so a stray frame cannot be
@@ -96,6 +104,9 @@ const (
 	// codeRedirect rejects a keyed op routed to the wrong shard of a
 	// cluster; the message carries "<node-id> <addr>" of the owner.
 	codeRedirect
+	// codeConflict rejects a TXNCOMMIT whose read validation failed; the
+	// client surfaces it as a tspace.ConflictError driving a retry.
+	codeConflict
 )
 
 // Errors.
@@ -189,6 +200,8 @@ func opName(op byte) string {
 		return "len"
 	case opCancel:
 		return "cancel"
+	case opTxnCommit:
+		return "txncommit"
 	default:
 		return fmt.Sprintf("op%d", op)
 	}
@@ -213,8 +226,10 @@ type request struct {
 	space    string
 	tuple    tspace.Tuple    // opPut
 	template tspace.Template // opGet/opRd/opTryGet/opTryRd
+	txnOps   []tspace.TxnOp  // opTxnCommit: the buffered commit log
 	target   uint32          // opCancel: the request id to withdraw
 	version  byte            // opHello: the client's announced version
+	minVer   byte            // least peer version that knows this op (0 = any)
 
 	// Propagated trace context (extTraceCtx); hasTrace gates both
 	// encoding the extension and opening a server span.
@@ -269,6 +284,8 @@ func encodeRequest(req request) ([]byte, error) {
 		buf = append(buf, v)
 	case opCancel:
 		buf = binary.BigEndian.AppendUint32(buf, req.target)
+	case opTxnCommit:
+		buf, err = tspace.AppendTxnOps(buf, req.txnOps)
 	case opStats, opLen:
 		// header only
 	default:
@@ -335,6 +352,13 @@ func decodeRequest(b []byte) (request, error) {
 		}
 		req.target = binary.BigEndian.Uint32(rest)
 		consumed = 4
+	case opTxnCommit:
+		ops, c, err := tspace.DecodeTxnOps(rest)
+		if err != nil {
+			return req, protoErrf("txn ops: %v", err)
+		}
+		req.txnOps = ops
+		consumed = c
 	case opStats, opLen:
 		consumed = 0
 	default:
@@ -582,6 +606,8 @@ func wireError(r response, op, space string, deadline time.Duration) error {
 		return ErrCanceled
 	case codeRedirect:
 		return parseRedirect(r.message, op, space)
+	case codeConflict:
+		return &tspace.ConflictError{Space: space, Detail: r.message}
 	case codeUnsupported:
 		return fmt.Errorf("%w: %s", ErrUnsupported, r.message)
 	case codeProtocol, codeUnknownOp:

@@ -397,6 +397,9 @@ func installConcurrency(in *Interp) {
 		for i, it := range items {
 			tup[i] = tupleValue(it)
 		}
+		if tx, active := activeTxn(ctx); active {
+			return Unspecified, txnPut(tx, ts, tup)
+		}
 		return Unspecified, ts.Put(ctx, tup)
 	})
 	in.prim("tuple-space-size", 1, 1, func(_ *Interp, _ *core.Context, a []Value) (Value, error) {

@@ -47,6 +47,7 @@ func init() {
 		"fluid-let":          sfFluidLet,
 		"get":                sfTSGet,
 		"rd":                 sfTSRd,
+		"atomic":             sfAtomic,
 		"block":              sfBegin, // the paper's (block e ...) sequencing form
 	}
 }
@@ -840,7 +841,9 @@ func tsBindingForm(in *Interp, ctx *core.Context, form *Pair, env *Env, remove b
 	}
 	var tup tspace.Tuple
 	var bind tspace.Bindings
-	if remove {
+	if tx, active := activeTxn(ctx); active {
+		tup, bind, err = txnMatch(tx, ts, tpl, remove)
+	} else if remove {
 		tup, bind, err = ts.Get(ctx, tpl)
 	} else {
 		tup, bind, err = ts.Rd(ctx, tpl)

@@ -57,6 +57,7 @@ func New(vm *core.VM, opts ...Option) *Interp {
 	installStrings(in)
 	installRemote(in)
 	installObs(in)
+	installTxn(in)
 	if err := in.loadPrelude(); err != nil {
 		panic(fmt.Sprintf("scheme: prelude failed: %v", err))
 	}

@@ -1,0 +1,139 @@
+package scheme
+
+import (
+	"errors"
+
+	"repro/internal/core"
+	"repro/internal/stm"
+	"repro/internal/tspace"
+)
+
+// Scheme surface of the STM layer (internal/stm): an (atomic body ...)
+// special form that runs its body inside a transaction with implicit
+// conflict retry, plus (txn-abort) and (txn-stats) primitives. While a
+// transaction is active it rides the thread's dynamic environment — the
+// same fluid mechanism fluid-let uses — so the ordinary tuple forms
+// (put sp ...), (get sp (tpl) ...), (rd sp (tpl) ...) transparently become
+// transactional inside an atomic body, against local and fabric spaces
+// alike.
+
+// txnKey is the fluid binding under which the active transaction lives.
+type txnKeyType struct{}
+
+var txnKey txnKeyType
+
+// txnBinding carries the transaction plus the thread that owns it: child
+// threads inherit the dynamic environment, but a Txn belongs to the STING
+// thread running the atomic body — a thread forked inside one (even when
+// stolen and run inline on the parent's TCB) runs its tuple operations
+// directly, outside the transaction.
+type txnBinding struct {
+	tx    *stm.Txn
+	owner *core.Thread
+}
+
+// activeTxn returns the transaction the current dynamic extent runs in.
+func activeTxn(ctx *core.Context) (*stm.Txn, bool) {
+	v, ok := ctx.Fluid(txnKey)
+	if !ok {
+		return nil, false
+	}
+	b, ok := v.(txnBinding)
+	if !ok || b.owner != ctx.Thread() {
+		return nil, false
+	}
+	return b.tx, true
+}
+
+// txnSpace unwraps the scheme-level space handle for the STM layer: a
+// remoteSpace proxy lowers to the underlying fabric space (which carries
+// the commit domain), everything else passes through.
+func txnSpace(ts tspace.TupleSpace) tspace.TupleSpace {
+	if r, ok := ts.(remoteSpace); ok {
+		return r.sp
+	}
+	return ts
+}
+
+// txnPut routes one deposit through the active transaction, applying the
+// same wire lowering the direct path would.
+func txnPut(tx *stm.Txn, ts tspace.TupleSpace, tup tspace.Tuple) error {
+	if r, ok := ts.(remoteSpace); ok {
+		return tx.Put(r.sp, r.wireTuple(tup))
+	}
+	return tx.Put(ts, tup)
+}
+
+// txnMatch routes one matching form through the active transaction.
+func txnMatch(tx *stm.Txn, ts tspace.TupleSpace, tpl tspace.Template, remove bool) (tspace.Tuple, tspace.Bindings, error) {
+	if r, ok := ts.(remoteSpace); ok {
+		ts, tpl = r.sp, r.wireTemplate(tpl)
+	}
+	if remove {
+		return tx.Get(ts, tpl)
+	}
+	return tx.Rd(ts, tpl)
+}
+
+// sfAtomic is (atomic body ...): run body inside a transaction, commit its
+// buffered tuple operations atomically, and re-run the whole body when the
+// commit observes a conflict. The form evaluates to the body's last value
+// on commit, or #f when the body aborted via (txn-abort). A nested atomic
+// flattens into the enclosing transaction: its body joins the outer commit
+// rather than committing separately.
+func sfAtomic(in *Interp, ctx *core.Context, form *Pair, env *Env) (*tailNext, Value, error) {
+	rest, err := forms("atomic", form.Cdr)
+	if err != nil {
+		return nil, nil, badForm(form)
+	}
+	evalBody := func() (Value, error) {
+		var out Value = Unspecified
+		for _, b := range rest {
+			var err error
+			if out, err = in.Eval(ctx, b, env); err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
+	}
+	if _, ok := activeTxn(ctx); ok {
+		// Already transactional: flatten into the enclosing atomic.
+		out, err := evalBody()
+		return nil, out, err
+	}
+	var out Value = Unspecified
+	err = stm.Atomic(ctx, func(tx *stm.Txn) error {
+		var bodyErr error
+		ctx.FluidLet(txnKey, txnBinding{tx: tx, owner: ctx.Thread()}, func() {
+			out, bodyErr = evalBody()
+		})
+		return bodyErr
+	})
+	switch {
+	case err == nil:
+		return nil, out, nil
+	case errors.Is(err, stm.ErrAborted):
+		return nil, false, nil
+	default:
+		return nil, nil, err
+	}
+}
+
+// installTxn binds the transaction primitives.
+func installTxn(in *Interp) {
+	in.prim("txn-abort", 0, 0, func(_ *Interp, ctx *core.Context, _ []Value) (Value, error) {
+		if _, ok := activeTxn(ctx); !ok {
+			return nil, Errorf("txn-abort: no transaction active")
+		}
+		return nil, stm.ErrAborted
+	})
+	in.prim("txn-active?", 0, 0, func(_ *Interp, ctx *core.Context, _ []Value) (Value, error) {
+		_, ok := activeTxn(ctx)
+		return ok, nil
+	})
+	// (txn-stats) → (commits conflicts retries aborts)
+	in.prim("txn-stats", 0, 0, func(_ *Interp, _ *core.Context, _ []Value) (Value, error) {
+		s := stm.CurrentStats()
+		return List(int64(s.Commits), int64(s.Conflicts), int64(s.Retries), int64(s.Aborts)), nil
+	})
+}

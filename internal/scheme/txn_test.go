@@ -1,0 +1,110 @@
+package scheme
+
+import (
+	"testing"
+)
+
+func TestAtomicCommitsBody(t *testing.T) {
+	in := newInterp(t, 2, 2)
+	evalOK(t, in, `(define ts (make-tuple-space))`, "#[unspecified]")
+	evalOK(t, in, `(put ts '(acct a 100))`, "#[unspecified]")
+	evalOK(t, in, `(put ts '(acct b 0))`, "#[unspecified]")
+	evalOK(t, in, `
+	  (atomic
+	    (get ts (acct a ?n)
+	      (get ts (acct b ?m)
+	        (put ts (list 'acct 'a (- n 30)))
+	        (put ts (list 'acct 'b (+ m 30)))
+	        'moved)))`, "moved")
+	evalOK(t, in, `(rd ts (acct a ?n) n)`, "70")
+	evalOK(t, in, `(rd ts (acct b ?m) m)`, "30")
+	evalOK(t, in, `(tuple-space-size ts)`, "2")
+}
+
+func TestAtomicAbortCommitsNothing(t *testing.T) {
+	in := newInterp(t, 2, 2)
+	evalOK(t, in, `(define ts (make-tuple-space))`, "#[unspecified]")
+	evalOK(t, in, `(put ts '(keep 1))`, "#[unspecified]")
+	// The abort discards the take and the deposit; the form yields #f.
+	evalOK(t, in, `
+	  (atomic
+	    (get ts (keep ?v))
+	    (put ts '(junk 9))
+	    (txn-abort))`, "#f")
+	evalOK(t, in, `(rd ts (keep ?v) v)`, "1")
+	evalOK(t, in, `(tuple-space-size ts)`, "1")
+}
+
+func TestAtomicReadsSeeOwnWrites(t *testing.T) {
+	in := newInterp(t, 2, 2)
+	evalOK(t, in, `(define ts (make-tuple-space))`, "#[unspecified]")
+	// The buffered put satisfies the get inside the same transaction; the
+	// pair nets to nothing, so the space stays empty.
+	evalOK(t, in, `
+	  (atomic
+	    (put ts '(tmp 7))
+	    (get ts (tmp ?v) v))`, "7")
+	evalOK(t, in, `(tuple-space-size ts)`, "0")
+}
+
+func TestAtomicNestedFlattens(t *testing.T) {
+	in := newInterp(t, 2, 2)
+	evalOK(t, in, `(define ts (make-tuple-space))`, "#[unspecified]")
+	evalOK(t, in, `(txn-active?)`, "#f")
+	// The inner atomic joins the outer transaction: its put is visible to
+	// the outer body (own-write) but nothing commits until the outer
+	// commit — and an abort after the inner form still discards it all.
+	evalOK(t, in, `
+	  (atomic
+	    (put ts '(outer 1))
+	    (atomic
+	      (put ts '(inner 2))
+	      (txn-active?)))`, "#t")
+	evalOK(t, in, `(tuple-space-size ts)`, "2")
+	evalOK(t, in, `
+	  (atomic
+	    (put ts '(doomed 3))
+	    (atomic (put ts '(doomed 4)))
+	    (txn-abort))`, "#f")
+	evalOK(t, in, `(tuple-space-size ts)`, "2")
+}
+
+func TestAtomicRetriesOnConflict(t *testing.T) {
+	in := newInterp(t, 2, 2)
+	evalOK(t, in, `(define ts (make-tuple-space))`, "#[unspecified]")
+	evalOK(t, in, `(put ts '(c 0))`, "#[unspecified]")
+	evalOK(t, in, `(define attempts 0)`, "#[unspecified]")
+	// The first attempt reads (c 0), then a forked thread — which runs
+	// outside the transaction even though fluids inherit — swaps the tuple
+	// with naked ops, invalidating the read set; the commit conflicts and
+	// the body re-runs against (c 1).
+	evalOK(t, in, `
+	  (atomic
+	    (set! attempts (+ attempts 1))
+	    (get ts (c ?v)
+	      (if (= attempts 1)
+	          (thread-value
+	            (fork-thread (get ts (c ?x) (put ts '(c 1))))))
+	      (put ts (list 'c (+ v 10)))
+	      v))`, "1")
+	evalOK(t, in, `(rd ts (c ?v) v)`, "11")
+	if _, err := in.EvalString(`(if (< attempts 2) (error "no retry"))`); err != nil {
+		t.Fatalf("attempts: %v", err)
+	}
+}
+
+func TestTxnAbortOutsideAtomicErrors(t *testing.T) {
+	in := newInterp(t, 1, 1)
+	evalErr(t, in, `(txn-abort)`)
+}
+
+func TestTxnStatsShape(t *testing.T) {
+	in := newInterp(t, 1, 1)
+	v, err := in.EvalString(`(length (txn-stats))`)
+	if err != nil {
+		t.Fatalf("txn-stats: %v", err)
+	}
+	if WriteString(v) != "4" {
+		t.Fatalf("txn-stats arity = %s", WriteString(v))
+	}
+}

@@ -1,0 +1,31 @@
+package stm
+
+import (
+	"repro/internal/obs"
+	"repro/internal/tspace"
+)
+
+// NewCollector returns the STM metrics source: commit/abort/retry counters
+// and the commit-latency histogram, in the sting_stm_* family. Commits and
+// commit-time conflicts are counted by tspace.ApplyCommit on whichever
+// process holds the data (a stingd server for wire transactions); retries
+// and explicit aborts are counted where the transaction body runs.
+func NewCollector() obs.Collector {
+	return obs.CollectorFunc(func() []obs.Metric {
+		commits, conflicts := tspace.TxnCommitStats()
+		return []obs.Metric{
+			obs.Counter("sting_stm_commits_total",
+				"Transactions committed by this process (local Atomic bodies and server-side TXNCOMMIT frames).",
+				float64(commits)),
+			obs.Counter("sting_stm_aborts_total",
+				"Transaction attempts aborted: commit-time conflicts plus explicit user aborts.",
+				float64(conflicts+userAborts.Load())),
+			obs.Counter("sting_stm_retries_total",
+				"Conflict-driven transaction re-executions started by this process.",
+				float64(retries.Load())),
+			obs.HistogramSample("sting_stm_commit_latency_seconds",
+				"Commit critical-section latency: lock, validate, apply.",
+				tspace.TxnCommitLatencyHistogram()),
+		}
+	})
+}

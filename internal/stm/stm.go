@@ -1,0 +1,419 @@
+// Package stm provides atomic multi-tuple transactions over tuple spaces:
+// the missing piece between the paper's single-tuple operations (each
+// individually atomic under per-bin locking) and real workloads that move
+// value between tuples — debit/credit, claim-then-emit pipelines, atomic
+// work handoff.
+//
+// A transaction buffers its operations: Put deposits nothing until commit,
+// Get and Rd resolve a match immediately (so the body can compute with the
+// values) but defer the removal, logging the concrete tuple plus the
+// bucket version observed at read time. Probes see the transaction's own
+// effects — a buffered Put satisfies a later Get or Rd, and a tuple already
+// claimed by a buffered take is invisible to further probes. Commit is
+// optimistic: tspace.ApplyCommit re-validates every read under a short
+// per-space critical section and applies the takes and puts atomically; a
+// ConflictError aborts the attempt and Atomic re-runs the body after a
+// VP-local backoff (per the thread/data-mapping literature: the retry goes
+// back to the VP whose cache holds the read set).
+//
+// A transaction whose spaces are fabric proxies (a single stingd server, or
+// cluster spaces whose keys all route to one shard) commits atomically
+// server-side through one TXNCOMMIT frame. Operations may not mix commit
+// domains: local spaces and remote servers cannot commit atomically
+// together (cross-shard 2PC is out of scope), and such transactions fail
+// with ErrMixedDomains rather than pretending.
+package stm
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/tspace"
+)
+
+// Errors.
+var (
+	// ErrAborted is the explicit-abort sentinel: return it (or tx.Abort())
+	// from the body and Atomic gives up without retrying.
+	ErrAborted = errors.New("stm: transaction aborted")
+	// ErrMixedDomains rejects a transaction whose operations span commit
+	// domains — local spaces plus a server, or two different servers/shards
+	// — which cannot commit atomically without 2PC.
+	ErrMixedDomains = errors.New("stm: transaction spans multiple commit domains")
+)
+
+// opRec is one buffered operation.
+type opRec struct {
+	kind tspace.TxnOpKind
+	sp   tspace.TupleSpace
+	key  any // claim/dedup identity of the space (see spaceKey)
+	ver  uint64
+	tup  tspace.Tuple
+}
+
+// Txn is an in-flight transaction. It is owned by the STING thread running
+// the Atomic body and must not be shared across threads or used after the
+// body returns.
+type Txn struct {
+	ctx *core.Context
+	ops []opRec
+}
+
+// domainKey identifies a fabric space for claim tracking: two handles to
+// the same server-side space are the same space.
+type domainKey struct {
+	dom  any
+	name string
+}
+
+func spaceKey(sp tspace.TupleSpace) any {
+	if r, ok := sp.(tspace.RemoteTxn); ok {
+		return domainKey{dom: r.TxnDomain(), name: r.TxnSpaceName()}
+	}
+	return sp
+}
+
+func unsupported(sp tspace.TupleSpace) error {
+	return fmt.Errorf("%w: %s", tspace.ErrTxnUnsupported, sp.Kind())
+}
+
+// Put buffers a deposit; it becomes visible to other threads only at
+// commit, but immediately satisfies this transaction's own probes.
+func (tx *Txn) Put(sp tspace.TupleSpace, tup tspace.Tuple) error {
+	switch sp.(type) {
+	case tspace.TxnSpace, tspace.RemoteTxn:
+	default:
+		return unsupported(sp)
+	}
+	tx.ops = append(tx.ops, opRec{kind: tspace.TxnPut, sp: sp, key: spaceKey(sp), tup: tup})
+	return nil
+}
+
+// Get resolves a matching tuple, blocking until one exists, and buffers
+// its removal for commit.
+func (tx *Txn) Get(sp tspace.TupleSpace, tpl tspace.Template) (tspace.Tuple, tspace.Bindings, error) {
+	return tx.probe(sp, tpl, true, true)
+}
+
+// Rd resolves a matching tuple, blocking until one exists, and logs the
+// read for commit-time validation.
+func (tx *Txn) Rd(sp tspace.TupleSpace, tpl tspace.Template) (tspace.Tuple, tspace.Bindings, error) {
+	return tx.probe(sp, tpl, false, true)
+}
+
+// TryGet is the non-blocking Get; it returns tspace.ErrNoMatch when
+// nothing (visible to this transaction) matches.
+func (tx *Txn) TryGet(sp tspace.TupleSpace, tpl tspace.Template) (tspace.Tuple, tspace.Bindings, error) {
+	return tx.probe(sp, tpl, true, false)
+}
+
+// TryRd is the non-blocking Rd.
+func (tx *Txn) TryRd(sp tspace.TupleSpace, tpl tspace.Template) (tspace.Tuple, tspace.Bindings, error) {
+	return tx.probe(sp, tpl, false, false)
+}
+
+// Abort returns the sentinel that makes Atomic abandon the transaction
+// without retrying: `return tx.Abort()`.
+func (tx *Txn) Abort() error { return ErrAborted }
+
+func (tx *Txn) probe(sp tspace.TupleSpace, tpl tspace.Template, take, block bool) (tspace.Tuple, tspace.Bindings, error) {
+	key := spaceKey(sp)
+	if tup, bind, ok, err := tx.ownPut(tpl, key, take); err != nil || ok {
+		return tup, bind, err
+	}
+	var (
+		tup  tspace.Tuple
+		bind tspace.Bindings
+		ver  uint64
+		err  error
+	)
+	switch x := sp.(type) {
+	case tspace.TxnSpace:
+		if block {
+			tup, bind, ver, err = x.TxnWait(tx.ctx, tpl, tx.skipFactory(key))
+		} else {
+			tup, bind, ver, err = x.TxnProbe(tx.ctx, tpl, tx.skipFactory(key))
+		}
+	case tspace.RemoteTxn:
+		tup, bind, err = tx.remoteProbe(sp, tpl, key, block)
+	default:
+		return nil, nil, unsupported(sp)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	kind := tspace.TxnRead
+	if take {
+		kind = tspace.TxnTake
+	}
+	tx.ops = append(tx.ops, opRec{kind: kind, sp: sp, key: key, ver: ver, tup: tup})
+	return tup, bind, nil
+}
+
+// ownPut satisfies a probe from the transaction's buffered deposits:
+// reads-see-own-writes. A Get cancels the matched Put (the tuple never
+// existed outside the transaction), so the pair nets to nothing.
+func (tx *Txn) ownPut(tpl tspace.Template, key any, take bool) (tspace.Tuple, tspace.Bindings, bool, error) {
+	for i := range tx.ops {
+		rec := &tx.ops[i]
+		if rec.kind != tspace.TxnPut || rec.key != key {
+			continue
+		}
+		bind, resolved, ok, err := tspace.MatchTemplate(tx.ctx, tpl, rec.tup)
+		if err != nil {
+			return nil, nil, false, err
+		}
+		if !ok {
+			continue
+		}
+		if take {
+			tx.ops = append(tx.ops[:i], tx.ops[i+1:]...)
+		}
+		return resolved, bind, true, nil
+	}
+	return nil, nil, false, nil
+}
+
+// skipFactory builds the claim filter a local probe applies: each probe
+// pass gets a fresh countdown of the tuples this transaction has already
+// claimed from the space, so a take of one instance hides exactly one
+// instance (multiplicity-correct reads-see-own-takes).
+func (tx *Txn) skipFactory(key any) func() func(tspace.Tuple) bool {
+	return func() func(tspace.Tuple) bool {
+		type claim struct {
+			tup tspace.Tuple
+			n   int
+		}
+		var claims []claim
+		for i := range tx.ops {
+			rec := &tx.ops[i]
+			if rec.kind != tspace.TxnTake || rec.key != key {
+				continue
+			}
+			found := false
+			for j := range claims {
+				if tspace.EqualTuple(claims[j].tup, rec.tup) {
+					claims[j].n++
+					found = true
+					break
+				}
+			}
+			if !found {
+				claims = append(claims, claim{tup: rec.tup, n: 1})
+			}
+		}
+		if len(claims) == 0 {
+			return nil
+		}
+		return func(t tspace.Tuple) bool {
+			for j := range claims {
+				if claims[j].n > 0 && tspace.EqualTuple(claims[j].tup, t) {
+					claims[j].n--
+					return true
+				}
+			}
+			return false
+		}
+	}
+}
+
+// claimed reports whether the transaction has taken any instance of tup
+// from the space identified by key.
+func (tx *Txn) claimed(key any, tup tspace.Tuple) bool {
+	for i := range tx.ops {
+		rec := &tx.ops[i]
+		if rec.kind == tspace.TxnTake && rec.key == key && tspace.EqualTuple(rec.tup, tup) {
+			return true
+		}
+	}
+	return false
+}
+
+// remoteProbe probes a fabric space non-destructively. The server cannot
+// apply the claim filter, so claimed values are filtered client-side: a
+// probe returning a tuple value this transaction already took is treated
+// as no match — the proxy cannot distinguish a second identical instance
+// from the one already claimed, so remote transactions cannot take
+// duplicates of the same value (a documented limitation).
+func (tx *Txn) remoteProbe(sp tspace.TupleSpace, tpl tspace.Template, key any, block bool) (tspace.Tuple, tspace.Bindings, error) {
+	backoff := time.Millisecond
+	for {
+		tup, bind, err := sp.TryRd(tx.ctx, tpl)
+		if err == nil {
+			if !tx.claimed(key, tup) {
+				return tup, bind, nil
+			}
+			if !block {
+				return nil, nil, tspace.ErrNoMatch
+			}
+			// Only claimed instances are visible; back off and re-probe.
+			tx.sleep(backoff)
+			backoff = minDuration(backoff*2, 50*time.Millisecond)
+			continue
+		}
+		if !errors.Is(err, tspace.ErrNoMatch) {
+			return nil, nil, err
+		}
+		if !block {
+			return nil, nil, tspace.ErrNoMatch
+		}
+		// Wait (non-consuming) for a match to exist, then re-run the
+		// claim-filtered probe.
+		tup, bind, err = sp.Rd(tx.ctx, tpl)
+		if err != nil {
+			return nil, nil, err
+		}
+		if !tx.claimed(key, tup) {
+			return tup, bind, nil
+		}
+		tx.sleep(backoff)
+		backoff = minDuration(backoff*2, 50*time.Millisecond)
+	}
+}
+
+func (tx *Txn) sleep(d time.Duration) {
+	tx.ctx.BlockUntilDeadline(func() bool { return false }, time.Now().Add(d))
+}
+
+func minDuration(a, b time.Duration) time.Duration {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// commit partitions the log by commit domain and ships it: one
+// tspace.ApplyCommit for local spaces, one TXNCOMMIT frame for a single
+// fabric domain. An empty log commits trivially.
+func (tx *Txn) commit() error {
+	if len(tx.ops) == 0 {
+		return nil
+	}
+	var (
+		local     []tspace.CommitOp
+		remote    []tspace.TxnOp
+		committer tspace.RemoteTxn
+		domain    any
+		mixed     bool
+	)
+	for i := range tx.ops {
+		rec := &tx.ops[i]
+		switch x := rec.sp.(type) {
+		case tspace.TxnSpace:
+			local = append(local, tspace.CommitOp{
+				Space: x, Kind: rec.kind, Ver: rec.ver, Tup: rec.tup,
+			})
+		case tspace.RemoteTxn:
+			if committer == nil {
+				committer, domain = x, x.TxnDomain()
+			} else if domain != x.TxnDomain() {
+				mixed = true
+			}
+			remote = append(remote, tspace.TxnOp{
+				Kind: rec.kind, Space: x.TxnSpaceName(), Ver: rec.ver, Tup: rec.tup,
+			})
+		default:
+			return unsupported(rec.sp)
+		}
+	}
+	if mixed || (len(local) > 0 && committer != nil) {
+		return ErrMixedDomains
+	}
+	if committer != nil {
+		return committer.CommitTxn(tx.ctx, remote)
+	}
+	return tspace.ApplyCommit(tx.ctx, local)
+}
+
+// Process-wide STM counters beyond what tspace tracks at commit: retries
+// are conflict-driven re-executions this process started; userAborts are
+// explicit ErrAborted returns.
+var (
+	retries    atomic.Uint64
+	userAborts atomic.Uint64
+)
+
+// Stats is a snapshot of the process-wide transaction counters. Commits
+// and Conflicts count on the process that applied the commit (the server,
+// for wire transactions); Retries and Aborts count where the body ran.
+type Stats struct {
+	Commits   uint64
+	Conflicts uint64
+	Retries   uint64
+	Aborts    uint64
+}
+
+// CurrentStats snapshots the counters.
+func CurrentStats() Stats {
+	c, f := tspace.TxnCommitStats()
+	return Stats{Commits: c, Conflicts: f, Retries: retries.Load(), Aborts: userAborts.Load()}
+}
+
+// Retry/backoff shape: the first few conflicts just yield — the thread
+// re-enqueues on its current VP's deque, so the retry runs where the
+// read-set is cache-warm — then exponential parked backoff with jitter,
+// whose timer wake also returns the thread to its own VP.
+const (
+	spinRetries = 3
+	backoffBase = 5 * time.Microsecond
+	backoffCap  = 2 * time.Millisecond
+)
+
+// Atomic runs body inside a transaction and commits it, retrying the whole
+// body on commit conflicts until it succeeds. The body must be idempotent
+// up to its transactional effects (it may run many times; only the final
+// run's operations commit). Returning ErrAborted (tx.Abort()) abandons the
+// transaction without retry; any other error from the body is returned
+// as-is, committing nothing.
+func Atomic(ctx *core.Context, body func(tx *Txn) error) error {
+	var err error
+	ctx.WithSpan("stm/txn", func(s *obs.Span) {
+		err = runTxn(ctx, body, s)
+	})
+	return err
+}
+
+func runTxn(ctx *core.Context, body func(tx *Txn) error, s *obs.Span) error {
+	s.Event("begin")
+	for attempt := 0; ; attempt++ {
+		tx := &Txn{ctx: ctx}
+		err := body(tx)
+		if err != nil {
+			if errors.Is(err, ErrAborted) {
+				userAborts.Add(1)
+				s.Event("abort")
+				return ErrAborted
+			}
+			s.Event("abort")
+			return err
+		}
+		s.Event("validate")
+		err = tx.commit()
+		if err == nil {
+			s.Event("commit")
+			return nil
+		}
+		if !errors.Is(err, tspace.ErrTxnConflict) {
+			s.Event("abort")
+			return err
+		}
+		retries.Add(1)
+		s.Event("retry")
+		if attempt < spinRetries {
+			ctx.Yield()
+			continue
+		}
+		shift := attempt - spinRetries
+		if shift > 8 {
+			shift = 8
+		}
+		d := minDuration(backoffBase<<uint(shift), backoffCap)
+		d += time.Duration(rand.Int63n(int64(d))) // jitter de-synchronizes herds
+		tx.sleep(d)
+	}
+}

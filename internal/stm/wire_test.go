@@ -1,0 +1,181 @@
+package stm
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/remote"
+	"repro/internal/testkit"
+	"repro/internal/tspace"
+)
+
+// startFabric boots an in-process stingd-shaped server (machine, VM,
+// fabric listener) and a client dialed at it — the single-shard half of
+// the ISSUE's torture matrix.
+func startFabric(t testing.TB) *remote.Client {
+	t.Helper()
+	vm := testkit.VM(t, 2, 2)
+	srv := remote.NewServer(vm, remote.ServerConfig{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	go srv.Serve(ln) //nolint:errcheck
+	t.Cleanup(srv.Shutdown)
+	c, err := remote.Dial(nil, ln.Addr().String(), remote.DialConfig{})
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	t.Cleanup(func() { c.Close() }) //nolint:errcheck
+	return c
+}
+
+func TestWireTxnCommit(t *testing.T) {
+	c := startFabric(t)
+	vm := testkit.VM(t, 2, 2)
+	sp := c.Space("bank")
+	testkit.RunIn(t, vm, func(ctx *core.Context) error {
+		if err := sp.Put(ctx, tspace.Tuple{"acct", "a", 100}); err != nil {
+			return err
+		}
+		if err := sp.Put(ctx, tspace.Tuple{"acct", "b", 0}); err != nil {
+			return err
+		}
+		err := Atomic(ctx, func(tx *Txn) error {
+			tupA, _, err := tx.Get(sp, tspace.Template{"acct", "a", tspace.F("n")})
+			if err != nil {
+				return err
+			}
+			tupB, _, err := tx.Get(sp, tspace.Template{"acct", "b", tspace.F("n")})
+			if err != nil {
+				return err
+			}
+			a := asBalance(tupA[2])
+			b := asBalance(tupB[2])
+			if err := tx.Put(sp, tspace.Tuple{"acct", "a", a - 25}); err != nil {
+				return err
+			}
+			return tx.Put(sp, tspace.Tuple{"acct", "b", b + 25})
+		})
+		if err != nil {
+			t.Fatalf("Atomic over wire: %v", err)
+		}
+		if _, _, err := sp.TryRd(ctx, tspace.Template{"acct", "a", 75}); err != nil {
+			t.Errorf("a after commit: %v", err)
+		}
+		if _, _, err := sp.TryRd(ctx, tspace.Template{"acct", "b", 25}); err != nil {
+			t.Errorf("b after commit: %v", err)
+		}
+		return nil
+	})
+}
+
+func TestWireTxnReadsSeeOwnWrites(t *testing.T) {
+	c := startFabric(t)
+	vm := testkit.VM(t, 2, 2)
+	sp := c.Space("scratch")
+	testkit.RunIn(t, vm, func(ctx *core.Context) error {
+		return Atomic(ctx, func(tx *Txn) error {
+			if err := tx.Put(sp, tspace.Tuple{"tmp", 1}); err != nil {
+				return err
+			}
+			if _, _, err := tx.Get(sp, tspace.Template{"tmp", tspace.F("v")}); err != nil {
+				return err
+			}
+			return nil
+		})
+	})
+}
+
+// TestWireConservationTorture is the over-the-wire half of the torture
+// test: transactional transfers against a live single-shard fabric
+// server, exact conservation. Run with -race.
+func TestWireConservationTorture(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wire torture is slow under -short")
+	}
+	const (
+		accounts  = 4
+		workers   = 4
+		transfers = 25
+		initial   = 1000
+	)
+	c := startFabric(t)
+	vm := testkit.VM(t, 4, 4)
+	sp := c.Space("bank")
+	testkit.RunIn(t, vm, func(ctx *core.Context) error {
+		for i := 0; i < accounts; i++ {
+			if err := sp.Put(ctx, tspace.Tuple{"acct", i, initial}); err != nil {
+				return err
+			}
+		}
+		var committed atomic.Int64
+		kids := make([]*core.Thread, workers)
+		for w := 0; w < workers; w++ {
+			seed := int64(w + 1)
+			kids[w] = ctx.Fork(func(cc *core.Context) ([]core.Value, error) {
+				rng := rand.New(rand.NewSource(seed))
+				for n := 0; n < transfers; n++ {
+					from := rng.Intn(accounts)
+					to := rng.Intn(accounts)
+					if from == to {
+						to = (to + 1) % accounts
+					}
+					amount := rng.Intn(50)
+					err := Atomic(cc, func(tx *Txn) error {
+						ftup, _, err := tx.Get(sp, tspace.Template{"acct", from, tspace.F("n")})
+						if err != nil {
+							return err
+						}
+						ttup, _, err := tx.Get(sp, tspace.Template{"acct", to, tspace.F("n")})
+						if err != nil {
+							return err
+						}
+						fbal := asBalance(ftup[2])
+						tbal := asBalance(ttup[2])
+						if fbal < amount {
+							return tx.Abort()
+						}
+						if err := tx.Put(sp, tspace.Tuple{"acct", from, fbal - amount}); err != nil {
+							return err
+						}
+						return tx.Put(sp, tspace.Tuple{"acct", to, tbal + amount})
+					})
+					switch {
+					case err == nil:
+						committed.Add(1)
+					case errors.Is(err, ErrAborted):
+					default:
+						return nil, fmt.Errorf("worker %d transfer %d: %w", seed, n, err)
+					}
+				}
+				return nil, nil
+			}, vm.VP(w%4), core.WithStealable(false))
+		}
+		for _, k := range kids {
+			if _, err := ctx.Value(k); err != nil {
+				return err
+			}
+		}
+		total := 0
+		for i := 0; i < accounts; i++ {
+			tup, _, err := sp.TryRd(ctx, tspace.Template{"acct", i, tspace.F("n")})
+			if err != nil {
+				return fmt.Errorf("account %d missing: %w", i, err)
+			}
+			total += asBalance(tup[2])
+		}
+		if total != accounts*initial {
+			t.Errorf("total = %d, want %d (conservation violated)", total, accounts*initial)
+		}
+		if committed.Load() == 0 {
+			t.Error("no transfer ever committed")
+		}
+		return nil
+	})
+}

@@ -2,6 +2,7 @@ package tspace
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 )
@@ -18,11 +19,15 @@ type hashTS struct {
 	wildMu sync.Mutex
 	wt     *waitTable
 	parent TupleSpace
+	txn    txnMeta
 }
 
 type hashBin struct {
 	mu      sync.Mutex
 	entries []*entry
+	// ver counts the bin's deposits and removals — the transaction layer's
+	// fast-path read validation ("nothing in this bucket moved").
+	ver atomic.Uint64
 }
 
 func newHashTS(cfg Config) *hashTS {
@@ -39,6 +44,7 @@ func newHashTS(cfg Config) *hashTS {
 	for i := range ts.bins {
 		ts.bins[i] = &hashBin{}
 	}
+	ts.txn.init()
 	return ts
 }
 
@@ -100,6 +106,7 @@ func (ts *hashTS) Put(ctx *core.Context, tup Tuple) error {
 	b := ts.binFor(tup)
 	b.mu.Lock()
 	b.entries = append(b.entries, e)
+	b.ver.Add(1)
 	b.mu.Unlock()
 	ts.wt.wake(tup)
 	return nil
@@ -137,6 +144,7 @@ func (ts *hashTS) scan(ctx *core.Context, b *hashBin, tpl Template, remove bool)
 			if !e.taken.CompareAndSwap(false, true) {
 				continue // another remover won; keep scanning
 			}
+			b.ver.Add(1)
 		} else if e.taken.Load() {
 			continue
 		}
@@ -206,6 +214,106 @@ func (ts *hashTS) Spawn(ctx *core.Context, thunks ...core.Thunk) ([]*core.Thread
 	}
 	return threads, ts.Put(ctx, tup)
 }
+
+// TxnProbe implements TxnSpace: a non-destructive probe that reports the
+// matched bucket's version, read before the scan so a commit-time
+// comparison is conservative (any change after the read forces the slow
+// path, never a wrong fast-path pass).
+func (ts *hashTS) TxnProbe(ctx *core.Context, tpl Template, newSkip func() func(Tuple) bool) (Tuple, Bindings, uint64, error) {
+	var skip func(Tuple) bool
+	if newSkip != nil {
+		skip = newSkip()
+	}
+	for _, b := range ts.probeBins(tpl) {
+		ver := b.ver.Load()
+		tup, bind, err := ts.scanSkip(ctx, b, tpl, skip)
+		if err == nil {
+			return tup, bind, ver, nil
+		}
+		if err != ErrNoMatch {
+			return nil, nil, 0, err
+		}
+	}
+	return nil, nil, 0, ErrNoMatch
+}
+
+// TxnWait implements TxnSpace.
+func (ts *hashTS) TxnWait(ctx *core.Context, tpl Template, newSkip func() func(Tuple) bool) (Tuple, Bindings, uint64, error) {
+	var ver uint64
+	tup, bind, err := blockingLoop(ctx, ts.wt, tpl, func() (Tuple, Bindings, error) {
+		t, b, v, err := ts.TxnProbe(ctx, tpl, newSkip)
+		ver = v
+		return t, b, err
+	})
+	return tup, bind, ver, err
+}
+
+// scanSkip is scan without removal and with the transaction layer's
+// claimed-candidate filter. It compacts lazily deleted entries just like
+// scan — a purely transactional workload never calls scan, so without
+// compaction here commit-time takes would pile up dead entries forever.
+func (ts *hashTS) scanSkip(ctx *core.Context, b *hashBin, tpl Template, skip func(Tuple) bool) (Tuple, Bindings, error) {
+	b.mu.Lock()
+	candidates := make([]*entry, 0, len(b.entries))
+	live := b.entries[:0]
+	for _, e := range b.entries {
+		if e.taken.Load() {
+			continue
+		}
+		live = append(live, e)
+		if len(e.tup) == len(tpl) {
+			candidates = append(candidates, e)
+		}
+	}
+	b.entries = live
+	b.mu.Unlock()
+	for _, e := range candidates {
+		bind, resolved, ok, err := matchTuple(ctx, tpl, e.tup)
+		if err != nil {
+			return nil, nil, err
+		}
+		if !ok || e.taken.Load() {
+			continue
+		}
+		if skip != nil && skip(resolved) {
+			continue
+		}
+		return resolved, bind, nil
+	}
+	return nil, nil, ErrNoMatch
+}
+
+func (ts *hashTS) txnMeta() *txnMeta { return &ts.txn }
+
+// txnTake removes one entry holding exactly tup (value equality, no
+// thread demand — tuples containing threads are outside the transactional
+// subset). It bumps the bin version like any removal.
+func (ts *hashTS) txnTake(tup Tuple) bool {
+	b := ts.binFor(tup)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, e := range b.entries {
+		if !e.taken.Load() && sameTuple(e.tup, tup) && e.taken.CompareAndSwap(false, true) {
+			b.ver.Add(1)
+			return true
+		}
+	}
+	return false
+}
+
+func (ts *hashTS) txnPresent(tup Tuple) bool {
+	b := ts.binFor(tup)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, e := range b.entries {
+		if !e.taken.Load() && sameTuple(e.tup, tup) {
+			return true
+		}
+	}
+	return false
+}
+
+func (ts *hashTS) txnTupleVer(tup Tuple) uint64 { return ts.binFor(tup).ver.Load() }
 
 // Len implements TupleSpace.
 func (ts *hashTS) Len() int {

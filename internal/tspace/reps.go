@@ -2,6 +2,7 @@ package tspace
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 )
@@ -18,10 +19,16 @@ type bagTS struct {
 	dedup   bool
 	wt      *waitTable
 	parent  TupleSpace
+	// ver counts deposits and removals — the transaction layer's fast-path
+	// read validation; the whole space is one bucket here.
+	ver atomic.Uint64
+	txn txnMeta
 }
 
 func newBagTS(cfg Config, dedup bool) *bagTS {
-	return &bagTS{dedup: dedup, wt: newWaitTable(), parent: cfg.Parent}
+	ts := &bagTS{dedup: dedup, wt: newWaitTable(), parent: cfg.Parent}
+	ts.txn.init()
+	return ts
 }
 
 // Kind implements TupleSpace.
@@ -63,6 +70,7 @@ func (ts *bagTS) Put(ctx *core.Context, tup Tuple) error {
 		}
 	}
 	ts.entries = append(ts.entries, &entry{tup: tup})
+	ts.ver.Add(1)
 	ts.mu.Unlock()
 	ts.wt.wake(tup)
 	return nil
@@ -91,8 +99,11 @@ func (ts *bagTS) probe(ctx *core.Context, tpl Template, remove bool) (Tuple, Bin
 		if !ok {
 			continue
 		}
-		if remove && !e.taken.CompareAndSwap(false, true) {
-			continue
+		if remove {
+			if !e.taken.CompareAndSwap(false, true) {
+				continue
+			}
+			ts.ver.Add(1)
 		}
 		if !remove && e.taken.Load() {
 			continue
@@ -101,6 +112,82 @@ func (ts *bagTS) probe(ctx *core.Context, tpl Template, remove bool) (Tuple, Bin
 	}
 	return nil, nil, ErrNoMatch
 }
+
+// TxnProbe implements TxnSpace (queueTS inherits it; FIFO order is
+// preserved because the scan stays oldest-first).
+func (ts *bagTS) TxnProbe(ctx *core.Context, tpl Template, newSkip func() func(Tuple) bool) (Tuple, Bindings, uint64, error) {
+	var skip func(Tuple) bool
+	if newSkip != nil {
+		skip = newSkip()
+	}
+	ver := ts.ver.Load()
+	ts.mu.Lock()
+	candidates := make([]*entry, 0, len(ts.entries))
+	live := ts.entries[:0]
+	for _, e := range ts.entries {
+		if e.taken.Load() {
+			continue // compact: txn-only workloads never run probe's sweep
+		}
+		live = append(live, e)
+		if len(e.tup) == len(tpl) {
+			candidates = append(candidates, e)
+		}
+	}
+	ts.entries = live
+	ts.mu.Unlock()
+	for _, e := range candidates {
+		bind, resolved, ok, err := matchTuple(ctx, tpl, e.tup)
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		if !ok || e.taken.Load() {
+			continue
+		}
+		if skip != nil && skip(resolved) {
+			continue
+		}
+		return resolved, bind, ver, nil
+	}
+	return nil, nil, 0, ErrNoMatch
+}
+
+// TxnWait implements TxnSpace.
+func (ts *bagTS) TxnWait(ctx *core.Context, tpl Template, newSkip func() func(Tuple) bool) (Tuple, Bindings, uint64, error) {
+	var ver uint64
+	tup, bind, err := blockingLoop(ctx, ts.wt, tpl, func() (Tuple, Bindings, error) {
+		t, b, v, err := ts.TxnProbe(ctx, tpl, newSkip)
+		ver = v
+		return t, b, err
+	})
+	return tup, bind, ver, err
+}
+
+func (ts *bagTS) txnMeta() *txnMeta { return &ts.txn }
+
+func (ts *bagTS) txnTake(tup Tuple) bool {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	for _, e := range ts.entries {
+		if !e.taken.Load() && sameTuple(e.tup, tup) && e.taken.CompareAndSwap(false, true) {
+			ts.ver.Add(1)
+			return true
+		}
+	}
+	return false
+}
+
+func (ts *bagTS) txnPresent(tup Tuple) bool {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	for _, e := range ts.entries {
+		if !e.taken.Load() && sameTuple(e.tup, tup) {
+			return true
+		}
+	}
+	return false
+}
+
+func (ts *bagTS) txnTupleVer(Tuple) uint64 { return ts.ver.Load() }
 
 // TryGet implements TupleSpace.
 func (ts *bagTS) TryGet(ctx *core.Context, tpl Template) (Tuple, Bindings, error) {
@@ -180,6 +267,7 @@ func newQueueTS(cfg Config) *queueTS {
 	q := &queueTS{}
 	q.wt = newWaitTable()
 	q.parent = cfg.Parent
+	q.txn.init()
 	return q
 }
 

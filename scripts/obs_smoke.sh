@@ -43,6 +43,9 @@ for family in \
     sting_tspace_wakes_total \
     sting_remote_conns_active \
     sting_remote_op_latency_seconds_bucket \
+    sting_stm_commits_total \
+    sting_stm_aborts_total \
+    sting_stm_retries_total \
     sting_trace_events; do
     if ! grep -q "^$family" <<<"$metrics"; then
         echo "FAIL: /metrics missing family $family"

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# stm_compare.sh — rerun the STM contention sweep and fail if any stm/ row
+# is more than 10% slower than the committed BENCH_stm.json baseline. Run
+# via `make stm-bench-compare`; CI runs it non-blocking because shared
+# runners add noise well beyond the threshold.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+baseline="BENCH_stm.json"
+[ -f "$baseline" ] || { echo "stm_compare: no committed $baseline baseline (run 'make stm-bench' and commit it)"; exit 2; }
+
+current="$(mktemp)"
+trap 'rm -f "$current"' EXIT
+
+go run ./cmd/stingbench -table stm -json "$current"
+go run ./scripts/benchdiff -threshold 0.10 -prefix stm/ "$baseline" "$current"

@@ -37,6 +37,7 @@ import (
 	"repro/internal/policy"
 	"repro/internal/remote"
 	"repro/internal/spec"
+	"repro/internal/stm"
 	"repro/internal/streams"
 	"repro/internal/synch"
 	"repro/internal/tspace"
@@ -439,4 +440,38 @@ var (
 	// WriteChromeSpans renders spans from many nodes as one Chrome
 	// trace_event document with flow arrows stitching client to server.
 	WriteChromeSpans = obs.WriteChromeSpans
+)
+
+// Transactions (internal/stm): atomic multi-tuple operations over tuple
+// spaces — buffered reads and writes, optimistic commit with read
+// validation, automatic conflict retry with VP-local backoff, and
+// single-frame TXNCOMMIT commits against a fabric server or one cluster
+// shard (cross-shard transactions are rejected, not half-applied).
+type (
+	// Txn is an in-flight transaction: buffered Put/Get/Rd/TryGet/TryRd
+	// that see the transaction's own effects.
+	Txn = stm.Txn
+	// TxnStats is the process-wide transaction counter snapshot.
+	TxnStats = stm.Stats
+	// TxnConflictError reports a failed commit-time validation.
+	TxnConflictError = tspace.ConflictError
+)
+
+var (
+	// Atomic runs a body transactionally, retrying on commit conflicts.
+	Atomic = stm.Atomic
+	// ErrTxnConflict matches every conflict error (errors.Is).
+	ErrTxnConflict = tspace.ErrTxnConflict
+	// ErrTxnAborted is the explicit-abort sentinel (tx.Abort()).
+	ErrTxnAborted = stm.ErrAborted
+	// ErrTxnMixedDomains rejects transactions spanning commit domains.
+	ErrTxnMixedDomains = stm.ErrMixedDomains
+	// ErrTxnUnsupported marks representations without transaction support.
+	ErrTxnUnsupported = tspace.ErrTxnUnsupported
+	// ErrCrossShardTxn rejects cluster transactions spanning shards.
+	ErrCrossShardTxn = cluster.ErrCrossShardTxn
+	// TxnCurrentStats snapshots the process-wide transaction counters.
+	TxnCurrentStats = stm.CurrentStats
+	// NewSTMCollector exposes the sting_stm_* metric family.
+	NewSTMCollector = stm.NewCollector
 )
