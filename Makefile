@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race check bench sched-bench bench-compare obs-smoke obs-bench cluster-smoke trace-smoke stm-bench stm-bench-compare stm-smoke clean
+.PHONY: all build vet test race check bench sched-bench bench-compare obs-smoke obs-bench cluster-smoke trace-smoke stm-bench stm-bench-compare stm-smoke diag-smoke clean
 
 all: check
 
@@ -41,6 +41,11 @@ bench-compare:
 # the required metric families.
 obs-smoke:
 	./scripts/obs_smoke.sh
+
+# Boot stingd with a tight stall SLO, plant a hot key and a stalled
+# waiter, assert /debug/diag surfaces both and the flight recorder dumps.
+diag-smoke:
+	./scripts/diag_smoke.sh
 
 # Boot a 3-shard stingd cluster, drive keyed + wildcard ops through the
 # sting CLI, assert all shards healthy with zero misroutes.

@@ -10,7 +10,11 @@
 //	stingd -spaces jobs=hash,done=queue     pre-create spaces by representation
 //	stingd -vps 8 -procs 4                  size the serving VM
 //	stingd -stats-every 10s                 print the counter table periodically
-//	stingd -http :9090                      serve /metrics, /healthz, /debug/trace
+//	stingd -http :9090                      serve /metrics, /healthz, /debug/trace,
+//	                                        /debug/spans, /debug/diag
+//	stingd -diag-slo 5s                     report waiters parked past 5s as
+//	                                        stalled at /debug/diag; kill -QUIT
+//	                                        dumps the flight recorder to stderr
 //	stingd -cluster nodes.json -node n1     join a sharded cluster as node n1:
 //	                                        keyed ops that belong to another
 //	                                        shard are answered with a typed
@@ -37,6 +41,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/diag"
 	"repro/internal/obs"
 	"repro/internal/persist"
 	"repro/internal/remote"
@@ -57,6 +62,11 @@ func main() {
 		clusterSpec = flag.String("cluster", "", "cluster membership: nodes.json path or \"id=addr,…\" spec")
 		nodeID      = flag.String("node", "", "this daemon's node id within -cluster (default: the node whose addr matches -addr)")
 		snapshot    = flag.String("snapshot", "", "persist passive tuples here: restored on boot, written on graceful drain")
+		diagOn      = flag.Bool("diag", true, "run the always-on runtime diagnoser (stall sampler, hot-key profiler, flight recorder)")
+		diagSample  = flag.Duration("diag-sample", time.Second, "stall-sampler period")
+		diagSLO     = flag.Duration("diag-slo", 30*time.Second, "parked age past which a waiter is reported as stalled")
+		diagWatch   = flag.Duration("diag-watchdog", 10*time.Second, "scheduler-watchdog heartbeat interval (0: off)")
+		diagTopK    = flag.Int("diag-topk", 10, "hot keys reported per space at /debug/diag")
 	)
 	flag.Parse()
 
@@ -75,6 +85,11 @@ func main() {
 		snapshot:   *snapshot,
 		pprof:      *pprofOn,
 		traceOut:   *traceOut,
+		diag:       *diagOn,
+		diagSample: *diagSample,
+		diagSLO:    *diagSLO,
+		diagWatch:  *diagWatch,
+		diagTopK:   *diagTopK,
 	}))
 }
 
@@ -87,6 +102,10 @@ type serverOpts struct {
 	pprof                  bool
 	vps, procs             int
 	statsEvery             time.Duration
+	diag                   bool
+	diagSample, diagSLO    time.Duration
+	diagWatch              time.Duration
+	diagTopK               int
 }
 
 // runDumpStats is the client mode: one STATS round trip, rendered.
@@ -159,6 +178,34 @@ func runServer(opts serverOpts) int {
 	fmt.Printf("stingd: serving tuple spaces on %s (spaces: %s)\n",
 		ln.Addr(), strings.Join(append(reg.Names(), "* on demand"), ", "))
 
+	var d *diag.Diagnoser
+	watchStop := make(chan struct{})
+	if opts.diag {
+		d = diag.New(diag.Config{
+			Node:         nodeName,
+			SamplePeriod: opts.diagSample,
+			StallSLO:     opts.diagSLO,
+			TopK:         opts.diagTopK,
+			Waiters:      []diag.WaiterSource{reg},
+			Parked: func() []diag.ParkInfo {
+				parked := srv.Parked()
+				out := make([]diag.ParkInfo, len(parked))
+				for i, p := range parked {
+					out[i] = diag.ParkInfo{Conn: p.Conn, Op: p.Op, Space: p.Space, Since: p.Since}
+				}
+				return out
+			},
+			VM: vm,
+		})
+		d.Start()
+		defer d.Stop()
+		if opts.diagWatch > 0 {
+			startWatchdog(vm, d, opts.diagWatch, nodeName, watchStop)
+		}
+		fmt.Printf("stingd: runtime diagnosis on (sample %v, stall SLO %v; SIGQUIT dumps the flight recorder)\n",
+			opts.diagSample, opts.diagSLO)
+	}
+
 	var draining atomic.Bool
 	var spans *obs.SpanBuffer
 	if opts.httpAddr != "" || opts.traceOut != "" {
@@ -170,12 +217,15 @@ func runServer(opts serverOpts) int {
 	if opts.httpAddr != "" {
 		trace := core.NewTraceBuffer(obsTraceCap)
 		core.SetTracer(trace.Record)
-		obsAddr, err := serveObs(opts.httpAddr, buildObsHandler(vm, reg, srv, trace, spans, nodeName, opts.pprof, &draining))
+		obsAddr, err := serveObs(opts.httpAddr, buildObsHandler(vm, reg, srv, trace, spans, d, nodeName, opts.pprof, &draining))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "stingd:", err)
 			return 1
 		}
 		endpoints := "/metrics /healthz /debug/trace /debug/spans"
+		if d != nil {
+			endpoints += " /debug/diag"
+		}
 		if opts.pprof {
 			endpoints += " /debug/pprof/"
 		}
@@ -192,38 +242,62 @@ func runServer(opts serverOpts) int {
 
 	sigs := make(chan os.Signal, 1)
 	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	if d != nil {
+		// SIGQUIT becomes "dump the flight recorder and keep serving"
+		// (JVM-style); without the diagnoser it keeps Go's default
+		// goroutine-dump-and-exit behavior.
+		signal.Notify(sigs, syscall.SIGQUIT)
+	}
 	done := make(chan error, 1)
 	go func() { done <- srv.Serve(ln) }()
-	select {
-	case sig := <-sigs:
-		fmt.Printf("stingd: %v — draining\n", sig)
-		draining.Store(true) // /healthz flips to 503 before the drain starts
-		srv.Shutdown()
-		if opts.snapshot != "" {
-			// After Shutdown the registry is quiescent: waiters withdrawn,
-			// in-flight request threads done.
-			tuples, spaces, err := writeSnapshot(reg, opts.snapshot)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "stingd: snapshot write:", err)
-			} else {
-				fmt.Printf("stingd: snapshotted %d tuples from %d spaces to %s\n", tuples, spaces, opts.snapshot)
+	var sig os.Signal
+wait:
+	for {
+		select {
+		case sig = <-sigs:
+			if sig == syscall.SIGQUIT {
+				fmt.Fprintln(os.Stderr, "stingd: SIGQUIT — dumping flight recorder")
+				d.Record("dump", "", "", "SIGQUIT", 0)
+				if err := d.Recorder().DumpJSON(os.Stderr, nodeName); err != nil {
+					fmt.Fprintln(os.Stderr, "stingd: dump:", err)
+				}
+				continue
 			}
-		}
-		if opts.traceOut != "" && spans != nil {
-			n, err := writeSpanDump(opts.traceOut, nodeName, spans)
+			break wait
+		case err := <-done:
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "stingd: span dump:", err)
-			} else {
-				fmt.Printf("stingd: dumped %d spans to %s\n", n, opts.traceOut)
+				fmt.Fprintln(os.Stderr, "stingd:", err)
+				return 1
 			}
-		}
-		fmt.Print(srv.Stats().String())
-	case err := <-done:
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "stingd:", err)
-			return 1
+			return 0
 		}
 	}
+	fmt.Printf("stingd: %v — draining\n", sig)
+	draining.Store(true) // /healthz flips to 503 before the drain starts
+	close(watchStop)
+	if d != nil {
+		d.Record("drain", "", "", "healthz flipped to 503; shutting down", 0)
+	}
+	srv.Shutdown()
+	if opts.snapshot != "" {
+		// After Shutdown the registry is quiescent: waiters withdrawn,
+		// in-flight request threads done.
+		tuples, spaces, err := writeSnapshot(reg, opts.snapshot)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "stingd: snapshot write:", err)
+		} else {
+			fmt.Printf("stingd: snapshotted %d tuples from %d spaces to %s\n", tuples, spaces, opts.snapshot)
+		}
+	}
+	if opts.traceOut != "" && spans != nil {
+		n, err := writeSpanDump(opts.traceOut, nodeName, spans)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "stingd: span dump:", err)
+		} else {
+			fmt.Printf("stingd: dumped %d spans to %s\n", n, opts.traceOut)
+		}
+	}
+	fmt.Print(srv.Stats().String())
 	return 0
 }
 

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/diag"
 	"repro/internal/obs"
 	"repro/internal/remote"
 	"repro/internal/stm"
@@ -24,12 +25,13 @@ const obsSpanCap = 16384
 
 // buildObsHandler assembles the daemon's observability surface: one obs
 // registry fed by the VM, the space registry, the fabric server, the
-// trace ring, and the span ring, behind the /metrics, /healthz,
-// /debug/trace, /debug/spans handler. spans may be nil (span tracing
-// off); node names this daemon in span dumps. Factored out of runServer
-// so tests can drive it without sockets.
+// trace ring, the span ring, and the runtime diagnoser, behind the
+// /metrics, /healthz, /debug/trace, /debug/spans, /debug/diag handler.
+// spans and d may be nil (the feature is off); node names this daemon in
+// span dumps. Factored out of runServer so tests can drive it without
+// sockets.
 func buildObsHandler(vm *core.VM, reg *tspace.Registry, srv *remote.Server, trace *core.TraceBuffer,
-	spans *obs.SpanBuffer, node string, pprofOn bool, draining *atomic.Bool) http.Handler {
+	spans *obs.SpanBuffer, d *diag.Diagnoser, node string, pprofOn bool, draining *atomic.Bool) http.Handler {
 	r := obs.NewRegistry()
 	r.Register("core", core.VMCollector{VM: vm})
 	r.Register("tspace", tspace.RegistryCollector{Registry: reg})
@@ -53,6 +55,10 @@ func buildObsHandler(vm *core.VM, reg *tspace.Registry, srv *remote.Server, trac
 	if spans != nil {
 		r.Register("spans", obs.SpanCollector{Buffer: spans})
 		h.Spans = spans.Spans
+	}
+	if d != nil {
+		r.Register("diag", d.Collector())
+		h.Diag = diag.Handler{D: d}
 	}
 	return h
 }

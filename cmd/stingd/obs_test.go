@@ -13,6 +13,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/diag"
 	"repro/internal/obs"
 	"repro/internal/remote"
 	"repro/internal/stm"
@@ -49,7 +50,14 @@ func TestObsHandlerExposesRequiredFamilies(t *testing.T) {
 	defer obs.SetSpanSink(nil)
 
 	var draining atomic.Bool
-	h := buildObsHandler(vm, reg, srv, trace, spans, "test-node", false, &draining)
+	d := diag.New(diag.Config{
+		Node:    "test-node",
+		Waiters: []diag.WaiterSource{reg},
+		VM:      vm,
+	})
+	d.Start()
+	defer d.Stop()
+	h := buildObsHandler(vm, reg, srv, trace, spans, d, "test-node", false, &draining)
 	web := httptest.NewServer(h)
 	defer web.Close()
 
@@ -115,6 +123,10 @@ func TestObsHandlerExposesRequiredFamilies(t *testing.T) {
 		"sting_trace_events",
 		"sting_spans_retained",
 		"sting_span_recorded_total",
+		"sting_diag_samples_total",
+		"sting_diag_stalls_total",
+		"sting_diag_key_events_total",
+		"sting_diag_recorder_events_total",
 	} {
 		if !strings.Contains(body, family) {
 			t.Errorf("/metrics missing family %s", family)
@@ -182,6 +194,31 @@ func TestObsHandlerExposesRequiredFamilies(t *testing.T) {
 	}
 	if len(chrome.TraceEvents) == 0 {
 		t.Error("/debug/spans?format=chrome has no events")
+	}
+
+	var rep struct {
+		Node   string                    `json:"node"`
+		Spaces map[string]map[string]any `json:"spaces"`
+	}
+	if err := json.Unmarshal([]byte(get(t, web.URL+"/debug/diag")), &rep); err != nil {
+		t.Fatalf("/debug/diag not valid JSON: %v", err)
+	}
+	if rep.Node != "test-node" {
+		t.Errorf("/debug/diag node = %q, want test-node", rep.Node)
+	}
+	if _, ok := rep.Spaces["jobs"]; !ok {
+		t.Errorf("/debug/diag spaces missing jobs: %+v", rep.Spaces)
+	}
+
+	var fdump struct {
+		Node   string           `json:"node"`
+		Events []map[string]any `json:"events"`
+	}
+	if err := json.Unmarshal([]byte(get(t, web.URL+"/debug/diag?dump=1")), &fdump); err != nil {
+		t.Fatalf("/debug/diag?dump=1 not valid JSON: %v", err)
+	}
+	if fdump.Node != "test-node" || len(fdump.Events) == 0 {
+		t.Errorf("/debug/diag?dump=1 = node %q with %d events, want test-node with ≥1", fdump.Node, len(fdump.Events))
 	}
 }
 

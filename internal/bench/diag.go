@@ -1,0 +1,108 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/diag"
+	"repro/internal/tspace"
+)
+
+// Runtime-diagnosis ablation: the always-on diagnoser is sold on a
+// nil-check disabled cost and a <5% enabled cost, so measure exactly
+// that — the same skewed put/get workload with the profiler hook
+// uninstalled and installed. The skew (80% of traffic on one key)
+// also exercises the acceptance criterion that the hot-key sketch
+// names the planted key.
+
+// DiagResult is one diagnosis regime measurement.
+type DiagResult struct {
+	Enabled  bool
+	Ops      int
+	Elapsed  time.Duration
+	PerOpNs  float64
+	TopKey   string // heaviest take key the sketch reports ("" when disabled)
+	TopCount uint64
+}
+
+// RunDiagAblation drives pairs producer/consumer couples through one
+// registry-named space, 80% of operations on the "hot" key and the rest
+// spread across 16 cold keys, with the runtime diagnoser off or on.
+func RunDiagAblation(enabled bool, pairs, opsPerPair int) (DiagResult, error) {
+	m := core.NewMachine(core.MachineConfig{Processors: 4})
+	defer m.Shutdown()
+	vm, err := m.NewVM(core.VMConfig{VPs: pairs * 2})
+	if err != nil {
+		return DiagResult{}, err
+	}
+	reg := tspace.NewRegistry(tspace.KindHash, tspace.Config{})
+	ts := reg.OpenDefault("orders")
+
+	var d *diag.Diagnoser
+	if enabled {
+		d = diag.New(diag.Config{
+			Node:         "bench",
+			SamplePeriod: 100 * time.Millisecond,
+			StallSLO:     time.Hour, // measuring profiler cost, not stalls
+			TopK:         5,
+			Waiters:      []diag.WaiterSource{reg},
+			VM:           vm,
+		})
+		d.Start()
+		defer d.Stop()
+	}
+
+	key := func(i int) string {
+		if i%5 != 0 {
+			return "hot"
+		}
+		return fmt.Sprintf("cold-%d", i%16)
+	}
+
+	start := time.Now()
+	_, err = vm.Run(func(ctx *core.Context) ([]core.Value, error) {
+		var all []*core.Thread
+		for p := 0; p < pairs; p++ {
+			all = append(all, ctx.Fork(func(c *core.Context) ([]core.Value, error) {
+				for i := 0; i < opsPerPair; i++ {
+					if err := ts.Put(c, tspace.Tuple{key(i), int64(i)}); err != nil {
+						return nil, err
+					}
+				}
+				return nil, nil
+			}, vm.VP(2*p), core.WithStealable(false)))
+			all = append(all, ctx.Fork(func(c *core.Context) ([]core.Value, error) {
+				for i := 0; i < opsPerPair; i++ {
+					if _, _, err := ts.Get(c, tspace.Template{key(i), tspace.F("v")}); err != nil {
+						return nil, err
+					}
+				}
+				return nil, nil
+			}, vm.VP(2*p+1), core.WithStealable(false)))
+		}
+		for _, t := range all {
+			ctx.Wait(t)
+		}
+		return nil, nil
+	})
+	if err != nil {
+		return DiagResult{}, err
+	}
+	elapsed := time.Since(start)
+	ops := pairs * opsPerPair * 2
+	res := DiagResult{
+		Enabled: enabled,
+		Ops:     ops,
+		Elapsed: elapsed,
+		PerOpNs: float64(elapsed.Nanoseconds()) / float64(ops),
+	}
+	if enabled {
+		rep := d.Sample()
+		if sp := rep.Spaces["orders"]; sp != nil && len(sp.Takes) > 0 {
+			res.TopKey = sp.Takes[0].Key
+			res.TopCount = sp.Takes[0].Count
+		}
+	}
+	return res, nil
+}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/diag"
 	"repro/internal/obs"
 	"repro/internal/remote"
 	"repro/internal/tspace"
@@ -256,7 +257,11 @@ func (s *Space) Put(ctx *core.Context, tup tspace.Tuple) error {
 	if err != nil {
 		return err
 	}
-	return s.onShard(ctx, sh, func(sp *remote.Space) error { return sp.Put(ctx, tup) })
+	err = s.onShard(ctx, sh, func(sp *remote.Space) error { return sp.Put(ctx, tup) })
+	if err == nil {
+		diag.ShardEvent(sh.node.Addr, s.name, tspace.DiagPut)
+	}
+	return err
 }
 
 // ErrCrossShardTxn reports a transaction whose ops route to more than one
@@ -312,9 +317,14 @@ func (c *Client) CommitTxn(ctx *core.Context, ops []tspace.TxnOp) error {
 		return err
 	}
 	sp := &Space{c: c, name: ops[0].Space}
-	return sp.onShard(ctx, sh, func(rsp *remote.Space) error {
+	err = sp.onShard(ctx, sh, func(rsp *remote.Space) error {
 		return rsp.CommitTxn(ctx, ops)
 	})
+	var ce *tspace.ConflictError
+	if errors.As(err, &ce) {
+		diag.ShardEvent(sh.node.Addr, ce.Space, tspace.DiagConflict)
+	}
+	return err
 }
 
 // tplRoute resolves a template to its ranked shard list, or (nil, false)
@@ -352,6 +362,7 @@ func (s *Space) Get(ctx *core.Context, tpl tspace.Template) (tspace.Tuple, tspac
 	if err != nil {
 		return nil, nil, err
 	}
+	diag.ShardEvent(sh.node.Addr, s.name, tspace.DiagTake)
 	return tup, bind, nil
 }
 
@@ -389,6 +400,7 @@ func (s *Space) TryGet(ctx *core.Context, tpl tspace.Template) (tspace.Tuple, ts
 	if err != nil {
 		return nil, nil, err
 	}
+	diag.ShardEvent(sh.node.Addr, s.name, tspace.DiagTake)
 	return tup, bind, nil
 }
 

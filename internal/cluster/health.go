@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/diag"
 	"repro/internal/remote"
 )
 
@@ -74,15 +75,17 @@ func (sh *shard) healthy() bool {
 }
 
 // markFailure excludes the shard and schedules its next reinstatement
-// probe with exponential backoff.
+// probe with exponential backoff. Exclusion flips (not every repeat
+// failure) land in the flight recorder.
 func (sh *shard) markFailure(cfg Config) {
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
+	flipped := !sh.down
 	if !sh.down {
 		sh.down = true
 		sh.fails = 0
 	}
 	sh.fails++
+	fails := sh.fails
 	d := cfg.ReinstateBackoff
 	for i := 1; i < sh.fails && d < cfg.MaxReinstateBackoff; i++ {
 		d *= 2
@@ -91,14 +94,22 @@ func (sh *shard) markFailure(cfg Config) {
 		d = cfg.MaxReinstateBackoff
 	}
 	sh.retryAt = time.Now().Add(d)
+	sh.mu.Unlock()
+	if flipped {
+		diag.RecordEvent("shard-down", "", sh.node.Addr, "excluded from routing", uint64(fails))
+	}
 }
 
-// markSuccess reinstates the shard.
+// markSuccess reinstates the shard; a reinstatement flip is recorded.
 func (sh *shard) markSuccess() {
 	sh.mu.Lock()
+	flipped := sh.down
 	sh.down = false
 	sh.fails = 0
 	sh.mu.Unlock()
+	if flipped {
+		diag.RecordEvent("shard-up", "", sh.node.Addr, "reinstated", 0)
+	}
 }
 
 // probeLoop reprobes excluded shards until Close.
@@ -134,6 +145,7 @@ func (c *Client) ProbeOnce() {
 			err = rc.Ping(nil)
 		}
 		if err != nil {
+			diag.RecordEvent("probe-fail", "", sh.node.Addr, err.Error(), uint64(sh.probes.Load()))
 			sh.markFailure(c.cfg)
 		} else {
 			sh.markSuccess()

@@ -1,0 +1,186 @@
+package diag
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/testkit"
+	"repro/internal/tspace"
+)
+
+// The two tests the wait-for graph must pass to be trusted: a crafted
+// cross-space deadlock is reported within one sampler period, and a
+// legitimate (if slow) producer/consumer chain is NOT flagged even
+// while every stage is parked.
+
+func TestTwoSpaceDeadlockDetected(t *testing.T) {
+	vm := testkit.VM(t, 2, 2)
+	reg := tspace.NewRegistry(tspace.KindHash, tspace.Config{})
+	d := New(Config{
+		SamplePeriod: 20 * time.Millisecond,
+		StallSLO:     time.Hour, // isolate deadlock detection from stalls
+		Waiters:      []WaiterSource{reg},
+	})
+	d.Start()
+	defer d.Stop()
+
+	spA, _ := reg.Open("A", tspace.KindHash, tspace.Config{})
+	spB, _ := reg.Open("B", tspace.KindHash, tspace.Config{})
+
+	// t1 feeds B and drinks twice from A; t2 feeds A and drinks twice
+	// from B. Each second drink has no producer left: t1 ends parked on
+	// A (fed only by t2, now parked) and t2 on B (fed only by t1) — a
+	// true cross-space cycle.
+	t1 := vm.Spawn(func(ctx *core.Context) ([]core.Value, error) {
+		if err := spB.Put(ctx, tspace.Tuple{"tok", 1}); err != nil {
+			return nil, err
+		}
+		for i := 0; i < 2; i++ {
+			if _, _, err := spA.Get(ctx, tspace.Template{"tok", tspace.F("v")}); err != nil {
+				return nil, err
+			}
+		}
+		return nil, nil
+	}, core.WithName("dl-1"))
+	t2 := vm.Spawn(func(ctx *core.Context) ([]core.Value, error) {
+		if err := spA.Put(ctx, tspace.Tuple{"tok", 2}); err != nil {
+			return nil, err
+		}
+		for i := 0; i < 2; i++ {
+			if _, _, err := spB.Get(ctx, tspace.Template{"tok", tspace.F("v")}); err != nil {
+				return nil, err
+			}
+		}
+		return nil, nil
+	}, core.WithName("dl-2"))
+
+	// The background sampler (20ms period) must surface the cycle on
+	// its own once both threads are parked.
+	testkit.Eventually(t, 5*time.Second, func() bool {
+		rep := d.LastReport()
+		return rep != nil && len(rep.Deadlocks) > 0
+	}, "deadlock not reported by sampler")
+
+	rep := d.LastReport()
+	if len(rep.Deadlocks) != 1 {
+		t.Fatalf("deadlocks = %v, want exactly one cycle", rep.Deadlocks)
+	}
+	cyc := rep.Deadlocks[0]
+	ids := map[uint64]bool{}
+	spaces := map[string]bool{}
+	for _, ref := range cyc {
+		ids[ref.ID] = true
+		spaces[ref.Space] = true
+		if ref.Key != "tok" {
+			t.Errorf("cycle member key %q, want tok", ref.Key)
+		}
+	}
+	if !ids[t1.ID()] || !ids[t2.ID()] {
+		t.Fatalf("cycle %v does not name both threads (%d, %d)", cyc, t1.ID(), t2.ID())
+	}
+	if !spaces["A"] || !spaces["B"] {
+		t.Fatalf("cycle %v does not span both spaces", cyc)
+	}
+	if got := d.deadlocked.Load(); got != 1 {
+		t.Fatalf("deadlocks_total = %d, want 1 (dedup across samples)", got)
+	}
+
+	// Break the cycle: feed both spaces; the report must clean up.
+	testkit.RunIn(t, vm, func(ctx *core.Context) error {
+		if err := spA.Put(ctx, tspace.Tuple{"tok", 3}); err != nil {
+			return err
+		}
+		return spB.Put(ctx, tspace.Tuple{"tok", 4})
+	})
+	for _, th := range []*core.Thread{t1, t2} {
+		if _, err := core.JoinThread(th); err != nil {
+			t.Fatalf("thread %s: %v", th, err)
+		}
+	}
+	testkit.Eventually(t, 5*time.Second, func() bool {
+		rep := d.LastReport()
+		return rep != nil && len(rep.Deadlocks) == 0
+	}, "deadlock report did not clear after tokens arrived")
+}
+
+func TestProducerConsumerChainNotFlagged(t *testing.T) {
+	const stages = 4
+	vm := testkit.VM(t, 2, 2)
+	reg := tspace.NewRegistry(tspace.KindHash, tspace.Config{})
+	d := New(Config{
+		SamplePeriod: 10 * time.Millisecond,
+		StallSLO:     20 * time.Millisecond,
+		Waiters:      []WaiterSource{reg},
+	})
+	d.Start()
+	defer d.Stop()
+
+	sps := make([]tspace.TupleSpace, stages+1)
+	for i := range sps {
+		sps[i], _ = reg.Open(fmt.Sprintf("stage-%d", i), tspace.KindHash, tspace.Config{})
+	}
+
+	// A pipeline: stage i moves items from space i to space i+1. After
+	// the feeder's items drain, every stage parks waiting on upstream —
+	// stalled, but NOT deadlocked: the chain has no cycle, and its head
+	// waits on a class no parked thread produces.
+	const warm = 3
+	threads := make([]*core.Thread, stages)
+	for i := 0; i < stages; i++ {
+		in, out := sps[i], sps[i+1]
+		threads[i] = vm.Spawn(func(ctx *core.Context) ([]core.Value, error) {
+			for j := 0; j < warm+1; j++ {
+				tup, _, err := in.Get(ctx, tspace.Template{"item", tspace.F("v")})
+				if err != nil {
+					return nil, err
+				}
+				if err := out.Put(ctx, tup); err != nil {
+					return nil, err
+				}
+			}
+			return nil, nil
+		}, core.WithName(fmt.Sprintf("stage-%d", i)))
+	}
+	testkit.RunIn(t, vm, func(ctx *core.Context) error {
+		for j := 0; j < warm; j++ {
+			if err := sps[0].Put(ctx, tspace.Tuple{"item", j}); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+
+	// Wait until the pipeline drains and every stage is parked long
+	// enough to be a stall, then give the sampler several periods.
+	testkit.Eventually(t, 5*time.Second, func() bool {
+		rep := d.LastReport()
+		return rep != nil && len(rep.Stalls) == stages
+	}, "pipeline stages not all reported stalled")
+	time.Sleep(100 * time.Millisecond)
+
+	rep := d.LastReport()
+	if len(rep.Deadlocks) != 0 {
+		t.Fatalf("idle pipeline flagged as deadlock: %v", rep.Deadlocks)
+	}
+	if len(rep.Stalls) != stages {
+		t.Fatalf("stalls = %d, want %d (all stages parked)", len(rep.Stalls), stages)
+	}
+	// Age-ranked: stalls sorted oldest first.
+	for i := 1; i < len(rep.Stalls); i++ {
+		if rep.Stalls[i].AgeMs > rep.Stalls[i-1].AgeMs {
+			t.Fatalf("stalls not age-ranked: %v", rep.Stalls)
+		}
+	}
+
+	// One more item flows end to end and finishes every stage.
+	testkit.RunIn(t, vm, func(ctx *core.Context) error {
+		return sps[0].Put(ctx, tspace.Tuple{"item", 99})
+	})
+	for _, th := range threads {
+		if _, err := core.JoinThread(th); err != nil {
+			t.Fatalf("thread %s: %v", th, err)
+		}
+	}
+}

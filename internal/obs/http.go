@@ -18,9 +18,11 @@ import (
 //
 // /debug/trace and /debug/spans honour ?limit=N (the most recent N
 // entries), so a long-lived node can be sampled without shipping the whole
-// ring. Zero-value fields degrade gracefully: a nil Registry serves an
-// empty exposition, a nil Healthy always reports healthy, a nil
-// TraceEvents or Spans makes its endpoint a 404.
+// ring; N must be a positive integer — anything else is a 400, never a
+// silent default. Zero-value fields degrade gracefully: a nil Registry
+// serves an empty exposition, a nil Healthy always reports healthy, a nil
+// TraceEvents or Spans makes its endpoint a 404, a nil Diag makes
+// /debug/diag a 404.
 type Handler struct {
 	Registry *Registry
 	// Healthy reports liveness; return an error (e.g. "draining") to flip
@@ -32,6 +34,10 @@ type Handler struct {
 	Spans func() []*SpanData
 	// Node names this process in span dumps (default "sting").
 	Node string
+	// Diag, when set, serves the runtime-diagnosis report under
+	// /debug/diag (see internal/diag). Opaque here to keep obs
+	// dependency-free.
+	Diag http.Handler
 	// EnablePprof exposes net/http/pprof under /debug/pprof/. Off by
 	// default: the profiler is a diagnostic surface, not a metric one.
 	EnablePprof bool
@@ -48,6 +54,12 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		h.serveTrace(w, r)
 	case r.URL.Path == "/debug/spans":
 		h.serveSpans(w, r)
+	case r.URL.Path == "/debug/diag":
+		if h.Diag == nil {
+			http.Error(w, "diagnosis not enabled", http.StatusNotFound)
+			return
+		}
+		h.Diag.ServeHTTP(w, r)
 	case strings.HasPrefix(r.URL.Path, "/debug/pprof/"):
 		if !h.EnablePprof {
 			http.NotFound(w, r)
@@ -57,6 +69,9 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	case r.URL.Path == "/":
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprint(w, "sting observability\n/metrics\n/healthz\n/debug/trace\n/debug/spans\n")
+		if h.Diag != nil {
+			fmt.Fprint(w, "/debug/diag\n")
+		}
 		if h.EnablePprof {
 			fmt.Fprint(w, "/debug/pprof/\n")
 		}
@@ -85,13 +100,20 @@ func (h *Handler) serveHealth(w http.ResponseWriter) {
 	fmt.Fprint(w, "ok\n")
 }
 
-// parseLimit reads ?limit=N; 0 (or absence, or garbage) means unlimited.
-func parseLimit(r *http.Request) int {
-	n, err := strconv.Atoi(r.URL.Query().Get("limit"))
-	if err != nil || n < 0 {
-		return 0
+// parseLimit reads ?limit=N. Absence means unlimited (0); a present
+// value must be a positive integer — non-numeric or ≤ 0 is an error,
+// which the endpoints turn into a 400 rather than silently serving the
+// whole ring.
+func parseLimit(r *http.Request) (int, error) {
+	vals, ok := r.URL.Query()["limit"]
+	if !ok {
+		return 0, nil
 	}
-	return n
+	n, err := strconv.Atoi(vals[0])
+	if err != nil || n <= 0 {
+		return 0, fmt.Errorf("invalid limit %q: want a positive integer", vals[0])
+	}
+	return n, nil
 }
 
 func (h *Handler) serveTrace(w http.ResponseWriter, r *http.Request) {
@@ -99,8 +121,13 @@ func (h *Handler) serveTrace(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "tracing not enabled", http.StatusNotFound)
 		return
 	}
+	limit, err := parseLimit(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
 	events := h.TraceEvents()
-	if limit := parseLimit(r); limit > 0 && len(events) > limit {
+	if limit > 0 && len(events) > limit {
 		events = events[len(events)-limit:]
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -112,8 +139,13 @@ func (h *Handler) serveSpans(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "span tracing not enabled", http.StatusNotFound)
 		return
 	}
+	limit, err := parseLimit(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
 	spans := h.Spans()
-	if limit := parseLimit(r); limit > 0 && len(spans) > limit {
+	if limit > 0 && len(spans) > limit {
 		spans = spans[len(spans)-limit:]
 	}
 	node := h.Node

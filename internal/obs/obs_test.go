@@ -222,6 +222,36 @@ func TestHandlerEndpoints(t *testing.T) {
 	}
 }
 
+func TestHandlerLimitValidation(t *testing.T) {
+	h := &Handler{
+		TraceEvents: func() []TraceEvent {
+			return []TraceEvent{{TimeNanos: 10, Kind: "create", Thread: 1, VP: -1}}
+		},
+		Spans: func() []*SpanData { return nil },
+	}
+	get := func(path string) *httptest.ResponseRecorder {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		return rec
+	}
+	// A present limit must be a positive integer; anything else is a
+	// 400, never a silent serve-everything default.
+	for _, bad := range []string{"0", "-1", "abc", "1.5", ""} {
+		if rec := get("/debug/spans?limit=" + bad); rec.Code != 400 {
+			t.Errorf("/debug/spans?limit=%s: %d, want 400", bad, rec.Code)
+		}
+		if rec := get("/debug/trace?limit=" + bad); rec.Code != 400 {
+			t.Errorf("/debug/trace?limit=%s: %d, want 400", bad, rec.Code)
+		}
+	}
+	// Absent limit and valid limits still serve.
+	for _, path := range []string{"/debug/spans", "/debug/spans?limit=5", "/debug/trace?limit=1"} {
+		if rec := get(path); rec.Code != 200 {
+			t.Errorf("%s: %d, want 200", path, rec.Code)
+		}
+	}
+}
+
 var errDraining = errDrainingT{}
 
 type errDrainingT struct{}

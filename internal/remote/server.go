@@ -85,6 +85,39 @@ func (s *Server) Stats() StatsSnapshot {
 	return s.stats.Snapshot(s.reg.Depths())
 }
 
+// ParkedOp describes one blocking request currently parked server-side —
+// who is waiting (which connection), on what (op and space), since when.
+// The runtime diagnoser folds these into /debug/diag.
+type ParkedOp struct {
+	Conn  string
+	Op    string
+	Space string
+	Since time.Time
+}
+
+// Parked snapshots every blocking op currently parked on the server.
+func (s *Server) Parked() []ParkedOp {
+	s.mu.Lock()
+	conns := make([]*serverConn, 0, len(s.conns))
+	for sc := range s.conns {
+		conns = append(conns, sc)
+	}
+	s.mu.Unlock()
+	var out []ParkedOp
+	for _, sc := range conns {
+		addr := ""
+		if c := sc.fc.Conn(); c != nil && c.RemoteAddr() != nil {
+			addr = c.RemoteAddr().String()
+		}
+		sc.mu.Lock()
+		for _, pt := range sc.tokens {
+			out = append(out, ParkedOp{Conn: addr, Op: opName(pt.op), Space: pt.space, Since: pt.since})
+		}
+		sc.mu.Unlock()
+	}
+	return out
+}
+
 // Serve accepts connections on ln until Shutdown (or a listener error).
 // It blocks; run it on its own goroutine.
 func (s *Server) Serve(ln net.Listener) error {
@@ -148,7 +181,7 @@ func (s *Server) addConn(c net.Conn) {
 	sc := &serverConn{
 		s:      s,
 		fc:     sio.NewFrameConn(c, maxFrame, s.cfg.WriteTimeout),
-		tokens: make(map[uint32]*tspace.CancelToken),
+		tokens: make(map[uint32]parkedToken),
 	}
 	sc.version.Store(minProtocolVersion) // until HELLO negotiates
 	s.mu.Lock()
@@ -349,7 +382,7 @@ func (s *Server) serveTxnCommit(ctx *core.Context, sc *serverConn, req request) 
 // a deadline arms a timer that cancels with a timeout reason.
 func (s *Server) serveBlocking(ctx *core.Context, sc *serverConn, req request, ts tspace.TupleSpace) {
 	tok := tspace.NewCancelToken()
-	if !sc.addToken(req.id, tok) {
+	if !sc.addToken(req.id, tok, req.op, req.space) {
 		return // connection already gone; nobody to answer
 	}
 	defer sc.removeToken(req.id)
@@ -403,9 +436,18 @@ type serverConn struct {
 	version atomic.Uint32
 
 	mu          sync.Mutex
-	tokens      map[uint32]*tspace.CancelToken
+	tokens      map[uint32]parkedToken
 	precanceled map[uint32]struct{}
 	gone        bool
+}
+
+// parkedToken pairs a blocking op's cancel token with what the op is —
+// the introspection the runtime diagnoser reports as "remote parks".
+type parkedToken struct {
+	tok   *tspace.CancelToken
+	op    byte
+	space string
+	since time.Time
 }
 
 // maxPrecanceled bounds remembered ahead-of-target cancels so a client
@@ -414,13 +456,13 @@ const maxPrecanceled = 1024
 
 // addToken registers a blocking op; false means the connection is gone.
 // A cancel that raced ahead of the registration fires the token now.
-func (sc *serverConn) addToken(id uint32, tok *tspace.CancelToken) bool {
+func (sc *serverConn) addToken(id uint32, tok *tspace.CancelToken, op byte, space string) bool {
 	sc.mu.Lock()
 	if sc.gone {
 		sc.mu.Unlock()
 		return false
 	}
-	sc.tokens[id] = tok
+	sc.tokens[id] = parkedToken{tok: tok, op: op, space: space, since: time.Now()}
 	_, pc := sc.precanceled[id]
 	if pc {
 		delete(sc.precanceled, id)
@@ -438,7 +480,7 @@ func (sc *serverConn) addToken(id uint32, tok *tspace.CancelToken) bool {
 // before that registration is remembered and applied in addToken.
 func (sc *serverConn) cancelID(id uint32) {
 	sc.mu.Lock()
-	tok := sc.tokens[id]
+	tok := sc.tokens[id].tok
 	if tok == nil && !sc.gone && len(sc.precanceled) < maxPrecanceled {
 		if sc.precanceled == nil {
 			sc.precanceled = make(map[uint32]struct{})
@@ -462,7 +504,7 @@ func (sc *serverConn) cancelAll(reason error) {
 	sc.mu.Lock()
 	toks := make([]*tspace.CancelToken, 0, len(sc.tokens))
 	for _, t := range sc.tokens {
-		toks = append(toks, t)
+		toks = append(toks, t.tok)
 	}
 	sc.mu.Unlock()
 	for _, t := range toks {

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/diag"
 	"repro/internal/persist"
 	"repro/internal/tspace"
 )
@@ -20,6 +21,7 @@ type Interp struct {
 	out    io.Writer
 	store  *persist.Store   // long-lived persistent roots (§2 program model)
 	spaces *tspace.Registry // named spaces for (named-space ...)/(space-depth ...)
+	diag   *diag.Diagnoser  // runtime diagnoser behind (diag-report), may be nil
 
 	// toplevelOpts are extra thread options applied to every toplevel
 	// thread EvalString spawns (e.g. a root span context from the CLI).
@@ -38,6 +40,10 @@ func WithOutput(w io.Writer) Option { return func(in *Interp) { in.out = w } }
 // WithSpaces shares a named-space registry (e.g. a fabric server's) with
 // the interpreter's (named-space ...) and (space-depth ...) forms.
 func WithSpaces(r *tspace.Registry) Option { return func(in *Interp) { in.spaces = r } }
+
+// WithDiag shares a running runtime diagnoser with the interpreter's
+// (diag-report) form; without it the form answers a waiters-only view.
+func WithDiag(d *diag.Diagnoser) Option { return func(in *Interp) { in.diag = d } }
 
 // New creates an interpreter on vm with the full standard and STING
 // environment installed.

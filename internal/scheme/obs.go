@@ -104,6 +104,82 @@ func installObs(in *Interp) {
 		return NewSString(sc.Trace.String()), nil
 	})
 
+	// (diag-report) → the runtime diagnoser's current view as an assoc
+	// list: waiter count, stalled waiters (space/key/age/thread/trace),
+	// deadlock cycles, and per-space hot keys. A fresh sample is taken on
+	// every call, so the report is never stale. Without a wired diagnoser
+	// (WithDiag) the form degrades to a waiters-only view over the
+	// interpreter's space registry — same shape, empty analysis sections —
+	// so diagnosis scripts run unchanged in both configurations.
+	in.prim("diag-report", 0, 0, func(_ *Interp, _ *core.Context, _ []Value) (Value, error) {
+		if in.diag == nil {
+			return List(
+				List(Symbol("waiters"), int64(len(in.spaces.WaiterInfos()))),
+				List(Symbol("stalls")),
+				List(Symbol("deadlocks")),
+				List(Symbol("hot-keys")),
+			), nil
+		}
+		rep := in.diag.Sample()
+		stalls := make([]Value, 0, len(rep.Stalls))
+		for _, st := range rep.Stalls {
+			stalls = append(stalls, List(
+				List(Symbol("space"), NewSString(st.Space)),
+				List(Symbol("key"), NewSString(st.Key)),
+				List(Symbol("age-ms"), st.AgeMs),
+				List(Symbol("thread"), int64(st.Thread)),
+				List(Symbol("trace"), NewSString(st.Trace)),
+			))
+		}
+		cycles := make([]Value, 0, len(rep.Deadlocks))
+		for _, cyc := range rep.Deadlocks {
+			refs := make([]Value, 0, len(cyc))
+			for _, ref := range cyc {
+				refs = append(refs, List(
+					List(Symbol("thread"), int64(ref.ID)),
+					List(Symbol("space"), NewSString(ref.Space)),
+					List(Symbol("key"), NewSString(ref.Key)),
+				))
+			}
+			cycles = append(cycles, List(refs...))
+		}
+		var hot []Value
+		spaceNames := make([]string, 0, len(rep.Spaces))
+		for name := range rep.Spaces {
+			spaceNames = append(spaceNames, name)
+		}
+		sort.Strings(spaceNames)
+		for _, name := range spaceNames {
+			sp := rep.Spaces[name]
+			for _, hk := range sp.Takes {
+				hot = append(hot, List(
+					List(Symbol("space"), NewSString(name)),
+					List(Symbol("op"), Symbol("take")),
+					List(Symbol("key"), NewSString(hk.Key)),
+					List(Symbol("count"), int64(hk.Count)),
+				))
+			}
+			for _, hk := range sp.Puts {
+				hot = append(hot, List(
+					List(Symbol("space"), NewSString(name)),
+					List(Symbol("op"), Symbol("put")),
+					List(Symbol("key"), NewSString(hk.Key)),
+					List(Symbol("count"), int64(hk.Count)),
+				))
+			}
+		}
+		entry := func(name string, items []Value) Value {
+			return List(append([]Value{Symbol(name)}, items...)...)
+		}
+		return List(
+			List(Symbol("node"), NewSString(rep.Node)),
+			List(Symbol("waiters"), int64(rep.Waiters)),
+			entry("stalls", stalls),
+			entry("deadlocks", cycles),
+			entry("hot-keys", hot),
+		), nil
+	})
+
 	// (with-span name thunk) → runs thunk under a child span named name;
 	// remote ops inside it stitch to server spans under that parent. The
 	// span closes when the thunk returns (or errors), and the body runs

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/diag"
 	"repro/internal/obs"
 	"repro/internal/tspace"
 )
@@ -74,6 +75,37 @@ func TestTracePrims(t *testing.T) {
 	if !found {
 		t.Fatal("(with-span \"phase\" ...) span not recorded")
 	}
+}
+
+// TestDiagReportPrim: (diag-report) answers the waiters-only fallback
+// shape without a diagnoser, and the full analysis — hot keys included —
+// with one wired in via WithDiag.
+func TestDiagReportPrim(t *testing.T) {
+	in := newInterp(t, 1, 2)
+	// Fallback: same shape, empty analysis sections.
+	evalOK(t, in, `(let ((r (diag-report)))
+		(and (pair? (assq 'waiters r)) (pair? (assq 'stalls r))
+		     (pair? (assq 'deadlocks r)) (pair? (assq 'hot-keys r))))`, "#t")
+	evalOK(t, in, `(cadr (assq 'waiters (diag-report)))`, "0")
+
+	d := diag.New(diag.Config{
+		Node:    "scheme-test",
+		Waiters: []diag.WaiterSource{in.Spaces()},
+		VM:      in.VM(),
+	})
+	d.Start()
+	defer d.Stop()
+	withDiag := New(in.VM(), WithSpaces(in.Spaces()), WithDiag(d))
+	evalOK(t, withDiag, `(begin
+		(put (named-space "orders") '(sku 42))
+		(put (named-space "orders") '(sku 42))
+		(get (named-space "orders") (sku ?n) n)
+		#t)`, "#t")
+	evalOK(t, withDiag, `(cadr (assq 'node (diag-report)))`, `"scheme-test"`)
+	evalOK(t, withDiag, `(let loop ((hot (cdr (assq 'hot-keys (diag-report)))))
+		(cond ((null? hot) #f)
+		      ((equal? (cadr (assq 'space (car hot))) "orders") #t)
+		      (else (loop (cdr hot)))))`, "#t")
 }
 
 // TestWithSpacesSharesRegistry: a registry handed in via WithSpaces is

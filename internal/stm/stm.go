@@ -325,7 +325,19 @@ func (tx *Txn) commit() error {
 		return ErrMixedDomains
 	}
 	if committer != nil {
-		return committer.CommitTxn(tx.ctx, remote)
+		err := committer.CommitTxn(tx.ctx, remote)
+		// The server's ApplyCommit feeds its own shard-local profiler;
+		// mirror the conflict into this process's hot-key view so a
+		// client node's /debug/diag names the contended keys too.
+		var ce *tspace.ConflictError
+		if errors.As(err, &ce) {
+			for _, op := range remote {
+				if op.Space == ce.Space {
+					tspace.DiagConflictEvent(op.Space, op.Tup)
+				}
+			}
+		}
+		return err
 	}
 	return tspace.ApplyCommit(tx.ctx, local)
 }

@@ -1,0 +1,190 @@
+package tspace
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Runtime-diagnosis introspection: the representation-side hooks the
+// internal/diag subsystem samples and subscribes to. Two surfaces:
+//
+//   - WaiterInfo snapshots expose who is parked in a space's blocked table
+//     (HB), on what key class, since when, and on behalf of which thread —
+//     the raw material of the wait-for graph. Snapshots are pull-only and
+//     cost nothing until somebody asks.
+//   - DiagHook is a push subscription to key-level events (puts, takes,
+//     commit conflicts, wake misses, baton handoffs) that the hot-key
+//     profiler aggregates. The hook is a single process-wide atomic
+//     pointer: when no hook is installed every instrumented path pays one
+//     atomic load and a nil check, nothing more.
+//
+// Spaces learn their names from the registry (setDiagName) so events and
+// waiter snapshots carry the name remote peers and operators know them by;
+// anonymous spaces report "".
+
+// DiagOp classifies a key event delivered to the DiagHook.
+type DiagOp uint8
+
+// Key-event kinds.
+const (
+	// DiagPut: a tuple was deposited.
+	DiagPut DiagOp = iota
+	// DiagTake: a tuple was removed (naked Get/TryGet or a commit-time take).
+	DiagTake
+	// DiagConflict: a transaction commit failed validation on this key.
+	DiagConflict
+)
+
+func (op DiagOp) String() string {
+	switch op {
+	case DiagPut:
+		return "put"
+	case DiagTake:
+		return "take"
+	case DiagConflict:
+		return "conflict"
+	default:
+		return fmt.Sprintf("DiagOp(%d)", uint8(op))
+	}
+}
+
+// DiagHook receives key-level events from instrumented spaces. Methods are
+// called from tuple-operation hot paths (and, for conflicts, from inside
+// the commit critical section); implementations must be fast, must not
+// block, and must not call back into the space.
+//
+// keyed is false when the tuple's first field is unkeyable (a thread, an
+// aggregate, or an empty tuple); sig and first are only meaningful when
+// keyed. first is the tuple's first field, passed so the profiler can
+// render an exemplar label lazily — implementations must treat it as
+// immutable and must not retain tuples through it.
+type DiagHook interface {
+	KeyEvent(space string, op DiagOp, arity int, sig uint64, keyed bool, first core.Value, threadID uint64)
+	WakeMiss(space string)
+	Handoff(space string)
+}
+
+// diagHookBox wraps the interface so it fits an atomic.Pointer.
+type diagHookBox struct{ h DiagHook }
+
+var diagHook atomic.Pointer[diagHookBox]
+
+// SetDiagHook installs (or, with nil, removes) the process-wide diagnosis
+// hook. One hook at a time: the diag subsystem owns it.
+func SetDiagHook(h DiagHook) {
+	if h == nil {
+		diagHook.Store(nil)
+		return
+	}
+	diagHook.Store(&diagHookBox{h: h})
+}
+
+// diagKeyEvent forwards one key event to the installed hook. All argument
+// derivation (hashing, thread lookup) happens after the nil check, so the
+// disabled cost is one atomic load.
+func diagKeyEvent(space string, op DiagOp, tup Tuple, ctx *core.Context) {
+	b := diagHook.Load()
+	if b == nil {
+		return
+	}
+	var tid uint64
+	if ctx != nil {
+		if t := ctx.Thread(); t != nil {
+			tid = t.ID()
+		}
+	}
+	var sig uint64
+	var keyed bool
+	var first core.Value
+	if len(tup) > 0 {
+		if h, ok := hashValue(tup[0]); ok {
+			sig, keyed, first = h, true, tup[0]
+		}
+	}
+	b.h.KeyEvent(space, op, len(tup), sig, keyed, first, tid)
+}
+
+// DiagConflictEvent reports a commit conflict on space against tup's key
+// class. ApplyCommit calls it for the operation that failed validation;
+// the STM layer calls it client-side when a remote commit returns a
+// conflict (the server's own ApplyCommit reported the shard-local view).
+func DiagConflictEvent(space string, tup Tuple) {
+	diagKeyEvent(space, DiagConflict, tup, nil)
+}
+
+func diagWakeMiss(space string) {
+	if b := diagHook.Load(); b != nil {
+		b.h.WakeMiss(space)
+	}
+}
+
+func diagHandoff(space string) {
+	if b := diagHook.Load(); b != nil {
+		b.h.Handoff(space)
+	}
+}
+
+// WaiterInfo describes one parked reader in a space's blocked table.
+type WaiterInfo struct {
+	// Space is the registry name of the space ("" for anonymous spaces).
+	Space string
+	// Arity, Wild, Sig identify the wait class (see waitKey): waiters with
+	// Wild set match any deposit of their arity.
+	Arity int
+	Wild  bool
+	Sig   uint64
+	// Key renders the template's ground first field ("" for wild waiters).
+	Key string
+	// Since is when the waiter registered (this blocking attempt).
+	Since time.Time
+	// Seq is the registration sequence number, unique within the space.
+	Seq uint64
+	// Thread is the STING thread parked here (nil only if the TCB was
+	// unbound at registration, which blocking paths never are).
+	Thread *core.Thread
+}
+
+// WaiterIntrospect is implemented by every shipped representation; it
+// snapshots the blocked table for the stall sampler.
+type WaiterIntrospect interface {
+	DiagWaiters() []WaiterInfo
+}
+
+// diagNamed lets the registry stamp a space with its published name.
+type diagNamed interface{ setDiagName(name string) }
+
+// snapshot copies the blocked table into WaiterInfos.
+func (w *waitTable) snapshot() []WaiterInfo {
+	w.mu.Lock()
+	type raw struct {
+		k     waitKey
+		since time.Time
+		seq   uint64
+		first core.Value
+		th    *core.Thread
+	}
+	rows := make([]raw, 0, 8)
+	for k, list := range w.classes {
+		for _, tw := range list {
+			rows = append(rows, raw{k: k, since: tw.since, seq: tw.seq, first: tw.first, th: tw.thread})
+		}
+	}
+	space := w.space
+	w.mu.Unlock()
+
+	out := make([]WaiterInfo, 0, len(rows))
+	for _, r := range rows {
+		wi := WaiterInfo{
+			Space: space, Arity: r.k.arity, Wild: r.k.wild, Sig: r.k.sig,
+			Since: r.since, Seq: r.seq, Thread: r.th,
+		}
+		if r.first != nil {
+			wi.Key = fmt.Sprintf("%v", r.first)
+		}
+		out = append(out, wi)
+	}
+	return out
+}

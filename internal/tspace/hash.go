@@ -20,6 +20,7 @@ type hashTS struct {
 	wt     *waitTable
 	parent TupleSpace
 	txn    txnMeta
+	dname  string // registry name for diagnosis; set once before sharing
 }
 
 type hashBin struct {
@@ -56,6 +57,15 @@ func (ts *hashTS) Waiters() int { return ts.wt.waiters() }
 
 // WakeStats reports the wait-table wake/miss/handoff counters.
 func (ts *hashTS) WakeStats() (wakes, misses, handoffs uint64) { return ts.wt.stats() }
+
+// DiagWaiters implements WaiterIntrospect.
+func (ts *hashTS) DiagWaiters() []WaiterInfo { return ts.wt.snapshot() }
+
+// setDiagName implements diagNamed.
+func (ts *hashTS) setDiagName(name string) {
+	ts.dname = name
+	ts.wt.space = name
+}
 
 // binFor classifies a tuple: keyable first fields map to a hashed bin;
 // everything else (empty tuples, thread or aggregate first fields) goes to
@@ -109,6 +119,7 @@ func (ts *hashTS) Put(ctx *core.Context, tup Tuple) error {
 	b.ver.Add(1)
 	b.mu.Unlock()
 	ts.wt.wake(tup)
+	diagKeyEvent(ts.dname, DiagPut, tup, ctx)
 	return nil
 }
 
@@ -145,6 +156,7 @@ func (ts *hashTS) scan(ctx *core.Context, b *hashBin, tpl Template, remove bool)
 				continue // another remover won; keep scanning
 			}
 			b.ver.Add(1)
+			diagKeyEvent(ts.dname, DiagTake, e.tup, ctx)
 		} else if e.taken.Load() {
 			continue
 		}
@@ -295,6 +307,7 @@ func (ts *hashTS) txnTake(tup Tuple) bool {
 	for _, e := range b.entries {
 		if !e.taken.Load() && sameTuple(e.tup, tup) && e.taken.CompareAndSwap(false, true) {
 			b.ver.Add(1)
+			diagKeyEvent(ts.dname, DiagTake, tup, nil)
 			return true
 		}
 	}

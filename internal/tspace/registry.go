@@ -49,6 +49,9 @@ func (r *Registry) Open(name string, kind Kind, cfg Config) (TupleSpace, error) 
 		return ts, nil
 	}
 	ts := New(kind, cfg)
+	if dn, ok := ts.(diagNamed); ok {
+		dn.setDiagName(name)
+	}
 	r.spaces[name] = ts
 	return ts, nil
 }
@@ -64,6 +67,9 @@ func (r *Registry) OpenDefault(name string) TupleSpace {
 		return ts
 	}
 	ts := New(r.defaultKind, r.defaultCfg)
+	if dn, ok := ts.(diagNamed); ok {
+		dn.setDiagName(name)
+	}
 	r.spaces[name] = ts
 	return ts
 }
@@ -99,6 +105,24 @@ func (r *Registry) Depths() map[string]int {
 	out := make(map[string]int, len(spaces))
 	for n, ts := range spaces {
 		out[n] = ts.Len()
+	}
+	return out
+}
+
+// WaiterInfos snapshots every registered space's blocked table — the
+// stall sampler's view of who is parked where, on what key, since when.
+func (r *Registry) WaiterInfos() []WaiterInfo {
+	r.mu.Lock()
+	spaces := make([]TupleSpace, 0, len(r.spaces))
+	for _, ts := range r.spaces {
+		spaces = append(spaces, ts)
+	}
+	r.mu.Unlock()
+	var out []WaiterInfo
+	for _, ts := range spaces {
+		if wi, ok := ts.(WaiterIntrospect); ok {
+			out = append(out, wi.DiagWaiters()...)
+		}
 	}
 	return out
 }

@@ -21,8 +21,9 @@ type bagTS struct {
 	parent  TupleSpace
 	// ver counts deposits and removals — the transaction layer's fast-path
 	// read validation; the whole space is one bucket here.
-	ver atomic.Uint64
-	txn txnMeta
+	ver   atomic.Uint64
+	txn   txnMeta
+	dname string // registry name for diagnosis; set once before sharing
 }
 
 func newBagTS(cfg Config, dedup bool) *bagTS {
@@ -44,6 +45,15 @@ func (ts *bagTS) Waiters() int { return ts.wt.waiters() }
 
 // WakeStats reports the wait-table wake/miss/handoff counters.
 func (ts *bagTS) WakeStats() (wakes, misses, handoffs uint64) { return ts.wt.stats() }
+
+// DiagWaiters implements WaiterIntrospect (queueTS inherits it).
+func (ts *bagTS) DiagWaiters() []WaiterInfo { return ts.wt.snapshot() }
+
+// setDiagName implements diagNamed.
+func (ts *bagTS) setDiagName(name string) {
+	ts.dname = name
+	ts.wt.space = name
+}
 
 func sameTuple(a, b Tuple) bool {
 	if len(a) != len(b) {
@@ -73,6 +83,7 @@ func (ts *bagTS) Put(ctx *core.Context, tup Tuple) error {
 	ts.ver.Add(1)
 	ts.mu.Unlock()
 	ts.wt.wake(tup)
+	diagKeyEvent(ts.dname, DiagPut, tup, ctx)
 	return nil
 }
 
@@ -104,6 +115,7 @@ func (ts *bagTS) probe(ctx *core.Context, tpl Template, remove bool) (Tuple, Bin
 				continue
 			}
 			ts.ver.Add(1)
+			diagKeyEvent(ts.dname, DiagTake, e.tup, ctx)
 		}
 		if !remove && e.taken.Load() {
 			continue
@@ -170,6 +182,7 @@ func (ts *bagTS) txnTake(tup Tuple) bool {
 	for _, e := range ts.entries {
 		if !e.taken.Load() && sameTuple(e.tup, tup) && e.taken.CompareAndSwap(false, true) {
 			ts.ver.Add(1)
+			diagKeyEvent(ts.dname, DiagTake, tup, nil)
 			return true
 		}
 	}
@@ -302,6 +315,12 @@ func (ts *sharedVarTS) Waiters() int { return ts.wt.waiters() }
 // WakeStats reports the wait-table wake/miss/handoff counters.
 func (ts *sharedVarTS) WakeStats() (wakes, misses, handoffs uint64) { return ts.wt.stats() }
 
+// DiagWaiters implements WaiterIntrospect.
+func (ts *sharedVarTS) DiagWaiters() []WaiterInfo { return ts.wt.snapshot() }
+
+// setDiagName implements diagNamed.
+func (ts *sharedVarTS) setDiagName(name string) { ts.wt.space = name }
+
 // Put implements TupleSpace: the new tuple replaces the old value.
 func (ts *sharedVarTS) Put(ctx *core.Context, tup Tuple) error {
 	ts.mu.Lock()
@@ -414,6 +433,12 @@ func (ts *semTS) Waiters() int { return ts.wt.waiters() }
 
 // WakeStats reports the wait-table wake/miss/handoff counters.
 func (ts *semTS) WakeStats() (wakes, misses, handoffs uint64) { return ts.wt.stats() }
+
+// DiagWaiters implements WaiterIntrospect.
+func (ts *semTS) DiagWaiters() []WaiterInfo { return ts.wt.snapshot() }
+
+// setDiagName implements diagNamed.
+func (ts *semTS) setDiagName(name string) { ts.wt.space = name }
 
 // Put implements TupleSpace.
 func (ts *semTS) Put(ctx *core.Context, tup Tuple) error {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 )
@@ -173,6 +174,13 @@ type tsWaiter struct {
 	key  waitKey
 	seq  uint64
 	woke atomic.Bool
+	// Diagnosis fields, stamped at registration (the blocking slow path):
+	// when this wait began, the template's ground first field (nil for wild
+	// classes), and the owning thread — the stall sampler reads them
+	// through waitTable.snapshot.
+	since  time.Time
+	first  core.Value
+	thread *core.Thread
 	// Stamped under the table lock when the waiter is chosen: the deposit
 	// class it must hand off if its re-probe fails, whether the deposit could
 	// match any class (wakeOne), and the registration cutoff bounding the
@@ -191,6 +199,7 @@ type tsWaiter struct {
 // registered before the deposit, so single wakeups never strand a tuple.
 type waitTable struct {
 	mu       sync.Mutex
+	space    string // registry name, for diagnosis ("" when anonymous)
 	classes  map[waitKey][]*tsWaiter
 	seq      uint64
 	wakes    uint64 // deposits that woke a waiter directly
@@ -203,7 +212,11 @@ func newWaitTable() *waitTable {
 }
 
 func (w *waitTable) register(ctx *core.Context, tpl Template) *tsWaiter {
-	tw := &tsWaiter{tcb: ctx.TCB(), key: keyFor(tpl)}
+	tw := &tsWaiter{tcb: ctx.TCB(), key: keyFor(tpl), since: time.Now()}
+	if !tw.key.wild && len(tpl) > 0 {
+		tw.first = tpl[0]
+	}
+	tw.thread = tw.tcb.Thread()
 	w.mu.Lock()
 	tw.seq = w.seq
 	w.seq++
@@ -380,8 +393,10 @@ func (w *waitTable) handoff(tw *tsWaiter) {
 		next.wokeKey, next.wokeAny, next.wokeSeq, next.obligated =
 			tw.wokeKey, tw.wokeAny, tw.wokeSeq, true
 	}
+	space := w.space
 	w.mu.Unlock()
 	if next != nil {
+		diagHandoff(space)
 		next.woke.Store(true)
 		next.tcb.ThreadSpanEvent("tspace-handoff")
 		core.WakeTCB(next.tcb)
@@ -392,7 +407,9 @@ func (w *waitTable) handoff(tw *tsWaiter) {
 func (w *waitTable) miss() {
 	w.mu.Lock()
 	w.misses++
+	space := w.space
 	w.mu.Unlock()
+	diagWakeMiss(space)
 }
 
 // waiters counts the processes currently registered in HB.

@@ -304,6 +304,7 @@ func ApplyCommit(ctx *core.Context, ops []CommitOp) error {
 		}
 		unlock()
 		txnConflicts.Add(1)
+		diagKeyEvent(op.Name, DiagConflict, op.Tup, ctx)
 		return &ConflictError{Space: op.Name, Detail: detail}
 	}
 

@@ -266,3 +266,69 @@ func TestTxnUnsupportedReps(t *testing.T) {
 		}
 	}
 }
+
+// TestTxnOnlyProbeCompaction: a workload that only ever reaches the
+// presence table through the transactional path — TxnProbe to build the
+// read set, ApplyCommit takes to consume — must not accumulate dead
+// entries, because commit-time takes mark entries lazily and nothing else
+// sweeps. TxnProbe/scanSkip compact exactly like the plain probe sweep;
+// without that, 10k cycles here leave 10k tombstones in one bin.
+func TestTxnOnlyProbeCompaction(t *testing.T) {
+	vm := testkit.VM(t, 2, 2)
+	for _, kind := range []Kind{KindHash, KindBag} {
+		t.Run(kind.String(), func(t *testing.T) {
+			ts := New(kind, Config{}).(TxnSpace)
+			testkit.RunIn(t, vm, func(ctx *core.Context) error {
+				for i := 0; i < 10000; i++ {
+					if err := ts.Put(ctx, Tuple{"job", i}); err != nil {
+						return err
+					}
+					tup, _, ver, err := ts.TxnProbe(ctx, Template{"job", F("n")}, nil)
+					if err != nil {
+						return err
+					}
+					if err := ApplyCommit(ctx, []CommitOp{
+						{Space: ts, Name: "jobs", Kind: TxnTake, Ver: ver, Tup: tup},
+					}); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+			if got := maxBinEntries(t, ts); got > 4 {
+				t.Errorf("%v bin retains %d entries after 10k txn-only cycles, want ≤ 4 (lazy compaction regressed)", kind, got)
+			}
+		})
+	}
+}
+
+// maxBinEntries reaches into a representation's presence table and
+// reports its longest bin, tombstones included.
+func maxBinEntries(t *testing.T, ts TxnSpace) int {
+	t.Helper()
+	longest := 0
+	switch x := ts.(type) {
+	case *hashTS:
+		x.wildMu.Lock()
+		bins := make([]*hashBin, 0, len(x.bins)+len(x.wild))
+		bins = append(bins, x.bins...)
+		for _, b := range x.wild {
+			bins = append(bins, b)
+		}
+		x.wildMu.Unlock()
+		for _, b := range bins {
+			b.mu.Lock()
+			if len(b.entries) > longest {
+				longest = len(b.entries)
+			}
+			b.mu.Unlock()
+		}
+	case *bagTS:
+		x.mu.Lock()
+		longest = len(x.entries)
+		x.mu.Unlock()
+	default:
+		t.Fatalf("maxBinEntries: unsupported representation %T", ts)
+	}
+	return longest
+}

@@ -1,0 +1,97 @@
+#!/usr/bin/env bash
+# diag_smoke.sh — boot stingd with a tight stall SLO, plant a hot key and
+# a stalled waiter, and assert /debug/diag reports both, the flight
+# recorder dumps valid JSON, and the sting_diag_* metric families are
+# live. Run via `make diag-smoke`.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+tmp="$(mktemp -d)"
+trap 'kill "${stallpid:-}" "${pid:-}" 2>/dev/null || true; rm -rf "$tmp"' EXIT
+
+go build -o "$tmp/stingd" ./cmd/stingd
+go build -o "$tmp/sting" ./cmd/sting
+
+"$tmp/stingd" -addr 127.0.0.1:0 -http 127.0.0.1:0 -spaces jobs=hash \
+    -diag-sample 200ms -diag-slo 1s >"$tmp/stingd.log" 2>&1 &
+pid=$!
+
+addr=""
+obs=""
+for _ in $(seq 1 50); do
+    addr="$(sed -n 's|^stingd: serving tuple spaces on \([^ ]*\).*|\1|p' "$tmp/stingd.log")"
+    obs="$(sed -n 's|^stingd: observability on http://\([^ ]*\).*|\1|p' "$tmp/stingd.log")"
+    [ -n "$addr" ] && [ -n "$obs" ] && break
+    kill -0 "$pid" 2>/dev/null || { echo "FAIL: stingd exited early"; cat "$tmp/stingd.log"; exit 1; }
+    sleep 0.1
+done
+[ -n "$addr" ] && [ -n "$obs" ] || { echo "FAIL: stingd never announced its addresses"; cat "$tmp/stingd.log"; exit 1; }
+echo "stingd fabric at $addr, observability at $obs"
+
+# Plant a hot key: 50 put/take rounds on ("hot" i) through the wire.
+"$tmp/sting" -e "(begin
+  (define sp (remote-open \"$addr\" \"jobs\"))
+  (define (go i)
+    (if (< i 50)
+        (begin (remote-put sp (list \"hot\" i))
+               (remote-get sp '(\"hot\" ?v))
+               (go (+ i 1)))))
+  (go 0)
+  (display \"traffic done\") (newline))"
+
+# Plant a stalled waiter: a blocking get on a tuple nobody ever deposits.
+"$tmp/sting" -e "(begin
+  (define sp (remote-open \"$addr\" \"jobs\"))
+  (remote-get sp '(\"never\" ?v)))" >"$tmp/stall.log" 2>&1 &
+stallpid=$!
+
+# Let the waiter age past the 1s SLO and a few 200ms sampler periods.
+sleep 2
+
+fail=0
+
+diag="$(curl -fsS "http://$obs/debug/diag")"
+if ! go run ./scripts/jsoncheck <<<"$diag"; then
+    echo "FAIL: /debug/diag not valid JSON"
+    fail=1
+fi
+grep -q '"space": *"jobs"' <<<"$diag" || { echo "FAIL: /debug/diag reports no stall in jobs"; fail=1; }
+grep -q '"key": *"never"' <<<"$diag" || { echo "FAIL: stalled waiter's key \"never\" not reported"; fail=1; }
+grep -q '"key": *"hot"' <<<"$diag" || { echo "FAIL: hot-key sketch does not name \"hot\""; fail=1; }
+
+metrics="$(curl -fsS "http://$obs/metrics")"
+for family in \
+    sting_diag_samples_total \
+    sting_diag_stalls_total \
+    sting_diag_stalled_waiters \
+    sting_diag_key_events_total \
+    sting_diag_recorder_events_total; do
+    if ! grep -q "^$family" <<<"$metrics"; then
+        echo "FAIL: /metrics missing family $family"
+        fail=1
+    fi
+done
+stalls="$(awk '/^sting_diag_stalls_total/ {print $2}' <<<"$metrics")"
+if [ -z "$stalls" ] || [ "${stalls%%.*}" -lt 1 ]; then
+    echo "FAIL: sting_diag_stalls_total = '$stalls', want >= 1"
+    fail=1
+fi
+
+dump="$(curl -fsS "http://$obs/debug/diag?dump=1")"
+if ! go run ./scripts/jsoncheck <<<"$dump"; then
+    echo "FAIL: flight-recorder dump not valid JSON"
+    fail=1
+fi
+grep -q '"kind": *"stall"' <<<"$dump" || { echo "FAIL: dump has no stall-onset event"; fail=1; }
+
+kill "$stallpid" 2>/dev/null || true
+kill "$pid"
+wait "$pid" 2>/dev/null || true
+
+if [ "$fail" -ne 0 ]; then
+    echo "diag-smoke: FAILED"
+    echo "--- /debug/diag ---"; echo "$diag"
+    exit 1
+fi
+echo "diag-smoke: OK (stall surfaced, hot key named, sting_diag_stalls_total=$stalls, dump valid)"

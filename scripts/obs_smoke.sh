@@ -46,6 +46,11 @@ for family in \
     sting_stm_commits_total \
     sting_stm_aborts_total \
     sting_stm_retries_total \
+    sting_diag_samples_total \
+    sting_diag_stalls_total \
+    sting_diag_key_events_total \
+    sting_diag_wake_misses_total \
+    sting_diag_recorder_events_total \
     sting_trace_events; do
     if ! grep -q "^$family" <<<"$metrics"; then
         echo "FAIL: /metrics missing family $family"

@@ -7,18 +7,27 @@
 //
 //	tracecat n1.json n2.json client.json > merged.json
 //	tracecat -require-stitched n1.json client.json > merged.json
+//	tracecat -diag n1-diag.json n2-diag.json > incidents.json
 //
 // -require-stitched makes the exit status a CI assertion: it fails unless
 // some trace contains both a client span and a server span sharing the
 // trace ID with the server span parented on the client span — i.e. unless
 // at least one wire operation was stitched end-to-end across processes.
+//
+// -diag switches input format: arguments are flight-recorder dumps
+// (stingd SIGQUIT output, /debug/diag?dump=1) instead of span dumps, and
+// the output is one merged event log, node-tagged and sorted by time —
+// the cross-cluster incident timeline.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 
+	"repro/internal/diag"
 	"repro/internal/obs"
 )
 
@@ -26,10 +35,20 @@ func main() {
 	requireStitched := flag.Bool("require-stitched", false,
 		"exit nonzero unless a client and a server span share a trace ID with client→server parentage")
 	summary := flag.Bool("summary", false, "print a per-trace span-count summary to stderr")
+	diagMode := flag.Bool("diag", false,
+		"merge flight-recorder dumps (diag format) into one time-sorted event log instead of span dumps")
 	flag.Parse()
 	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: tracecat [-require-stitched] dump.json ...")
+		fmt.Fprintln(os.Stderr, "usage: tracecat [-require-stitched|-diag] dump.json ...")
 		os.Exit(2)
+	}
+
+	if *diagMode {
+		if err := mergeDiagDumps(flag.Args()); err != nil {
+			fmt.Fprintln(os.Stderr, "tracecat:", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	var nodes []obs.NodeSpans
@@ -117,4 +136,40 @@ func printSummary(nodes []obs.NodeSpans) {
 		fmt.Fprintf(os.Stderr, "tracecat: trace %s: %d spans (%d client, %d server)\n",
 			id, c.total, c.client, c.server)
 	}
+}
+
+// diagEvent is one merged flight-recorder entry, tagged with its node.
+type diagEvent struct {
+	Node string `json:"node,omitempty"`
+	diag.Event
+}
+
+// mergeDiagDumps decodes each flight-recorder dump and writes one
+// node-tagged event log, sorted by timestamp, to stdout.
+func mergeDiagDumps(paths []string) error {
+	var merged []diagEvent
+	var dropped uint64
+	for _, path := range paths {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		d, err := diag.DecodeDump(f)
+		f.Close() //nolint:errcheck
+		if err != nil {
+			return fmt.Errorf("%s: %v", path, err)
+		}
+		dropped += d.Dropped
+		for _, ev := range d.Events {
+			merged = append(merged, diagEvent{Node: d.Node, Event: ev})
+		}
+	}
+	sort.SliceStable(merged, func(i, j int) bool { return merged[i].T.Before(merged[j].T) })
+	out := struct {
+		Dropped uint64      `json:"dropped,omitempty"`
+		Events  []diagEvent `json:"events"`
+	}{Dropped: dropped, Events: merged}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", " ")
+	return enc.Encode(out)
 }

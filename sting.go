@@ -32,6 +32,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/diag"
 	"repro/internal/futures"
 	"repro/internal/obs"
 	"repro/internal/policy"
@@ -474,4 +475,36 @@ var (
 	TxnCurrentStats = stm.CurrentStats
 	// NewSTMCollector exposes the sting_stm_* metric family.
 	NewSTMCollector = stm.NewCollector
+)
+
+// Runtime diagnosis (internal/diag): always-on stall/deadlock sampling
+// over the blocked tables, hot-key contention profiling, and a flight
+// recorder of diagnostic events — served at /debug/diag by stingd and
+// answerable from Scheme via (diag-report).
+type (
+	// Diagnoser runs the sampler loop and owns the profiler and recorder.
+	Diagnoser = diag.Diagnoser
+	// DiagConfig sizes a Diagnoser: sample period, stall SLO, top-K, the
+	// waiter sources to walk, and the VM whose threads it inspects.
+	DiagConfig = diag.Config
+	// DiagReport is one diagnosis snapshot: stalls, deadlock cycles,
+	// remote parks, hot keys per space, and the recorder tail.
+	DiagReport = diag.Report
+	// DiagEvent is one flight-recorder entry.
+	DiagEvent = diag.Event
+	// DiagRecorder is the fixed-size flight-recorder ring.
+	DiagRecorder = diag.Recorder
+	// DiagHandler serves /debug/diag (report, and ?dump=1 for the ring).
+	DiagHandler = diag.Handler
+)
+
+var (
+	// NewDiagnoser builds a Diagnoser; Start installs the tuple-space
+	// hook and launches the sampler, Stop undoes both.
+	NewDiagnoser = diag.New
+	// DefaultDiagnoser returns the process-wide running Diagnoser, or nil.
+	DefaultDiagnoser = diag.Default
+	// DiagRecordEvent appends to the default Diagnoser's flight recorder
+	// (a no-op while none is running).
+	DiagRecordEvent = diag.RecordEvent
 )
