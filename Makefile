@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race check bench sched-bench bench-compare obs-smoke obs-bench cluster-smoke trace-smoke stm-bench stm-bench-compare stm-smoke diag-smoke clean
+.PHONY: all build vet test race check bench sched-bench bench-compare obs-smoke obs-bench cluster-smoke trace-smoke stm-bench stm-bench-compare stm-smoke diag-smoke vm-bench vm-bench-compare vm-smoke vm-fuzz clean
 
 all: check
 
@@ -20,7 +20,7 @@ test:
 # racing, hash-bin locking, lock-free histograms, the trace ring); run
 # them under the race detector on every check.
 race:
-	$(GO) test -race ./internal/remote/... ./internal/cluster/... ./internal/tspace/... ./internal/obs/... ./internal/core/...
+	$(GO) test -race ./internal/remote/... ./internal/cluster/... ./internal/tspace/... ./internal/obs/... ./internal/core/... ./internal/vm/...
 
 check: build vet test race
 
@@ -72,6 +72,27 @@ stm-bench-compare:
 # CLI over the wire, assert conservation and server-side stm metrics.
 stm-smoke:
 	./scripts/stm_smoke.sh
+
+# Regenerate the execution-engine ablation (bytecode VM vs tree-walker)
+# and refresh the committed baseline. The vm/fib and vm/forkjoin rows
+# carry the ≥2× speedup acceptance gate.
+vm-bench:
+	$(GO) run ./cmd/stingbench -table vm -json BENCH_vm.json
+
+# Rerun the engine ablation and fail on >10% regression against the
+# committed BENCH_vm.json baseline (advisory in CI).
+vm-bench-compare:
+	./scripts/vm_compare.sh
+
+# Run every Scheme example under both engines and require byte-identical
+# stdout; also assert the default engine is the VM.
+vm-smoke:
+	./scripts/vm_smoke.sh
+
+# A short engine-differential fuzz run (the committed corpus replays in
+# plain `go test`; this searches for new divergences).
+vm-fuzz:
+	$(GO) test -run FuzzEngines -fuzz FuzzEngines -fuzztime 15s ./internal/scheme/
 
 # The metric-collection overhead ablation (EXPERIMENTS.md): the remote
 # ping-pong with the per-op latency histograms on vs off.

@@ -8,6 +8,8 @@
 //	sting file.scm ...     run programs
 //	sting -e '(+ 1 2)'     evaluate an expression
 //	sting -vps 8 file.scm  size the virtual machine
+//	sting -engine=tree f.scm  run on the tree-walking reference evaluator
+//	                          (default: the bytecode VM)
 //	sting -cluster nodes.json  bind *cluster* to a sharded fabric, so
 //	                           (remote-open *cluster* "jobs") routes
 //	                           across every stingd shard
@@ -22,6 +24,7 @@ import (
 
 	sting "repro"
 	"repro/internal/scheme"
+	stingvm "repro/internal/vm" // registers the "vm" bytecode engine (the default)
 )
 
 func main() {
@@ -32,8 +35,20 @@ func main() {
 		stats    = flag.Bool("stats", false, "print VM statistics on exit")
 		cluster  = flag.String("cluster", "", "cluster membership (nodes.json path or \"id=addr,…\"); binds *cluster* for remote-open")
 		traceOut = flag.String("trace-out", "", "run the program under a root span and write finished spans (JSON dump) here on exit")
+		engine   = flag.String("engine", "", "execution engine: "+strings.Join(scheme.EngineNames(), "|")+" (default vm)")
 	)
 	flag.Parse()
+	if *engine != "" {
+		known := false
+		for _, n := range scheme.EngineNames() {
+			known = known || n == *engine
+		}
+		if !known {
+			fmt.Fprintf(os.Stderr, "sting: unknown engine %q (have %s)\n",
+				*engine, strings.Join(scheme.EngineNames(), ", "))
+			os.Exit(2)
+		}
+	}
 
 	m := sting.NewMachine(sting.MachineConfig{Processors: *procs})
 	defer m.Shutdown()
@@ -42,7 +57,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "sting:", err)
 		os.Exit(1)
 	}
-	in := scheme.New(vm, scheme.WithOutput(os.Stdout))
+	in := scheme.New(vm, scheme.WithOutput(os.Stdout), scheme.WithEngine(*engine))
 	var spanBuf *sting.SpanBuffer
 	var rootSpan *sting.Span
 	if *traceOut != "" {
@@ -67,6 +82,9 @@ func main() {
 				"; threads=%d determined=%d steals=%d switches=%d blocks=%d\n",
 				s.ThreadsCreated, s.ThreadsDetermined, s.Steals,
 				s.VPs.Switches, s.VPs.Blocks)
+			compiled, fallback, ops := stingvm.Stats()
+			fmt.Fprintf(os.Stderr, "; engine=%s compiled=%d fallback=%d ops=%d\n",
+				in.EngineName(), compiled, fallback, ops)
 		}
 		m.Shutdown()
 		if *traceOut != "" {

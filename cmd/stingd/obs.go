@@ -13,6 +13,7 @@ import (
 	"repro/internal/remote"
 	"repro/internal/stm"
 	"repro/internal/tspace"
+	stingvm "repro/internal/vm"
 )
 
 // obsTraceCap sizes the daemon's trace ring: at ~5 events per request a
@@ -37,6 +38,7 @@ func buildObsHandler(vm *core.VM, reg *tspace.Registry, srv *remote.Server, trac
 	r.Register("tspace", tspace.RegistryCollector{Registry: reg})
 	r.Register("remote", remote.ServerCollector{Server: srv})
 	r.Register("stm", stm.NewCollector())
+	r.Register("vm", stingvm.NewCollector())
 	r.Register("trace", core.TraceCollector{Buffer: trace})
 	h := &obs.Handler{
 		Registry: r,

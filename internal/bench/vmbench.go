@@ -1,0 +1,129 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/scheme"
+	_ "repro/internal/vm" // registers the "vm" engine for the sweep
+)
+
+// Execution-engine ablation: the same Scheme programs on the tree-walking
+// reference evaluator and the bytecode VM. The compute-bound rows (fib,
+// fork-join) are where lexically-addressed slots and threaded dispatch
+// should pay ≥2×; the coordination-bound rows (producer/consumer, atomic
+// transfers) bound how much of their time the substrate — not the
+// evaluator — owns.
+
+// VMEngineResult is one workload×engine measurement.
+type VMEngineResult struct {
+	Row     string
+	Engine  string
+	Elapsed time.Duration
+}
+
+// vmWorkload is one row of the engine sweep: untimed setup definitions, a
+// timed body, and the value the body must produce (a correctness check —
+// a fast engine that answers wrongly is not a result).
+type vmWorkload struct {
+	row   string
+	setup string
+	body  string
+	want  string
+}
+
+var vmWorkloads = []vmWorkload{
+	{
+		row:   "fib",
+		setup: `(define (fib n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))`,
+		body:  `(fib 21)`,
+		want:  "10946",
+	},
+	{
+		row: "forkjoin",
+		setup: `(define (work n)
+		          (let loop ((i 0) (acc 0))
+		            (if (= i n) acc (loop (+ i 1) (+ acc i)))))`,
+		body: `(apply + (map thread-value
+		                     (map (lambda (i) (fork-thread (work 20000)))
+		                          (iota 32))))`,
+		want: "6399680000",
+	},
+	{
+		row:   "prodcons",
+		setup: `(define ts (make-tuple-space))`,
+		body: `(begin
+		         (fork-thread
+		           (let loop ((i 0))
+		             (if (= i 2000) 'done
+		                 (begin (put ts (list 'job i)) (loop (+ i 1))))))
+		         (let loop ((i 0) (acc 0))
+		           (if (= i 2000) acc
+		               (get ts (job ?n) (loop (+ i 1) (+ acc n))))))`,
+		want: "1999000",
+	},
+	{
+		row: "atomic",
+		setup: `(begin (define ts (make-tuple-space))
+		               (put ts '(a 1000)) (put ts '(b 0)))`,
+		body: `(begin
+		         (let loop ((i 0))
+		           (if (= i 500) 'done
+		               (begin
+		                 (atomic
+		                   (get ts (a ?x) (put ts (list 'a (- x 1))))
+		                   (get ts (b ?y) (put ts (list 'b (+ y 1)))))
+		                 (loop (+ i 1)))))
+		         (get ts (a ?x) (get ts (b ?y) (+ x y))))`,
+		want: "1000",
+	},
+}
+
+// VMEngineRows lists the sweep's workload names in table order.
+func VMEngineRows() []string {
+	rows := make([]string, len(vmWorkloads))
+	for i, w := range vmWorkloads {
+		rows[i] = w.row
+	}
+	return rows
+}
+
+// RunVMEngine runs one workload under the named engine ("tree" or "vm") on
+// a fresh 4-VP machine, timing only the body — prelude load and setup
+// definitions are untimed, so both engines pay their own compile cost
+// inside the measurement but not the shared bring-up.
+func RunVMEngine(row, engine string) (VMEngineResult, error) {
+	var wl *vmWorkload
+	for i := range vmWorkloads {
+		if vmWorkloads[i].row == row {
+			wl = &vmWorkloads[i]
+		}
+	}
+	if wl == nil {
+		return VMEngineResult{}, fmt.Errorf("vm engine sweep: unknown row %q", row)
+	}
+
+	m := core.NewMachine(core.MachineConfig{Processors: 4})
+	defer m.Shutdown()
+	vm, err := m.NewVM(core.VMConfig{VPs: 4})
+	if err != nil {
+		return VMEngineResult{}, err
+	}
+	in := scheme.New(vm, scheme.WithOutput(io.Discard), scheme.WithEngine(engine))
+	if _, err := in.EvalString(wl.setup); err != nil {
+		return VMEngineResult{}, fmt.Errorf("%s/%s setup: %w", row, engine, err)
+	}
+
+	start := time.Now()
+	v, err := in.EvalString(wl.body)
+	elapsed := time.Since(start)
+	if err != nil {
+		return VMEngineResult{}, fmt.Errorf("%s/%s: %w", row, engine, err)
+	}
+	if got := scheme.WriteString(v); got != wl.want {
+		return VMEngineResult{}, fmt.Errorf("%s/%s = %s, want %s", row, engine, got, wl.want)
+	}
+	return VMEngineResult{Row: row, Engine: engine, Elapsed: elapsed}, nil
+}

@@ -93,8 +93,20 @@ func (tcb *TCB) Thread() *Thread { return tcb.thread.Load() }
 func (tcb *TCB) Areas() *storage.AreaPair { return tcb.areas }
 
 // Polls returns the number of thread-controller entries this TCB has made;
-// preemption and transition requests are honoured at these points.
+// preemption and transition requests are honoured at these points. Both
+// execution engines — the tree-walker and the bytecode VM — drive this
+// counter through the same shared safe-point budget, so the two produce the
+// same poll density for the same program.
 func (tcb *TCB) Polls() uint64 { return tcb.polls }
+
+// Preempts returns the number of preemptions this TCB has taken at its safe
+// points. Engine-alignment tests use it to assert quantum expiry actually
+// lands under whichever evaluator is running.
+func (tcb *TCB) Preempts() uint64 { return tcb.preempts }
+
+// PreemptPending reports whether a quantum expiry is recorded but not yet
+// honoured — it clears at the next safe point outside without-preemption.
+func (tcb *TCB) PreemptPending() bool { return tcb.preemptPending.Load() }
 
 // loop is the TCB's backing goroutine: it repeatedly waits to be bound to a
 // thread, runs the thread's thunk to completion, and returns itself to its

@@ -131,6 +131,22 @@ func installConcurrency(in *Interp) {
 	in.prim("current-vp", 0, 0, func(_ *Interp, ctx *core.Context, a []Value) (Value, error) {
 		return ctx.VP(), nil
 	})
+	// (fluid key [default]) reads the thread's dynamic environment: the
+	// value fluid-let bound to key in the current extent, else default
+	// (#f when omitted). Keys are the symbols fluid-let binds.
+	in.prim("fluid", 1, 2, func(_ *Interp, ctx *core.Context, a []Value) (Value, error) {
+		sym, ok := a[0].(Symbol)
+		if !ok {
+			return nil, Errorf("fluid: key must be a symbol: %s", WriteString(a[0]))
+		}
+		if v, ok := ctx.Fluid(sym); ok {
+			return v, nil
+		}
+		if len(a) == 2 {
+			return a[1], nil
+		}
+		return false, nil
+	})
 	in.prim("thread-state", 1, 1, func(_ *Interp, _ *core.Context, a []Value) (Value, error) {
 		t, err := threadArg("thread-state", a[0])
 		if err != nil {

@@ -1,0 +1,107 @@
+package scheme
+
+import (
+	"sort"
+
+	"repro/internal/core"
+)
+
+// An Engine is an alternative execution strategy for toplevel forms — the
+// bytecode VM is the canonical one. The tree-walker stays the executable
+// reference semantics: an engine may decline any form (handled=false) and
+// the interpreter falls back to Eval on it, so engines only ever need to
+// be correct on the subset they claim.
+type Engine interface {
+	// Name answers the engine's registry name.
+	Name() string
+	// EvalToplevel evaluates one toplevel datum in the global environment.
+	// handled=false means the engine declines the form and the caller must
+	// fall back to the tree-walker.
+	EvalToplevel(ctx *core.Context, expr Value, env *Env) (v Value, handled bool, err error)
+}
+
+// EngineFactory builds an engine bound to one interpreter.
+type EngineFactory func(in *Interp) Engine
+
+// TreeEngineName selects the tree-walking reference evaluator.
+const TreeEngineName = "tree"
+
+var engineFactories = map[string]EngineFactory{}
+
+// RegisterEngine installs an engine factory under name (called from the
+// engine package's init; internal/vm registers "vm"). The interpreter
+// defaults to "vm" when registered, so importing the vm package is enough
+// to switch a program over.
+func RegisterEngine(name string, f EngineFactory) { engineFactories[name] = f }
+
+// EngineNames lists the selectable engines, the tree-walker included.
+func EngineNames() []string {
+	names := []string{TreeEngineName}
+	for n := range engineFactories {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// WithEngine selects the execution engine by registry name ("tree" for the
+// reference evaluator). Unregistered names fall back to the tree-walker.
+func WithEngine(name string) Option { return func(in *Interp) { in.engineName = name } }
+
+// EngineName answers the active engine's name ("tree" when no engine is
+// installed).
+func (in *Interp) EngineName() string {
+	if in.engine == nil {
+		return TreeEngineName
+	}
+	return in.engine.Name()
+}
+
+// initEngine resolves the configured engine name to an instance. Called
+// from New before the prelude loads, so the prelude itself exercises the
+// selected engine.
+func (in *Interp) initEngine() {
+	name := in.engineName
+	if name == "" {
+		if _, ok := engineFactories["vm"]; ok {
+			name = "vm"
+		} else {
+			name = TreeEngineName
+		}
+	}
+	if f, ok := engineFactories[name]; ok {
+		in.engine = f(in)
+	}
+}
+
+// evalToplevel evaluates one toplevel datum through the selected engine,
+// falling back to the tree-walker when the engine declines the form.
+func (in *Interp) evalToplevel(ctx *core.Context, d Value) (Value, error) {
+	if in.engine != nil {
+		if v, handled, err := in.engine.EvalToplevel(ctx, d, in.global); handled {
+			return v, err
+		}
+	}
+	return in.Eval(ctx, d, in.global)
+}
+
+// IsSpecialForm reports whether head names a special form. The tree-walker
+// consults the form table before the environment, so forms cannot be
+// shadowed by bindings — compilers must mirror that resolution order.
+func IsSpecialForm(head Symbol) bool {
+	_, ok := specialForms[head]
+	return ok
+}
+
+// installEngine binds the engine-introspection primitives.
+func installEngine(in *Interp) {
+	// (engine) → the active engine's name as a symbol.
+	in.prim("engine", 0, 0, func(in *Interp, _ *core.Context, _ []Value) (Value, error) {
+		return Symbol(in.EngineName()), nil
+	})
+	// (compiled? p) → whether p is a procedure carrying compiled code.
+	in.prim("compiled?", 1, 1, func(_ *Interp, _ *core.Context, a []Value) (Value, error) {
+		c, ok := a[0].(CompiledProc)
+		return ok && c.Compiled(), nil
+	})
+}

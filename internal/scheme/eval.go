@@ -8,14 +8,24 @@ import (
 // polls — the interpreter's safe-point density.
 const pollBudget = 256
 
+// Safepoint charges one evaluation step against the machine-wide poll
+// budget and polls the thread controller when it elapses. The tree-walker
+// takes one per evaluated node; the bytecode VM takes one per call and
+// backward branch — both feed the same counter, so preemption, stealing
+// and timer-driven requests fire with the same density under either
+// engine.
+func (in *Interp) Safepoint(ctx *core.Context) {
+	if in.step()%pollBudget == 0 {
+		ctx.Poll()
+	}
+}
+
 // Eval evaluates expr in env on the STING thread behind ctx. Tail positions
 // iterate rather than recurse, so loops written as tail calls run in
 // constant Go stack.
 func (in *Interp) Eval(ctx *core.Context, expr Value, env *Env) (Value, error) {
 	for {
-		if in.step()%pollBudget == 0 {
-			ctx.Poll()
-		}
+		in.Safepoint(ctx)
 		switch x := expr.(type) {
 		case Symbol:
 			if v, ok := env.Lookup(x); ok {
@@ -64,6 +74,8 @@ func (in *Interp) Eval(ctx *core.Context, expr Value, env *Env) (Value, error) {
 				continue // tail call
 			case *Primitive:
 				return in.applyPrimitive(ctx, p, args)
+			case Procedure:
+				return p.ApplyProc(in, ctx, args)
 			default:
 				return nil, Errorf("not a procedure: %s", WriteString(fn))
 			}
@@ -158,6 +170,8 @@ func (in *Interp) Apply(ctx *core.Context, fn Value, args []Value) (Value, error
 		return out, nil
 	case *Primitive:
 		return in.applyPrimitive(ctx, p, args)
+	case Procedure:
+		return p.ApplyProc(in, ctx, args)
 	default:
 		return nil, Errorf("not a procedure: %s", WriteString(fn))
 	}

@@ -839,15 +839,7 @@ func tsBindingForm(in *Interp, ctx *core.Context, form *Pair, env *Env, remove b
 	if err != nil {
 		return nil, nil, err
 	}
-	var tup tspace.Tuple
-	var bind tspace.Bindings
-	if tx, active := activeTxn(ctx); active {
-		tup, bind, err = txnMatch(tx, ts, tpl, remove)
-	} else if remove {
-		tup, bind, err = ts.Get(ctx, tpl)
-	} else {
-		tup, bind, err = ts.Rd(ctx, tpl)
-	}
+	tup, bind, err := in.MatchTuple(ctx, ts, tpl, remove)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -859,6 +851,21 @@ func tsBindingForm(in *Interp, ctx *core.Context, form *Pair, env *Env, remove b
 		frame.Define(Symbol(k), schemeValue(v))
 	}
 	return in.evalBody(ctx, rest[2:], frame)
+}
+
+// MatchTuple runs one tuple-space matching operation (get when remove,
+// rd otherwise) with the transaction routing both engines share: inside an
+// (atomic ...) extent the match rides the active transaction — wire
+// lowering for fabric spaces included — otherwise it hits the space
+// directly.
+func (in *Interp) MatchTuple(ctx *core.Context, ts tspace.TupleSpace, tpl tspace.Template, remove bool) (tspace.Tuple, tspace.Bindings, error) {
+	if tx, active := activeTxn(ctx); active {
+		return txnMatch(tx, ts, tpl, remove)
+	}
+	if remove {
+		return ts.Get(ctx, tpl)
+	}
+	return ts.Rd(ctx, tpl)
 }
 
 // evalTemplate builds a template: ?x symbols become formals, bare symbols
@@ -908,6 +915,18 @@ func tupleValue(v Value) core.Value {
 	}
 	return v
 }
+
+// ToTupleValue exposes tupleValue to other engines: the Scheme→tuple
+// representation change templates and deposits share.
+func ToTupleValue(v Value) core.Value { return tupleValue(v) }
+
+// FromTupleValue exposes schemeValue to other engines: the tuple→Scheme
+// representation change binding results share.
+func FromTupleValue(v core.Value) Value { return schemeValue(v) }
+
+// CoerceVP exposes the VP-operand coercion (a *core.VP, an index, or
+// unspecified for the current VP) shared by fork-thread under both engines.
+func CoerceVP(ctx *core.Context, v Value) (*core.VP, error) { return coerceVP(ctx, v) }
 
 // schemeValue converts tuple-space results back to Scheme values.
 func schemeValue(v core.Value) Value {

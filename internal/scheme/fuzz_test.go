@@ -10,6 +10,10 @@ import (
 	"repro/internal/testkit"
 )
 
+// (Engine-differential fuzzing — the tree-walker against the bytecode VM
+// on generated terminating programs — lives in enginediff_test.go, in the
+// external test package so it can import internal/vm.)
+
 // genExpr builds a random *program-shaped* datum: mostly lists headed by
 // known symbols with random arguments, so the evaluator's form handlers and
 // primitives all get exercised with adversarial inputs.

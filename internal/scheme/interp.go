@@ -27,6 +27,12 @@ type Interp struct {
 	// thread EvalString spawns (e.g. a root span context from the CLI).
 	toplevelOpts []core.ThreadOption
 
+	// engine is the selected execution engine for toplevel forms; nil runs
+	// everything through the tree-walker. engineName holds the WithEngine
+	// selection until New resolves it.
+	engine     Engine
+	engineName string
+
 	stepCount atomic.Uint64
 	gensyms   atomic.Uint64
 }
@@ -64,6 +70,8 @@ func New(vm *core.VM, opts ...Option) *Interp {
 	installRemote(in)
 	installObs(in)
 	installTxn(in)
+	installEngine(in)
+	in.initEngine()
 	if err := in.loadPrelude(); err != nil {
 		panic(fmt.Sprintf("scheme: prelude failed: %v", err))
 	}
@@ -103,7 +111,7 @@ func (in *Interp) EvalString(src string) (Value, error) {
 	vals, err := in.vm.Run(func(ctx *core.Context) ([]core.Value, error) {
 		var out Value = Unspecified
 		for _, d := range data {
-			out, err = in.Eval(ctx, d, in.global)
+			out, err = in.evalToplevel(ctx, d)
 			if err != nil {
 				return nil, err
 			}
@@ -124,7 +132,7 @@ func (in *Interp) EvalIn(ctx *core.Context, src string) (Value, error) {
 	}
 	var out Value = Unspecified
 	for _, d := range data {
-		out, err = in.Eval(ctx, d, in.global)
+		out, err = in.evalToplevel(ctx, d)
 		if err != nil {
 			return nil, err
 		}

@@ -298,7 +298,7 @@ func installPrimitives(in *Interp) {
 	})
 	pred("procedure?", func(v Value) bool {
 		switch v.(type) {
-		case *Closure, *Primitive:
+		case *Closure, *Primitive, Procedure:
 			return true
 		}
 		return false

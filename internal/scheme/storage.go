@@ -28,6 +28,11 @@ func (in *Interp) account(ctx *core.Context, bytes uint32) {
 	_, _ = tcb.Areas().Heap.Alloc(bytes)
 }
 
+// AccountClosure charges one closure allocation to the current thread's
+// heap area — the bytecode VM's OpClosure takes the same charge the
+// tree-walker's lambda does, keeping the storage model engine-neutral.
+func (in *Interp) AccountClosure(ctx *core.Context) { in.account(ctx, closureBytes) }
+
 // installStorage exposes the storage model to the dialect.
 func installStorage(in *Interp) {
 	// (area-stats) returns the current thread's heap-area counters as an

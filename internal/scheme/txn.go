@@ -86,7 +86,7 @@ func sfAtomic(in *Interp, ctx *core.Context, form *Pair, env *Env) (*tailNext, V
 	if err != nil {
 		return nil, nil, badForm(form)
 	}
-	evalBody := func() (Value, error) {
+	out, err := in.RunAtomic(ctx, func() (Value, error) {
 		var out Value = Unspecified
 		for _, b := range rest {
 			var err error
@@ -95,27 +95,36 @@ func sfAtomic(in *Interp, ctx *core.Context, form *Pair, env *Env) (*tailNext, V
 			}
 		}
 		return out, nil
-	}
+	})
+	return nil, out, err
+}
+
+// RunAtomic runs body inside a transaction with the exact (atomic ...)
+// semantics both engines share: a nested call flattens into the enclosing
+// transaction, the transaction rides the thread's dynamic environment for
+// body's extent (so the tuple forms route through it), conflicts re-run
+// body, and (txn-abort) maps to a #f result. Body may therefore execute
+// several times.
+func (in *Interp) RunAtomic(ctx *core.Context, body func() (Value, error)) (Value, error) {
 	if _, ok := activeTxn(ctx); ok {
 		// Already transactional: flatten into the enclosing atomic.
-		out, err := evalBody()
-		return nil, out, err
+		return body()
 	}
 	var out Value = Unspecified
-	err = stm.Atomic(ctx, func(tx *stm.Txn) error {
+	err := stm.Atomic(ctx, func(tx *stm.Txn) error {
 		var bodyErr error
 		ctx.FluidLet(txnKey, txnBinding{tx: tx, owner: ctx.Thread()}, func() {
-			out, bodyErr = evalBody()
+			out, bodyErr = body()
 		})
 		return bodyErr
 	})
 	switch {
 	case err == nil:
-		return nil, out, nil
+		return out, nil
 	case errors.Is(err, stm.ErrAborted):
-		return nil, false, nil
+		return false, nil
 	default:
-		return nil, nil, err
+		return nil, err
 	}
 }
 

@@ -71,6 +71,25 @@ type Closure struct {
 	Env    *Env
 }
 
+// Procedure is the call interface a foreign execution engine's procedures
+// implement so the tree-walker — Apply, map, sort, thread thunks — can
+// invoke them like any Closure. The bytecode VM's compiled closures are the
+// canonical implementation.
+type Procedure interface {
+	// ApplyProc calls the procedure with already-evaluated arguments.
+	ApplyProc(in *Interp, ctx *core.Context, args []Value) (Value, error)
+	// ProcName answers the name used in error messages and printing
+	// (empty for anonymous procedures).
+	ProcName() string
+}
+
+// CompiledProc marks procedures that carry compiled code; the
+// (compiled? p) primitive reports it.
+type CompiledProc interface {
+	Procedure
+	Compiled() bool
+}
+
 // PrimFn is the Go implementation of a primitive procedure.
 type PrimFn func(in *Interp, ctx *core.Context, args []Value) (Value, error)
 
@@ -86,12 +105,17 @@ type Primitive struct {
 // can yield multiple values).
 type MultiValues struct{ Values []Value }
 
-// Promise is the object created by delay and forced by force.
+// Promise is the object created by delay and forced by force. The thunk is
+// any nullary procedure value — a tree Closure or a compiled one.
 type Promise struct {
 	done  bool
 	value Value
-	thunk *Closure
+	thunk Value
 }
+
+// NewPromise wraps a nullary procedure as an unforced promise (the bytecode
+// compiler's delay).
+func NewPromise(thunk Value) *Promise { return &Promise{thunk: thunk} }
 
 // Cons builds a pair.
 func Cons(car, cdr Value) *Pair { return &Pair{Car: car, Cdr: cdr} }
@@ -120,6 +144,13 @@ func ListToSlice(v Value) ([]Value, error) {
 			return nil, fmt.Errorf("improper list ends in %s", WriteString(v))
 		}
 	}
+}
+
+// IsEmptyList reports whether v is the empty list () — the empty-list type
+// is unexported, so compilers use this instead of a type assertion.
+func IsEmptyList(v Value) bool {
+	_, ok := v.(*emptyT)
+	return ok
 }
 
 // IsTruthy follows Scheme: everything except #f is true.
@@ -255,6 +286,14 @@ func writeValue(b *strings.Builder, v Value, write bool, seen map[*Pair]bool) {
 	case *core.Group:
 		fmt.Fprintf(b, "#[thread-group %s]", x.Name())
 	default:
+		if p, ok := v.(Procedure); ok {
+			if n := p.ProcName(); n != "" {
+				fmt.Fprintf(b, "#[procedure %s]", n)
+			} else {
+				b.WriteString("#[procedure]")
+			}
+			return
+		}
 		fmt.Fprintf(b, "#[go %T %v]", v, v)
 	}
 }

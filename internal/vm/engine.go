@@ -1,0 +1,40 @@
+package vm
+
+import (
+	"repro/internal/core"
+	"repro/internal/scheme"
+)
+
+// Engine is the bytecode execution engine for one interpreter. It compiles
+// each toplevel form on arrival and runs it on the stack machine, declining
+// (handled=false) anything the compiler does not cover so the interpreter
+// falls back to the tree-walking reference evaluator.
+type Engine struct {
+	in *scheme.Interp
+}
+
+// New builds a bytecode engine bound to in.
+func New(in *scheme.Interp) *Engine { return &Engine{in: in} }
+
+// Name implements scheme.Engine.
+func (e *Engine) Name() string { return "vm" }
+
+// EvalToplevel implements scheme.Engine: compile the datum, run it in a
+// fresh nullary activation over the global environment.
+func (e *Engine) EvalToplevel(ctx *core.Context, expr scheme.Value, env *scheme.Env) (scheme.Value, bool, error) {
+	if env != e.in.Global() {
+		return nil, false, nil // engines only compile against the global frame
+	}
+	code, err := Compile(expr)
+	if err != nil {
+		fallbackForms.Add(1)
+		return nil, false, nil
+	}
+	compiledForms.Add(1)
+	v, err := e.exec(ctx, &Closure{Code: code, eng: e}, nil)
+	return v, true, err
+}
+
+func init() {
+	scheme.RegisterEngine("vm", func(in *scheme.Interp) scheme.Engine { return New(in) })
+}

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# vm_compare.sh — rerun the execution-engine ablation and fail if any vm/
+# row is more than 10% slower than the committed BENCH_vm.json baseline.
+# Run via `make vm-bench-compare`; CI runs it non-blocking because shared
+# runners add noise well beyond the threshold.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+baseline="BENCH_vm.json"
+[ -f "$baseline" ] || { echo "vm_compare: no committed $baseline baseline (run 'make vm-bench' and commit it)"; exit 2; }
+
+current="$(mktemp)"
+trap 'rm -f "$current"' EXIT
+
+go run ./cmd/stingbench -table vm -json "$current"
+go run ./scripts/benchdiff -threshold 0.10 -prefix vm/ "$baseline" "$current"

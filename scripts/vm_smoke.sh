@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# vm_smoke.sh — run every Scheme example under the bytecode VM and the
+# tree-walking reference evaluator and require byte-identical stdout.
+# The examples lean on the whole substrate (futures, tuple spaces,
+# streams, speculation), so this is an end-to-end engine-equivalence
+# check on real programs, complementing the FuzzEngines differential
+# fuzzer's generated ones. Run via `make vm-smoke`.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+bin="$(mktemp -d)/sting"
+trap 'rm -rf "$(dirname "$bin")"' EXIT
+
+go build -o "$bin" ./cmd/sting
+
+fail=0
+for f in examples/scheme/*.scm; do
+    tree="$("$bin" -engine=tree "$f")" || { echo "FAIL: $f under -engine=tree"; fail=1; continue; }
+    vm="$("$bin" -engine=vm "$f")" || { echo "FAIL: $f under -engine=vm"; fail=1; continue; }
+    if [ "$tree" != "$vm" ]; then
+        echo "FAIL: $f output diverges between engines"
+        diff <(printf '%s\n' "$tree") <(printf '%s\n' "$vm") || true
+        fail=1
+    else
+        echo "ok: $f identical under both engines"
+    fi
+done
+
+# The default engine is the VM, and a compiled run must say so.
+eng="$("$bin" -e '(engine)')"
+if [ "$eng" != "vm" ]; then
+    echo "FAIL: default (engine) = $eng, want vm"
+    fail=1
+fi
+eng="$("$bin" -engine=tree -e '(engine)')"
+if [ "$eng" != "tree" ]; then
+    echo "FAIL: -engine=tree (engine) = $eng, want tree"
+    fail=1
+fi
+
+if [ "$fail" -ne 0 ]; then
+    echo "vm-smoke: FAILED"
+    exit 1
+fi
+echo "vm-smoke: OK (all examples byte-identical across engines)"

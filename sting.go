@@ -42,6 +42,7 @@ import (
 	"repro/internal/streams"
 	"repro/internal/synch"
 	"repro/internal/tspace"
+	vmengine "repro/internal/vm"
 )
 
 // Core substrate types.
@@ -507,4 +508,18 @@ var (
 	// DiagRecordEvent appends to the default Diagnoser's flight recorder
 	// (a no-op while none is running).
 	DiagRecordEvent = diag.RecordEvent
+)
+
+// Execution engines (internal/vm): the computation language runs on a
+// selectable engine — the tree-walking reference evaluator or the
+// bytecode VM, which compiles toplevel forms to lexically-addressed
+// bytecode and polls the same safe-point budget, so preemption, stealing
+// and span inheritance behave identically. Importing this package
+// registers the "vm" engine; scheme.WithEngine selects one by name.
+var (
+	// NewVMEngineCollector exposes the sting_vm_* metric family
+	// (compiled/fallback form counts, dispatched instructions).
+	NewVMEngineCollector = vmengine.NewCollector
+	// VMEngineStats snapshots the process-wide engine counters.
+	VMEngineStats = vmengine.Stats
 )
