@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race check bench sched-bench bench-compare obs-smoke obs-bench cluster-smoke trace-smoke stm-bench stm-bench-compare stm-smoke diag-smoke vm-bench vm-bench-compare vm-smoke vm-fuzz clean
+.PHONY: all build vet test race check bench sched-bench bench-compare remote-bench remote-bench-compare obs-smoke obs-bench cluster-smoke trace-smoke stm-bench stm-bench-compare stm-smoke diag-smoke vm-bench vm-bench-compare vm-smoke vm-fuzz clean
 
 all: check
 
@@ -20,7 +20,7 @@ test:
 # racing, hash-bin locking, lock-free histograms, the trace ring); run
 # them under the race detector on every check.
 race:
-	$(GO) test -race ./internal/remote/... ./internal/cluster/... ./internal/tspace/... ./internal/obs/... ./internal/core/... ./internal/vm/...
+	$(GO) test -race ./internal/remote/... ./internal/cluster/... ./internal/tspace/... ./internal/sio/... ./internal/obs/... ./internal/core/... ./internal/vm/...
 
 check: build vet test race
 
@@ -36,6 +36,19 @@ sched-bench:
 # committed BENCH_sched.json baseline.
 bench-compare:
 	./scripts/bench_compare.sh
+
+# Regenerate the remote fabric table (ping-pong RTTs + the Put
+# saturation sweep) and refresh the committed baseline. The
+# remote/sat rows carry the ≥5× pipelined-vs-serial acceptance gate;
+# the codec allocs/op gate lives in the -benchmem benchmarks below.
+remote-bench:
+	$(GO) test -run xxx -bench 'BenchmarkCodec' -benchmem ./internal/remote/
+	$(GO) run ./cmd/stingbench -table remote -json BENCH_remote.json
+
+# Rerun the remote table and fail on >10% ns/op regression against the
+# committed BENCH_remote.json baseline (advisory in CI).
+remote-bench-compare:
+	./scripts/remote_compare.sh
 
 # Boot stingd -http, scrape /metrics + /healthz + /debug/trace, grep for
 # the required metric families.

@@ -36,8 +36,13 @@ func main() {
 		cluster  = flag.String("cluster", "", "cluster membership (nodes.json path or \"id=addr,…\"); binds *cluster* for remote-open")
 		traceOut = flag.String("trace-out", "", "run the program under a root span and write finished spans (JSON dump) here on exit")
 		engine   = flag.String("engine", "", "execution engine: "+strings.Join(scheme.EngineNames(), "|")+" (default vm)")
+		rconns   = flag.Int("remote-conns", 0, "fabric connections per remote peer (0/1 = single; keyed ops shard across the pool)")
+		rbatch   = flag.Bool("remote-batch", false, "coalesce remote puts into BATCH frames (protocol v4 peers; older peers fall back per-op)")
 	)
 	flag.Parse()
+	if *rconns > 1 || *rbatch {
+		scheme.SetRemoteDialDefaults(sting.RemoteDialConfig{Conns: *rconns, Batch: *rbatch})
+	}
 	if *engine != "" {
 		known := false
 		for _, n := range scheme.EngineNames() {

@@ -116,6 +116,9 @@ func TestObsHandlerExposesRequiredFamilies(t *testing.T) {
 		"sting_tspace_wake_handoffs_total",
 		"sting_remote_op_latency_seconds_bucket",
 		"sting_remote_conns_active",
+		"sting_remote_pipeline_depth",
+		"sting_remote_batch_size",
+		"sting_remote_conn_pool_size",
 		"sting_stm_commits_total",
 		"sting_stm_aborts_total",
 		"sting_stm_retries_total",

@@ -115,6 +115,134 @@ func RunRemotePingPong(pairs, rounds int) (RemoteResult, error) {
 	}, nil
 }
 
+// SaturationResult is one raw-throughput measurement: how many remote
+// Puts per second one client process pushes through one server when the
+// connection is allowed to fill (pipelining, batching, pooling) versus
+// the strict request/response baseline.
+type SaturationResult struct {
+	Mode    string
+	Workers int
+	Ops     int // total puts deposited
+	Elapsed time.Duration
+	PerOpNs float64
+	OpsSec  float64
+	Batches uint64 // BATCH frames the server decoded (0 when not batching)
+}
+
+// RunRemoteSaturation measures Put saturation throughput over loopback.
+// Modes:
+//
+//	serial     one caller, one connection, one op in flight (the floor)
+//	pipelined  workers concurrent callers sharing one connection
+//	batch      pipelined + Put coalescing into BATCH frames
+//	batch+pool batch + a 4-connection pool sharded by tuple key
+//	async      one caller keeping a 64-deep window of unacknowledged puts
+//
+// Every mode deposits workers×opsPerWorker tuples and the count is
+// verified server-side, so a mode cannot look fast by dropping work.
+func RunRemoteSaturation(mode string, workers, opsPerWorker int) (SaturationResult, error) {
+	m := core.NewMachine(core.MachineConfig{Processors: 2})
+	defer m.Shutdown()
+	vm, err := m.NewVM(core.VMConfig{VPs: 2})
+	if err != nil {
+		return SaturationResult{}, err
+	}
+	srv := remote.NewServer(vm, remote.ServerConfig{})
+	defer srv.Shutdown()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return SaturationResult{}, err
+	}
+	go srv.Serve(ln) //nolint:errcheck
+
+	var dcfg remote.DialConfig
+	switch mode {
+	case "serial", "pipelined", "async":
+	case "batch", "async+batch":
+		dcfg.Batch = true
+	case "batch+pool":
+		dcfg.Batch = true
+		dcfg.Conns = 4
+	default:
+		return SaturationResult{}, fmt.Errorf("unknown saturation mode %q", mode)
+	}
+	c, err := remote.Dial(nil, ln.Addr().String(), dcfg)
+	if err != nil {
+		return SaturationResult{}, err
+	}
+	defer c.Close() //nolint:errcheck
+	sp := c.Space("sat")
+	total := workers * opsPerWorker
+
+	start := time.Now()
+	if mode == "async" || mode == "async+batch" {
+		const window = 64
+		pend := make([]*remote.PendingPut, 0, window)
+		flush := func() error {
+			for _, p := range pend {
+				if err := p.Wait(nil); err != nil {
+					return err
+				}
+			}
+			pend = pend[:0]
+			return nil
+		}
+		for i := 0; i < total; i++ {
+			p, err := sp.PutAsync(nil, tspace.Tuple{int64(i % 8), int64(i)})
+			if err != nil {
+				return SaturationResult{}, err
+			}
+			if pend = append(pend, p); len(pend) == window {
+				if err := flush(); err != nil {
+					return SaturationResult{}, err
+				}
+			}
+		}
+		if err := flush(); err != nil {
+			return SaturationResult{}, err
+		}
+	} else {
+		var wg sync.WaitGroup
+		errs := make(chan error, workers)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int64) {
+				defer wg.Done()
+				// The leading field varies per worker so keyed pool
+				// sharding actually spreads the load.
+				for i := 0; i < opsPerWorker; i++ {
+					if err := sp.Put(nil, tspace.Tuple{w, int64(i)}); err != nil {
+						errs <- err
+						return
+					}
+				}
+				errs <- nil
+			}(int64(w))
+		}
+		wg.Wait()
+		for w := 0; w < workers; w++ {
+			if err := <-errs; err != nil {
+				return SaturationResult{}, err
+			}
+		}
+	}
+	elapsed := time.Since(start)
+
+	if n := srv.Registry().OpenDefault("sat").Len(); n != total {
+		return SaturationResult{}, fmt.Errorf("mode %s deposited %d tuples, want %d", mode, n, total)
+	}
+	perOp := float64(elapsed.Nanoseconds()) / float64(total)
+	return SaturationResult{
+		Mode:    mode,
+		Workers: workers,
+		Ops:     total,
+		Elapsed: elapsed,
+		PerOpNs: perOp,
+		OpsSec:  1e9 / perOp,
+		Batches: srv.Stats().Ops["batch"],
+	}, nil
+}
+
 // RunRemotePingPongSpans is the span-overhead ablation variant: the
 // clients are STING threads (so they carry a span context at all), and
 // when traced every round trip opens a client span whose context rides the

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/sio"
 	"repro/internal/testkit"
 	"repro/internal/tspace"
 )
@@ -72,4 +73,60 @@ func BenchmarkRemoteTuplePingPong(b *testing.B) {
 // recording disabled server-side.
 func BenchmarkRemoteTuplePingPongNoObs(b *testing.B) {
 	benchPingPong(b, ServerConfig{DisableMetrics: true})
+}
+
+// Codec hot-path benchmarks, run with -benchmem: the zero-alloc-codec
+// acceptance gate is 0 allocs/op on encode (pooled buffer, in-place
+// length prefix) and ≤2 allocs/op on decode (the tuple slice plus its one
+// string element; the space name is interned, immediates under 256 box
+// free).
+
+// BenchmarkCodecEncodePut encodes a PUT frame into a pooled buffer — the
+// exact sequence the client's write path runs per op.
+func BenchmarkCodecEncodePut(b *testing.B) {
+	req := request{op: opPut, id: 7, space: "jobs", tuple: tspace.Tuple{"job", int64(42), true}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf := sio.GetBuf()[:sio.PrefixLen]
+		frame, err := appendRequest(buf, req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sio.PutBuf(frame)
+	}
+}
+
+// BenchmarkCodecDecodePut decodes the same PUT frame — the sequence the
+// server's reader runs per arriving op.
+func BenchmarkCodecDecodePut(b *testing.B) {
+	frame, err := encodeRequest(request{op: opPut, id: 7, space: "jobs",
+		tuple: tspace.Tuple{"job", int64(42), true}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	internName([]byte("jobs")) // steady state: the space name is known
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := decodeRequest(frame); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCodecDecodeTupleResp decodes a matched-tuple response with no
+// bindings — the client-side hot path for ground-template Get/Rd.
+func BenchmarkCodecDecodeTupleResp(b *testing.B) {
+	frame, err := encodeTupleResp(7, tspace.Tuple{"job", int64(42), true}, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := decodeResponse(frame); err != nil {
+			b.Fatal(err)
+		}
+	}
 }

@@ -4,7 +4,9 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -13,8 +15,8 @@ import (
 	"repro/internal/tspace"
 )
 
-// DialConfig tunes the client's retry, deadline, and drain behaviour.
-// The zero value is usable; every field has a default.
+// DialConfig tunes the client's retry, deadline, drain, and pipelining
+// behaviour. The zero value is usable; every field has a default.
 type DialConfig struct {
 	// DialRetries bounds how many times Dial (and a mid-session redial)
 	// re-attempts the connect+HELLO exchange after a transient failure
@@ -35,9 +37,25 @@ type DialConfig struct {
 	Timeout time.Duration
 	// WriteTimeout bounds one frame write (default 10s).
 	WriteTimeout time.Duration
-	// DrainTimeout bounds how long Close waits for in-flight operations
-	// to complete before hanging up (default 5s).
+	// DrainTimeout bounds how long Close waits for in-flight non-blocking
+	// operations to complete before failing the rest (default 5s).
 	DrainTimeout time.Duration
+	// Conns sets the connection-pool size (default 1). With N > 1 each op
+	// shards onto a connection by the stable hash of its space+first
+	// field (round-robin when unkeyable), so one connection's writer is
+	// never the whole client's bottleneck. The pool dials lazily: only
+	// the first connection is established by Dial.
+	Conns int
+	// Batch coalesces Puts into BATCH frames (protocol ≥4): a per-
+	// connection flusher writes whatever accumulated during the previous
+	// write (group commit), so a lone Put flushes immediately while a
+	// burst amortizes into one frame. Against an older peer Puts fall
+	// back to one frame each. Latency-sensitive ops (Get/Rd and their
+	// Try probes) are never batched.
+	Batch bool
+	// MaxVersion caps the protocol version announced in HELLO (default
+	// protocolVersion); tests use it to impersonate older peers.
+	MaxVersion byte
 }
 
 func (cfg DialConfig) withDefaults() DialConfig {
@@ -62,6 +80,12 @@ func (cfg DialConfig) withDefaults() DialConfig {
 	if cfg.DrainTimeout == 0 {
 		cfg.DrainTimeout = 5 * time.Second
 	}
+	if cfg.Conns <= 0 {
+		cfg.Conns = 1
+	}
+	if cfg.MaxVersion == 0 || cfg.MaxVersion > protocolVersion {
+		cfg.MaxVersion = protocolVersion
+	}
 	return cfg
 }
 
@@ -75,6 +99,20 @@ func (cfg DialConfig) backoff(attempt int) time.Duration {
 	return min(d, cfg.MaxBackoff)
 }
 
+// Close-drain and batching sentinels.
+var (
+	// ErrClientClosed fails the calls still in flight when Close tears
+	// the client down — above all blocking Gets parked past DrainTimeout.
+	// Distinct from net.ErrClosed, which rejects ops started after Close.
+	ErrClientClosed = errors.New("remote: client closed with operation in flight")
+	// errBatchUnwritten marks batch entries whose frame provably never
+	// reached the socket; the Put wrapper retries them (bounded).
+	errBatchUnwritten = errors.New("remote: batch frame never written")
+	// errBatchFallback sends a Put down the per-op path: the peer
+	// negotiated a protocol version that predates BATCH.
+	errBatchFallback = errors.New("remote: peer predates batch frames")
+)
+
 // call is one in-flight request awaiting its response frame.
 type call struct {
 	mu   sync.Mutex
@@ -82,7 +120,8 @@ type call struct {
 	resp response
 	err  error
 	ch   chan struct{}
-	tcb  *core.TCB // parked STING waiter to wake, when set
+	tcb  *core.TCB   // parked STING waiter to wake, when set
+	subs []batchItem // batch parent: per-entry calls, completed on arrival
 }
 
 func newCall() *call { return &call{ch: make(chan struct{})} }
@@ -96,10 +135,14 @@ func (c *call) complete(resp response, err error) {
 	c.done = true
 	c.resp, c.err = resp, err
 	tcb := c.tcb
+	subs := c.subs
 	c.mu.Unlock()
 	close(c.ch)
 	if tcb != nil {
 		core.WakeTCB(tcb)
+	}
+	if subs != nil {
+		distributeBatch(subs, resp, err)
 	}
 }
 
@@ -109,52 +152,105 @@ func (c *call) completed() bool {
 	return c.done
 }
 
-// Client is one connection to a stingd fabric server. It is safe for
-// concurrent use from many STING threads (and from plain goroutines —
-// pass a nil context and waits fall back to channels). A thread waiting
-// for a response parks through the substrate's block/wakeup machinery;
-// the reader goroutine completes the call and wakes the TCB, mirroring
-// how sio device completions resume their initiators.
+// distributeBatch fans a BATCH reply (or its transport error) out to the
+// per-entry calls.
+func distributeBatch(items []batchItem, resp response, err error) {
+	if err == nil && resp.op == respErr {
+		err = wireError(resp, "batch", "", 0)
+	}
+	if err == nil && (resp.op != respBatch || len(resp.batch) != len(items)) {
+		err = protoErrf("batch reply op %d carries %d statuses for %d entries",
+			resp.op, len(resp.batch), len(items))
+	}
+	if err != nil {
+		for _, it := range items {
+			it.cl.complete(response{}, err)
+		}
+		return
+	}
+	for i, st := range resp.batch {
+		if st.code == 0 {
+			items[i].cl.complete(response{op: respOK}, nil)
+		} else {
+			e := wireError(response{op: respErr, code: st.code, message: st.msg}, "put", items[i].space, 0)
+			items[i].cl.complete(response{}, e)
+		}
+	}
+}
+
+// Client is a pool of connections to one stingd fabric server. It is safe
+// for concurrent use from many STING threads (and from plain goroutines —
+// pass a nil context and waits fall back to channels). Concurrent callers
+// pipeline over each connection: every request carries an id, the server
+// answers in completion order, and the reader call-back demultiplexes —
+// a parked blocking Get never head-of-line-blocks later ops. A thread
+// waiting for a response parks through the substrate's block/wakeup
+// machinery; the reader goroutine completes the call and wakes the TCB,
+// mirroring how sio device completions resume their initiators.
 type Client struct {
 	addr string
 	cfg  DialConfig
+
+	closed atomic.Bool
+	wg     sync.WaitGroup // in-flight non-blocking ops, for Close's drain
+	rr     atomic.Uint64  // round-robin cursor for unkeyable ops
+
+	conns   []*clientConn
+	metrics *clientMetrics
+}
+
+// clientConn is one pooled connection: its own socket, negotiated
+// version, id space, pending-call table, and (when batching) flusher.
+type clientConn struct {
+	c   *Client
+	idx int
 
 	mu      sync.Mutex
 	fc      *sio.FrameConn
 	version byte // protocol version negotiated for the current connection
 	pending map[uint32]*call
 	nextID  uint32
-	closed  bool
-	wg      sync.WaitGroup // in-flight roundTrips, for Close's drain
 
-	metrics *clientMetrics
+	bat *batcher // non-nil when cfg.Batch
 }
 
 // Dial connects to a fabric server, retrying transient connect/handshake
 // failures with exponential backoff, and verifies protocol agreement via
 // the HELLO exchange before returning. Pass a nil ctx when dialing from
 // plain Go; from a STING thread the retry sleeps and the handshake wait
-// park through the substrate.
+// park through the substrate. With cfg.Conns > 1 only the first pool
+// connection is established here; the rest dial on first use.
 func Dial(ctx *core.Context, addr string, cfg DialConfig) (*Client, error) {
 	cfg = cfg.withDefaults()
-	c := &Client{
-		addr:    addr,
-		cfg:     cfg,
-		pending: make(map[uint32]*call),
-		metrics: newClientMetrics(),
+	c := &Client{addr: addr, cfg: cfg, metrics: newClientMetrics()}
+	c.conns = make([]*clientConn, cfg.Conns)
+	for i := range c.conns {
+		cc := &clientConn{c: c, idx: i, pending: make(map[uint32]*call)}
+		if cfg.Batch {
+			cc.bat = newBatcher(cc)
+		}
+		c.conns[i] = cc
 	}
-	c.mu.Lock()
-	err := c.redialLocked(ctx)
-	c.mu.Unlock()
+	cc := c.conns[0]
+	cc.mu.Lock()
+	err := cc.redialLocked(ctx)
+	cc.mu.Unlock()
 	if err != nil {
+		c.closed.Store(true)
+		for _, cc := range c.conns {
+			if cc.bat != nil {
+				cc.bat.stop()
+			}
+		}
 		return nil, err
 	}
 	return c, nil
 }
 
-// redialLocked (c.mu held) establishes a fresh connection with bounded
-// retry and the HELLO handshake.
-func (c *Client) redialLocked(ctx *core.Context) error {
+// redialLocked (cc.mu held) establishes a fresh connection with bounded
+// retry and the HELLO handshake, then announces the pool size (≥4 peers).
+func (cc *clientConn) redialLocked(ctx *core.Context) error {
+	c := cc.c
 	t0 := time.Now()
 	var lastErr error
 	for attempt := 0; attempt <= c.cfg.DialRetries; attempt++ {
@@ -162,7 +258,7 @@ func (c *Client) redialLocked(ctx *core.Context) error {
 			c.metrics.dialRetries.Add(1)
 			sleep(ctx, c.cfg.backoff(attempt-1))
 		}
-		if c.closed {
+		if c.closed.Load() {
 			return net.ErrClosed
 		}
 		nc, err := net.DialTimeout("tcp", c.addr, c.cfg.Timeout)
@@ -177,9 +273,16 @@ func (c *Client) redialLocked(ctx *core.Context) error {
 			lastErr = err
 			continue
 		}
-		c.fc = fc
-		c.version = v
-		fc.Start(func(frame []byte, err error) { c.onFrame(fc, frame, err) })
+		if v >= 4 {
+			// Fire-and-forget capability note; feeds the server's
+			// sting_remote_conn_pool_size gauge.
+			if frame, err := encodeRequest(request{op: opAnnounce, poolSize: uint32(len(c.conns))}); err == nil {
+				fc.WriteFrame(frame) //nolint:errcheck
+			}
+		}
+		cc.fc = fc
+		cc.version = v
+		fc.StartPooled(func(frame []byte, err error) { cc.onFrame(fc, frame, err) })
 		c.metrics.dialLatency.ObserveSince(t0)
 		return nil
 	}
@@ -198,7 +301,7 @@ type helloResult struct {
 // connection (its reader loop is not running yet) and returns the
 // negotiated protocol version.
 func (c *Client) handshake(ctx *core.Context, fc *sio.FrameConn) (byte, error) {
-	frame, err := encodeRequest(request{op: opHello, id: 0})
+	frame, err := encodeRequest(request{op: opHello, id: 0, version: c.cfg.MaxVersion})
 	if err != nil {
 		return 0, err
 	}
@@ -274,61 +377,84 @@ func readFull(conn net.Conn, buf []byte) (int, error) {
 }
 
 // onFrame is the reader call-back: route responses to pending calls; on
-// the terminal error fail every in-flight call with ErrDisconnected.
-func (c *Client) onFrame(fc *sio.FrameConn, frame []byte, err error) {
+// the terminal error fail every in-flight call with ErrDisconnected. The
+// frame is pooled (StartPooled) — decodeResponse deep-copies everything
+// it retains.
+func (cc *clientConn) onFrame(fc *sio.FrameConn, frame []byte, err error) {
 	if err != nil {
-		c.failConn(fc, ErrDisconnected)
+		cc.fail(fc, ErrDisconnected)
 		return
 	}
 	r, derr := decodeResponse(frame)
 	if derr != nil {
-		c.failConn(fc, derr)
+		cc.fail(fc, derr)
 		return
 	}
-	c.mu.Lock()
-	call := c.pending[r.id]
-	delete(c.pending, r.id)
-	c.mu.Unlock()
-	if call != nil {
-		call.complete(r, nil)
+	cc.mu.Lock()
+	cl := cc.pending[r.id]
+	delete(cc.pending, r.id)
+	cc.mu.Unlock()
+	if cl != nil {
+		cl.complete(r, nil)
 	}
 }
 
-// failConn tears down fc (if still current) and fails its in-flight calls.
-func (c *Client) failConn(fc *sio.FrameConn, reason error) {
+// fail tears down fc (if still current) and fails its in-flight calls.
+func (cc *clientConn) fail(fc *sio.FrameConn, reason error) {
 	fc.Close()
-	c.mu.Lock()
-	if c.fc != fc {
-		c.mu.Unlock()
+	cc.mu.Lock()
+	if cc.fc != fc {
+		cc.mu.Unlock()
 		return
 	}
-	c.fc = nil
-	calls := c.pending
-	c.pending = make(map[uint32]*call)
-	c.mu.Unlock()
+	cc.fc = nil
+	calls := cc.pending
+	cc.pending = make(map[uint32]*call)
+	cc.mu.Unlock()
 	for _, cl := range calls {
 		cl.complete(response{}, reason)
 	}
 }
 
-// Close drains in-flight operations (up to DrainTimeout) and hangs up.
+// close (terminal) fails whatever is still pending with ErrClientClosed
+// and hangs the socket up.
+func (cc *clientConn) close() {
+	cc.mu.Lock()
+	fc := cc.fc
+	cc.fc = nil
+	calls := cc.pending
+	cc.pending = make(map[uint32]*call)
+	cc.mu.Unlock()
+	for _, cl := range calls {
+		cl.complete(response{}, ErrClientClosed)
+	}
+	if fc != nil {
+		fc.Close()
+	}
+}
+
+// Close drains and hangs up: queued batches are flushed, in-flight
+// non-blocking ops get up to DrainTimeout to complete, and everything
+// still pending after that — above all parked blocking Gets, which could
+// otherwise wait forever — fails promptly with ErrClientClosed. Ops
+// started after Close return net.ErrClosed.
 func (c *Client) Close() error {
-	c.mu.Lock()
-	if c.closed {
-		c.mu.Unlock()
+	if c.closed.Swap(true) {
 		return nil
 	}
-	c.closed = true
-	fc := c.fc
-	c.mu.Unlock()
+	for _, cc := range c.conns {
+		if cc.bat != nil {
+			cc.bat.stop() // drains the queue through a final flush
+		}
+	}
 	drained := make(chan struct{})
 	go func() { c.wg.Wait(); close(drained) }()
 	select {
 	case <-drained:
 	case <-time.After(c.cfg.DrainTimeout):
 	}
-	if fc != nil {
-		c.failConn(fc, net.ErrClosed)
+	for _, cc := range c.conns {
+		cc.close()
 	}
 	return nil
 }
@@ -347,7 +473,8 @@ func sleep(ctx *core.Context, d time.Duration) {
 // was provably never written is retried (bounded, with backoff); once the
 // frame may have left, the op is never re-sent. A non-nil tok arms
 // client-initiated cancellation: firing it sends a CANCEL frame for the
-// in-flight request id, and the server answers the op with codeCanceled.
+// in-flight request id on the same connection, and the server answers the
+// op with codeCanceled.
 //
 // A caller on a traced STING thread gets a client span covering the whole
 // exchange (retries included); its id travels in the trace-context
@@ -374,8 +501,12 @@ func (c *Client) roundTrip(ctx *core.Context, req request, wait time.Duration, t
 
 // roundTripRetry is roundTrip's attempt loop.
 func (c *Client) roundTripRetry(ctx *core.Context, req request, wait time.Duration, tok *tspace.CancelToken, span *obs.Span) (response, error) {
-	c.wg.Add(1)
-	defer c.wg.Done()
+	if !blockingOp(req.op) {
+		// Blocking ops stay out of the drain group: Close fails them
+		// with ErrClientClosed instead of waiting out their park.
+		c.wg.Add(1)
+		defer c.wg.Done()
+	}
 	t0 := time.Now()
 	// A blocking op's deadline is absolute: once it passes, no redial can
 	// still satisfy the op, so expiry is terminal — a timeout, not a
@@ -398,7 +529,8 @@ func (c *Client) roundTripRetry(ctx *core.Context, req request, wait time.Durati
 		if tok != nil && tok.Canceled() {
 			return response{}, ErrCanceled
 		}
-		cl, id, fc, ver, err := c.register(ctx)
+		cc := c.pick(req)
+		cl, id, fc, ver, err := cc.register(ctx)
 		if err != nil {
 			if errors.Is(err, net.ErrClosed) {
 				return response{}, err
@@ -412,30 +544,34 @@ func (c *Client) roundTripRetry(ctx *core.Context, req request, wait time.Durati
 		// decoder treats the unknown op as a protocol error and closes
 		// the connection — so minVer misses fail rather than degrade.
 		if req.minVer > 0 && ver < req.minVer {
-			c.unregister(id)
+			cc.unregister(id)
 			return response{}, fmt.Errorf("%w: %s needs protocol version %d, server speaks %d",
 				ErrUnsupported, opName(req.op), req.minVer, ver)
 		}
 		// The trace-context extension needs a version-2 peer.
 		req.hasTrace = req.parentSpan != 0 && ver >= 2
-		frame, err := encodeRequest(req)
+		buf := sio.GetBuf()[:sio.PrefixLen]
+		frame, err := appendRequest(buf, req)
 		if err != nil {
-			c.unregister(id)
+			cc.unregister(id)
+			sio.PutBuf(buf)
 			return response{}, err
 		}
-		if err := fc.WriteFrame(frame); err != nil {
-			c.unregister(id)
-			if errors.Is(err, net.ErrClosed) {
+		werr := fc.WriteFramePrefixed(frame)
+		sio.PutBuf(frame)
+		if werr != nil {
+			cc.unregister(id)
+			if errors.Is(werr, net.ErrClosed) {
 				// The frame never hit the socket; safe to retry on a
 				// fresh connection.
-				lastErr = err
+				lastErr = werr
 				continue
 			}
 			// A partial write still cannot execute server-side (the frame
 			// is length-prefixed and incomplete), but the connection is
 			// now poisoned mid-stream: fail it and retry.
-			c.failConn(fc, ErrDisconnected)
-			lastErr = err
+			cc.fail(fc, ErrDisconnected)
+			lastErr = werr
 			continue
 		}
 		if tok != nil {
@@ -446,9 +582,9 @@ func (c *Client) roundTripRetry(ctx *core.Context, req request, wait time.Durati
 			// reply: a cancel that loses the race yields a real tuple the
 			// caller must dispose of, not a silently dropped one.
 			target := id
-			tok.Watch(func(error) { c.sendCancel(target) })
+			tok.Watch(func(error) { cc.sendCancel(target) })
 		}
-		resp, err := c.wait(ctx, cl, id, req, wait)
+		resp, err := c.wait(ctx, cl, req, wait, func() { cc.unregister(id) })
 		switch {
 		case err == nil:
 			c.metrics.observeOp(req.op, time.Since(t0))
@@ -461,13 +597,42 @@ func (c *Client) roundTripRetry(ctx *core.Context, req request, wait time.Durati
 		opName(req.op), req.space, lastErr)
 }
 
+// pick shards req onto a pool connection: keyed ops hash space+first
+// field (so a tuple and the template that awaits it meet on one conn's
+// cancel/redial domain), unkeyable ops round-robin, and control ops
+// (HELLO, STATS, TXNCOMMIT, …) ride the first connection.
+func (c *Client) pick(req request) *clientConn {
+	if len(c.conns) == 1 {
+		return c.conns[0]
+	}
+	switch req.op {
+	case opPut:
+		return c.pickKeyed(req.space, req.tuple)
+	case opGet, opRd, opTryGet, opTryRd:
+		return c.pickKeyed(req.space, []core.Value(req.template))
+	default:
+		return c.conns[0]
+	}
+}
+
+func (c *Client) pickKeyed(space string, fields []core.Value) *clientConn {
+	var first core.Value
+	if len(fields) > 0 {
+		first = fields[0]
+	}
+	if h, ok := tspace.HashKey(space, first, len(fields)); ok {
+		return c.conns[h%uint64(len(c.conns))]
+	}
+	return c.conns[c.rr.Add(1)%uint64(len(c.conns))]
+}
+
 // sendCancel asks the server to withdraw the blocking op with the given
 // request id. Fire-and-forget: when the connection is gone the waiter
 // dies with it server-side anyway.
-func (c *Client) sendCancel(target uint32) {
-	c.mu.Lock()
-	fc := c.fc
-	c.mu.Unlock()
+func (cc *clientConn) sendCancel(target uint32) {
+	cc.mu.Lock()
+	fc := cc.fc
+	cc.mu.Unlock()
 	if fc == nil {
 		return
 	}
@@ -478,34 +643,51 @@ func (c *Client) sendCancel(target uint32) {
 	fc.WriteFrame(frame) //nolint:errcheck
 }
 
+// ensure returns the connection's negotiated version, dialing first if
+// needed. During Close a live connection keeps serving (the drain), but
+// no new dial starts.
+func (cc *clientConn) ensure(ctx *core.Context) (byte, error) {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	if cc.fc == nil {
+		if cc.c.closed.Load() {
+			return 0, net.ErrClosed
+		}
+		if err := cc.redialLocked(ctx); err != nil {
+			return 0, err
+		}
+	}
+	return cc.version, nil
+}
+
 // register allocates a request id and pending call on a live connection,
 // redialing if the previous one died. It also reports the connection's
-// negotiated protocol version, which gates version-2 extensions.
-func (c *Client) register(ctx *core.Context) (*call, uint32, *sio.FrameConn, byte, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.closed {
-		return nil, 0, nil, 0, net.ErrClosed
-	}
-	if c.fc == nil {
-		if err := c.redialLocked(ctx); err != nil {
+// negotiated protocol version, which gates versioned ops and extensions.
+func (cc *clientConn) register(ctx *core.Context) (*call, uint32, *sio.FrameConn, byte, error) {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	if cc.fc == nil {
+		if cc.c.closed.Load() {
+			return nil, 0, nil, 0, net.ErrClosed
+		}
+		if err := cc.redialLocked(ctx); err != nil {
 			return nil, 0, nil, 0, err
 		}
 	}
-	c.nextID++
-	if c.nextID == 0 {
-		c.nextID = 1
+	cc.nextID++
+	if cc.nextID == 0 {
+		cc.nextID = 1
 	}
-	id := c.nextID
+	id := cc.nextID
 	cl := newCall()
-	c.pending[id] = cl
-	return cl, id, c.fc, c.version, nil
+	cc.pending[id] = cl
+	return cl, id, cc.fc, cc.version, nil
 }
 
-func (c *Client) unregister(id uint32) {
-	c.mu.Lock()
-	delete(c.pending, id)
-	c.mu.Unlock()
+func (cc *clientConn) unregister(id uint32) {
+	cc.mu.Lock()
+	delete(cc.pending, id)
+	cc.mu.Unlock()
 }
 
 // deadlineGrace is how much longer than the server-side deadline the
@@ -513,8 +695,15 @@ func (c *Client) unregister(id uint32) {
 // blocking-op timeouts, the local timer only covers a vanished reply.
 const deadlineGrace = 250 * time.Millisecond
 
-// wait parks until cl completes or the local deadline passes.
-func (c *Client) wait(ctx *core.Context, cl *call, id uint32, req request, wait time.Duration) (response, error) {
+// wait parks until cl completes or the local deadline passes (invoking
+// onTimeout, when set, so the caller can unregister).
+func (c *Client) wait(ctx *core.Context, cl *call, req request, wait time.Duration, onTimeout func()) (response, error) {
+	timedOut := func() (response, error) {
+		if onTimeout != nil {
+			onTimeout()
+		}
+		return response{}, &TimeoutError{Op: opName(req.op), Space: req.space, Deadline: req.deadline}
+	}
 	var deadline time.Time
 	if wait > 0 {
 		deadline = time.Now().Add(wait)
@@ -528,8 +717,7 @@ func (c *Client) wait(ctx *core.Context, cl *call, id uint32, req request, wait 
 			if deadline.IsZero() {
 				ctx.BlockUntil(cl.completed)
 			} else if !ctx.BlockUntilDeadline(cl.completed, deadline) {
-				c.unregister(id)
-				return response{}, &TimeoutError{Op: opName(req.op), Space: req.space, Deadline: req.deadline}
+				return timedOut()
 			}
 		}
 	} else if deadline.IsZero() {
@@ -538,8 +726,7 @@ func (c *Client) wait(ctx *core.Context, cl *call, id uint32, req request, wait 
 		select {
 		case <-cl.ch:
 		case <-time.After(time.Until(deadline)):
-			c.unregister(id)
-			return response{}, &TimeoutError{Op: opName(req.op), Space: req.space, Deadline: req.deadline}
+			return timedOut()
 		}
 	}
 	cl.mu.Lock()
@@ -567,6 +754,203 @@ func (c *Client) waitFor(req request) time.Duration {
 	return c.cfg.Timeout
 }
 
+// batcher is a connection's Put coalescer: enqueue appends to the open
+// batch, a dedicated flusher goroutine writes whatever accumulated while
+// the previous frame was in flight (group commit / flush-on-turnaround),
+// capped at maxBatchOps entries per frame (flush-on-size).
+type batcher struct {
+	cc      *clientConn
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []batchItem
+	stopped bool
+	done    chan struct{}
+}
+
+// batchItem is one queued Put and the call its enqueuer waits on.
+type batchItem struct {
+	space string
+	tuple tspace.Tuple
+	cl    *call
+}
+
+func newBatcher(cc *clientConn) *batcher {
+	b := &batcher{cc: cc, done: make(chan struct{})}
+	b.cond = sync.NewCond(&b.mu)
+	go b.run()
+	return b
+}
+
+// enqueue adds one Put to the open batch and returns the call that will
+// carry its per-entry status.
+func (b *batcher) enqueue(space string, tup tspace.Tuple) (*call, error) {
+	cl := newCall()
+	b.mu.Lock()
+	if b.stopped {
+		b.mu.Unlock()
+		return nil, net.ErrClosed
+	}
+	b.queue = append(b.queue, batchItem{space: space, tuple: tup, cl: cl})
+	b.mu.Unlock()
+	b.cond.Signal()
+	return cl, nil
+}
+
+// stop flushes the remaining queue and joins the flusher.
+func (b *batcher) stop() {
+	b.mu.Lock()
+	b.stopped = true
+	b.mu.Unlock()
+	b.cond.Broadcast()
+	<-b.done
+}
+
+func (b *batcher) run() {
+	defer close(b.done)
+	for {
+		b.mu.Lock()
+		for len(b.queue) == 0 && !b.stopped {
+			b.cond.Wait()
+		}
+		if len(b.queue) == 0 {
+			b.mu.Unlock()
+			return // stopped and drained
+		}
+		// Group-commit turnaround: before cutting the batch, yield the
+		// scheduler once per growth step so enqueuers that are already
+		// runnable can join this flush. No timed delay — the moment the
+		// queue stops growing (or fills a frame) the batch goes out, so a
+		// lone Put is never parked behind a timer.
+		for prev := 0; len(b.queue) > prev && len(b.queue) < maxBatchOps && !b.stopped; {
+			prev = len(b.queue)
+			b.mu.Unlock()
+			runtime.Gosched()
+			b.mu.Lock()
+		}
+		n := min(len(b.queue), maxBatchOps)
+		items := make([]batchItem, n)
+		copy(items, b.queue)
+		rest := copy(b.queue, b.queue[n:])
+		clear(b.queue[rest:])
+		b.queue = b.queue[:rest]
+		b.mu.Unlock()
+		b.flush(items)
+	}
+}
+
+// flush writes one BATCH frame carrying items. Entries whose frame
+// provably never reached the socket fail with errBatchUnwritten (their
+// Put wrapper retries); entries on an old peer fail with
+// errBatchFallback (their Put re-sends per-op).
+func (b *batcher) flush(items []batchItem) {
+	cc := b.cc
+	failItems := func(err error) {
+		for _, it := range items {
+			it.cl.complete(response{}, err)
+		}
+	}
+	cl, id, fc, ver, err := cc.register(nil)
+	if err != nil {
+		if !errors.Is(err, net.ErrClosed) {
+			err = errBatchUnwritten // dial failure: provably unwritten
+		}
+		failItems(err)
+		return
+	}
+	if ver < 4 {
+		cc.unregister(id)
+		failItems(errBatchFallback)
+		return
+	}
+	entries := make([]batchEntry, len(items))
+	for i, it := range items {
+		entries[i] = batchEntry{space: it.space, tuple: it.tuple}
+	}
+	cl.subs = items
+	buf := sio.GetBuf()[:sio.PrefixLen]
+	frame, err := appendRequest(buf, request{op: opBatch, id: id, batch: entries})
+	if err != nil {
+		cc.unregister(id)
+		sio.PutBuf(buf)
+		failItems(err) // unencodable tuple: terminal
+		return
+	}
+	werr := fc.WriteFramePrefixed(frame)
+	sio.PutBuf(frame)
+	if werr != nil {
+		cc.unregister(id)
+		switch {
+		case errors.Is(werr, sio.ErrFrameTooLarge) && len(items) > 1:
+			// Entries fit individually but not together: split and retry.
+			mid := len(items) / 2
+			b.flush(items[:mid])
+			b.flush(items[mid:])
+		case errors.Is(werr, sio.ErrFrameTooLarge):
+			failItems(werr)
+		case errors.Is(werr, net.ErrClosed):
+			failItems(errBatchUnwritten)
+		default:
+			cc.fail(fc, ErrDisconnected)
+			failItems(errBatchUnwritten)
+		}
+		return
+	}
+	cc.c.metrics.batchFlushes.Add(1)
+	cc.c.metrics.batchedPuts.Add(uint64(len(items)))
+}
+
+// batchPut routes one Put through the connection's batcher, retrying
+// (bounded) entries whose frame provably never left. errBatchFallback
+// tells the caller to use the per-op path instead.
+func (c *Client) batchPut(ctx *core.Context, space string, tup tspace.Tuple) error {
+	c.wg.Add(1)
+	defer c.wg.Done()
+	var lastErr error
+	for attempt := 0; attempt <= c.cfg.OpRetries; attempt++ {
+		if attempt > 0 {
+			c.metrics.opRetries.Add(1)
+			sleep(ctx, c.cfg.backoff(attempt-1))
+		}
+		cc := c.pickKeyed(space, tup)
+		ver, err := cc.ensure(ctx)
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return err
+			}
+			lastErr = err
+			continue
+		}
+		if ver < 4 {
+			return errBatchFallback
+		}
+		cl, err := cc.bat.enqueue(space, tup)
+		if err != nil {
+			return err
+		}
+		t0 := time.Now()
+		resp, err := c.wait(ctx, cl, request{op: opPut, space: space}, c.cfg.Timeout, nil)
+		switch {
+		case err == nil:
+			if resp.op != respOK {
+				return protoErrf("put reply op %d", resp.op)
+			}
+			c.metrics.observeOp(opPut, time.Since(t0))
+			return nil
+		case errors.Is(err, errBatchUnwritten):
+			lastErr = err
+			continue
+		case errors.Is(err, errBatchFallback):
+			return errBatchFallback
+		case errors.Is(err, ErrTimeout):
+			c.metrics.timeouts.Add(1)
+			return err
+		default:
+			return err
+		}
+	}
+	return fmt.Errorf("remote: put on %q: retries exhausted: %w", space, lastErr)
+}
+
 // Stats fetches the server's counter snapshot via the STATS wire op.
 func (c *Client) Stats(ctx *core.Context) (StatsSnapshot, error) {
 	req := request{op: opStats}
@@ -583,7 +967,7 @@ func (c *Client) Stats(ctx *core.Context) (StatsSnapshot, error) {
 // Ping performs one HELLO round trip — the liveness probe cluster health
 // checking runs against each shard.
 func (c *Client) Ping(ctx *core.Context) error {
-	resp, err := c.roundTrip(ctx, request{op: opHello}, c.cfg.Timeout, nil)
+	resp, err := c.roundTrip(ctx, request{op: opHello, version: c.cfg.MaxVersion}, c.cfg.Timeout, nil)
 	if err != nil {
 		return err
 	}
@@ -622,11 +1006,88 @@ func (s *Space) Deadline(d time.Duration) *Space {
 // Name returns the space's registry name.
 func (s *Space) Name() string { return s.name }
 
-// Put deposits a tuple in the remote space.
+// Put deposits a tuple in the remote space. With cfg.Batch it rides the
+// connection's batcher (one BATCH frame per flush turnaround); against an
+// older peer — or with batching off — one PUT frame per call.
 func (s *Space) Put(ctx *core.Context, tup tspace.Tuple) error {
+	if s.c.cfg.Batch {
+		err := s.c.batchPut(ctx, s.name, tup)
+		if !errors.Is(err, errBatchFallback) {
+			return err
+		}
+	}
 	req := request{op: opPut, space: s.name, tuple: tup}
 	resp, err := s.c.roundTrip(ctx, req, s.c.waitFor(req), nil)
 	if err != nil {
+		return err
+	}
+	if resp.op != respOK {
+		return protoErrf("put reply op %d", resp.op)
+	}
+	return nil
+}
+
+// PendingPut is an in-flight asynchronous Put started by PutAsync.
+type PendingPut struct {
+	c     *Client
+	cl    *call
+	space string
+}
+
+// PutAsync deposits a tuple without waiting for the acknowledgement:
+// the frame is written (or enqueued on the batcher) and a handle is
+// returned whose Wait reports the outcome. Unlike Put, an async put is
+// never retried — its frame may already be on the wire when an error
+// surfaces — and Wait must be called before Close for a guaranteed
+// flush. This is the window-of-N idiom the saturation benchmark drives:
+// many puts in flight on one connection, completions out of order.
+func (s *Space) PutAsync(ctx *core.Context, tup tspace.Tuple) (*PendingPut, error) {
+	c := s.c
+	cc := c.pickKeyed(s.name, tup)
+	if c.cfg.Batch {
+		ver, err := cc.ensure(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if ver >= 4 {
+			cl, err := cc.bat.enqueue(s.name, tup)
+			if err != nil {
+				return nil, err
+			}
+			return &PendingPut{c: c, cl: cl, space: s.name}, nil
+		}
+	}
+	cl, id, fc, _, err := cc.register(ctx)
+	if err != nil {
+		return nil, err
+	}
+	buf := sio.GetBuf()[:sio.PrefixLen]
+	frame, err := appendRequest(buf, request{op: opPut, id: id, space: s.name, tuple: tup})
+	if err != nil {
+		cc.unregister(id)
+		sio.PutBuf(buf)
+		return nil, err
+	}
+	werr := fc.WriteFramePrefixed(frame)
+	sio.PutBuf(frame)
+	if werr != nil {
+		cc.unregister(id)
+		if !errors.Is(werr, net.ErrClosed) && !errors.Is(werr, sio.ErrFrameTooLarge) {
+			cc.fail(fc, ErrDisconnected)
+		}
+		return nil, werr
+	}
+	return &PendingPut{c: c, cl: cl, space: s.name}, nil
+}
+
+// Wait blocks until the put is acknowledged (bounded by the client's
+// round-trip timeout, measured from Wait).
+func (p *PendingPut) Wait(ctx *core.Context) error {
+	resp, err := p.c.wait(ctx, p.cl, request{op: opPut, space: p.space}, p.c.cfg.Timeout, nil)
+	if err != nil {
+		if errors.Is(err, errBatchUnwritten) || errors.Is(err, errBatchFallback) {
+			return ErrDisconnected // async puts are not retried
+		}
 		return err
 	}
 	if resp.op != respOK {

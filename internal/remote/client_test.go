@@ -133,9 +133,10 @@ func TestOpRedialsAfterConnLoss(t *testing.T) {
 		t.Fatalf("Put: %v", err)
 	}
 	// Kill the transport out from under the client.
-	c.mu.Lock()
-	fc := c.fc
-	c.mu.Unlock()
+	cc := c.conns[0]
+	cc.mu.Lock()
+	fc := cc.fc
+	cc.mu.Unlock()
 	fc.Conn().Close()
 	// The very next op may race the reader noticing the death; the retry
 	// budget absorbs it either way.
@@ -160,11 +161,12 @@ func TestInFlightFailsOnConnLoss(t *testing.T) {
 	}()
 	// Wait for the Get frame to be on the wire (pending call registered).
 	deadline := time.Now().Add(5 * time.Second)
+	cc := c.conns[0]
 	for {
-		c.mu.Lock()
-		n := len(c.pending)
-		fc := c.fc
-		c.mu.Unlock()
+		cc.mu.Lock()
+		n := len(cc.pending)
+		fc := cc.fc
+		cc.mu.Unlock()
 		if n == 1 {
 			fc.Conn().Close()
 			break
@@ -215,10 +217,11 @@ func TestBlockingDeadlineExpiryTerminal(t *testing.T) {
 	// Wait for the client to notice the dead transport so the Get goes
 	// straight to the redial path rather than racing the reader teardown.
 	waitUntil := time.Now().Add(2 * time.Second)
+	cc := c.conns[0]
 	for {
-		c.mu.Lock()
-		gone := c.fc == nil
-		c.mu.Unlock()
+		cc.mu.Lock()
+		gone := cc.fc == nil
+		cc.mu.Unlock()
 		if gone {
 			break
 		}

@@ -47,6 +47,18 @@ func (c ServerCollector) Collect() []obs.Metric {
 			"Service latency from frame arrival to response completion, by wire op.",
 			h, obs.L("op", opName(byte(i+1)))))
 	}
+	if s.PipelineDepth != nil {
+		out = append(out, obs.HistogramSample("sting_remote_pipeline_depth",
+			"In-flight requests on a connection when each frame arrived (1 = strict request/response).",
+			s.PipelineDepth))
+	}
+	if s.BatchSize != nil {
+		out = append(out, obs.HistogramSample("sting_remote_batch_size",
+			"Puts coalesced per BATCH frame.", s.BatchSize))
+	}
+	out = append(out,
+		obs.Counter("sting_remote_batch_puts_total", "Tuples deposited via BATCH frames.", float64(s.BatchPuts.Load())),
+		obs.Gauge("sting_remote_conn_pool_size", "Largest connection-pool size announced by a live client (ANNOUNCE, version ≥4).", float64(srv.maxAnnouncedPool())))
 	return out
 }
 
@@ -54,12 +66,14 @@ func (c ServerCollector) Collect() []obs.Metric {
 // backoff sleeps), per-op round-trip latency, and retry/timeout counts.
 // All recording is lock-free; a zero histogram pointer disables its site.
 type clientMetrics struct {
-	dialLatency *obs.Histogram
-	opLatency   [8]*obs.Histogram
-	dialRetries atomic.Uint64
-	dialFails   atomic.Uint64
-	opRetries   atomic.Uint64
-	timeouts    atomic.Uint64
+	dialLatency  *obs.Histogram
+	opLatency    [12]*obs.Histogram
+	dialRetries  atomic.Uint64
+	dialFails    atomic.Uint64
+	opRetries    atomic.Uint64
+	timeouts     atomic.Uint64
+	batchFlushes atomic.Uint64 // BATCH frames written
+	batchedPuts  atomic.Uint64 // puts that traveled inside a BATCH frame
 }
 
 func newClientMetrics() *clientMetrics {
@@ -101,6 +115,9 @@ func (c ClientCollector) Collect() []obs.Metric {
 		obs.Counter("sting_remote_client_dial_failures_total", "Dials that exhausted their retry budget.", float64(m.dialFails.Load()), addr),
 		obs.Counter("sting_remote_client_op_retries_total", "Operation re-sends after a provably unwritten frame.", float64(m.opRetries.Load()), addr),
 		obs.Counter("sting_remote_client_timeouts_total", "Operations that exceeded their deadline.", float64(m.timeouts.Load()), addr),
+		obs.Counter("sting_remote_client_batch_flushes_total", "BATCH frames written.", float64(m.batchFlushes.Load()), addr),
+		obs.Counter("sting_remote_client_batched_puts_total", "Puts coalesced into BATCH frames.", float64(m.batchedPuts.Load()), addr),
+		obs.Gauge("sting_remote_conn_pool_size", "Connections in this client's pool.", float64(len(cl.conns)), addr),
 	}
 	for i, h := range m.opLatency {
 		if h == nil || h.Count() == 0 {

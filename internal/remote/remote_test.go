@@ -146,9 +146,10 @@ func TestRemoteDisconnectReleasesWaiter(t *testing.T) {
 		return srv.Stats().Blocked == 1
 	}, "waiter never parked")
 
-	c.mu.Lock()
-	fc := c.fc
-	c.mu.Unlock()
+	cc := c.conns[0]
+	cc.mu.Lock()
+	fc := cc.fc
+	cc.mu.Unlock()
 	fc.Conn().Close() // abrupt hangup, no protocol goodbye
 
 	testkit.Eventually(t, 5*time.Second, func() bool {

@@ -25,12 +25,16 @@ type ServerConfig struct {
 	// DisableMetrics turns off the per-op latency histograms (the
 	// observability-overhead ablation switch; counters stay on).
 	DisableMetrics bool
+	// MaxVersion caps the protocol version HELLO negotiates (default
+	// protocolVersion); interop tests use it to impersonate older servers.
+	MaxVersion byte
 	// RouteCheck, when set, vets each data op against the cluster routing
 	// policy before execution: tuple is non-nil for Put, template for the
 	// matching ops. Returning a *RedirectError answers the client with a
 	// typed redirect (codeRedirect) naming the owning shard; any other
 	// error answers as internal. The substrate stays policy-free — the
-	// cluster layer supplies the check (cluster.SelfCheck).
+	// cluster layer supplies the check (cluster.SelfCheck). Batched Puts
+	// are vetted per entry, so one misrouted tuple fails alone.
 	RouteCheck func(space string, tuple tspace.Tuple, template tspace.Template) error
 }
 
@@ -41,6 +45,11 @@ type ServerConfig struct {
 // the ordinary block/wakeup machinery. Disconnects and shutdown withdraw
 // parked waiters through tspace.CancelToken, so no registration outlives
 // its connection.
+//
+// Requests pipeline freely: the reader dispatches each frame to its own
+// thread without waiting for earlier responses, so a parked blocking Get
+// never head-of-line-blocks the ops queued behind it, and responses go
+// out in completion order (the request id pairs them up client-side).
 type Server struct {
 	vm    *core.VM
 	reg   *tspace.Registry
@@ -65,6 +74,9 @@ func NewServer(vm *core.VM, cfg ServerConfig) *Server {
 	if cfg.Registry == nil {
 		cfg.Registry = tspace.NewRegistry(tspace.KindHash, tspace.Config{})
 	}
+	if cfg.MaxVersion == 0 || cfg.MaxVersion > protocolVersion {
+		cfg.MaxVersion = protocolVersion
+	}
 	s := &Server{
 		vm:    vm,
 		reg:   cfg.Registry,
@@ -74,6 +86,7 @@ func NewServer(vm *core.VM, cfg ServerConfig) *Server {
 	if !cfg.DisableMetrics {
 		s.stats.initLatency()
 	}
+	s.stats.initPipeline()
 	return s
 }
 
@@ -83,6 +96,20 @@ func (s *Server) Registry() *tspace.Registry { return s.reg }
 // Stats snapshots the server counters and space depths.
 func (s *Server) Stats() StatsSnapshot {
 	return s.stats.Snapshot(s.reg.Depths())
+}
+
+// maxAnnouncedPool reports the largest connection-pool size any live
+// client has announced (ANNOUNCE, version ≥4); 0 when none has.
+func (s *Server) maxAnnouncedPool() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	largest := 0
+	for sc := range s.conns {
+		if n := int(sc.poolSize.Load()); n > largest {
+			largest = n
+		}
+	}
+	return largest
 }
 
 // ParkedOp describes one blocking request currently parked server-side —
@@ -194,7 +221,9 @@ func (s *Server) addConn(c net.Conn) {
 	s.mu.Unlock()
 	s.stats.Conns.Add(1)
 	s.stats.ConnsActive.Add(1)
-	sc.fc.Start(func(frame []byte, err error) {
+	// Pooled reads: the frame buffer is recycled after the call-back
+	// returns; decodeRequest deep-copies everything it retains.
+	sc.fc.StartPooled(func(frame []byte, err error) {
 		if err != nil {
 			sc.teardown()
 			return
@@ -229,25 +258,37 @@ func (s *Server) handleFrame(sc *serverConn, frame []byte) {
 		return
 	}
 	s.stats.serve(req.op)
-	if req.op == opHello {
+	switch req.op {
+	case opHello:
 		v := req.version
-		if v > protocolVersion {
-			v = protocolVersion
+		if v > s.cfg.MaxVersion {
+			v = s.cfg.MaxVersion
 		}
 		sc.version.Store(uint32(v))
-		sc.send(encodeOK(req.id, v))
+		sc.sendPooled(appendOK(sio.GetBuf()[:sio.PrefixLen], req.id, req.version, s.cfg.MaxVersion))
 		s.stats.observe(req.op, time.Since(t0))
 		return
-	}
-	if req.op == opCancel {
+	case opCancel:
 		// Fire-and-forget, handled on the reader so a cancel never queues
 		// behind the op it targets.
 		sc.cancelID(req.target)
 		return
+	case opAnnounce:
+		// Fire-and-forget capability note; remembered for the pool-size
+		// gauge, no response.
+		sc.poolSize.Store(req.poolSize)
+		return
 	}
 	if s.closed.Load() {
-		sc.send(encodeErrResp(req.id, codeShutdown, ErrShutdown.Error()))
+		sc.sendErr(req.id, codeShutdown, ErrShutdown.Error())
 		return
+	}
+	// Depth is sampled at dispatch: how many requests this connection had
+	// in flight when the frame arrived (1 = strict request/response, more
+	// = the client is pipelining).
+	depth := sc.inflight.Add(1)
+	if h := s.stats.PipelineDepth; h != nil {
+		h.Observe(float64(depth))
 	}
 	// A propagated trace context opens a server span measured from frame
 	// arrival, so it covers queueing and — for blocking ops — park time:
@@ -262,6 +303,7 @@ func (s *Server) handleFrame(sc *serverConn, frame []byte) {
 	s.ops.Add(1)
 	s.vm.Spawn(func(ctx *core.Context) ([]core.Value, error) {
 		defer s.ops.Done()
+		defer sc.inflight.Add(-1)
 		s.serveOp(ctx, sc, req)
 		span.End()
 		s.stats.observe(req.op, time.Since(t0))
@@ -276,10 +318,13 @@ func (s *Server) serveOp(ctx *core.Context, sc *serverConn, req request) {
 		sc.send(encodeStatsResp(req.id, s.Stats()))
 		return
 	case opLen:
-		sc.send(encodeLenResp(req.id, s.reg.OpenDefault(req.space).Len()))
+		sc.sendPooled(appendLenResp(sio.GetBuf()[:sio.PrefixLen], req.id, s.reg.OpenDefault(req.space).Len()))
 		return
 	case opTxnCommit:
 		s.serveTxnCommit(ctx, sc, req)
+		return
+	case opBatch:
+		s.serveBatch(ctx, sc, req)
 		return
 	}
 	if rc := s.cfg.RouteCheck; rc != nil {
@@ -294,9 +339,9 @@ func (s *Server) serveOp(ctx *core.Context, sc *serverConn, req request) {
 			var re *RedirectError
 			if errors.As(rerr, &re) {
 				s.stats.Redirects.Add(1)
-				sc.send(encodeErrResp(req.id, codeRedirect, redirectMessage(re)))
+				sc.sendErr(req.id, codeRedirect, redirectMessage(re))
 			} else {
-				sc.send(encodeErrResp(req.id, codeInternal, rerr.Error()))
+				sc.sendErr(req.id, codeInternal, rerr.Error())
 			}
 			return
 		}
@@ -305,10 +350,10 @@ func (s *Server) serveOp(ctx *core.Context, sc *serverConn, req request) {
 	switch req.op {
 	case opPut:
 		if err := ts.Put(ctx, req.tuple); err != nil {
-			sc.send(encodeErrResp(req.id, codeInternal, err.Error()))
+			sc.sendErr(req.id, codeInternal, err.Error())
 			return
 		}
-		sc.send(encodeOK(req.id, byte(sc.version.Load())))
+		sc.sendOK(req.id)
 	case opTryGet, opTryRd:
 		var tup tspace.Tuple
 		var bind tspace.Bindings
@@ -322,8 +367,42 @@ func (s *Server) serveOp(ctx *core.Context, sc *serverConn, req request) {
 	case opGet, opRd:
 		s.serveBlocking(ctx, sc, req, ts)
 	default:
-		sc.send(encodeErrResp(req.id, codeUnknownOp, "unknown op"))
+		sc.sendErr(req.id, codeUnknownOp, "unknown op")
 	}
+}
+
+// serveBatch applies one BATCH frame: every entry is route-checked and
+// deposited independently, and the single respBatch reply carries one
+// status per entry — a misrouted or unstorable tuple fails alone instead
+// of poisoning its neighbours. One thread serves the whole frame: hash-
+// space Puts never block, so there is nothing to park per entry.
+func (s *Server) serveBatch(ctx *core.Context, sc *serverConn, req request) {
+	sts := make([]batchStatus, len(req.batch))
+	applied := 0
+	for i, e := range req.batch {
+		if rc := s.cfg.RouteCheck; rc != nil {
+			if rerr := rc(e.space, e.tuple, nil); rerr != nil {
+				var re *RedirectError
+				if errors.As(rerr, &re) {
+					s.stats.Redirects.Add(1)
+					sts[i] = batchStatus{code: codeRedirect, msg: redirectMessage(re)}
+				} else {
+					sts[i] = batchStatus{code: codeInternal, msg: rerr.Error()}
+				}
+				continue
+			}
+		}
+		if err := s.reg.OpenDefault(e.space).Put(ctx, e.tuple); err != nil {
+			sts[i] = batchStatus{code: codeInternal, msg: err.Error()}
+			continue
+		}
+		applied++
+	}
+	if h := s.stats.BatchSize; h != nil {
+		h.Observe(float64(len(req.batch)))
+	}
+	s.stats.BatchPuts.Add(uint64(applied))
+	sc.sendPooled(appendBatchResp(sio.GetBuf()[:sio.PrefixLen], req.id, sts))
 }
 
 // serveTxnCommit applies a whole buffered transaction log atomically: the
@@ -341,9 +420,9 @@ func (s *Server) serveTxnCommit(ctx *core.Context, sc *serverConn, req request) 
 			var re *RedirectError
 			if errors.As(rerr, &re) {
 				s.stats.Redirects.Add(1)
-				sc.send(encodeErrResp(req.id, codeRedirect, redirectMessage(re)))
+				sc.sendErr(req.id, codeRedirect, redirectMessage(re))
 			} else {
-				sc.send(encodeErrResp(req.id, codeInternal, rerr.Error()))
+				sc.sendErr(req.id, codeInternal, rerr.Error())
 			}
 			return
 		}
@@ -353,8 +432,8 @@ func (s *Server) serveTxnCommit(ctx *core.Context, sc *serverConn, req request) 
 		ts := s.reg.OpenDefault(op.Space)
 		txs, ok := ts.(tspace.TxnSpace)
 		if !ok {
-			sc.send(encodeErrResp(req.id, codeUnsupported,
-				fmt.Sprintf("space %q (%s) does not support transactions", op.Space, ts.Kind())))
+			sc.sendErr(req.id, codeUnsupported,
+				fmt.Sprintf("space %q (%s) does not support transactions", op.Space, ts.Kind()))
 			return
 		}
 		cops = append(cops, tspace.CommitOp{
@@ -368,13 +447,13 @@ func (s *Server) serveTxnCommit(ctx *core.Context, sc *serverConn, req request) 
 			if ce.Space != "" {
 				msg = ce.Space + ": " + ce.Detail
 			}
-			sc.send(encodeErrResp(req.id, codeConflict, msg))
+			sc.sendErr(req.id, codeConflict, msg)
 		} else {
-			sc.send(encodeErrResp(req.id, codeInternal, err.Error()))
+			sc.sendErr(req.id, codeInternal, err.Error())
 		}
 		return
 	}
-	sc.send(encodeOK(req.id, byte(sc.version.Load())))
+	sc.sendOK(req.id)
 }
 
 // serveBlocking runs a Get/Rd that may park the thread. The cancel token
@@ -411,16 +490,16 @@ func (s *Server) serveBlocking(ctx *core.Context, sc *serverConn, req request, t
 		sc.sendMatch(req, tup, bind, nil)
 	case timedOut.Load() || err == ErrTimeout:
 		s.stats.Timeouts.Add(1)
-		sc.send(encodeErrResp(req.id, codeTimeout,
-			(&TimeoutError{Op: opName(req.op), Space: req.space, Deadline: req.deadline}).Error()))
+		sc.sendErr(req.id, codeTimeout,
+			(&TimeoutError{Op: opName(req.op), Space: req.space, Deadline: req.deadline}).Error())
 	case err == ErrDisconnected:
 		s.stats.Canceled.Add(1) // client gone; no reply possible
 	case err == ErrCanceled:
 		s.stats.Canceled.Add(1) // withdrawn by the client's CANCEL frame
-		sc.send(encodeErrResp(req.id, codeCanceled, ErrCanceled.Error()))
+		sc.sendErr(req.id, codeCanceled, ErrCanceled.Error())
 	case err == ErrShutdown:
 		s.stats.Canceled.Add(1)
-		sc.send(encodeErrResp(req.id, codeShutdown, ErrShutdown.Error()))
+		sc.sendErr(req.id, codeShutdown, ErrShutdown.Error())
 	default:
 		sc.sendMatch(req, nil, nil, err)
 	}
@@ -434,6 +513,14 @@ type serverConn struct {
 	// version is the protocol version negotiated at HELLO; responses that
 	// carry a version byte echo it so version-1 clients keep decoding.
 	version atomic.Uint32
+
+	// inflight counts dispatched requests not yet answered — the sample
+	// the pipeline-depth histogram records at each arrival.
+	inflight atomic.Int64
+
+	// poolSize is the connection-pool size the client announced (0 until
+	// an ANNOUNCE arrives).
+	poolSize atomic.Uint32
 
 	mu          sync.Mutex
 	tokens      map[uint32]parkedToken
@@ -529,7 +616,8 @@ func (sc *serverConn) teardown() {
 func (sc *serverConn) close() { sc.teardown() }
 
 // send writes a response frame, counting bytes; write errors tear the
-// connection down (the reader call-back finishes the cleanup).
+// connection down (the reader call-back finishes the cleanup). Cold paths
+// only — the hot paths go through sendPooled.
 func (sc *serverConn) send(frame []byte) {
 	if err := sc.fc.WriteFrame(frame); err != nil {
 		sc.teardown()
@@ -538,21 +626,46 @@ func (sc *serverConn) send(frame []byte) {
 	sc.s.stats.BytesOut.Add(uint64(len(frame)) + 4)
 }
 
+// sendPooled writes a response assembled in a pooled buffer (sio.GetBuf
+// with sio.PrefixLen reserved) and returns the buffer to the pool.
+func (sc *serverConn) sendPooled(frame []byte) {
+	err := sc.fc.WriteFramePrefixed(frame)
+	n := len(frame)
+	sio.PutBuf(frame)
+	if err != nil {
+		sc.teardown()
+		return
+	}
+	sc.s.stats.BytesOut.Add(uint64(n)) // includes the length prefix
+}
+
+// sendOK answers with the negotiated-version OK frame.
+func (sc *serverConn) sendOK(id uint32) {
+	sc.sendPooled(appendOK(sio.GetBuf()[:sio.PrefixLen], id, byte(sc.version.Load()), sc.s.cfg.MaxVersion))
+}
+
+// sendErr answers with a typed wire error.
+func (sc *serverConn) sendErr(id uint32, code byte, msg string) {
+	sc.sendPooled(appendErrResp(sio.GetBuf()[:sio.PrefixLen], id, code, msg))
+}
+
 // sendMatch renders a (tuple, bindings, error) triple as a response.
 func (sc *serverConn) sendMatch(req request, tup tspace.Tuple, bind tspace.Bindings, err error) {
 	switch {
 	case err == nil:
-		frame, encErr := encodeTupleResp(req.id, tup, bind)
+		buf := sio.GetBuf()[:sio.PrefixLen]
+		frame, encErr := appendTupleResp(buf, req.id, tup, bind)
 		if encErr != nil {
 			// The matched tuple holds process-local values (threads); it
 			// cannot travel. Report rather than drop silently.
-			sc.send(encodeErrResp(req.id, codeUnsupported, encErr.Error()))
+			sio.PutBuf(buf)
+			sc.sendErr(req.id, codeUnsupported, encErr.Error())
 			return
 		}
-		sc.send(frame)
+		sc.sendPooled(frame)
 	case err == tspace.ErrNoMatch:
-		sc.send(encodeNoMatch(req.id))
+		sc.sendPooled(appendRespHeader(sio.GetBuf()[:sio.PrefixLen], respNoMatch, req.id))
 	default:
-		sc.send(encodeErrResp(req.id, codeInternal, err.Error()))
+		sc.sendErr(req.id, codeInternal, err.Error())
 	}
 }

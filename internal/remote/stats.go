@@ -17,7 +17,7 @@ import (
 // the histograms are optional (nil when metrics are disabled) and every
 // recording site tolerates their absence.
 type Stats struct {
-	OpsServed   [10]atomic.Uint64 // indexed by request op - 1 (through opTxnCommit)
+	OpsServed   [12]atomic.Uint64 // indexed by request op - 1 (through opAnnounce)
 	ProtoErrors atomic.Uint64    // malformed frames received
 	Timeouts    atomic.Uint64    // blocking ops expired server-side
 	Canceled    atomic.Uint64    // waiters withdrawn (disconnect/shutdown)
@@ -28,7 +28,15 @@ type Stats struct {
 	Conns       atomic.Uint64    // connections accepted, cumulative
 	ConnsActive atomic.Int64     // gauge: connections currently open
 
-	OpLatency [10]*obs.Histogram // per-op service latency, indexed by op - 1
+	OpLatency [12]*obs.Histogram // per-op service latency, indexed by op - 1
+
+	// Pipelining instrumentation, always armed (one lock-free observe per
+	// frame): PipelineDepth samples how many requests were in flight on the
+	// arriving frame's connection (1 = strict request/response), BatchSize
+	// samples how many Puts each BATCH frame coalesced.
+	PipelineDepth *obs.Histogram
+	BatchSize     *obs.Histogram
+	BatchPuts     atomic.Uint64 // tuples deposited via BATCH frames
 }
 
 func (s *Stats) serve(op byte) {
@@ -42,6 +50,13 @@ func (s *Stats) initLatency() {
 	for i := range s.OpLatency {
 		s.OpLatency[i] = obs.NewHistogram()
 	}
+}
+
+// initPipeline arms the always-on pipelining histograms; recording sites
+// tolerate nil, but every server arms them (one atomic add per frame).
+func (s *Stats) initPipeline() {
+	s.PipelineDepth = obs.NewHistogram()
+	s.BatchSize = obs.NewHistogram()
 }
 
 // observe records one op's service latency; a no-op when histograms are
@@ -67,6 +82,7 @@ func (s *Stats) Snapshot(depths map[string]int) StatsSnapshot {
 		BytesOut:    s.BytesOut.Load(),
 		Conns:       s.Conns.Load(),
 		ConnsActive: s.ConnsActive.Load(),
+		BatchPuts:   s.BatchPuts.Load(),
 		SpaceDepths: depths,
 	}
 	for i := range s.OpsServed {
@@ -117,6 +133,7 @@ type StatsSnapshot struct {
 	BytesOut    uint64
 	Conns       uint64
 	ConnsActive int64
+	BatchPuts   uint64
 	SpaceDepths map[string]int
 	OpLatency   map[string]LatencySummary // per-op latency digests, by op name
 }
@@ -143,6 +160,7 @@ func (s StatsSnapshot) counters() map[string]int64 {
 		"bytes_out":    int64(s.BytesOut),
 		"conns":        int64(s.Conns),
 		"conns_active": s.ConnsActive,
+		"batch_puts":   int64(s.BatchPuts),
 	}
 	for op, v := range s.Ops {
 		m["op."+op] = int64(v)
@@ -183,6 +201,8 @@ func (s *StatsSnapshot) setCounters(m map[string]int64) {
 			s.Conns = uint64(v)
 		case "conns_active":
 			s.ConnsActive = v
+		case "batch_puts":
+			s.BatchPuts = uint64(v)
 		default:
 			if op, ok := strings.CutPrefix(k, "op."); ok {
 				s.Ops[op] = uint64(v)

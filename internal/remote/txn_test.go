@@ -69,9 +69,10 @@ func TestTxnCommitNeedsVersion3(t *testing.T) {
 	if err := c.Space("v").Put(nil, tspace.Tuple{"x", 1}); err != nil {
 		t.Fatalf("Put: %v", err)
 	}
-	c.mu.Lock()
-	c.version = 2
-	c.mu.Unlock()
+	cc := c.conns[0]
+	cc.mu.Lock()
+	cc.version = 2
+	cc.mu.Unlock()
 
 	err := c.CommitTxn(nil, []tspace.TxnOp{
 		{Kind: tspace.TxnPut, Space: "v", Tup: tspace.Tuple{"y", int64(2)}},

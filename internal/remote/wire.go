@@ -31,6 +31,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/obs"
@@ -46,9 +47,13 @@ import (
 // reject trailing bytes. Version 3 adds TXNCOMMIT: one frame carrying a
 // whole transaction's buffered write/validate log for a single atomic
 // server-side commit; it is only sent once the handshake negotiated ≥3,
-// because older decoders close the connection on an unknown op.
+// because older decoders close the connection on an unknown op. Version 4
+// adds BATCH (many non-blocking Puts coalesced into one frame, answered
+// by one per-entry status frame) and ANNOUNCE (a fire-and-forget client
+// capability note carrying its connection-pool size); both are only sent
+// once the handshake negotiated ≥4.
 const (
-	protocolVersion    = 3
+	protocolVersion    = 4
 	minProtocolVersion = 1
 )
 
@@ -78,6 +83,16 @@ const (
 	// this server — for one atomic commit. Answers respOK on commit,
 	// codeConflict when validation fails (the client retries its body).
 	opTxnCommit
+	// opBatch (version ≥4) coalesces up to maxBatchOps non-blocking Puts —
+	// each carrying its own space — into one frame sharing one request id.
+	// Answered by a single respBatch with a per-entry status, so one slow
+	// entry (say, a redirect) fails alone instead of poisoning the batch.
+	opBatch
+	// opAnnounce (version ≥4) is a fire-and-forget capability note sent
+	// after the handshake: body is the client's connection-pool size as a
+	// uvarint, feeding the server's sting_remote_conn_pool_size gauge. No
+	// response.
+	opAnnounce
 )
 
 // Response ops (disjoint from requests so a stray frame cannot be
@@ -89,7 +104,15 @@ const (
 	respErr
 	respStats
 	respLen
+	// respBatch answers an opBatch frame: uvarint entry count, then one
+	// status byte per entry (0 = applied) followed by an error message
+	// string when the status is nonzero.
+	respBatch
 )
+
+// maxBatchOps bounds how many Puts one batch frame may carry; the client
+// flushes at this count, the server rejects beyond it.
+const maxBatchOps = 256
 
 // Wire error codes carried by respErr.
 const (
@@ -202,6 +225,10 @@ func opName(op byte) string {
 		return "cancel"
 	case opTxnCommit:
 		return "txncommit"
+	case opBatch:
+		return "batch"
+	case opAnnounce:
+		return "announce"
 	default:
 		return fmt.Sprintf("op%d", op)
 	}
@@ -218,6 +245,18 @@ const (
 
 const extTraceCtxLen = 24
 
+// batchEntry is one coalesced Put inside an opBatch frame.
+type batchEntry struct {
+	space string
+	tuple tspace.Tuple
+}
+
+// batchStatus is one entry's outcome inside a respBatch frame.
+type batchStatus struct {
+	code byte // 0 = applied; else a wire error code
+	msg  string
+}
+
 // request is a decoded client frame.
 type request struct {
 	op       byte
@@ -229,6 +268,8 @@ type request struct {
 	txnOps   []tspace.TxnOp  // opTxnCommit: the buffered commit log
 	target   uint32          // opCancel: the request id to withdraw
 	version  byte            // opHello: the client's announced version
+	batch    []batchEntry    // opBatch: the coalesced puts
+	poolSize uint32          // opAnnounce: client's connection-pool size
 	minVer   byte            // least peer version that knows this op (0 = any)
 
 	// Propagated trace context (extTraceCtx); hasTrace gates both
@@ -260,13 +301,66 @@ func decodeString(b []byte, limit int) (string, int, error) {
 	return string(b[n : n+int(l)]), n + int(l), nil
 }
 
-// encodeRequest builds a request frame payload.
+// Space names are low-cardinality and arrive on every frame, so the hot
+// decode path interns them: a repeat name is a map lookup (the
+// []byte→string key conversion compiles allocation-free), not a copy.
+// The table is bounded; past the cap unseen names fall back to a plain
+// copy so an adversarial client cannot balloon it.
+const maxInternedNames = 4096
+
+var spaceNames = struct {
+	mu sync.RWMutex
+	m  map[string]string
+}{m: make(map[string]string)}
+
+func internName(b []byte) string {
+	spaceNames.mu.RLock()
+	s, ok := spaceNames.m[string(b)]
+	spaceNames.mu.RUnlock()
+	if ok {
+		return s
+	}
+	spaceNames.mu.Lock()
+	defer spaceNames.mu.Unlock()
+	if s, ok := spaceNames.m[string(b)]; ok {
+		return s
+	}
+	if len(spaceNames.m) >= maxInternedNames {
+		return string(b)
+	}
+	s = string(b)
+	spaceNames.m[s] = s
+	return s
+}
+
+// decodeSpaceName is decodeString through the intern table.
+func decodeSpaceName(b []byte, limit int) (string, int, error) {
+	l, n := binary.Uvarint(b)
+	if n <= 0 {
+		return "", 0, protoErrf("bad string length")
+	}
+	if l > uint64(limit) {
+		return "", 0, protoErrf("string of %d bytes exceeds limit %d", l, limit)
+	}
+	if uint64(len(b)-n) < l {
+		return "", 0, protoErrf("truncated string")
+	}
+	return internName(b[n : n+int(l)]), n + int(l), nil
+}
+
+// encodeRequest builds a request frame payload in fresh storage (tests
+// and cold paths); the hot path appends into a pooled buffer instead.
 func encodeRequest(req request) ([]byte, error) {
+	return appendRequest(make([]byte, 0, 64), req)
+}
+
+// appendRequest appends a request frame payload to dst — the zero-alloc
+// encode path when dst comes from sio.GetBuf with sio.PrefixLen reserved.
+func appendRequest(dst []byte, req request) ([]byte, error) {
 	if len(req.space) > maxNameLen {
 		return nil, protoErrf("space name of %d bytes exceeds limit", len(req.space))
 	}
-	buf := make([]byte, 0, 64)
-	buf = append(buf, req.op)
+	buf := append(dst, req.op)
 	buf = binary.BigEndian.AppendUint32(buf, req.id)
 	buf = binary.BigEndian.AppendUint32(buf, uint32(req.deadline/time.Millisecond))
 	buf = appendString(buf, req.space)
@@ -286,6 +380,23 @@ func encodeRequest(req request) ([]byte, error) {
 		buf = binary.BigEndian.AppendUint32(buf, req.target)
 	case opTxnCommit:
 		buf, err = tspace.AppendTxnOps(buf, req.txnOps)
+	case opBatch:
+		if len(req.batch) == 0 || len(req.batch) > maxBatchOps {
+			return nil, protoErrf("batch of %d entries", len(req.batch))
+		}
+		buf = binary.AppendUvarint(buf, uint64(len(req.batch)))
+		for _, e := range req.batch {
+			if len(e.space) > maxNameLen {
+				return nil, protoErrf("space name of %d bytes exceeds limit", len(e.space))
+			}
+			buf = appendString(buf, e.space)
+			buf, err = tspace.AppendTuple(buf, e.tuple)
+			if err != nil {
+				return nil, err
+			}
+		}
+	case opAnnounce:
+		buf = binary.AppendUvarint(buf, uint64(req.poolSize))
 	case opStats, opLen:
 		// header only
 	default:
@@ -315,7 +426,7 @@ func decodeRequest(b []byte) (request, error) {
 	req.op = b[0]
 	req.id = binary.BigEndian.Uint32(b[1:5])
 	req.deadline = time.Duration(binary.BigEndian.Uint32(b[5:9])) * time.Millisecond
-	name, n, err := decodeString(b[9:], maxNameLen)
+	name, n, err := decodeSpaceName(b[9:], maxNameLen)
 	if err != nil {
 		return req, err
 	}
@@ -359,6 +470,38 @@ func decodeRequest(b []byte) (request, error) {
 		}
 		req.txnOps = ops
 		consumed = c
+	case opBatch:
+		l, n := binary.Uvarint(rest)
+		if n <= 0 {
+			return req, protoErrf("bad batch count")
+		}
+		if l == 0 || l > maxBatchOps {
+			return req, protoErrf("batch of %d entries", l)
+		}
+		entries := make([]batchEntry, 0, l)
+		off := n
+		for i := uint64(0); i < l; i++ {
+			sp, c, err := decodeSpaceName(rest[off:], maxNameLen)
+			if err != nil {
+				return req, err
+			}
+			off += c
+			tup, c2, err := tspace.DecodeTuple(rest[off:])
+			if err != nil {
+				return req, protoErrf("batch tuple %d: %v", i, err)
+			}
+			off += c2
+			entries = append(entries, batchEntry{space: sp, tuple: tup})
+		}
+		req.batch = entries
+		consumed = off
+	case opAnnounce:
+		l, n := binary.Uvarint(rest)
+		if n <= 0 || l > 1<<16 {
+			return req, protoErrf("bad announce body")
+		}
+		req.poolSize = uint32(l)
+		consumed = n
 	case opStats, opLen:
 		consumed = 0
 	default:
@@ -402,46 +545,86 @@ func decodeExtensions(req *request, b []byte) error {
 }
 
 // response encoders -------------------------------------------------------
+//
+// The hot path appends into pooled buffers (appendRespHeader + the
+// append* family); the encode* names build fresh storage and remain for
+// tests and cold paths.
 
-func respHeader(op byte, id uint32) []byte {
-	buf := make([]byte, 0, 32)
-	buf = append(buf, op)
-	return binary.BigEndian.AppendUint32(buf, id)
+func appendRespHeader(dst []byte, op byte, id uint32) []byte {
+	dst = append(dst, op)
+	return binary.BigEndian.AppendUint32(dst, id)
 }
 
-// encodeOK is the HELLO reply carrying the negotiated version:
-// min(client's announced version, protocolVersion).
-func encodeOK(id uint32, clientVersion byte) []byte {
-	v := byte(protocolVersion)
+func respHeader(op byte, id uint32) []byte {
+	return appendRespHeader(make([]byte, 0, 32), op, id)
+}
+
+// appendOK is the HELLO reply carrying the negotiated version:
+// min(client's announced version, cap), where cap defaults to
+// protocolVersion (ServerConfig.MaxVersion lowers it in interop tests).
+func appendOK(dst []byte, id uint32, clientVersion, capVersion byte) []byte {
+	v := capVersion
+	if v == 0 || v > protocolVersion {
+		v = protocolVersion
+	}
 	if clientVersion < v {
 		v = clientVersion
 	}
-	return append(respHeader(respOK, id), v)
+	return append(appendRespHeader(dst, respOK, id), v)
 }
 
-func encodeTupleResp(id uint32, tup tspace.Tuple, bind tspace.Bindings) ([]byte, error) {
-	buf := respHeader(respTuple, id)
-	buf, err := tspace.AppendTuple(buf, tup)
+func encodeOK(id uint32, clientVersion byte) []byte {
+	return appendOK(make([]byte, 0, 32), id, clientVersion, 0)
+}
+
+func appendTupleResp(dst []byte, id uint32, tup tspace.Tuple, bind tspace.Bindings) ([]byte, error) {
+	buf, err := tspace.AppendTuple(appendRespHeader(dst, respTuple, id), tup)
 	if err != nil {
 		return nil, err
 	}
 	return tspace.AppendBindings(buf, bind)
 }
 
+func encodeTupleResp(id uint32, tup tspace.Tuple, bind tspace.Bindings) ([]byte, error) {
+	return appendTupleResp(make([]byte, 0, 64), id, tup, bind)
+}
+
 func encodeNoMatch(id uint32) []byte { return respHeader(respNoMatch, id) }
 
-func encodeErrResp(id uint32, code byte, msg string) []byte {
-	buf := respHeader(respErr, id)
-	buf = append(buf, code)
+func appendErrResp(dst []byte, id uint32, code byte, msg string) []byte {
+	buf := append(appendRespHeader(dst, respErr, id), code)
 	if len(msg) > 1024 {
 		msg = msg[:1024]
 	}
 	return appendString(buf, msg)
 }
 
+func encodeErrResp(id uint32, code byte, msg string) []byte {
+	return appendErrResp(make([]byte, 0, 64), id, code, msg)
+}
+
+func appendLenResp(dst []byte, id uint32, n int) []byte {
+	return binary.AppendVarint(appendRespHeader(dst, respLen, id), int64(n))
+}
+
 func encodeLenResp(id uint32, n int) []byte {
-	buf := respHeader(respLen, id)
-	return binary.AppendVarint(buf, int64(n))
+	return appendLenResp(make([]byte, 0, 32), id, n)
+}
+
+func appendBatchResp(dst []byte, id uint32, sts []batchStatus) []byte {
+	buf := appendRespHeader(dst, respBatch, id)
+	buf = binary.AppendUvarint(buf, uint64(len(sts)))
+	for _, st := range sts {
+		buf = append(buf, st.code)
+		if st.code != 0 {
+			msg := st.msg
+			if len(msg) > 1024 {
+				msg = msg[:1024]
+			}
+			buf = appendString(buf, msg)
+		}
+	}
+	return buf
 }
 
 func encodeStatsResp(id uint32, s StatsSnapshot) []byte {
@@ -480,7 +663,8 @@ type response struct {
 	message string
 	length  int64
 	stats   StatsSnapshot
-	version byte // respOK: the version the server negotiated
+	version byte          // respOK: the version the server negotiated
+	batch   []batchStatus // respBatch: one status per coalesced entry
 }
 
 func decodeResponse(b []byte) (response, error) {
@@ -536,6 +720,36 @@ func decodeResponse(b []byte) (response, error) {
 			return r, err
 		}
 		r.stats = s
+	case respBatch:
+		l, n := binary.Uvarint(rest)
+		if n <= 0 {
+			return r, protoErrf("bad batch status count")
+		}
+		if l == 0 || l > maxBatchOps {
+			return r, protoErrf("batch of %d statuses", l)
+		}
+		sts := make([]batchStatus, 0, l)
+		off := n
+		for i := uint64(0); i < l; i++ {
+			if off >= len(rest) {
+				return r, protoErrf("truncated batch status")
+			}
+			st := batchStatus{code: rest[off]}
+			off++
+			if st.code != 0 {
+				msg, c, err := decodeString(rest[off:], 4096)
+				if err != nil {
+					return r, err
+				}
+				st.msg = msg
+				off += c
+			}
+			sts = append(sts, st)
+		}
+		if off != len(rest) {
+			return r, protoErrf("%d trailing bytes", len(rest)-off)
+		}
+		r.batch = sts
 	default:
 		return r, protoErrf("unknown response op %d", r.op)
 	}

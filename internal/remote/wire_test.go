@@ -186,6 +186,11 @@ func FuzzDecodeFrame(f *testing.F) {
 			template: tspace.Template{"job", tspace.F("n")}},
 		{op: opStats, id: 4},
 		{op: opLen, id: 5, space: "q"},
+		{op: opBatch, id: 6, batch: []batchEntry{
+			{space: "a", tuple: tspace.Tuple{"x", int64(1)}},
+			{space: "b", tuple: tspace.Tuple{true, nil}},
+		}},
+		{op: opAnnounce, id: 7, poolSize: 4},
 	}
 	for _, req := range seeds {
 		frame, err := encodeRequest(req)
@@ -200,17 +205,32 @@ func FuzzDecodeFrame(f *testing.F) {
 	f.Add(encodeErrResp(7, codeTimeout, "t"))
 	f.Add(encodeStatsResp(8, StatsSnapshot{Ops: map[string]uint64{"put": 1},
 		SpaceDepths: map[string]int{"jobs": 1}}))
+	f.Add(appendBatchResp(nil, 9, []batchStatus{{code: 0}, {code: codeRedirect, msg: "n2 addr"}}))
 	f.Add([]byte{})
 	f.Add(bytes.Repeat([]byte{0xff}, 64))
 
 	f.Fuzz(func(t *testing.T, b []byte) {
-		req, err := decodeRequest(b)
+		// Decode from a scratch copy so the mutate-after-return probe below
+		// can scribble over it, mimicking a pooled frame buffer being
+		// recycled (StartPooled) the moment the callback returns.
+		reqBuf := bytes.Clone(b)
+		req, err := decodeRequest(reqBuf)
 		if err == nil {
 			// Anything that decodes must re-encode and decode identically
 			// at the header level.
 			frame, err := encodeRequest(req)
 			if err != nil {
 				t.Fatalf("re-encode of valid request failed: %v", err)
+			}
+			// Aliasing probe: scribbling the input buffer must not change
+			// the decoded request — every retained string and slice must be
+			// a deep copy, or pooled reads would corrupt in-flight requests.
+			for i := range reqBuf {
+				reqBuf[i] ^= 0xff
+			}
+			frame2, err := encodeRequest(req)
+			if err != nil || !bytes.Equal(frame, frame2) {
+				t.Fatalf("decoded request aliases its input buffer (err=%v)", err)
 			}
 			req2, err := decodeRequest(frame)
 			if err != nil {
@@ -222,8 +242,37 @@ func FuzzDecodeFrame(f *testing.F) {
 		} else if !errors.Is(err, ErrProtocol) {
 			t.Fatalf("decodeRequest error %v does not wrap ErrProtocol", err)
 		}
-		if _, err := decodeResponse(b); err != nil && !errors.Is(err, ErrProtocol) {
+		respBuf := bytes.Clone(b)
+		r1, err := decodeResponse(respBuf)
+		if err != nil && !errors.Is(err, ErrProtocol) {
 			t.Fatalf("decodeResponse error %v does not wrap ErrProtocol", err)
+		}
+		if err == nil {
+			// Same aliasing probe on the response decoder: compare the
+			// string-bearing fields against an independent decode of the
+			// pristine bytes after scribbling the first decode's input.
+			r2, err2 := decodeResponse(b)
+			if err2 != nil {
+				t.Fatalf("second decode of identical bytes failed: %v", err2)
+			}
+			for i := range respBuf {
+				respBuf[i] ^= 0xff
+			}
+			if r1.message != r2.message {
+				t.Fatal("decoded response message aliases its input buffer")
+			}
+			for i := range r1.tuple {
+				s1, ok1 := r1.tuple[i].(string)
+				s2, ok2 := r2.tuple[i].(string)
+				if ok1 != ok2 || s1 != s2 {
+					t.Fatal("decoded tuple string aliases its input buffer")
+				}
+			}
+			for i := range r1.batch {
+				if r1.batch[i] != r2.batch[i] {
+					t.Fatal("decoded batch status aliases its input buffer")
+				}
+			}
 		}
 	})
 }

@@ -92,6 +92,31 @@ func (r remoteSpace) Spawn(ctx *core.Context, thunks ...core.Thunk) ([]*core.Thr
 func (r remoteSpace) Len() int          { return r.sp.Len() }
 func (r remoteSpace) Kind() tspace.Kind { return r.sp.Kind() }
 
+// Fabric dial defaults. The sting CLI's -remote-conns/-remote-batch
+// flags install these before any program runs; every connection the
+// interpreter opens afterwards — point clients and each shard of a
+// cluster client alike — inherits them, so whole smoke runs can be
+// flipped into pipelined/batched mode without touching the programs.
+var (
+	remoteDialMu       sync.RWMutex
+	remoteDialDefaults remote.DialConfig
+)
+
+// SetRemoteDialDefaults installs the DialConfig applied to every fabric
+// connection subsequently opened by remote-open (both "host:port" and
+// "cluster:…" forms). Already-cached connections keep their config.
+func SetRemoteDialDefaults(cfg remote.DialConfig) {
+	remoteDialMu.Lock()
+	remoteDialDefaults = cfg
+	remoteDialMu.Unlock()
+}
+
+func remoteDialConfig() remote.DialConfig {
+	remoteDialMu.RLock()
+	defer remoteDialMu.RUnlock()
+	return remoteDialDefaults
+}
+
 // fabricConn is one cached connection: a point client to a single
 // daemon, or a routing client over a sharded cluster.
 type fabricConn struct {
@@ -145,7 +170,7 @@ func installRemote(in *Interp) {
 			return c, nil
 		}
 		if spec, ok := strings.CutPrefix(addr, "cluster:"); ok {
-			cc, err := cluster.OpenSpec(spec, cluster.Config{ProbeInterval: time.Second})
+			cc, err := cluster.OpenSpec(spec, cluster.Config{Dial: remoteDialConfig(), ProbeInterval: time.Second})
 			if err != nil {
 				return fabricConn{}, err
 			}
@@ -153,7 +178,7 @@ func installRemote(in *Interp) {
 			clients[addr] = conn
 			return conn, nil
 		}
-		c, err := remote.Dial(ctx, addr, remote.DialConfig{})
+		c, err := remote.Dial(ctx, addr, remoteDialConfig())
 		if err != nil {
 			return fabricConn{}, err
 		}

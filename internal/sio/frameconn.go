@@ -21,6 +21,55 @@ var ErrFrameTooLarge = errors.New("sio: frame exceeds maximum size")
 // further calls are made.
 type FrameCallback func(frame []byte, err error)
 
+// Buffer pooling. The remote fabric's hot path sends and receives one
+// frame per tuple operation; allocating each frame fresh made the
+// allocator the dominant per-op cost (see the span ablation in
+// EXPERIMENTS.md). GetBuf/PutBuf recycle byte slices through a sync.Pool,
+// and WriteFramePrefixed/StartPooled let callers encode into (and decode
+// out of) recycled storage without a copy. Anything a callback wants to
+// keep past the pooled lifetime must be deep-copied — the tuple codec
+// already copies strings and slices, so decoded values never alias pool
+// storage.
+
+// PrefixLen is the frame header size: callers of WriteFramePrefixed
+// reserve this many bytes at the front of the buffer for the length.
+const PrefixLen = 4
+
+// maxPooledBuf bounds what PutBuf will recycle; beyond this the slice is
+// left for the GC so one giant frame does not pin a giant pool entry.
+const maxPooledBuf = 64 << 10
+
+var bufPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 512)
+	return &b
+}}
+
+// hdrPool recycles the *[]byte boxes themselves: PutBuf would otherwise
+// allocate a fresh header per recycle (&b escapes), which is exactly the
+// per-op allocation the pooling exists to remove.
+var hdrPool = sync.Pool{New: func() any { return new([]byte) }}
+
+// GetBuf returns a zero-length buffer with pooled capacity. Append into
+// it, then hand it back with PutBuf once nothing aliases it.
+func GetBuf() []byte {
+	p := bufPool.Get().(*[]byte)
+	b := (*p)[:0]
+	*p = nil
+	hdrPool.Put(p)
+	return b
+}
+
+// PutBuf recycles a buffer obtained from GetBuf (or grown from one).
+// Oversized buffers are dropped. Safe to call with nil.
+func PutBuf(b []byte) {
+	if b == nil || cap(b) > maxPooledBuf {
+		return
+	}
+	p := hdrPool.Get().(*[]byte)
+	*p = b[:0]
+	bufPool.Put(p)
+}
+
 // FrameConn is the connection-level rendering of this package's callback
 // I/O model: it frames a byte stream into length-prefixed messages
 // (4-byte big-endian length, then payload), delivers inbound frames via a
@@ -89,6 +138,43 @@ func (fc *FrameConn) Start(cb FrameCallback) {
 	}()
 }
 
+// StartPooled is Start with recycled frame storage: each inbound frame is
+// read into a pooled buffer which is returned to the pool as soon as cb
+// returns. The callback must therefore treat the frame as borrowed —
+// decode it, deep-copying anything retained — unlike Start, whose frames
+// may be kept forever. This removes the per-frame allocation on the
+// receive path.
+func (fc *FrameConn) StartPooled(cb FrameCallback) {
+	go func() {
+		var hdr [4]byte
+		for {
+			if _, err := io.ReadFull(fc.c, hdr[:]); err != nil {
+				cb(nil, readErr(err))
+				return
+			}
+			n := binary.BigEndian.Uint32(hdr[:])
+			if n > fc.maxFrame {
+				cb(nil, fmt.Errorf("%w: %d > %d", ErrFrameTooLarge, n, fc.maxFrame))
+				fc.Close()
+				return
+			}
+			buf := GetBuf()
+			if uint32(cap(buf)) < n {
+				buf = make([]byte, n)
+			} else {
+				buf = buf[:n]
+			}
+			if _, err := io.ReadFull(fc.c, buf); err != nil {
+				cb(nil, readErr(err))
+				return
+			}
+			fc.bytesIn.Add(uint64(n) + 4)
+			cb(buf, nil)
+			PutBuf(buf)
+		}
+	}()
+}
+
 // readErr normalizes a mid-frame EOF: the peer vanished, which callers
 // treat like any other broken connection.
 func readErr(err error) error {
@@ -107,6 +193,33 @@ func (fc *FrameConn) WriteFrame(payload []byte) error {
 	buf := make([]byte, 4+len(payload))
 	binary.BigEndian.PutUint32(buf, uint32(len(payload)))
 	copy(buf[4:], payload)
+	fc.wmu.Lock()
+	defer fc.wmu.Unlock()
+	if fc.closed.Load() {
+		return net.ErrClosed
+	}
+	if err := fc.c.SetWriteDeadline(time.Now().Add(fc.writeTO)); err == nil {
+		defer fc.c.SetWriteDeadline(time.Time{}) //nolint:errcheck
+	}
+	n, err := fc.c.Write(buf)
+	fc.bytesOut.Add(uint64(n))
+	return err
+}
+
+// WriteFramePrefixed writes one frame whose length header is filled in
+// place: buf must start with PrefixLen reserved bytes followed by the
+// payload (the GetBuf + append idiom). Unlike WriteFrame there is no
+// header copy — the buffer goes to the socket in a single Write. The
+// caller still owns buf afterwards and may PutBuf it.
+func (fc *FrameConn) WriteFramePrefixed(buf []byte) error {
+	if len(buf) < PrefixLen {
+		return fmt.Errorf("%w: %d-byte buffer lacks prefix", ErrFrameTooLarge, len(buf))
+	}
+	payload := len(buf) - PrefixLen
+	if uint32(payload) > fc.maxFrame {
+		return fmt.Errorf("%w: %d > %d", ErrFrameTooLarge, payload, fc.maxFrame)
+	}
+	binary.BigEndian.PutUint32(buf, uint32(payload))
 	fc.wmu.Lock()
 	defer fc.wmu.Unlock()
 	if fc.closed.Load() {

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"repro/internal/core"
 )
@@ -50,6 +51,41 @@ const (
 
 func codecErrf(format string, args ...any) error {
 	return fmt.Errorf("%w: %s", ErrCodec, fmt.Sprintf(format, args...))
+}
+
+// Decoded-string cache. Tuple tag fields ("job", "result", …) repeat on
+// every frame of a workload, and decoding one costs two allocations: the
+// string copy plus its interface box. The cache keeps recently decoded
+// short strings pre-boxed in a fixed hash-indexed table, so the repeat
+// case returns a shared immutable value allocation-free. It is lock-free
+// (one atomic load per lookup, one store per miss) and bounded — at most
+// strCacheSize strings of at most strCacheMaxLen bytes — so adversarial
+// high-cardinality payloads merely miss; they cannot grow it.
+const (
+	strCacheSize   = 256 // power of two
+	strCacheMaxLen = 64
+)
+
+type stringBox struct {
+	s string
+	v core.Value // s boxed once, so a cache hit allocates nothing
+}
+
+var strCache [strCacheSize]atomic.Pointer[stringBox]
+
+func internedString(b []byte) core.Value {
+	h := uint32(2166136261) // FNV-1a
+	for _, c := range b {
+		h = (h ^ uint32(c)) * 16777619
+	}
+	slot := &strCache[h&(strCacheSize-1)]
+	if p := slot.Load(); p != nil && p.s == string(b) {
+		return p.v
+	}
+	box := &stringBox{s: string(b)}
+	box.v = box.s
+	slot.Store(box)
+	return box.v
 }
 
 // AppendValue appends the encoding of v. Formals are legal only inside
@@ -129,11 +165,13 @@ func DecodeValue(b []byte) (core.Value, int, error) {
 		if uint64(len(rest)-n) < l {
 			return nil, 0, codecErrf("truncated string")
 		}
-		s := string(rest[n : n+int(l)])
 		if tag == wireFormal {
-			return Formal{Name: s}, 1 + n + int(l), nil
+			return Formal{Name: string(rest[n : n+int(l)])}, 1 + n + int(l), nil
 		}
-		return s, 1 + n + int(l), nil
+		if l <= strCacheMaxLen {
+			return internedString(rest[n : n+int(l)]), 1 + n + int(l), nil
+		}
+		return string(rest[n : n+int(l)]), 1 + n + int(l), nil
 	default:
 		return nil, 0, codecErrf("unknown value tag %d", tag)
 	}
@@ -233,6 +271,11 @@ func DecodeBindings(b []byte) (Bindings, int, error) {
 	}
 	if l > MaxWireElems {
 		return nil, 0, codecErrf("%d bindings exceed limit", l)
+	}
+	if l == 0 {
+		// The common case on the hot path: ground templates bind
+		// nothing. A nil map reads identically and skips the alloc.
+		return nil, n, nil
 	}
 	bind := make(Bindings, l)
 	off := n

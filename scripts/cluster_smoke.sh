@@ -2,7 +2,9 @@
 # cluster_smoke.sh — boot a 3-shard stingd cluster on loopback, drive
 # keyed and wildcard tuple ops through the sting CLI's cluster routing,
 # and assert every shard stayed healthy and saw zero misroutes. Run via
-# `make cluster-smoke`.
+# `make cluster-smoke`. Extra CLI flags pass through STING_FLAGS — CI
+# reruns the smoke with STING_FLAGS="-remote-conns 2 -remote-batch" to
+# cover the pipelined/batched client paths end to end.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -59,7 +61,8 @@ cat >"$tmp/smoke.scm" <<'EOF'
 (display (pair? (remote-get sp '(?k ?v)))) (newline)
 (display (cluster-health *cluster*)) (newline)
 EOF
-out="$("$tmp/sting" -cluster "$tmp/nodes.json" "$tmp/smoke.scm")"
+# shellcheck disable=SC2086  # STING_FLAGS is intentionally word-split
+out="$("$tmp/sting" ${STING_FLAGS:-} -cluster "$tmp/nodes.json" "$tmp/smoke.scm")"
 echo "$out"
 
 fail=0

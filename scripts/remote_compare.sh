@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# remote_compare.sh — rerun the remote fabric table (ping-pong RTTs plus
+# the Put saturation sweep: pipelined vs serial, batched vs unbatched,
+# 1-conn vs pooled) and fail if any remote/ row is more than 10% slower
+# than the committed BENCH_remote.json baseline. Run via
+# `make remote-bench-compare`; CI runs it non-blocking because shared
+# runners add noise well beyond the threshold.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+baseline="BENCH_remote.json"
+[ -f "$baseline" ] || { echo "remote_compare: no committed $baseline baseline (run 'make remote-bench' and commit it)"; exit 2; }
+
+current="$(mktemp)"
+trap 'rm -f "$current"' EXIT
+
+go run ./cmd/stingbench -table remote -json "$current"
+go run ./scripts/benchdiff -threshold 0.10 -prefix remote/ "$baseline" "$current"

@@ -2,7 +2,10 @@
 # stm_smoke.sh — boot a single-shard stingd, run transactional transfers
 # from the sting CLI's (atomic ...) form against the live fabric, assert
 # exact conservation, and check the server counted the TXNCOMMIT frames
-# in its sting_stm_* metrics. Run via `make stm-smoke`.
+# in its sting_stm_* metrics. Run via `make stm-smoke`. Extra CLI flags
+# pass through STING_FLAGS — CI reruns the smoke with
+# STING_FLAGS="-remote-conns 2 -remote-batch" to cover the
+# pipelined/batched client paths end to end.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -48,7 +51,8 @@ cat >"$tmp/smoke.scm" <<'EOF'
 (display (rd sp (acct b ?y) y)) (newline)
 (display (txn-stats)) (newline)
 EOF
-out="$("$tmp/sting" -cluster "n1=127.0.0.1:$port" "$tmp/smoke.scm")"
+# shellcheck disable=SC2086  # STING_FLAGS is intentionally word-split
+out="$("$tmp/sting" ${STING_FLAGS:-} -cluster "n1=127.0.0.1:$port" "$tmp/smoke.scm")"
 echo "$out"
 
 fail=0
