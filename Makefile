@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race check bench sched-bench bench-compare remote-bench remote-bench-compare obs-smoke obs-bench cluster-smoke trace-smoke stm-bench stm-bench-compare stm-smoke diag-smoke vm-bench vm-bench-compare vm-smoke vm-fuzz clean
+.PHONY: all build vet test race check bench sched-bench bench-compare remote-bench remote-bench-compare obs-smoke obs-bench cluster-smoke trace-smoke stm-bench stm-bench-compare stm-smoke diag-smoke top-smoke sample-bench vm-bench vm-bench-compare vm-smoke vm-fuzz clean
 
 all: check
 
@@ -64,6 +64,18 @@ diag-smoke:
 # sting CLI, assert all shards healthy with zero misroutes.
 cluster-smoke:
 	./scripts/cluster_smoke.sh
+
+# Boot a 2-shard cluster with SLO evaluation on (one objective engineered
+# to breach), drive traffic, and assert /debug/slo + the /readyz gate +
+# the stingtop -once -json rollup (cluster p99 from merged buckets,
+# merged count = shard sum).
+top-smoke:
+	./scripts/top_smoke.sh
+
+# The sampler-overhead ablation (EXPERIMENTS.md): remote ping-pong with
+# the time-series sampler + SLO engine off vs on at a 10ms interval.
+sample-bench:
+	$(GO) run ./cmd/stingbench -table remote -sample
 
 # Boot a 2-shard cluster with causal tracing on, run a traced op from the
 # sting CLI, merge all span dumps with tracecat, and assert the stitched

@@ -2,15 +2,20 @@ package main
 
 import (
 	"errors"
+	"fmt"
 	"net"
 	"net/http"
 	"os"
+	"strconv"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/diag"
 	"repro/internal/obs"
+	"repro/internal/obs/tsdb"
 	"repro/internal/remote"
+	"repro/internal/scheme"
 	"repro/internal/stm"
 	"repro/internal/tspace"
 	stingvm "repro/internal/vm"
@@ -24,45 +29,91 @@ const obsTraceCap = 65536
 // couple of spans, so 16Ki retains the last ~8k traced requests.
 const obsSpanCap = 16384
 
+// obsWiring carries buildObsHandler's optional surfaces: span ring and
+// diagnoser may be nil (the feature is off), slo holds the parsed SLO
+// engine (nil: no /debug/slo), sampleEvery > 0 starts the time-series
+// sampler, and readySLO gates /readyz on SLO breaches.
+type obsWiring struct {
+	trace    *core.TraceBuffer
+	spans    *obs.SpanBuffer
+	d        *diag.Diagnoser
+	node     string
+	pprof    bool
+	draining *atomic.Bool
+
+	slo         *tsdb.SLOEngine
+	sampleEvery time.Duration
+	readySLO    bool
+}
+
 // buildObsHandler assembles the daemon's observability surface: one obs
 // registry fed by the VM, the space registry, the fabric server, the
-// trace ring, the span ring, and the runtime diagnoser, behind the
-// /metrics, /healthz, /debug/trace, /debug/spans, /debug/diag handler.
-// spans and d may be nil (the feature is off); node names this daemon in
-// span dumps. Factored out of runServer so tests can drive it without
-// sockets.
-func buildObsHandler(vm *core.VM, reg *tspace.Registry, srv *remote.Server, trace *core.TraceBuffer,
-	spans *obs.SpanBuffer, d *diag.Diagnoser, node string, pprofOn bool, draining *atomic.Bool) http.Handler {
+// trace ring, the span ring, the runtime diagnoser, and the time-series
+// sampler + SLO engine, behind the /metrics, /healthz, /readyz,
+// /debug/trace, /debug/spans, /debug/diag, /debug/slo handler. The
+// returned sampler (nil when sampling is off) must be Started by the
+// caller and Stopped on drain. Factored out of runServer so tests can
+// drive it without sockets.
+//
+// Liveness vs readiness: /healthz answers only "is the process alive and
+// serving HTTP" — it stays 200 through drains and SLO breaches, so an
+// orchestrator never kills a node for being busy. /readyz is the
+// load-bearing signal: 503 while draining, and (when readySLO) while any
+// SLO is in breach, with per-component detail in the body.
+func buildObsHandler(vm *core.VM, reg *tspace.Registry, srv *remote.Server, w obsWiring) (http.Handler, *tsdb.Sampler) {
 	r := obs.NewRegistry()
 	r.Register("core", core.VMCollector{VM: vm})
 	r.Register("tspace", tspace.RegistryCollector{Registry: reg})
 	r.Register("remote", remote.ServerCollector{Server: srv})
 	r.Register("stm", stm.NewCollector())
 	r.Register("vm", stingvm.NewCollector())
-	r.Register("trace", core.TraceCollector{Buffer: trace})
+	r.Register("trace", core.TraceCollector{Buffer: w.trace})
+	r.Register("build", obs.BuildInfo(
+		obs.L("proto", strconv.Itoa(remote.ProtocolVersion())),
+		obs.L("engine", scheme.DefaultEngineName()),
+		obs.L("node", w.node)))
 	h := &obs.Handler{
 		Registry: r,
-		Healthy: func() error {
-			if draining.Load() {
-				return errors.New("draining")
-			}
-			return nil
-		},
 		TraceEvents: func() []obs.TraceEvent {
-			return core.ObsTraceEvents(trace.Events())
+			return core.ObsTraceEvents(w.trace.Events())
 		},
-		Node:        node,
-		EnablePprof: pprofOn,
+		Node:        w.node,
+		EnablePprof: w.pprof,
 	}
-	if spans != nil {
-		r.Register("spans", obs.SpanCollector{Buffer: spans})
-		h.Spans = spans.Spans
+	if w.spans != nil {
+		r.Register("spans", obs.SpanCollector{Buffer: w.spans})
+		h.Spans = w.spans.Spans
 	}
-	if d != nil {
-		r.Register("diag", d.Collector())
-		h.Diag = diag.Handler{D: d}
+	if w.d != nil {
+		r.Register("diag", w.d.Collector())
+		h.Diag = diag.Handler{D: w.d}
 	}
-	return h
+	var sampler *tsdb.Sampler
+	if w.sampleEvery > 0 {
+		sampler = tsdb.NewSampler(r, tsdb.NewStore(0), w.sampleEvery)
+		r.Register("tsdb", sampler.Collector())
+		if w.slo != nil {
+			slo := w.slo
+			sampler.OnSample(func(now time.Time, st *tsdb.Store) { slo.Evaluate(now, st) })
+			r.Register("slo", slo.Collector())
+			h.SLO = tsdb.Handler{Engine: slo, Node: w.node}
+		}
+	}
+	h.Ready = func() []obs.ReadyStatus {
+		out := []obs.ReadyStatus{{Component: "drain"}}
+		if w.draining.Load() {
+			out[0].Err = errors.New("draining")
+		}
+		if w.readySLO && w.slo != nil {
+			s := obs.ReadyStatus{Component: "slo"}
+			if breaching := w.slo.Breaching(); len(breaching) > 0 {
+				s.Err = fmt.Errorf("in breach: %v", breaching)
+			}
+			out = append(out, s)
+		}
+		return out
+	}
+	return h, sampler
 }
 
 // writeSpanDump drains the span ring to path in the JSON dump format

@@ -11,10 +11,12 @@ import (
 	"strings"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/diag"
 	"repro/internal/obs"
+	"repro/internal/obs/tsdb"
 	"repro/internal/remote"
 	"repro/internal/stm"
 	"repro/internal/tspace"
@@ -57,7 +59,29 @@ func TestObsHandlerExposesRequiredFamilies(t *testing.T) {
 	})
 	d.Start()
 	defer d.Stop()
-	h := buildObsHandler(vm, reg, srv, trace, spans, d, "test-node", false, &draining)
+	// An objective guaranteed to breach (no op completes in under a
+	// nanosecond) plus one guaranteed to hold, so /debug/slo and the
+	// readiness gate have both states to show.
+	objectives, err := tsdb.ParseObjectives(
+		"put-p99: sting_remote_op_latency_seconds{op=put} p99 < 1ns over 60s\n" +
+			"conns: sting_remote_conns_active value < 1000 over 60s\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine := tsdb.NewSLOEngine(objectives)
+	h, sampler := buildObsHandler(vm, reg, srv, obsWiring{
+		trace:       trace,
+		spans:       spans,
+		d:           d,
+		node:        "test-node",
+		draining:    &draining,
+		slo:         engine,
+		sampleEvery: time.Second,
+		readySLO:    true,
+	})
+	if sampler == nil {
+		t.Fatal("buildObsHandler returned no sampler despite sampleEvery > 0")
+	}
 	web := httptest.NewServer(h)
 	defer web.Close()
 
@@ -148,19 +172,77 @@ func TestObsHandlerExposesRequiredFamilies(t *testing.T) {
 		t.Errorf("sting_stm_aborts_total = %v after an explicit abort, want ≥ 1", v)
 	}
 
+	// Drive the sampler: two samples a second apart give the store a
+	// baseline and a delta, and each sample re-evaluates the SLOs.
+	t0 := time.Now()
+	sampler.SampleOnce(t0)
+	sampler.SampleOnce(t0.Add(time.Second))
+
+	body = get(t, web.URL+"/metrics")
+	for _, family := range []string{
+		"sting_build_info",
+		"sting_tsdb_samples_total",
+		"sting_tsdb_series",
+		"sting_slo_state",
+		"sting_slo_breaches_total",
+		"sting_slo_error_budget_burn",
+	} {
+		if !strings.Contains(body, family) {
+			t.Errorf("/metrics missing family %s", family)
+		}
+	}
+	if !strings.Contains(body, `proto="`+strconv.Itoa(remote.ProtocolVersion())+`"`) {
+		t.Errorf("sting_build_info missing proto label:\n%s", grepLines(body, "sting_build_info"))
+	}
+	if !strings.Contains(body, `sting_slo_state{slo="put-p99"} 2`) {
+		t.Errorf("put-p99 SLO not in breach:\n%s", grepLines(body, "sting_slo_state"))
+	}
+	if !strings.Contains(body, `sting_slo_state{slo="conns"} 0`) {
+		t.Errorf("conns SLO not ok:\n%s", grepLines(body, "sting_slo_state"))
+	}
+
+	var slo tsdb.SLOReport
+	if err := json.Unmarshal([]byte(get(t, web.URL+"/debug/slo")), &slo); err != nil {
+		t.Fatalf("/debug/slo not valid JSON: %v", err)
+	}
+	if slo.Node != "test-node" || slo.State != "breach" || len(slo.SLOs) != 2 {
+		t.Errorf("/debug/slo = node %q state %q with %d slos, want test-node/breach/2", slo.Node, slo.State, len(slo.SLOs))
+	}
+
+	// Liveness vs readiness: /healthz stays 200 through drains and SLO
+	// breaches; /readyz reports both with per-component detail.
 	if got := get(t, web.URL+"/healthz"); got != "ok\n" {
 		t.Errorf("/healthz = %q, want ok", got)
 	}
 	draining.Store(true)
-	resp, err := web.Client().Get(web.URL + "/healthz")
+	if got := get(t, web.URL+"/healthz"); got != "ok\n" {
+		t.Errorf("/healthz while draining = %q, want ok (liveness must not track drain)", got)
+	}
+	resp, err := web.Client().Get(web.URL + "/readyz")
 	if err != nil {
 		t.Fatal(err)
 	}
+	b, _ := io.ReadAll(resp.Body)
 	resp.Body.Close() //nolint:errcheck
 	if resp.StatusCode != 503 {
-		t.Errorf("/healthz while draining = %d, want 503", resp.StatusCode)
+		t.Errorf("/readyz while draining = %d, want 503", resp.StatusCode)
+	}
+	if !strings.Contains(string(b), "drain: draining") || !strings.Contains(string(b), "slo: in breach") {
+		t.Errorf("/readyz body missing per-component detail:\n%s", b)
 	}
 	draining.Store(false)
+	resp, err = web.Client().Get(web.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ = io.ReadAll(resp.Body)
+	resp.Body.Close() //nolint:errcheck
+	if resp.StatusCode != 503 {
+		t.Errorf("/readyz with a breached SLO = %d, want 503 (ready-slo gate)", resp.StatusCode)
+	}
+	if !strings.Contains(string(b), "drain: ok") {
+		t.Errorf("/readyz body missing drain: ok after drain cleared:\n%s", b)
+	}
 
 	var doc struct {
 		TraceEvents []map[string]any `json:"traceEvents"`
@@ -183,7 +265,7 @@ func TestObsHandlerExposesRequiredFamilies(t *testing.T) {
 		Node  string           `json:"node"`
 		Spans []map[string]any `json:"spans"`
 	}
-	b, _ := io.ReadAll(resp.Body)
+	b, _ = io.ReadAll(resp.Body)
 	resp.Body.Close() //nolint:errcheck
 	if err := json.Unmarshal(b, &dump); err != nil {
 		t.Fatalf("/debug/spans not valid JSON: %v", err)

@@ -1,0 +1,136 @@
+// Command stingtop is the cluster dashboard: it polls every node's
+// existing /metrics and /debug/slo endpoints (no new wire protocol),
+// merges histogram buckets across shards into true cluster-wide
+// quantiles, and renders a live terminal table — one row per node plus a
+// rollup row — refreshed in place.
+//
+// Usage:
+//
+//	stingtop -nodes nodes.json              poll the nodes.json cluster map
+//	                                        (each node's "http" field names
+//	                                        its observability endpoint)
+//	stingtop -nodes n1=:9091,n2=:9092       poll explicit obs endpoints
+//	stingtop -interval 2s                   refresh period (live mode)
+//	stingtop -once -json                    scrape twice ~1s apart, print one
+//	                                        JSON document, exit — the
+//	                                        scripting/CI mode
+//
+// The cluster row's latency quantiles come from bucket-exact histogram
+// merging (every node shares the same bucket bounds), so the cluster p99
+// is the p99 of the union of observations — not an average of per-node
+// p99s, which understates tail latency whenever shards are uneven.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+func main() {
+	var (
+		nodesSpec = flag.String("nodes", "", "cluster: nodes.json path (uses each node's \"http\" field) or \"id=host:port,…\" of observability endpoints")
+		interval  = flag.Duration("interval", 2*time.Second, "refresh period in live mode")
+		window    = flag.Duration("window", time.Second, "gap between the two scrapes in -once mode (the rate window)")
+		timeout   = flag.Duration("timeout", 2*time.Second, "per-request scrape timeout")
+		once      = flag.Bool("once", false, "scrape twice, print one report, exit")
+		jsonOut   = flag.Bool("json", false, "print the report as JSON (implies -once unless watching a terminal)")
+	)
+	flag.Parse()
+	if *nodesSpec == "" {
+		fmt.Fprintln(os.Stderr, "stingtop: -nodes is required (nodes.json or id=host:port,…)")
+		os.Exit(2)
+	}
+	pollers, err := buildPollers(*nodesSpec, *timeout)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "stingtop: %v\n", err)
+		os.Exit(2)
+	}
+	if *jsonOut {
+		*once = true
+	}
+	if *once {
+		os.Exit(runOnce(pollers, *window, *jsonOut))
+	}
+	runLive(pollers, *interval)
+}
+
+// buildPollers resolves the -nodes spec into one poller per node. A
+// nodes.json map contributes every node that declares an "http" endpoint;
+// the compact form treats each addr as the observability endpoint itself
+// (with @http taking precedence when given).
+func buildPollers(spec string, timeout time.Duration) ([]*poller, error) {
+	m, err := cluster.Load(spec)
+	if err != nil {
+		return nil, err
+	}
+	var out []*poller
+	for _, n := range m.Nodes() {
+		ep := n.HTTP
+		if ep == "" {
+			ep = n.Addr
+		}
+		out = append(out, newPoller(n.ID, ep, timeout))
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no nodes in %q", spec)
+	}
+	return out, nil
+}
+
+// report is the -once document: every node row plus the cluster rollup.
+type report struct {
+	Nodes   []nodeRow  `json:"nodes"`
+	Cluster clusterRow `json:"cluster"`
+}
+
+// gather advances every poller and builds the current report.
+func gather(pollers []*poller) report {
+	rows := make([]nodeRow, len(pollers))
+	for i, p := range pollers {
+		prev, cur := p.advance()
+		rows[i] = buildRow(p.id, p.endpoint, prev, cur)
+	}
+	return report{Nodes: rows, Cluster: rollup(rows)}
+}
+
+// runOnce scrapes twice `window` apart (so rates have a denominator) and
+// prints one report. Exit status 1 when any node is unreachable — CI
+// smoke tests key off it.
+func runOnce(pollers []*poller, window time.Duration, jsonOut bool) int {
+	gather(pollers) // first scrape primes the rate baseline
+	time.Sleep(window)
+	rep := gather(pollers)
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintf(os.Stderr, "stingtop: %v\n", err)
+			return 1
+		}
+	} else {
+		renderTable(os.Stdout, rep)
+	}
+	for _, r := range rep.Nodes {
+		if !r.Up {
+			return 1
+		}
+	}
+	return 0
+}
+
+// runLive redraws the dashboard every interval until interrupted.
+func runLive(pollers []*poller, interval time.Duration) {
+	for {
+		rep := gather(pollers)
+		fmt.Print("\x1b[H\x1b[2J") // home + clear
+		fmt.Printf("stingtop  %s  (refresh %s, Ctrl-C to quit)\n\n",
+			time.Now().Format("15:04:05"), interval)
+		renderTable(os.Stdout, rep)
+		time.Sleep(interval)
+	}
+}

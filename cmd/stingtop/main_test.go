@@ -1,0 +1,182 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/obs/tsdb"
+)
+
+// fakeNode serves a synthetic observability surface: /metrics rendered by
+// the repo's own writer, a /debug/slo report, and a /readyz verdict.
+type fakeNode struct {
+	mu      func() []obs.Metric
+	slo     *tsdb.SLOReport
+	ready   bool
+	scrapes int
+}
+
+func (f *fakeNode) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		f.scrapes++
+		var buf bytes.Buffer
+		if err := obs.WritePrometheus(&buf, f.mu()); err != nil {
+			http.Error(w, err.Error(), 500)
+			return
+		}
+		w.Write(buf.Bytes()) //nolint:errcheck
+	})
+	if f.slo != nil {
+		mux.HandleFunc("/debug/slo", func(w http.ResponseWriter, r *http.Request) {
+			tsdbServeJSON(w, f.slo)
+		})
+	}
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		if !f.ready {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		w.Write([]byte("x")) //nolint:errcheck
+	})
+	return mux
+}
+
+func tsdbServeJSON(w http.ResponseWriter, rep *tsdb.SLOReport) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(rep)
+}
+
+func TestRollupMergesShards(t *testing.T) {
+	// Shard 1: fast gets. Shard 2: slow puts. The cluster p99 must come
+	// from the union, and the merged count must equal the sum.
+	h1 := obs.NewHistogram(obs.LatencyBuckets...)
+	for i := 0; i < 99; i++ {
+		h1.Observe(0.0005)
+	}
+	h2 := obs.NewHistogram(obs.LatencyBuckets...)
+	for i := 0; i < 10; i++ {
+		h2.Observe(0.8)
+	}
+	var ops1, ops2 float64
+	n1 := &fakeNode{ready: true, mu: func() []obs.Metric {
+		ops1 += 50
+		return []obs.Metric{
+			obs.Gauge("sting_build_info", "b", 1, obs.L("go_version", "go1.24"), obs.L("proto", "4"), obs.L("engine", "vm")),
+			obs.Gauge("sting_vm_vps", "v", 4, obs.L("vm", "srv")),
+			obs.Gauge("sting_vp_runq_depth", "r", 3, obs.L("vp", "0")),
+			obs.Gauge("sting_vp_runq_depth", "r", 2, obs.L("vp", "1")),
+			obs.Counter("sting_remote_ops_total", "o", ops1, obs.L("op", "get")),
+			obs.HistogramSample("sting_remote_op_latency_seconds", "l", h1, obs.L("op", "get")),
+		}
+	}, slo: &tsdb.SLOReport{Node: "n1", State: "breach", SLOs: []tsdb.Status{
+		{Name: "lat", State: "breach"},
+	}}}
+	n2 := &fakeNode{ready: false, mu: func() []obs.Metric {
+		ops2 += 10
+		return []obs.Metric{
+			obs.Gauge("sting_vm_vps", "v", 2, obs.L("vm", "srv")),
+			obs.Counter("sting_remote_ops_total", "o", ops2, obs.L("op", "put")),
+			obs.HistogramSample("sting_remote_op_latency_seconds", "l", h2, obs.L("op", "put")),
+		}
+	}, slo: &tsdb.SLOReport{Node: "n2", State: "ok", SLOs: []tsdb.Status{
+		{Name: "lat", State: "ok"},
+	}}}
+
+	s1 := httptest.NewServer(n1.handler())
+	defer s1.Close()
+	s2 := httptest.NewServer(n2.handler())
+	defer s2.Close()
+
+	pollers := []*poller{
+		newPoller("n1", s1.Listener.Addr().String(), time.Second),
+		newPoller("n2", s2.Listener.Addr().String(), time.Second),
+	}
+	gather(pollers) // prime rate baselines
+	rep := gather(pollers)
+
+	if len(rep.Nodes) != 2 || !rep.Nodes[0].Up || !rep.Nodes[1].Up {
+		t.Fatalf("nodes = %+v", rep.Nodes)
+	}
+	r1, r2, c := rep.Nodes[0], rep.Nodes[1], rep.Cluster
+
+	if r1.GoVersion != "go1.24" || r1.Proto != "4" || r1.Engine != "vm" {
+		t.Fatalf("build info = %q/%q/%q", r1.GoVersion, r1.Proto, r1.Engine)
+	}
+	if !r1.Ready || r2.Ready {
+		t.Fatalf("ready = %v/%v, want true/false", r1.Ready, r2.Ready)
+	}
+	if r1.RunqDepth != 5 {
+		t.Fatalf("summed runq = %g, want 5", r1.RunqDepth)
+	}
+	if r1.OpsRate <= 0 {
+		t.Fatalf("ops rate = %g, want > 0 (two scrapes with a moving counter)", r1.OpsRate)
+	}
+
+	// The acceptance property: merged count equals the shard sum, and the
+	// merged p99 is a true union quantile bounded by the shard p99s.
+	if want := r1.RemoteCount + r2.RemoteCount; c.RemoteCount != want {
+		t.Fatalf("cluster count = %d, want %d", c.RemoteCount, want)
+	}
+	if c.RemoteP99 <= 0 {
+		t.Fatalf("cluster p99 = %g, want > 0", c.RemoteP99)
+	}
+	lo, hi := r1.RemoteP99, r2.RemoteP99
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	if c.RemoteP99 < lo-1e-12 || c.RemoteP99 > hi+1e-12 {
+		t.Fatalf("cluster p99 = %g outside shard range [%g, %g]", c.RemoteP99, lo, hi)
+	}
+	// 109 observations, 10 of them at 0.8s: the union p99 lands in the
+	// slow tail even though the majority shard's p99 is sub-millisecond.
+	if c.RemoteP99 < 0.1 {
+		t.Fatalf("cluster p99 = %g, want the slow shard's tail to dominate", c.RemoteP99)
+	}
+
+	if c.VPs != 6 {
+		t.Fatalf("cluster vps = %g, want 6", c.VPs)
+	}
+	if c.SLOState != "breach" {
+		t.Fatalf("cluster slo state = %q, want breach (worst-of)", c.SLOState)
+	}
+	if len(c.Breaching) != 1 || c.Breaching[0] != "n1/lat" {
+		t.Fatalf("breaching = %v, want [n1/lat]", c.Breaching)
+	}
+	if c.NodesUp != 2 || c.NodesTotal != 2 {
+		t.Fatalf("nodes up = %d/%d", c.NodesUp, c.NodesTotal)
+	}
+}
+
+func TestDownNodeRendersAsDown(t *testing.T) {
+	p := newPoller("gone", "127.0.0.1:1", 200*time.Millisecond)
+	prev, cur := p.advance()
+	row := buildRow("gone", p.endpoint, prev, cur)
+	if row.Up || row.Err == "" {
+		t.Fatalf("row = %+v, want down with error", row)
+	}
+	c := rollup([]nodeRow{row})
+	if c.NodesUp != 0 || c.NodesTotal != 1 {
+		t.Fatalf("rollup of down node = %+v", c)
+	}
+	var buf bytes.Buffer
+	renderTable(&buf, report{Nodes: []nodeRow{row}, Cluster: c})
+	if !strings.Contains(buf.String(), "DOWN") {
+		t.Fatalf("table missing DOWN row:\n%s", buf.String())
+	}
+}
+
+func TestBuildPollersSpecForms(t *testing.T) {
+	ps, err := buildPollers("n1=127.0.0.1:9091,n2=127.0.0.1:9092", time.Second)
+	if err != nil || len(ps) != 2 || ps[0].endpoint != "127.0.0.1:9091" {
+		t.Fatalf("compact spec = %+v, %v", ps, err)
+	}
+	if _, err := buildPollers("", time.Second); err == nil {
+		t.Fatal("empty spec accepted")
+	}
+}

@@ -1,0 +1,294 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/obs/tsdb"
+)
+
+// scrape is one poll of a node's observability surface: the parsed
+// /metrics exposition, the /debug/slo report (nil when the node runs no
+// SLO engine), and the /readyz verdict.
+type scrape struct {
+	t       time.Time
+	metrics []obs.Metric
+	slo     *tsdb.SLOReport
+	ready   bool
+	err     error
+}
+
+// poller scrapes one node. Successive polls are diffed for rates, so each
+// poller remembers its previous scrape.
+type poller struct {
+	id       string
+	endpoint string // host:port of the node's -http listener
+	client   *http.Client
+	prev     *scrape
+}
+
+func newPoller(id, endpoint string, timeout time.Duration) *poller {
+	endpoint = strings.TrimPrefix(endpoint, "http://")
+	return &poller{id: id, endpoint: endpoint, client: &http.Client{Timeout: timeout}}
+}
+
+// poll scrapes the node once; transport failures land in scrape.err and
+// render as a down row instead of killing the dashboard.
+func (p *poller) poll() *scrape {
+	s := &scrape{t: time.Now()}
+	resp, err := p.client.Get("http://" + p.endpoint + "/metrics")
+	if err != nil {
+		s.err = err
+		return s
+	}
+	s.metrics, err = tsdb.ParsePrometheus(resp.Body)
+	resp.Body.Close() //nolint:errcheck
+	if err != nil {
+		s.err = err
+		return s
+	}
+	if resp.StatusCode != http.StatusOK {
+		s.err = fmt.Errorf("/metrics: %s", resp.Status)
+		return s
+	}
+	if resp, err := p.client.Get("http://" + p.endpoint + "/debug/slo"); err == nil {
+		if resp.StatusCode == http.StatusOK {
+			var rep tsdb.SLOReport
+			if json.NewDecoder(resp.Body).Decode(&rep) == nil {
+				s.slo = &rep
+			}
+		}
+		resp.Body.Close() //nolint:errcheck
+	}
+	if resp, err := p.client.Get("http://" + p.endpoint + "/readyz"); err == nil {
+		s.ready = resp.StatusCode == http.StatusOK
+		resp.Body.Close() //nolint:errcheck
+	}
+	return s
+}
+
+// advance polls and rotates the previous scrape, returning (prev, cur).
+func (p *poller) advance() (prev, cur *scrape) {
+	cur = p.poll()
+	prev, p.prev = p.prev, cur
+	return prev, cur
+}
+
+// sumValues sums a family's value across all its label sets — per-VP and
+// per-space gauges fold into one node-level figure.
+func sumValues(ms []obs.Metric, name string) (float64, bool) {
+	var sum float64
+	found := false
+	for _, m := range ms {
+		if m.Name == name && m.Kind != obs.KindHistogram {
+			sum += m.Value
+			found = true
+		}
+	}
+	return sum, found
+}
+
+// mergeFamily merges a histogram family across all its label sets (e.g.
+// sting_remote_op_latency_seconds over every op) into one snapshot.
+func mergeFamily(ms []obs.Metric, name string) *obs.HistogramSnapshot {
+	var snaps []*obs.HistogramSnapshot
+	for _, m := range ms {
+		if m.Name == name && m.Kind == obs.KindHistogram && m.Hist != nil {
+			snaps = append(snaps, m.Hist)
+		}
+	}
+	if len(snaps) == 0 {
+		return nil
+	}
+	return tsdb.MergeHistograms(snaps...)
+}
+
+// buildLabels finds the sting_build_info sample and returns its labels.
+func buildLabels(ms []obs.Metric) map[string]string {
+	for _, m := range ms {
+		if m.Name == "sting_build_info" {
+			out := make(map[string]string, len(m.Labels))
+			for _, l := range m.Labels {
+				out[l.Key] = l.Value
+			}
+			return out
+		}
+	}
+	return nil
+}
+
+// counterRate computes the per-second rate of a (summed) counter family
+// between two scrapes; resets clamp to zero rather than going negative.
+func counterRate(prev, cur *scrape, name string) float64 {
+	if prev == nil || prev.err != nil || cur.err != nil {
+		return 0
+	}
+	a, okA := sumValues(prev.metrics, name)
+	b, okB := sumValues(cur.metrics, name)
+	dt := cur.t.Sub(prev.t).Seconds()
+	if !okA || !okB || dt <= 0 || b <= a {
+		return 0
+	}
+	return (b - a) / dt
+}
+
+// histDelta returns the observations a histogram family gained between
+// the scrapes; nil when the previous scrape is unusable.
+func histDelta(prev, cur *scrape, name string) *obs.HistogramSnapshot {
+	if prev == nil || prev.err != nil {
+		return nil
+	}
+	newer := mergeFamily(cur.metrics, name)
+	older := mergeFamily(prev.metrics, name)
+	if newer == nil {
+		return nil
+	}
+	return tsdb.SubtractHistogram(newer, older)
+}
+
+// nodeRow is one dashboard line (and one JSON element in -once -json).
+type nodeRow struct {
+	ID       string `json:"id"`
+	Endpoint string `json:"endpoint"`
+	Up       bool   `json:"up"`
+	Err      string `json:"err,omitempty"`
+	Ready    bool   `json:"ready"`
+
+	GoVersion string `json:"go_version,omitempty"`
+	Proto     string `json:"proto,omitempty"`
+	Engine    string `json:"engine,omitempty"`
+
+	VPs           float64 `json:"vps"`
+	RunqDepth     float64 `json:"runq_depth"`
+	StealRate     float64 `json:"steal_rate"`
+	TupleDepth    float64 `json:"tspace_depth"`
+	Waiters       float64 `json:"tspace_waiters"`
+	OpsRate       float64 `json:"ops_rate"`
+	StmCommitRate float64 `json:"stm_commit_rate"`
+	StmAbortRate  float64 `json:"stm_abort_rate"`
+
+	RemoteCount uint64  `json:"remote_count"`
+	RemoteP50   float64 `json:"remote_p50_s"`
+	RemoteP99   float64 `json:"remote_p99_s"`
+
+	SLOState string        `json:"slo_state,omitempty"`
+	SLOs     []tsdb.Status `json:"slos,omitempty"`
+
+	hist *obs.HistogramSnapshot // the snapshot the quantiles came from
+}
+
+// buildRow folds a node's scrape pair into one dashboard row. Latency
+// quantiles prefer the between-scrapes delta (what happened just now);
+// when that window saw no traffic they fall back to the node's since-boot
+// histogram, mirroring the tsdb windowing rule.
+func buildRow(id, endpoint string, prev, cur *scrape) nodeRow {
+	row := nodeRow{ID: id, Endpoint: endpoint}
+	if cur.err != nil {
+		row.Err = cur.err.Error()
+		return row
+	}
+	row.Up = true
+	row.Ready = cur.ready
+	if bi := buildLabels(cur.metrics); bi != nil {
+		row.GoVersion, row.Proto, row.Engine = bi["go_version"], bi["proto"], bi["engine"]
+	}
+	row.VPs, _ = sumValues(cur.metrics, "sting_vm_vps")
+	row.RunqDepth, _ = sumValues(cur.metrics, "sting_vp_runq_depth")
+	row.TupleDepth, _ = sumValues(cur.metrics, "sting_tspace_depth")
+	row.Waiters, _ = sumValues(cur.metrics, "sting_tspace_waiters")
+	row.StealRate = counterRate(prev, cur, "sting_vp_steals_total")
+	row.OpsRate = counterRate(prev, cur, "sting_remote_ops_total")
+	row.StmCommitRate = counterRate(prev, cur, "sting_stm_commits_total")
+	row.StmAbortRate = counterRate(prev, cur, "sting_stm_aborts_total")
+
+	h := histDelta(prev, cur, "sting_remote_op_latency_seconds")
+	if h == nil || h.Count == 0 {
+		h = mergeFamily(cur.metrics, "sting_remote_op_latency_seconds")
+	}
+	if h != nil && h.Count > 0 {
+		row.hist = h
+		row.RemoteCount = h.Count
+		row.RemoteP50 = h.Quantile(0.50)
+		row.RemoteP99 = h.Quantile(0.99)
+	}
+	if cur.slo != nil {
+		row.SLOState = cur.slo.State
+		row.SLOs = cur.slo.SLOs
+	}
+	return row
+}
+
+// clusterRow is the rollup line: sums for additive figures, true merged
+// quantiles for latency, worst-of for SLO state.
+type clusterRow struct {
+	NodesUp    int `json:"nodes_up"`
+	NodesTotal int `json:"nodes_total"`
+
+	VPs           float64 `json:"vps"`
+	RunqDepth     float64 `json:"runq_depth"`
+	StealRate     float64 `json:"steal_rate"`
+	TupleDepth    float64 `json:"tspace_depth"`
+	Waiters       float64 `json:"tspace_waiters"`
+	OpsRate       float64 `json:"ops_rate"`
+	StmCommitRate float64 `json:"stm_commit_rate"`
+	StmAbortRate  float64 `json:"stm_abort_rate"`
+
+	RemoteCount uint64  `json:"remote_count"`
+	RemoteP50   float64 `json:"remote_p50_s"`
+	RemoteP99   float64 `json:"remote_p99_s"`
+
+	SLOState  string   `json:"slo_state,omitempty"`
+	Breaching []string `json:"breaching,omitempty"`
+}
+
+// rollup folds node rows into the cluster line. The latency quantiles
+// come from MergeHistograms over the per-node snapshots — bucket-exact
+// because every node shares obs.LatencyBuckets — so the cluster p99 is
+// the p99 of the union of observations, not an average of per-node p99s.
+func rollup(rows []nodeRow) clusterRow {
+	c := clusterRow{NodesTotal: len(rows)}
+	var hists []*obs.HistogramSnapshot
+	worst := tsdb.StateNoData
+	sawSLO := false
+	for _, r := range rows {
+		if !r.Up {
+			continue
+		}
+		c.NodesUp++
+		c.VPs += r.VPs
+		c.RunqDepth += r.RunqDepth
+		c.StealRate += r.StealRate
+		c.TupleDepth += r.TupleDepth
+		c.Waiters += r.Waiters
+		c.OpsRate += r.OpsRate
+		c.StmCommitRate += r.StmCommitRate
+		c.StmAbortRate += r.StmAbortRate
+		if r.hist != nil {
+			hists = append(hists, r.hist)
+		}
+		if r.SLOState != "" {
+			sawSLO = true
+			if s := tsdb.ParseSLOState(r.SLOState); s > worst {
+				worst = s
+			}
+			for _, s := range r.SLOs {
+				if s.State == tsdb.StateBreach.String() {
+					c.Breaching = append(c.Breaching, r.ID+"/"+s.Name)
+				}
+			}
+		}
+	}
+	if merged := tsdb.MergeHistograms(hists...); merged.Count > 0 {
+		c.RemoteCount = merged.Count
+		c.RemoteP50 = merged.Quantile(0.50)
+		c.RemoteP99 = merged.Quantile(0.99)
+	}
+	if sawSLO {
+		c.SLOState = worst.String()
+	}
+	return c
+}

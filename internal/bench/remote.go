@@ -29,6 +29,14 @@ type RemoteResult struct {
 // echo thread (local Get ping / Put pong); the space, the parking, and the
 // wakeups all go through the substrate.
 func RunRemotePingPong(pairs, rounds int) (RemoteResult, error) {
+	return runRemotePingPong(pairs, rounds, nil)
+}
+
+// runRemotePingPong is the ping-pong body; instrument (optional) attaches
+// observability to the server-side VM before traffic starts and returns a
+// teardown run after the measurement — the sampler-overhead ablation's
+// hook.
+func runRemotePingPong(pairs, rounds int, instrument func(vm *core.VM, srv *remote.Server) func()) (RemoteResult, error) {
 	m := core.NewMachine(core.MachineConfig{Processors: 2})
 	defer m.Shutdown()
 	vm, err := m.NewVM(core.VMConfig{VPs: 2})
@@ -42,6 +50,11 @@ func RunRemotePingPong(pairs, rounds int) (RemoteResult, error) {
 		return RemoteResult{}, err
 	}
 	go srv.Serve(ln) //nolint:errcheck
+	if instrument != nil {
+		if teardown := instrument(vm, srv); teardown != nil {
+			defer teardown()
+		}
+	}
 
 	ts := srv.Registry().OpenDefault("pingpong")
 	echoes := make([]*core.Thread, pairs)

@@ -1,0 +1,47 @@
+package bench
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/obs/tsdb"
+	"repro/internal/remote"
+	"repro/internal/stm"
+	"repro/internal/tspace"
+)
+
+// RunRemotePingPongSampled measures the ping-pong RTT with the full
+// observability pipeline attached to the server VM: an obs registry over
+// the VM, the space registry, and the fabric server, sampled into a tsdb
+// store every interval with an SLO engine evaluating objectives on every
+// tick. sampled=false runs the identical benchmark with no registry at
+// all — the overhead ablation's baseline. The interval is deliberately
+// far more aggressive than the production default (1s): any gather cost
+// invisible at 10ms is certainly invisible at 1s.
+func RunRemotePingPongSampled(pairs, rounds int, sampled bool, interval time.Duration) (RemoteResult, error) {
+	if !sampled {
+		return RunRemotePingPong(pairs, rounds)
+	}
+	objectives, err := tsdb.ParseObjectives(
+		"put-lat: sting_remote_op_latency_seconds{op=put} p99 < 50ms over 10s\n" +
+			"get-lat: sting_remote_op_latency_seconds{op=get} p99 < 50ms over 10s\n" +
+			"ops: sting_remote_ops_total rate > 0/s over 10s\n")
+	if err != nil {
+		return RemoteResult{}, err
+	}
+	return runRemotePingPong(pairs, rounds, func(vm *core.VM, srv *remote.Server) func() {
+		r := obs.NewRegistry()
+		r.Register("core", core.VMCollector{VM: vm})
+		r.Register("tspace", tspace.RegistryCollector{Registry: srv.Registry()})
+		r.Register("remote", remote.ServerCollector{Server: srv})
+		r.Register("stm", stm.NewCollector())
+		engine := tsdb.NewSLOEngine(objectives)
+		sampler := tsdb.NewSampler(r, tsdb.NewStore(0), interval)
+		sampler.OnSample(func(now time.Time, st *tsdb.Store) { engine.Evaluate(now, st) })
+		r.Register("slo", engine.Collector())
+		r.Register("tsdb", sampler.Collector())
+		sampler.Start()
+		return sampler.Stop
+	})
+}

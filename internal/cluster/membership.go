@@ -29,6 +29,12 @@ import (
 type Node struct {
 	ID   string `json:"id"`
 	Addr string `json:"addr"`
+	// HTTP is the node's observability endpoint (the stingd -http
+	// address): where /metrics, /readyz, and /debug/slo live. Optional —
+	// the fabric never needs it — but stingtop discovers the cluster's
+	// dashboards through it, so the same nodes.json the cluster routes
+	// over is the dashboard's only configuration.
+	HTTP string `json:"http,omitempty"`
 	// Weight is the node's relative capacity under rendezvous hashing;
 	// zero or negative means 1. A weight-2 node owns roughly twice the
 	// key space of a weight-1 node.
@@ -99,7 +105,9 @@ func LoadFile(path string) (*Membership, error) {
 }
 
 // ParseSpec parses the compact flag form "id=addr,id=addr,…"; a bare
-// "addr" entry gets the id shardN by position. Weights need the JSON file.
+// "addr" entry gets the id shardN by position, and an "addr@httpaddr"
+// suffix names the node's observability endpoint (stingtop discovery).
+// Weights need the JSON file.
 func ParseSpec(spec string) (*Membership, error) {
 	parts := strings.Split(spec, ",")
 	nodes := make([]Node, 0, len(parts))
@@ -112,7 +120,8 @@ func ParseSpec(spec string) (*Membership, error) {
 		if !ok {
 			id, addr = fmt.Sprintf("shard%d", i+1), p
 		}
-		nodes = append(nodes, Node{ID: id, Addr: addr})
+		addr, httpAddr, _ := strings.Cut(addr, "@")
+		nodes = append(nodes, Node{ID: id, Addr: addr, HTTP: httpAddr})
 	}
 	return NewMembership(nodes)
 }
@@ -131,6 +140,22 @@ func (m *Membership) Nodes() []Node { return append([]Node(nil), m.nodes...) }
 
 // Len reports the shard count.
 func (m *Membership) Len() int { return len(m.nodes) }
+
+// HTTPEndpoints returns id→observability-address for every node that
+// declares one, in declaration order of ids — the discovery set stingtop
+// polls. Missing entries are simply absent: a cluster can mix
+// instrumented and bare nodes.
+func (m *Membership) HTTPEndpoints() ([]string, map[string]string) {
+	ids := make([]string, 0, len(m.nodes))
+	eps := make(map[string]string)
+	for _, n := range m.nodes {
+		if n.HTTP != "" {
+			ids = append(ids, n.ID)
+			eps[n.ID] = n.HTTP
+		}
+	}
+	return ids, eps
+}
 
 // ByID looks a node up.
 func (m *Membership) ByID(id string) (Node, bool) {

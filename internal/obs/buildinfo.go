@@ -1,0 +1,15 @@
+package obs
+
+import "runtime"
+
+// BuildInfo returns a collector emitting the sting_build_info gauge: a
+// constant-1 sample whose labels carry the node's identity facts — go
+// version (added automatically), wire protocol version, default engine,
+// whatever the caller passes. The Prometheus build-info idiom: joins and
+// dashboards read the labels, never the value, so a per-node version
+// column costs one series.
+func BuildInfo(labels ...Label) Collector {
+	ls := append([]Label{L("go_version", runtime.Version())}, labels...)
+	m := Gauge("sting_build_info", "Build and configuration identity of this node; value is always 1.", 1, ls...)
+	return CollectorFunc(func() []Metric { return []Metric{m} })
+}

@@ -11,9 +11,12 @@ import (
 // Handler serves the observability endpoints over plain net/http:
 //
 //	/metrics       Prometheus text exposition of Registry.Gather
-//	/healthz       200 "ok" while Healthy returns nil, 503 otherwise
+//	/healthz       liveness: 200 "ok" while Healthy returns nil, 503 otherwise
+//	/readyz        readiness: 200 while every Ready component reports nil,
+//	               503 otherwise, with per-component detail in the body
 //	/debug/trace   Chrome trace_event JSON of TraceEvents (open in Perfetto)
 //	/debug/spans   finished spans: JSON dump (default) or ?format=chrome
+//	/debug/slo     the SLO engine's evaluated objectives (see obs/tsdb)
 //	/debug/pprof/  the runtime profiler, when EnablePprof is set
 //
 // /debug/trace and /debug/spans honour ?limit=N (the most recent N
@@ -22,12 +25,19 @@ import (
 // silent default. Zero-value fields degrade gracefully: a nil Registry
 // serves an empty exposition, a nil Healthy always reports healthy, a nil
 // TraceEvents or Spans makes its endpoint a 404, a nil Diag makes
-// /debug/diag a 404.
+// /debug/diag a 404, a nil SLO makes /debug/slo a 404, and a nil Ready
+// makes /readyz mirror /healthz (liveness is the only signal available).
 type Handler struct {
 	Registry *Registry
-	// Healthy reports liveness; return an error (e.g. "draining") to flip
-	// /healthz to 503.
+	// Healthy reports liveness — is the process alive and serving at all.
+	// Return an error to flip /healthz to 503. Deliberately narrow:
+	// draining and SLO state belong to readiness, not liveness, so an
+	// orchestrator never restarts a process for being busy.
 	Healthy func() error
+	// Ready reports per-component readiness for /readyz: any non-nil
+	// Err flips the endpoint to 503, and every component's state is
+	// printed in the body either way.
+	Ready func() []ReadyStatus
 	// TraceEvents supplies the trace-ring snapshot for /debug/trace.
 	TraceEvents func() []TraceEvent
 	// Spans supplies the finished-span snapshot for /debug/spans.
@@ -38,6 +48,9 @@ type Handler struct {
 	// /debug/diag (see internal/diag). Opaque here to keep obs
 	// dependency-free.
 	Diag http.Handler
+	// SLO, when set, serves the SLO engine's evaluated objectives under
+	// /debug/slo (see internal/obs/tsdb). Opaque for the same reason.
+	SLO http.Handler
 	// EnablePprof exposes net/http/pprof under /debug/pprof/. Off by
 	// default: the profiler is a diagnostic surface, not a metric one.
 	EnablePprof bool
@@ -50,6 +63,14 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		h.serveMetrics(w)
 	case r.URL.Path == "/healthz":
 		h.serveHealth(w)
+	case r.URL.Path == "/readyz":
+		h.serveReady(w)
+	case r.URL.Path == "/debug/slo":
+		if h.SLO == nil {
+			http.Error(w, "slo engine not enabled", http.StatusNotFound)
+			return
+		}
+		h.SLO.ServeHTTP(w, r)
 	case r.URL.Path == "/debug/trace":
 		h.serveTrace(w, r)
 	case r.URL.Path == "/debug/spans":
@@ -68,9 +89,12 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		h.servePprof(w, r)
 	case r.URL.Path == "/":
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprint(w, "sting observability\n/metrics\n/healthz\n/debug/trace\n/debug/spans\n")
+		fmt.Fprint(w, "sting observability\n/metrics\n/healthz\n/readyz\n/debug/trace\n/debug/spans\n")
 		if h.Diag != nil {
 			fmt.Fprint(w, "/debug/diag\n")
+		}
+		if h.SLO != nil {
+			fmt.Fprint(w, "/debug/slo\n")
 		}
 		if h.EnablePprof {
 			fmt.Fprint(w, "/debug/pprof/\n")
@@ -98,6 +122,43 @@ func (h *Handler) serveHealth(w http.ResponseWriter) {
 		}
 	}
 	fmt.Fprint(w, "ok\n")
+}
+
+// ReadyStatus is one readiness component's report: a name ("drain",
+// "slo", …) and its current error, nil when the component is ready.
+type ReadyStatus struct {
+	Component string
+	Err       error
+}
+
+func (h *Handler) serveReady(w http.ResponseWriter) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if h.Ready == nil {
+		// No readiness components configured: readiness degrades to
+		// liveness so probes pointed here are never wrong, just coarse.
+		h.serveHealth(w)
+		return
+	}
+	statuses := h.Ready()
+	ready := true
+	for _, s := range statuses {
+		if s.Err != nil {
+			ready = false
+		}
+	}
+	if !ready {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprint(w, "unready\n")
+	} else {
+		fmt.Fprint(w, "ready\n")
+	}
+	for _, s := range statuses {
+		if s.Err != nil {
+			fmt.Fprintf(w, "%s: %v\n", s.Component, s.Err)
+		} else {
+			fmt.Fprintf(w, "%s: ok\n", s.Component)
+		}
+	}
 }
 
 // parseLimit reads ?limit=N. Absence means unlimited (0); a present

@@ -1,0 +1,55 @@
+package tsdb
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// SLOReport is the /debug/slo document: the node name, the overall
+// (worst) state, and every objective's status.
+type SLOReport struct {
+	Node  string   `json:"node"`
+	State string   `json:"state"`
+	SLOs  []Status `json:"slos"`
+}
+
+// WorstState folds statuses into the rollup state: the maximum severity,
+// with nodata only surfacing when nothing has data at all.
+func WorstState(statuses []Status) SLOState {
+	worst := StateNoData
+	for _, s := range statuses {
+		if st := ParseSLOState(s.State); st > worst {
+			worst = st
+		}
+	}
+	return worst
+}
+
+// Handler serves the SLO engine's current statuses as JSON at /debug/slo.
+// Evaluation happens on the sampler tick, not per request, so a scrape
+// storm cannot multiply measurement work.
+type Handler struct {
+	Engine *SLOEngine
+	Node   string
+}
+
+// ServeHTTP implements http.Handler.
+func (h Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if h.Engine == nil {
+		http.Error(w, "slo engine not enabled", http.StatusNotFound)
+		return
+	}
+	statuses := h.Engine.Statuses()
+	node := h.Node
+	if node == "" {
+		node = "sting"
+	}
+	rep := SLOReport{Node: node, State: WorstState(statuses).String(), SLOs: statuses}
+	if rep.SLOs == nil {
+		rep.SLOs = []Status{}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(rep)
+}

@@ -1,0 +1,268 @@
+package tsdb
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+// ParsePrometheus is the scrape side of obs.WritePrometheus: it reads a
+// text exposition (version 0.0.4) back into obs.Metric samples, including
+// reassembling _bucket/_sum/_count series into histogram snapshots with
+// per-bucket (de-cumulated) counts. It is what lets stingtop poll every
+// node's existing /metrics endpoint and merge the results with no new
+// wire protocol.
+//
+// The parser is deliberately tolerant: unknown comment lines are skipped,
+// families without a # TYPE default to untyped gauges, and a malformed
+// line fails the whole parse with its line number (a scrape of a healthy
+// node should never be partially wrong).
+func ParsePrometheus(r io.Reader) ([]obs.Metric, error) {
+	types := make(map[string]obs.MetricKind)
+	var scalars []obs.Metric
+	hists := make(map[string]*histAccum) // family+labels (sans le)
+	var histOrder []string
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 4*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) >= 4 && fields[1] == "TYPE" {
+				switch fields[3] {
+				case "counter":
+					types[fields[2]] = obs.KindCounter
+				case "histogram":
+					types[fields[2]] = obs.KindHistogram
+				default:
+					types[fields[2]] = obs.KindGauge
+				}
+			}
+			continue
+		}
+		name, labels, value, err := parseSampleLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("promparse: line %d: %v", lineNo, err)
+		}
+		if fam, part := histFamily(name, types); fam != "" {
+			key := fam + "|" + labelKeySansLE(labels)
+			acc, ok := hists[key]
+			if !ok {
+				acc = &histAccum{family: fam, labels: dropLE(labels)}
+				hists[key] = acc
+				histOrder = append(histOrder, key)
+			}
+			switch part {
+			case "bucket":
+				le := leValue(labels)
+				acc.buckets = append(acc.buckets, bucketSample{le: le, cum: uint64(value)})
+			case "sum":
+				acc.sum = value
+			case "count":
+				acc.count = uint64(value)
+			}
+			continue
+		}
+		kind, ok := types[name]
+		if !ok {
+			kind = obs.KindGauge
+		}
+		scalars = append(scalars, obs.Metric{Name: name, Kind: kind, Labels: labels, Value: value})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("promparse: %w", err)
+	}
+	out := scalars
+	for _, key := range histOrder {
+		acc := hists[key]
+		snap, err := acc.snapshot()
+		if err != nil {
+			return nil, fmt.Errorf("promparse: %s: %v", acc.family, err)
+		}
+		out = append(out, obs.Metric{Name: acc.family, Kind: obs.KindHistogram, Labels: acc.labels, Hist: snap})
+	}
+	return out, nil
+}
+
+// histFamily reports whether name is a histogram component series of a
+// family declared `# TYPE <fam> histogram`, returning the family and the
+// component ("bucket", "sum", "count"); ("", "") otherwise.
+func histFamily(name string, types map[string]obs.MetricKind) (fam, part string) {
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		if base, ok := strings.CutSuffix(name, suffix); ok && types[base] == obs.KindHistogram {
+			return base, suffix[1:]
+		}
+	}
+	return "", ""
+}
+
+type bucketSample struct {
+	le  float64
+	cum uint64
+}
+
+type histAccum struct {
+	family  string
+	labels  []obs.Label
+	buckets []bucketSample
+	sum     float64
+	count   uint64
+}
+
+// snapshot turns the accumulated cumulative buckets back into the
+// per-bucket form obs.HistogramSnapshot carries.
+func (a *histAccum) snapshot() (*obs.HistogramSnapshot, error) {
+	sort.Slice(a.buckets, func(i, j int) bool { return a.buckets[i].le < a.buckets[j].le })
+	snap := &obs.HistogramSnapshot{Sum: a.sum}
+	var prev uint64
+	for _, b := range a.buckets {
+		if math.IsInf(b.le, 1) {
+			if b.cum < prev {
+				return nil, fmt.Errorf("+Inf bucket %d below prior cumulative %d", b.cum, prev)
+			}
+			snap.Counts = append(snap.Counts, b.cum-prev)
+			prev = b.cum
+			continue
+		}
+		if b.cum < prev {
+			return nil, fmt.Errorf("bucket le=%g cumulative %d below prior %d", b.le, b.cum, prev)
+		}
+		snap.Bounds = append(snap.Bounds, b.le)
+		snap.Counts = append(snap.Counts, b.cum-prev)
+		prev = b.cum
+	}
+	// A family missing its +Inf bucket still gets a consistent snapshot:
+	// the implicit +Inf bucket holds whatever _count exceeds the last
+	// cumulative bucket.
+	if len(snap.Counts) == len(snap.Bounds) {
+		extra := uint64(0)
+		if a.count > prev {
+			extra = a.count - prev
+		}
+		snap.Counts = append(snap.Counts, extra)
+	}
+	for _, c := range snap.Counts {
+		snap.Count += c
+	}
+	return snap, nil
+}
+
+func leValue(labels []obs.Label) float64 {
+	for _, l := range labels {
+		if l.Key == "le" {
+			if l.Value == "+Inf" {
+				return math.Inf(1)
+			}
+			v, err := strconv.ParseFloat(l.Value, 64)
+			if err == nil {
+				return v
+			}
+		}
+	}
+	return math.Inf(1)
+}
+
+func dropLE(labels []obs.Label) []obs.Label {
+	var out []obs.Label
+	for _, l := range labels {
+		if l.Key != "le" {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+func labelKeySansLE(labels []obs.Label) string {
+	return seriesKey("", dropLE(labels))
+}
+
+// parseSampleLine reads `name{k="v",…} value [timestamp]`.
+func parseSampleLine(line string) (name string, labels []obs.Label, value float64, err error) {
+	rest := line
+	if brace := strings.IndexByte(rest, '{'); brace >= 0 {
+		name = rest[:brace]
+		end := strings.IndexByte(rest[brace:], '}')
+		if end < 0 {
+			return "", nil, 0, fmt.Errorf("unterminated label set")
+		}
+		labels, err = parseLabelSet(rest[brace+1 : brace+end])
+		if err != nil {
+			return "", nil, 0, err
+		}
+		rest = strings.TrimSpace(rest[brace+end+1:])
+	} else {
+		sp := strings.IndexAny(rest, " \t")
+		if sp < 0 {
+			return "", nil, 0, fmt.Errorf("no value on sample line")
+		}
+		name = rest[:sp]
+		rest = strings.TrimSpace(rest[sp:])
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return "", nil, 0, fmt.Errorf("no value on sample line")
+	}
+	value, err = strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("bad value %q", fields[0])
+	}
+	return name, labels, value, nil
+}
+
+// parseLabelSet reads `k="v",k2="v2"`, unescaping \\, \n, and \".
+func parseLabelSet(body string) ([]obs.Label, error) {
+	var out []obs.Label
+	i := 0
+	for i < len(body) {
+		eq := strings.IndexByte(body[i:], '=')
+		if eq < 0 {
+			if strings.TrimSpace(body[i:]) == "" {
+				break
+			}
+			return nil, fmt.Errorf("bad label pair in %q", body)
+		}
+		key := strings.TrimSpace(body[i : i+eq])
+		i += eq + 1
+		if i >= len(body) || body[i] != '"' {
+			return nil, fmt.Errorf("unquoted label value for %q", key)
+		}
+		i++
+		var b strings.Builder
+		for i < len(body) {
+			c := body[i]
+			if c == '\\' && i+1 < len(body) {
+				switch body[i+1] {
+				case 'n':
+					b.WriteByte('\n')
+				default:
+					b.WriteByte(body[i+1])
+				}
+				i += 2
+				continue
+			}
+			if c == '"' {
+				i++
+				break
+			}
+			b.WriteByte(c)
+			i++
+		}
+		out = append(out, obs.L(key, b.String()))
+		if i < len(body) && body[i] == ',' {
+			i++
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,127 @@
+package tsdb
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// DefaultInterval is the sampling period when none is configured: one
+// second resolves every SLO window anyone writes (the shortest useful
+// window is a few seconds) while keeping the gather cost — a lock-free
+// snapshot walk — far below the 5% observability overhead gate.
+const DefaultInterval = time.Second
+
+// Sampler periodically gathers a registry into a Store and drives any
+// registered per-sample hooks (the SLO engine evaluates from one). It
+// runs on a plain goroutine — sampling is bookkeeping about the
+// substrate, not work the substrate should schedule.
+type Sampler struct {
+	Registry *obs.Registry
+	Store    *Store
+	// Interval between samples (≤0: DefaultInterval).
+	Interval time.Duration
+
+	mu      sync.Mutex
+	hooks   []func(now time.Time, st *Store)
+	stop    chan struct{}
+	done    chan struct{}
+	samples atomic.Uint64
+	lastNs  atomic.Int64 // duration of the last SampleOnce, ns
+}
+
+// NewSampler builds a sampler over reg feeding store.
+func NewSampler(reg *obs.Registry, store *Store, interval time.Duration) *Sampler {
+	return &Sampler{Registry: reg, Store: store, Interval: interval}
+}
+
+// OnSample registers a hook run after every sample with the store already
+// updated — the SLO engine's evaluation tick. Hooks run on the sampler
+// goroutine; keep them short.
+func (s *Sampler) OnSample(f func(now time.Time, st *Store)) {
+	s.mu.Lock()
+	s.hooks = append(s.hooks, f)
+	s.mu.Unlock()
+}
+
+// SampleOnce gathers and ingests one snapshot stamped now, then runs the
+// hooks. Exposed so tests and -once tools drive the pipeline without a
+// goroutine.
+func (s *Sampler) SampleOnce(now time.Time) {
+	t0 := time.Now()
+	s.Store.Ingest(now, s.Registry.Gather())
+	s.mu.Lock()
+	hooks := append([]func(now time.Time, st *Store){}, s.hooks...)
+	s.mu.Unlock()
+	for _, f := range hooks {
+		f(now, s.Store)
+	}
+	s.samples.Add(1)
+	s.lastNs.Store(int64(time.Since(t0)))
+}
+
+// Start launches the sampling loop; Stop ends it. Starting an already
+// started sampler is a no-op.
+func (s *Sampler) Start() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.stop != nil {
+		return
+	}
+	s.stop = make(chan struct{})
+	s.done = make(chan struct{})
+	iv := s.Interval
+	if iv <= 0 {
+		iv = DefaultInterval
+	}
+	go func(stop, done chan struct{}) {
+		defer close(done)
+		tick := time.NewTicker(iv)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case now := <-tick.C:
+				s.SampleOnce(now)
+			}
+		}
+	}(s.stop, s.done)
+}
+
+// Stop halts the loop and waits for the in-flight sample to finish.
+func (s *Sampler) Stop() {
+	s.mu.Lock()
+	stop, done := s.stop, s.done
+	s.stop, s.done = nil, nil
+	s.mu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	<-done
+}
+
+// Samples reports how many samples have been taken.
+func (s *Sampler) Samples() uint64 { return s.samples.Load() }
+
+// Collector exposes the sampler's own accounting:
+//
+//	sting_tsdb_samples_total      samples taken
+//	sting_tsdb_series             series retained in the store
+//	sting_tsdb_sample_seconds     duration of the most recent sample
+func (s *Sampler) Collector() obs.Collector {
+	return obs.CollectorFunc(func() []obs.Metric {
+		series := 0
+		if s.Store != nil {
+			series = len(s.Store.SeriesNames())
+		}
+		return []obs.Metric{
+			obs.Counter("sting_tsdb_samples_total", "Time-series samples taken.", float64(s.samples.Load())),
+			obs.Gauge("sting_tsdb_series", "Series retained in the time-series store.", float64(series)),
+			obs.Gauge("sting_tsdb_sample_seconds", "Duration of the most recent sample.", float64(s.lastNs.Load())/1e9),
+		}
+	})
+}

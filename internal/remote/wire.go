@@ -57,6 +57,11 @@ const (
 	minProtocolVersion = 1
 )
 
+// ProtocolVersion reports the highest wire-protocol version this build
+// speaks — the sting_build_info label, so a mixed-version cluster is
+// visible from a dashboard before an interop bug finds it the hard way.
+func ProtocolVersion() int { return protocolVersion }
+
 // maxFrame bounds one frame's payload.
 const maxFrame = 1 << 20
 

@@ -34,6 +34,16 @@ var engineFactories = map[string]EngineFactory{}
 // to switch a program over.
 func RegisterEngine(name string, f EngineFactory) { engineFactories[name] = f }
 
+// DefaultEngineName answers the engine New selects when no WithEngine
+// option is given: "vm" once the bytecode VM's package is imported,
+// otherwise the tree-walker.
+func DefaultEngineName() string {
+	if _, ok := engineFactories["vm"]; ok {
+		return "vm"
+	}
+	return TreeEngineName
+}
+
 // EngineNames lists the selectable engines, the tree-walker included.
 func EngineNames() []string {
 	names := []string{TreeEngineName}

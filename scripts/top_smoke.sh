@@ -1,0 +1,131 @@
+#!/usr/bin/env bash
+# top_smoke.sh — boot a 2-shard stingd cluster with SLO evaluation on,
+# drive fabric traffic, and assert the whole observability pipeline end
+# to end: each node evaluates its objectives (one configured to breach),
+# /healthz stays pure liveness while -ready-slo gates /readyz, and
+# `stingtop -once -json` merges the shards into cluster-wide quantiles
+# whose count is exactly the sum of the per-shard counts. Run via
+# `make top-smoke`.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+tmp="$(mktemp -d)"
+pids=()
+trap 'for p in "${pids[@]:-}"; do kill "$p" 2>/dev/null || true; done; rm -rf "$tmp"' EXIT
+
+go build -o "$tmp/stingd" ./cmd/stingd
+go build -o "$tmp/sting" ./cmd/sting
+go build -o "$tmp/stingtop" ./cmd/stingtop
+
+mapfile -t ports < <(go run ./scripts/freeport 4)
+# The same nodes.json routes the fabric AND names each node's
+# observability endpoint — stingtop needs no other configuration, and
+# stingd picks its -http address up from its own cluster entry.
+cat >"$tmp/nodes.json" <<EOF
+{"nodes": [
+  {"id": "n1", "addr": "127.0.0.1:${ports[0]}", "http": "127.0.0.1:${ports[2]}"},
+  {"id": "n2", "addr": "127.0.0.1:${ports[1]}", "http": "127.0.0.1:${ports[3]}"}
+]}
+EOF
+
+# bad-put is engineered to breach (no real fabric does 1ns p99);
+# always-bad breaches deterministically on every node even if the keyed
+# traffic skews to one shard.
+slo='bad-put: sting_remote_op_latency_seconds{op=put} p99 < 1ns over 60s
+always-bad: sting_tsdb_samples_total value < -1 over 60s'
+
+readyflag=(-ready-slo)
+for i in 1 2; do
+    port="${ports[$((i - 1))]}"
+    # n1 gates /readyz on breaches; n2 keeps SLOs advisory.
+    extra=()
+    [ "$i" = 1 ] && extra=("${readyflag[@]}")
+    "$tmp/stingd" -addr "127.0.0.1:$port" -cluster "$tmp/nodes.json" \
+        -slo "$slo" -sample 200ms "${extra[@]}" >"$tmp/shard$i.log" 2>&1 &
+    pids+=($!)
+done
+for i in 1 2; do
+    ok=""
+    for _ in $(seq 1 50); do
+        grep -q "observability on" "$tmp/shard$i.log" && { ok=1; break; }
+        kill -0 "${pids[$((i - 1))]}" 2>/dev/null || { echo "FAIL: shard $i exited early"; cat "$tmp/shard$i.log"; exit 1; }
+        sleep 0.1
+    done
+    [ -n "$ok" ] || { echo "FAIL: shard $i never announced observability"; cat "$tmp/shard$i.log"; exit 1; }
+    grep -q "slo engine: 2 objectives" "$tmp/shard$i.log" \
+        || { echo "FAIL: shard $i did not load the SLO rules"; cat "$tmp/shard$i.log"; exit 1; }
+done
+obs1="127.0.0.1:${ports[2]}"
+obs2="127.0.0.1:${ports[3]}"
+echo "cluster up: fabric ${ports[0]}/${ports[1]}, obs $obs1/$obs2"
+
+# Keyed puts spread over both shards; wildcard rds fan out so every shard
+# serves latency-histogram traffic.
+cat >"$tmp/traffic.scm" <<'EOF'
+(define sp (remote-open *cluster* "jobs"))
+(define (fill i)
+  (if (< i 16)
+      (begin (remote-put sp (list i "payload")) (fill (+ i 1)))))
+(fill 0)
+(display (remote-rd sp '(?k ?v))) (newline)
+(display (tuple-space-size sp)) (newline)
+EOF
+"$tmp/sting" -cluster "$tmp/nodes.json" "$tmp/traffic.scm" >/dev/null
+
+# Two sampling ticks (200ms each) turn the traffic into evaluated SLOs.
+sleep 1
+
+fail=0
+for i in 1 2; do
+    obsaddr="$([ "$i" = 1 ] && echo "$obs1" || echo "$obs2")"
+    slojson="$(curl -fsS "http://$obsaddr/debug/slo")"
+    grep -q '"state": "breach"' <<<"$slojson" \
+        || { echo "FAIL: shard $i /debug/slo shows no breach:"; echo "$slojson"; fail=1; }
+    health="$(curl -fsS "http://$obsaddr/healthz")"
+    [ "$health" = "ok" ] || { echo "FAIL: shard $i /healthz = '$health' (liveness must ignore SLOs)"; fail=1; }
+done
+# n1 gates readiness on the breach; n2 is advisory and stays ready.
+code1="$(curl -s -o "$tmp/ready1" -w '%{http_code}' "http://$obs1/readyz")"
+[ "$code1" = 503 ] || { echo "FAIL: n1 /readyz = $code1, want 503 (-ready-slo with a breach)"; cat "$tmp/ready1"; fail=1; }
+grep -q 'slo: in breach' "$tmp/ready1" || { echo "FAIL: n1 /readyz body lacks the slo component:"; cat "$tmp/ready1"; fail=1; }
+code2="$(curl -s -o /dev/null -w '%{http_code}' "http://$obs2/readyz")"
+[ "$code2" = 200 ] || { echo "FAIL: n2 /readyz = $code2, want 200 (advisory SLOs)"; fail=1; }
+
+# The rollup: one JSON document with per-node rows and the cluster line.
+"$tmp/stingtop" -nodes "$tmp/nodes.json" -once -json >"$tmp/top.json" \
+    || { echo "FAIL: stingtop -once exited nonzero (a node looked down)"; cat "$tmp/top.json"; fail=1; }
+grep -q '"slo_state": "breach"' "$tmp/top.json" \
+    || { echo "FAIL: stingtop rollup shows no breach"; cat "$tmp/top.json"; fail=1; }
+grep -q '"breaching"' "$tmp/top.json" \
+    || { echo "FAIL: stingtop rollup names no breaching objectives"; cat "$tmp/top.json"; fail=1; }
+
+# Cluster-wide quantiles: merged count must be exactly the per-shard sum,
+# and the merged p99 must be a real latency (> 0).
+counts="$(grep -o '"remote_count": [0-9]*' "$tmp/top.json" | awk '{print $2}')"
+n="$(wc -l <<<"$counts")"
+[ "$n" = 3 ] || { echo "FAIL: expected 3 remote_count rows (2 nodes + cluster), got $n"; cat "$tmp/top.json"; fail=1; }
+if [ "$n" = 3 ]; then
+    read -r c1 c2 ctotal <<<"$(tr '\n' ' ' <<<"$counts")"
+    [ "$ctotal" = "$((c1 + c2))" ] \
+        || { echo "FAIL: cluster remote_count $ctotal != $c1 + $c2 (merged buckets must sum exactly)"; fail=1; }
+    [ "$c1" -gt 0 ] && [ "$c2" -gt 0 ] \
+        || { echo "FAIL: a shard served no histogram traffic (c1=$c1 c2=$c2)"; fail=1; }
+fi
+p99="$(grep -o '"remote_p99_s": [0-9.e+-]*' "$tmp/top.json" | tail -1 | awk '{print $2}')"
+awk -v v="$p99" 'BEGIN { exit (v > 0 ? 0 : 1) }' \
+    || { echo "FAIL: cluster remote_p99_s = '$p99', want > 0"; fail=1; }
+
+for i in 1 2; do
+    kill -TERM "${pids[$((i - 1))]}"
+done
+for i in 1 2; do
+    wait "${pids[$((i - 1))]}" 2>/dev/null || true
+done
+pids=()
+
+if [ "$fail" -ne 0 ]; then
+    echo "top-smoke: FAILED"
+    exit 1
+fi
+echo "top-smoke: OK (2 shards, SLO breach surfaced at /debug/slo + /readyz + rollup, cluster p99 from merged buckets)"
